@@ -1,0 +1,412 @@
+//! The provider agent.
+
+use serde::{Deserialize, Serialize};
+use sqlb_core::allocation::Bid;
+use sqlb_core::intention::{provider_intention, IntentionParams};
+use sqlb_satisfaction::ProviderTracker;
+use sqlb_types::{
+    Capacity, Intention, Preference, ProviderId, Query, QueryClass, SimDuration, SimTime,
+    Utilization, WorkUnits,
+};
+
+use crate::utilization::UtilizationWindow;
+
+/// Configuration of a provider agent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderConfig {
+    /// The `ε` constant of Definition 8.
+    pub params: IntentionParams,
+    /// Window size for the proposal memory.
+    pub proposed_memory: usize,
+    /// Window size for the performed-query memory (`proSatSize`,
+    /// Table 2: 500).
+    pub performed_memory: usize,
+    /// Initial satisfaction (Table 2: 0.5).
+    pub initial_satisfaction: f64,
+    /// Length of the sliding utilization window, in seconds of virtual
+    /// time.
+    pub utilization_window_secs: f64,
+    /// Base price per work unit used when bidding (Mariposa-like
+    /// protocol).
+    pub price_per_unit: f64,
+}
+
+impl Default for ProviderConfig {
+    fn default() -> Self {
+        ProviderConfig {
+            params: IntentionParams::default(),
+            proposed_memory: 500,
+            performed_memory: 500,
+            initial_satisfaction: 0.5,
+            utilization_window_secs: UtilizationWindow::DEFAULT_WINDOW_SECS,
+            price_per_unit: 1.0,
+        }
+    }
+}
+
+/// An autonomous provider.
+///
+/// The agent owns its capacity, its (private) preference per query class,
+/// its utilization window, its outstanding backlog, and two satisfaction
+/// trackers:
+///
+/// * an **intention-based** tracker — the public characterization that
+///   matches what the mediator can observe (Figure 4(a));
+/// * a **preference-based** tracker — the private characterization the
+///   provider uses inside Definition 8 and that Figures 4(b)–(c) report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderAgent {
+    id: ProviderId,
+    config: ProviderConfig,
+    capacity: Capacity,
+    /// Preference per query-class index (`prf_p(q)`).
+    class_preferences: Vec<f64>,
+    utilization: UtilizationWindow,
+    /// Outstanding (queued but not yet completed) work.
+    backlog: f64,
+    intention_tracker: ProviderTracker,
+    preference_tracker: ProviderTracker,
+    departed: bool,
+    performed_count: u64,
+}
+
+impl ProviderAgent {
+    /// Creates a provider with the given capacity and per-class
+    /// preferences (`class_preferences[class.index()]`).
+    pub fn new(
+        id: ProviderId,
+        capacity: Capacity,
+        class_preferences: Vec<Preference>,
+        config: ProviderConfig,
+    ) -> Self {
+        ProviderAgent {
+            id,
+            config,
+            capacity,
+            class_preferences: class_preferences.iter().map(|p| p.value()).collect(),
+            utilization: UtilizationWindow::new(
+                capacity,
+                SimDuration::from_secs(config.utilization_window_secs),
+            ),
+            backlog: 0.0,
+            intention_tracker: ProviderTracker::new(
+                config.proposed_memory,
+                config.performed_memory,
+                config.initial_satisfaction,
+            ),
+            preference_tracker: ProviderTracker::new(
+                config.proposed_memory,
+                config.performed_memory,
+                config.initial_satisfaction,
+            ),
+            departed: false,
+            performed_count: 0,
+        }
+    }
+
+    /// The provider's identifier.
+    pub fn id(&self) -> ProviderId {
+        self.id
+    }
+
+    /// The provider's capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> ProviderConfig {
+        self.config
+    }
+
+    /// The provider's preference for performing queries of the given class
+    /// (`prf_p(q)`). Unknown classes are treated neutrally.
+    pub fn preference_for(&self, class: QueryClass) -> Preference {
+        Preference::new(
+            self.class_preferences
+                .get(class.index())
+                .copied()
+                .unwrap_or(0.0),
+        )
+    }
+
+    /// Current utilization `Ut(p)`.
+    pub fn utilization(&mut self, now: SimTime) -> Utilization {
+        self.utilization.utilization(now)
+    }
+
+    /// The provider's intention `pi_p(q)` for performing `query` at `now`
+    /// (Definition 8), balancing its preference against its utilization
+    /// according to its private, preference-based satisfaction
+    /// (Definition 5 reading: a provider that got nothing lately focuses
+    /// entirely on its preferences to obtain the queries it wants).
+    pub fn intention_for(&mut self, query: &Query, now: SimTime) -> f64 {
+        let preference = self.preference_for(query.class()).value();
+        let utilization = self.utilization.utilization(now).value();
+        let satisfaction = self.preference_tracker.satisfaction();
+        provider_intention(preference, utilization, satisfaction, self.config.params)
+    }
+
+    /// The provider's bid for a query (Mariposa-like protocol): the price
+    /// reflects how *adapted* the provider is to the query (adapted
+    /// providers underbid), the delay reflects the current backlog and the
+    /// provider's speed.
+    pub fn bid_for(&self, query: &Query, _now: SimTime) -> Bid {
+        let adaptation = self.preference_for(query.class()).to_unit().value();
+        // Price factor in [0.2, 1.2]: a fully adapted provider asks ~1/6 of
+        // what a completely unadapted one asks.
+        let price_factor = 1.2 - adaptation;
+        let price = query.cost().value() * self.config.price_per_unit * price_factor;
+        let delay = (self.backlog + query.cost().value()) / self.capacity.units_per_sec();
+        Bid::new(price, delay)
+    }
+
+    /// Records a query that was proposed to this provider, the intention it
+    /// showed for it, and whether the query was allocated to it. Updates
+    /// both the public (intention-based) and private (preference-based)
+    /// characterizations.
+    pub fn record_proposal(&mut self, query: &Query, shown_intention: f64, performed: bool) {
+        self.intention_tracker
+            .record_proposal(Intention::new(shown_intention), performed);
+        let preference = self.preference_for(query.class());
+        self.preference_tracker
+            .record_proposal(Intention::new(preference.value()), performed);
+    }
+
+    /// Accepts an allocated query at `now`: the work enters the backlog and
+    /// the utilization window, and the processing time on this provider is
+    /// returned (the simulator adds queueing delay on top).
+    pub fn assign(&mut self, query: &Query, now: SimTime) -> SimDuration {
+        let work = query.cost();
+        self.utilization.record_assignment(now, work);
+        self.backlog += work.value();
+        self.performed_count += 1;
+        self.capacity.processing_time(work)
+    }
+
+    /// Marks `work` units of backlog as completed.
+    pub fn complete(&mut self, work: WorkUnits) {
+        self.backlog = (self.backlog - work.value()).max(0.0);
+    }
+
+    /// Outstanding (assigned but not completed) work.
+    pub fn backlog(&self) -> WorkUnits {
+        WorkUnits::new(self.backlog)
+    }
+
+    /// Number of queries assigned to this provider over its lifetime.
+    pub fn performed_queries(&self) -> u64 {
+        self.performed_count
+    }
+
+    /// Public, intention-based adequation `δa(p)` (Definition 4).
+    pub fn adequation(&self) -> f64 {
+        self.intention_tracker.adequation()
+    }
+
+    /// Public, intention-based satisfaction `δs(p)` (Definition 5) — what
+    /// Figure 4(a) reports and "what a query allocation method can see". A
+    /// provider that performed none of the queries recently proposed to it
+    /// reports 0; this is also the value the dissatisfaction departure rule
+    /// inspects.
+    pub fn satisfaction(&self) -> f64 {
+        self.intention_tracker.satisfaction_strict()
+    }
+
+    /// Public, intention-based allocation satisfaction `δas(p)`
+    /// (Definition 6).
+    pub fn allocation_satisfaction(&self) -> f64 {
+        sqlb_satisfaction::allocation_satisfaction(
+            self.intention_tracker.satisfaction_strict(),
+            self.intention_tracker.adequation(),
+        )
+    }
+
+    /// Alias of [`ProviderAgent::satisfaction`], kept for call sites that
+    /// want to be explicit about using the strict Definition 5 reading.
+    pub fn strict_satisfaction(&self) -> f64 {
+        self.intention_tracker.satisfaction_strict()
+    }
+
+    /// Public, intention-based satisfaction smoothed over the last
+    /// `performed_memory` treated queries (Table 2's `proSatSize` reading)
+    /// instead of the instantaneous Definition 5 value.
+    pub fn smoothed_satisfaction(&self) -> f64 {
+        self.intention_tracker.satisfaction()
+    }
+
+    /// Number of queries proposed to this provider over its lifetime.
+    pub fn proposed_queries(&self) -> u64 {
+        self.intention_tracker.proposed_queries()
+    }
+
+    /// Private, preference-based adequation.
+    pub fn preference_adequation(&self) -> f64 {
+        self.preference_tracker.adequation()
+    }
+
+    /// Private, preference-based satisfaction — the input to Definition 8
+    /// and the quantity of Figure 4(b). This is the provider's *long-run*
+    /// feeling about the queries it performs ("what is more important for a
+    /// provider is to be globally satisfied with the queries it performs",
+    /// Section 3.2.2), so it uses the smoothed Table 2 reading over the
+    /// last `proSatSize` treated queries.
+    pub fn preference_satisfaction(&self) -> f64 {
+        self.preference_tracker.satisfaction()
+    }
+
+    /// Private, preference-based satisfaction computed strictly as
+    /// Definition 5 over the proposal window.
+    pub fn strict_preference_satisfaction(&self) -> f64 {
+        self.preference_tracker.satisfaction_strict()
+    }
+
+    /// Private, preference-based allocation satisfaction — the quantity of
+    /// Figure 4(c).
+    pub fn preference_allocation_satisfaction(&self) -> f64 {
+        sqlb_satisfaction::allocation_satisfaction(
+            self.preference_tracker.satisfaction(),
+            self.preference_tracker.adequation(),
+        )
+    }
+
+    /// Whether the provider has left the system.
+    pub fn has_departed(&self) -> bool {
+        self.departed
+    }
+
+    /// Marks the provider as departed.
+    pub fn depart(&mut self) {
+        self.departed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_types::{ConsumerId, QueryId};
+
+    fn prefs(light: f64, heavy: f64) -> Vec<Preference> {
+        vec![Preference::new(light), Preference::new(heavy)]
+    }
+
+    fn query(id: u32, class: QueryClass) -> Query {
+        Query::single(QueryId::new(id), ConsumerId::new(0), class, SimTime::ZERO)
+    }
+
+    fn provider(capacity: f64, light: f64, heavy: f64) -> ProviderAgent {
+        ProviderAgent::new(
+            ProviderId::new(0),
+            Capacity::new(capacity),
+            prefs(light, heavy),
+            ProviderConfig::default(),
+        )
+    }
+
+    #[test]
+    fn idle_interested_provider_shows_positive_intention() {
+        let mut p = provider(100.0, 0.8, -0.5);
+        let i = p.intention_for(&query(0, QueryClass::Light), SimTime::ZERO);
+        assert!(i > 0.0);
+        let i = p.intention_for(&query(0, QueryClass::Heavy), SimTime::ZERO);
+        assert!(i < 0.0, "disliked class yields negative intention");
+    }
+
+    #[test]
+    fn overloaded_provider_shows_negative_intention() {
+        let mut p = provider(10.0, 1.0, 1.0);
+        // Assign far more work than one window's worth of capacity.
+        for _ in 0..20 {
+            p.assign(&query(0, QueryClass::Heavy), SimTime::from_secs(1.0));
+        }
+        assert!(p.utilization(SimTime::from_secs(1.0)).is_overloaded());
+        let i = p.intention_for(&query(0, QueryClass::Light), SimTime::from_secs(1.0));
+        assert!(i < 0.0);
+    }
+
+    #[test]
+    fn assignment_updates_backlog_and_processing_time() {
+        let mut p = provider(100.0, 0.5, 0.5);
+        let d = p.assign(&query(0, QueryClass::Light), SimTime::ZERO);
+        assert!((d.as_secs() - 1.3).abs() < 1e-9);
+        assert!((p.backlog().value() - 130.0).abs() < 1e-9);
+        p.complete(WorkUnits::new(130.0));
+        assert_eq!(p.backlog().value(), 0.0);
+        assert_eq!(p.performed_queries(), 1);
+    }
+
+    #[test]
+    fn slower_provider_takes_proportionally_longer() {
+        let mut fast = provider(100.0, 0.5, 0.5);
+        let mut slow = provider(100.0 / 7.0, 0.5, 0.5);
+        let q = query(0, QueryClass::Heavy);
+        let tf = fast.assign(&q, SimTime::ZERO).as_secs();
+        let ts = slow.assign(&q, SimTime::ZERO).as_secs();
+        assert!((ts / tf - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapted_providers_bid_lower() {
+        let adapted = provider(100.0, 1.0, 1.0);
+        let unadapted = provider(100.0, -1.0, -1.0);
+        let q = query(0, QueryClass::Light);
+        let cheap = adapted.bid_for(&q, SimTime::ZERO);
+        let expensive = unadapted.bid_for(&q, SimTime::ZERO);
+        assert!(cheap.price < expensive.price);
+        assert!((cheap.price - 130.0 * 0.2).abs() < 1e-9);
+        assert!((expensive.price - 130.0 * 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bid_delay_grows_with_backlog() {
+        let mut p = provider(100.0, 0.5, 0.5);
+        let q = query(0, QueryClass::Light);
+        let before = p.bid_for(&q, SimTime::ZERO).delay;
+        for _ in 0..5 {
+            p.assign(&q, SimTime::ZERO);
+        }
+        let after = p.bid_for(&q, SimTime::ZERO).delay;
+        assert!(after > before);
+        assert!((before - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn public_and_private_satisfaction_can_diverge() {
+        let mut p = provider(100.0, 0.9, -0.9);
+        let q_liked = query(0, QueryClass::Light);
+        // The provider keeps performing liked queries but — because it is
+        // loaded — shows small intentions for them: its intention-based
+        // satisfaction is mediocre while its preference-based satisfaction
+        // is high.
+        for _ in 0..20 {
+            p.record_proposal(&q_liked, 0.05, true);
+        }
+        assert!(p.preference_satisfaction() > 0.9);
+        assert!(p.satisfaction() < 0.6);
+        assert!(p.preference_allocation_satisfaction() > 0.0);
+    }
+
+    #[test]
+    fn departure_flag() {
+        let mut p = provider(100.0, 0.0, 0.0);
+        assert!(!p.has_departed());
+        p.depart();
+        assert!(p.has_departed());
+    }
+
+    #[test]
+    fn adequation_follows_proposals() {
+        let mut p = provider(100.0, 0.6, 0.6);
+        for i in 0..10 {
+            p.record_proposal(&query(i, QueryClass::Light), 0.6, false);
+        }
+        assert!((p.adequation() - 0.8).abs() < 1e-9);
+        assert!((p.preference_adequation() - 0.8).abs() < 1e-9);
+        // Nothing performed among the proposals: the strict Definition 5
+        // satisfaction collapses to 0 (the smoothed reading keeps the
+        // initial value) and allocation satisfaction dips below 1.
+        assert_eq!(p.satisfaction(), 0.0);
+        assert_eq!(p.smoothed_satisfaction(), 0.5);
+        assert!(p.allocation_satisfaction() < 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sqlb-baselines
+//!
+//! The baseline query allocation methods the SQLB paper compares against
+//! (Section 6.2), plus two simple reference allocators used in ablations.
+//!
+//! * [`CapacityBased`] — allocates each query to the providers with the
+//!   highest available capacity (i.e. the least utilized), the classic
+//!   query-load-balancing approach of \[13, 18, 21\]. It ignores both
+//!   consumers' and providers' intentions.
+//! * [`MariposaLike`] — an economic method modelled on Mariposa \[22\]:
+//!   providers bid for queries, bids are adjusted by the provider's current
+//!   load ("bid × load") to ensure a crude form of load balancing, and the
+//!   broker selects the bids that fall under the consumer's bid curve.
+//! * [`RandomAllocator`] and [`RoundRobinAllocator`] — intentionally naive
+//!   references used to sanity-check the experiment harness and for
+//!   ablation benchmarks.
+//!
+//! All methods implement [`sqlb_core::AllocationMethod`] and therefore plug
+//! into the same query allocation module and simulator as SQLB itself.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod mariposa;
+pub mod random;
+pub mod roundrobin;
+
+pub use capacity::CapacityBased;
+pub use mariposa::{BidCurve, MariposaConfig, MariposaLike};
+pub use random::RandomAllocator;
+pub use roundrobin::RoundRobinAllocator;

@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the allocation hot path: intention computation,
+//! scoring, and the three paper allocation methods over candidate sets of
+//! the paper's size (400 providers) and smaller.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlb_baselines::{CapacityBased, MariposaLike};
+use sqlb_core::allocation::{AllocationMethod, Bid, CandidateInfo, UniformView};
+use sqlb_core::intention::{consumer_intention, provider_intention, IntentionParams};
+use sqlb_core::scoring::{omega, provider_score};
+use sqlb_core::SqlbAllocator;
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+
+fn candidates(n: u32) -> Vec<CandidateInfo> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            CandidateInfo::new(ProviderId::new(i))
+                .with_consumer_intention(2.0 * x - 1.0)
+                .with_provider_intention(1.0 - 2.0 * x)
+                .with_utilization(x * 1.5)
+                .with_bid(Bid::new(50.0 + 100.0 * x, 1.0 + 5.0 * x))
+        })
+        .collect()
+}
+
+fn query() -> Query {
+    Query::single(
+        QueryId::new(1),
+        ConsumerId::new(0),
+        QueryClass::Light,
+        SimTime::ZERO,
+    )
+}
+
+fn bench_intentions(c: &mut Criterion) {
+    let params = IntentionParams::default();
+    let mut group = c.benchmark_group("intentions");
+    group.measurement_time(Duration::from_millis(800));
+    group.bench_function("consumer_intention", |b| {
+        b.iter(|| {
+            consumer_intention(
+                black_box(0.6),
+                black_box(0.4),
+                black_box(0.7),
+                black_box(params),
+            )
+        })
+    });
+    group.bench_function("provider_intention", |b| {
+        b.iter(|| {
+            provider_intention(
+                black_box(0.6),
+                black_box(0.8),
+                black_box(0.5),
+                black_box(params),
+            )
+        })
+    });
+    group.bench_function("provider_score", |b| {
+        b.iter(|| {
+            provider_score(
+                black_box(0.7),
+                black_box(0.3),
+                black_box(omega(black_box(0.6), black_box(0.4))),
+                black_box(params),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let q = query();
+    let view = UniformView(0.5);
+    let mut group = c.benchmark_group("allocate");
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+    for n in [50u32, 400u32] {
+        let cands = candidates(n);
+        group.bench_with_input(BenchmarkId::new("SQLB", n), &cands, |b, cands| {
+            let mut method = SqlbAllocator::new();
+            b.iter(|| method.allocate(black_box(&q), black_box(cands), &view))
+        });
+        group.bench_with_input(BenchmarkId::new("CapacityBased", n), &cands, |b, cands| {
+            let mut method = CapacityBased::new();
+            b.iter(|| method.allocate(black_box(&q), black_box(cands), &view))
+        });
+        group.bench_with_input(BenchmarkId::new("MariposaLike", n), &cands, |b, cands| {
+            let mut method = MariposaLike::new();
+            b.iter(|| method.allocate(black_box(&q), black_box(cands), &view))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intentions, bench_allocators);
+criterion_main!(benches);

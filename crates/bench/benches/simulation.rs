@@ -1,0 +1,45 @@
+//! End-to-end simulation benchmarks: short captive runs of the three paper
+//! methods, so regressions in the whole mediator → agents → queueing path
+//! show up in `cargo bench`.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlb_sim::engine::run_simulation;
+use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_short_run");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    for method in [Method::Sqlb, Method::CapacityBased, Method::MariposaLike] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let config = SimulationConfig::scaled(12, 24, 120.0, 7)
+                        .with_workload(WorkloadPattern::Fixed(0.7));
+                    let report = run_simulation(black_box(config), method).expect("run");
+                    black_box(report.completed_queries)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_population_generation(c: &mut Criterion) {
+    use sqlb_agents::{Population, PopulationConfig};
+    let mut group = c.benchmark_group("population");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("generate_paper_200x400", |b| {
+        b.iter(|| Population::generate(black_box(&PopulationConfig::paper(42))).expect("generate"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_runs, bench_population_generation);
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! Internal diagnostic: prints where SQLB sends queries (by consumer
+//! interest class) and the resulting consumer satisfaction margin, at a
+//! fixed workload. Useful when calibrating the simulator against the
+//! paper's reported shapes.
+
+use sqlb_agents::InterestClass;
+use sqlb_core::allocation::CandidateInfo;
+use sqlb_core::MediatorState;
+use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.7);
+    let method = match args.get(2).map(|s| s.as_str()) {
+        Some("capacity") => Method::CapacityBased,
+        Some("mariposa") => Method::MariposaLike,
+        _ => Method::Sqlb,
+    };
+
+    // Full-engine mode: run the real simulator with departures enabled and
+    // dump the consumer/provider satisfaction trajectories and departures.
+    if args.get(3).map(|s| s.as_str()) == Some("engine") {
+        use sqlb_agents::{ConsumerDepartureRule, EnabledReasons, ProviderDepartureRule};
+        use sqlb_sim::engine::run_simulation;
+        let config = SimulationConfig::scaled(24, 48, 900.0, 17)
+            .with_workload(WorkloadPattern::Fixed(workload))
+            .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL))
+            .with_consumer_departures(ConsumerDepartureRule::default());
+        let report = run_simulation(config, method).unwrap();
+        println!("engine mode: {} at {workload}", report.method);
+        println!(
+            "consumer sat mean series: {:?}",
+            report
+                .series
+                .consumer_satisfaction_mean
+                .points()
+                .iter()
+                .step_by(2)
+                .map(|p| (p.time as i64, (p.value * 1000.0).round() / 1000.0))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "consumer alloc sat series: {:?}",
+            report
+                .series
+                .consumer_allocation_satisfaction_mean
+                .points()
+                .iter()
+                .step_by(2)
+                .map(|p| (p.time as i64, (p.value * 1000.0).round() / 1000.0))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "active providers: {:?}",
+            report
+                .series
+                .active_providers
+                .points()
+                .iter()
+                .step_by(2)
+                .map(|p| (p.time as i64, p.value as i64))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "active consumers: {:?}",
+            report
+                .series
+                .active_consumers
+                .points()
+                .iter()
+                .step_by(2)
+                .map(|p| (p.time as i64, p.value as i64))
+                .collect::<Vec<_>>()
+        );
+        let mut reasons = std::collections::BTreeMap::new();
+        for d in &report.provider_departures {
+            *reasons.entry(format!("{}", d.reason)).or_insert(0u32) += 1;
+        }
+        println!("provider departures: {} {:?}", report.provider_departures.len(), reasons);
+        println!("consumer departures: {}", report.consumer_departures.len());
+        println!(
+            "first provider departures: {:?}",
+            report
+                .provider_departures
+                .iter()
+                .take(10)
+                .map(|d| (d.time_secs as i64, format!("{}", d.reason), d.profile.interest.label()))
+                .collect::<Vec<_>>()
+        );
+        return;
+    }
+
+    // Re-implement a tiny slice of the engine loop with instrumentation: we
+    // use the library's own population + allocation pieces directly.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sqlb_agents::Population;
+    use sqlb_types::{Query, QueryClass, QueryId, SimTime};
+
+    let config = SimulationConfig::scaled(24, 48, 600.0, 11).with_workload(WorkloadPattern::Fixed(workload));
+    let population = Population::generate(&config.population).unwrap();
+    let mut providers = population.providers.clone();
+    let consumers = population.consumers.clone();
+    let profiles = population.profiles.clone();
+    let total_capacity = population.total_capacity();
+    let rate = workload * total_capacity / 140.0;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut mediator = MediatorState::paper_default();
+    let mut method_impl = method.build(0);
+    let reputation = sqlb_reputation::ReputationStore::neutral();
+
+    let mut busy_until = vec![0.0f64; providers.len()];
+    let mut class_counts = [0u64; 3];
+    let mut ci_sum = 0.0;
+    let mut n = 0u64;
+    let mut now = 0.0f64;
+    let duration = 600.0;
+    let mut qid = 0u32;
+    let mut response_sum = 0.0;
+
+    while now < duration {
+        now += -(1.0 - rng.random::<f64>()).ln() / rate;
+        let consumer = &consumers[rng.random_range(0..consumers.len())];
+        let class = if rng.random_bool(0.5) { QueryClass::Light } else { QueryClass::Heavy };
+        let query = Query::single(QueryId::new(qid), consumer.id(), class, SimTime::from_secs(now));
+        qid += 1;
+        let infos: Vec<CandidateInfo> = providers
+            .iter_mut()
+            .map(|p| {
+                let ci = consumer.intention_for(&query, p.id(), &reputation);
+                let pi = p.intention_for(&query, SimTime::from_secs(now));
+                let ut = p.utilization(SimTime::from_secs(now)).value();
+                let mut info = CandidateInfo::new(p.id())
+                    .with_consumer_intention(ci)
+                    .with_provider_intention(pi)
+                    .with_utilization(ut);
+                if method.uses_bids() {
+                    info = info.with_bid(p.bid_for(&query, SimTime::from_secs(now)));
+                }
+                info
+            })
+            .collect();
+        let allocation = method_impl.allocate(&query, &infos, &mediator);
+        mediator.record_allocation(&query, &infos, &allocation);
+        let winner = allocation.selected[0];
+        let winner_info = infos.iter().find(|i| i.provider == winner).unwrap();
+        ci_sum += winner_info.consumer_intention;
+        n += 1;
+        match profiles[winner.index()].interest {
+            InterestClass::High => class_counts[0] += 1,
+            InterestClass::Medium => class_counts[1] += 1,
+            InterestClass::Low => class_counts[2] += 1,
+        }
+        for info in &infos {
+            providers[info.provider.index()].record_proposal(
+                &query,
+                info.provider_intention,
+                allocation.is_selected(info.provider),
+            );
+        }
+        let p = &mut providers[winner.index()];
+        let processing = p.assign(&query, SimTime::from_secs(now));
+        let start = busy_until[winner.index()].max(now);
+        let finish = start + processing.as_secs();
+        busy_until[winner.index()] = finish;
+        response_sum += finish - now;
+    }
+
+    let mut high_ut = Vec::new();
+    let mut med_ut = Vec::new();
+    let mut low_ut = Vec::new();
+    for (i, p) in providers.iter_mut().enumerate() {
+        let u = p.utilization(SimTime::from_secs(duration)).value();
+        match profiles[i].interest {
+            InterestClass::High => high_ut.push(u),
+            InterestClass::Medium => med_ut.push(u),
+            InterestClass::Low => low_ut.push(u),
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+
+    println!("method {:?} workload {workload}", method.name());
+    println!("queries: {n}, mean selected CI: {:.3}", ci_sum / n as f64);
+    println!(
+        "allocations by interest class: high {:.1}%  medium {:.1}%  low {:.1}%",
+        class_counts[0] as f64 / n as f64 * 100.0,
+        class_counts[1] as f64 / n as f64 * 100.0,
+        class_counts[2] as f64 / n as f64 * 100.0
+    );
+    println!(
+        "final utilization by interest class: high {:.2}  medium {:.2}  low {:.2}",
+        mean(&high_ut),
+        mean(&med_ut),
+        mean(&low_ut)
+    );
+    println!("mean response time (no queueing of completions): {:.2}s", response_sum / n as f64);
+}

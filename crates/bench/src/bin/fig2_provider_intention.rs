@@ -1,0 +1,11 @@
+//! Regenerates Figure 2: the provider-intention surface (Definition 8) over
+//! preference × utilization for a fixed provider satisfaction of 0.5.
+
+use sqlb_sim::experiments::{fig2_provider_intention_surface, fig2_to_text};
+
+fn main() {
+    let points = fig2_provider_intention_surface(0.5, 41);
+    println!("# Figure 2: provider intention pi_p(q) for satisfaction 0.5");
+    println!("# (preference in [-1,1], utilization in [0,2])");
+    print!("{}", fig2_to_text(&points));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3: the values the trade-off weight ω can take
+//! (Equation 6) as a function of consumer and provider satisfaction.
+
+use sqlb_sim::experiments::{fig3_omega_surface, fig3_to_text};
+
+fn main() {
+    let points = fig3_omega_surface(41);
+    println!("# Figure 3: omega = ((delta_s(c) - delta_s(p)) + 1) / 2");
+    print!("{}", fig3_to_text(&points));
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 4(a)–(h): the quality metrics for a workload ramping
+//! from 30 % to 100 % of the total system capacity with captive
+//! participants, for SQLB, Capacity based and Mariposa-like.
+//!
+//! Usage: `--panel a..h` selects one panel (default: print all panels),
+//! `--scale quick|default|paper` selects the experiment scale.
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::{fig4_captive_ramp, Fig4Panel};
+
+fn main() {
+    let args = parse_env_args();
+    let result = match fig4_captive_ramp(args.scale) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("fig4_captive failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let panels: Vec<Fig4Panel> = match args.panel.and_then(Fig4Panel::from_letter) {
+        Some(panel) => vec![panel],
+        None => Fig4Panel::ALL.to_vec(),
+    };
+    for panel in panels {
+        print!("{}", result.panel_to_text(panel));
+        println!();
+    }
+}

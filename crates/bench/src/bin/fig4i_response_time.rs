@@ -1,0 +1,20 @@
+//! Regenerates Figure 4(i): response times versus workload with captive
+//! participants, for SQLB, Capacity based and Mariposa-like.
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::{workload_sweep, AutonomySetting, PAPER_WORKLOADS};
+
+fn main() {
+    let args = parse_env_args();
+    let workloads = args.workloads.unwrap_or_else(|| PAPER_WORKLOADS.to_vec());
+    match workload_sweep(args.scale, &workloads, AutonomySetting::Captive) {
+        Ok(result) => {
+            println!("# Figure 4(i): ensured response times with captive participants");
+            print!("{}", result.response_times_to_text());
+        }
+        Err(err) => {
+            eprintln!("fig4i_response_time failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Figure 5: impact of providers' departures on performance.
+//!
+//! * `--panel a` — response times when providers may leave by
+//!   dissatisfaction or starvation (Figure 5(a));
+//! * `--panel b` — response times when providers may also leave by
+//!   overutilization (Figure 5(b));
+//! * `--panel c` — percentage of provider departures (Figure 5(c)).
+//!
+//! Without `--panel`, all three are printed.
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::{workload_sweep, AutonomySetting, PAPER_WORKLOADS};
+
+fn main() {
+    let args = parse_env_args();
+    let workloads = args.workloads.unwrap_or_else(|| PAPER_WORKLOADS.to_vec());
+    let panel = args.panel.map(|c| c.to_ascii_lowercase());
+
+    let run = |setting: AutonomySetting| match workload_sweep(args.scale, &workloads, setting) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("fig5_autonomy failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    if matches!(panel, None | Some('a')) {
+        let result = run(AutonomySetting::DissatisfactionAndStarvation);
+        println!("# Figure 5(a): response times, departures by dissatisfaction or starvation");
+        print!("{}", result.response_times_to_text());
+        println!();
+    }
+    if matches!(panel, None | Some('b') | Some('c')) {
+        let result = run(AutonomySetting::AllReasons);
+        if matches!(panel, None | Some('b')) {
+            println!(
+                "# Figure 5(b): response times, departures by dissatisfaction, starvation, or overutilization"
+            );
+            print!("{}", result.response_times_to_text());
+            println!();
+        }
+        if matches!(panel, None | Some('c')) {
+            println!("# Figure 5(c): number of providers' departures");
+            print!("{}", result.provider_departures_to_text());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 6: consumers' departures (by dissatisfaction) versus
+//! workload, for SQLB, Capacity based and Mariposa-like.
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::{workload_sweep, AutonomySetting, PAPER_WORKLOADS};
+
+fn main() {
+    let args = parse_env_args();
+    let workloads = args.workloads.unwrap_or_else(|| PAPER_WORKLOADS.to_vec());
+    match workload_sweep(args.scale, &workloads, AutonomySetting::AllReasons) {
+        Ok(result) => {
+            println!("# Figure 6: consumers' departures");
+            print!("{}", result.consumer_departures_to_text());
+        }
+        Err(err) => {
+            eprintln!("fig6_consumer_departures failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints Table 2: the simulation parameters of the paper's evaluation.
+
+use sqlb_sim::experiments::table2_parameters;
+use sqlb_sim::SimulationConfig;
+
+fn main() {
+    print!("{}", table2_parameters(&SimulationConfig::paper(42)));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 3: the providers' reasons for leaving the system at a
+//! workload of 80 % of the total system capacity, broken down by consumer
+//! interest, adaptation and capacity class.
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::table3_departure_breakdown;
+
+fn main() {
+    let args = parse_env_args();
+    let workload = args
+        .workloads
+        .and_then(|w| w.first().copied())
+        .unwrap_or(0.8);
+    match table3_departure_breakdown(args.scale, workload) {
+        Ok(result) => print!("{}", result.to_text()),
+        Err(err) => {
+            eprintln!("table3_departures failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The allocation abstraction shared by SQLB and the baseline methods.
+//!
+//! A query allocation method receives a query, the candidate set `P_q`
+//! (with whatever per-candidate information the mediation process gathered:
+//! intentions, utilization, bids…) and a view of the mediator-side
+//! satisfaction bookkeeping, and returns the allocation vector — i.e. which
+//! `min(q.n, N)` providers get the query (Section 2).
+
+use serde::{Deserialize, Serialize};
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
+
+use crate::scoring::RankedProvider;
+
+/// A provider's bid for a query, used by economic allocation methods
+/// (the Mariposa-like baseline, Section 6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bid {
+    /// Price asked by the provider for performing the query.
+    pub price: f64,
+    /// Delay (in seconds) the provider estimates for delivering the result.
+    pub delay: f64,
+}
+
+impl Bid {
+    /// Creates a bid.
+    pub fn new(price: f64, delay: f64) -> Self {
+        Bid {
+            price: price.max(0.0),
+            delay: delay.max(0.0),
+        }
+    }
+}
+
+/// Everything the mediation process gathered about one candidate provider
+/// for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateInfo {
+    /// The candidate provider.
+    pub provider: ProviderId,
+    /// The consumer's intention `CI_q[p]` for allocating the query to this
+    /// provider (raw value — see `crate::intention` for the range
+    /// discussion). `0` when the consumer did not answer in time
+    /// (indifference).
+    pub consumer_intention: f64,
+    /// The provider's intention `PI_q[p]` for performing the query. `0`
+    /// when the provider did not answer in time (indifference).
+    pub provider_intention: f64,
+    /// The provider's current utilization `Ut(p)`, as known to the
+    /// mediator. Methods that do not use utilization ignore it.
+    pub utilization: f64,
+    /// The provider's bid, when the method requested one.
+    pub bid: Option<Bid>,
+}
+
+impl CandidateInfo {
+    /// Creates a candidate entry with neutral intentions, zero utilization
+    /// and no bid; builder methods fill in the rest.
+    pub fn new(provider: ProviderId) -> Self {
+        CandidateInfo {
+            provider,
+            consumer_intention: 0.0,
+            provider_intention: 0.0,
+            utilization: 0.0,
+            bid: None,
+        }
+    }
+
+    /// Sets the consumer intention.
+    pub fn with_consumer_intention(mut self, ci: f64) -> Self {
+        self.consumer_intention = ci;
+        self
+    }
+
+    /// Sets the provider intention.
+    pub fn with_provider_intention(mut self, pi: f64) -> Self {
+        self.provider_intention = pi;
+        self
+    }
+
+    /// Sets the utilization.
+    pub fn with_utilization(mut self, ut: f64) -> Self {
+        self.utilization = ut;
+        self
+    }
+
+    /// Sets the bid.
+    pub fn with_bid(mut self, bid: Bid) -> Self {
+        self.bid = Some(bid);
+        self
+    }
+}
+
+/// The outcome of allocating one query: the selected providers (the set
+/// `\hat{P}_q`, in rank order) plus the full ranking for diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The query that was allocated.
+    pub query: QueryId,
+    /// The providers the query is allocated to, best first. Always exactly
+    /// `min(q.n, N)` providers for a feasible query.
+    pub selected: Vec<ProviderId>,
+    /// The complete ranking `R_q` of the candidate set (methods that do not
+    /// produce meaningful scores still return the candidates in their
+    /// selection order with synthetic scores).
+    pub ranking: Vec<RankedProvider>,
+}
+
+impl Allocation {
+    /// Returns `true` if the given provider was selected.
+    pub fn is_selected(&self, provider: ProviderId) -> bool {
+        self.selected.contains(&provider)
+    }
+
+    /// Number of selected providers.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Whether no provider was selected (only possible for an empty
+    /// candidate set).
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+}
+
+/// Read-only view of the mediator-side, intention-based satisfaction
+/// bookkeeping (what Equation 6 is allowed to use).
+pub trait MediatorView {
+    /// Intention-based satisfaction `δs(c)` of a consumer, as observed by
+    /// the mediator. Unknown consumers report the initial value.
+    fn consumer_satisfaction(&self, consumer: ConsumerId) -> f64;
+
+    /// Intention-based satisfaction `δs(p)` of a provider, as observed by
+    /// the mediator. Unknown providers report the initial value.
+    fn provider_satisfaction(&self, provider: ProviderId) -> f64;
+}
+
+/// A neutral view reporting the same satisfaction for everyone. Useful for
+/// tests and for methods that ignore satisfaction entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformView(pub f64);
+
+impl MediatorView for UniformView {
+    fn consumer_satisfaction(&self, _consumer: ConsumerId) -> f64 {
+        self.0
+    }
+    fn provider_satisfaction(&self, _provider: ProviderId) -> f64 {
+        self.0
+    }
+}
+
+/// A query allocation method: given a query, its candidate set and the
+/// mediator view, decide which providers get the query.
+///
+/// Implementations must select exactly `min(q.n, N)` providers (Section 2:
+/// "queries should be treated if possible") and must only select providers
+/// from the candidate set, without duplicates.
+pub trait AllocationMethod {
+    /// Human-readable name used in experiment output ("SQLB",
+    /// "Capacity based", "Mariposa-like", …).
+    fn name(&self) -> &'static str;
+
+    /// Allocates `query` among `candidates`.
+    fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[CandidateInfo],
+        view: &dyn MediatorView,
+    ) -> Allocation;
+}
+
+/// Helper shared by allocation methods: keep the `min(q.n, N)` best entries
+/// of an already-ranked candidate list and package them as an
+/// [`Allocation`].
+pub fn take_best(query: &Query, ranking: Vec<RankedProvider>) -> Allocation {
+    let n = (query.n as usize).min(ranking.len());
+    Allocation {
+        query: query.id,
+        selected: ranking.iter().take(n).map(|r| r.provider).collect(),
+        ranking,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_types::{QueryClass, SimTime};
+
+    fn query(n: u32) -> Query {
+        let mut q = Query::single(
+            QueryId::new(1),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        );
+        q.n = n;
+        q
+    }
+
+    #[test]
+    fn bid_clamps_negative_values() {
+        let b = Bid::new(-3.0, -1.0);
+        assert_eq!(b.price, 0.0);
+        assert_eq!(b.delay, 0.0);
+    }
+
+    #[test]
+    fn candidate_builder_sets_fields() {
+        let c = CandidateInfo::new(ProviderId::new(4))
+            .with_consumer_intention(0.3)
+            .with_provider_intention(-0.2)
+            .with_utilization(0.7)
+            .with_bid(Bid::new(10.0, 2.0));
+        assert_eq!(c.provider, ProviderId::new(4));
+        assert_eq!(c.consumer_intention, 0.3);
+        assert_eq!(c.provider_intention, -0.2);
+        assert_eq!(c.utilization, 0.7);
+        assert_eq!(c.bid.unwrap().price, 10.0);
+    }
+
+    #[test]
+    fn take_best_respects_query_n() {
+        let ranking = vec![
+            RankedProvider {
+                provider: ProviderId::new(0),
+                score: 0.9,
+            },
+            RankedProvider {
+                provider: ProviderId::new(1),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(2),
+                score: 0.1,
+            },
+        ];
+        let a = take_best(&query(2), ranking.clone());
+        assert_eq!(a.selected, vec![ProviderId::new(0), ProviderId::new(1)]);
+        assert_eq!(a.len(), 2);
+        assert!(a.is_selected(ProviderId::new(1)));
+        assert!(!a.is_selected(ProviderId::new(2)));
+
+        // q.n larger than the candidate set: all candidates are selected.
+        let a = take_best(&query(10), ranking.clone());
+        assert_eq!(a.len(), 3);
+
+        // Empty candidate set yields an empty allocation.
+        let a = take_best(&query(1), vec![]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn uniform_view_reports_constant() {
+        let v = UniformView(0.25);
+        assert_eq!(v.consumer_satisfaction(ConsumerId::new(0)), 0.25);
+        assert_eq!(v.provider_satisfaction(ProviderId::new(9)), 0.25);
+    }
+}

@@ -1,0 +1,349 @@
+//! Mediator-side satisfaction bookkeeping.
+//!
+//! The query allocation module cannot see private preferences, so the
+//! satisfaction values it uses in Equation 6 "have to be based on the
+//! intentions" (Section 5.3). [`MediatorState`] maintains an
+//! intention-based [`ConsumerTracker`] per consumer and an intention-based
+//! [`ProviderTracker`] per provider, updated after every allocation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
+use sqlb_types::{ConsumerId, Intention, ProviderId, Query};
+
+use crate::allocation::{Allocation, CandidateInfo, MediatorView};
+
+/// Configuration of the mediator-side trackers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediatorStateConfig {
+    /// Window size for consumer trackers (`conSatSize`, Table 2: 200).
+    pub consumer_window: usize,
+    /// Proposal-window size for provider trackers.
+    pub provider_proposed_window: usize,
+    /// Performed-window size for provider trackers (`proSatSize`,
+    /// Table 2: 500).
+    pub provider_performed_window: usize,
+    /// Initial satisfaction reported before any observation
+    /// (`iniSatisfaction`, Table 2: 0.5).
+    pub initial_satisfaction: f64,
+}
+
+impl Default for MediatorStateConfig {
+    fn default() -> Self {
+        MediatorStateConfig {
+            consumer_window: 200,
+            provider_proposed_window: 500,
+            provider_performed_window: 500,
+            initial_satisfaction: 0.5,
+        }
+    }
+}
+
+/// The mediator's view of every participant's intention-based
+/// characteristics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MediatorState {
+    config: MediatorStateConfig,
+    consumers: BTreeMap<ConsumerId, ConsumerTracker>,
+    providers: BTreeMap<ProviderId, ProviderTracker>,
+    allocations: u64,
+}
+
+impl MediatorState {
+    /// Creates a state with the given tracker configuration.
+    pub fn new(config: MediatorStateConfig) -> Self {
+        MediatorState {
+            config,
+            consumers: BTreeMap::new(),
+            providers: BTreeMap::new(),
+            allocations: 0,
+        }
+    }
+
+    /// Creates a state with the paper's Table 2 configuration.
+    pub fn paper_default() -> Self {
+        MediatorState::new(MediatorStateConfig::default())
+    }
+
+    /// Registers a consumer explicitly (consumers are otherwise registered
+    /// lazily on their first allocation).
+    pub fn register_consumer(&mut self, consumer: ConsumerId) {
+        let config = self.config;
+        self.consumers
+            .entry(consumer)
+            .or_insert_with(|| ConsumerTracker::new(config.consumer_window, config.initial_satisfaction));
+    }
+
+    /// Registers a provider explicitly.
+    pub fn register_provider(&mut self, provider: ProviderId) {
+        let config = self.config;
+        self.providers.entry(provider).or_insert_with(|| {
+            ProviderTracker::new(
+                config.provider_proposed_window,
+                config.provider_performed_window,
+                config.initial_satisfaction,
+            )
+        });
+    }
+
+    /// Forgets a consumer (e.g. after it departs from the system).
+    pub fn remove_consumer(&mut self, consumer: ConsumerId) {
+        self.consumers.remove(&consumer);
+    }
+
+    /// Forgets a provider.
+    pub fn remove_provider(&mut self, provider: ProviderId) {
+        self.providers.remove(&provider);
+    }
+
+    /// Records the outcome of one query allocation: updates the issuing
+    /// consumer's tracker with its shown intentions over `P_q` and the
+    /// selected subset, and every candidate provider's tracker with its
+    /// shown intention and whether it was selected.
+    ///
+    /// Raw intention values are clamped into `[-1, 1]` before entering the
+    /// Section 3 model.
+    pub fn record_allocation(
+        &mut self,
+        query: &Query,
+        candidates: &[CandidateInfo],
+        allocation: &Allocation,
+    ) {
+        self.register_consumer(query.consumer);
+        let consumer_intentions: Vec<Intention> = candidates
+            .iter()
+            .map(|c| Intention::new(c.consumer_intention))
+            .collect();
+        let selected_indices: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| allocation.is_selected(c.provider))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(tracker) = self.consumers.get_mut(&query.consumer) {
+            tracker.record_allocation(&consumer_intentions, &selected_indices, query.n);
+        }
+
+        for candidate in candidates {
+            self.register_provider(candidate.provider);
+            if let Some(tracker) = self.providers.get_mut(&candidate.provider) {
+                tracker.record_proposal(
+                    Intention::new(candidate.provider_intention),
+                    allocation.is_selected(candidate.provider),
+                );
+            }
+        }
+        self.allocations += 1;
+    }
+
+    /// Intention-based adequation `δa(c)` of a consumer.
+    pub fn consumer_adequation(&self, consumer: ConsumerId) -> f64 {
+        self.consumers
+            .get(&consumer)
+            .map(|t| t.adequation())
+            .unwrap_or(self.config.initial_satisfaction)
+    }
+
+    /// Intention-based allocation satisfaction `δas(c)` of a consumer.
+    pub fn consumer_allocation_satisfaction(&self, consumer: ConsumerId) -> f64 {
+        self.consumers
+            .get(&consumer)
+            .map(|t| t.allocation_satisfaction())
+            .unwrap_or(1.0)
+    }
+
+    /// Intention-based adequation `δa(p)` of a provider.
+    pub fn provider_adequation(&self, provider: ProviderId) -> f64 {
+        self.providers
+            .get(&provider)
+            .map(|t| t.adequation())
+            .unwrap_or(self.config.initial_satisfaction)
+    }
+
+    /// Intention-based allocation satisfaction `δas(p)` of a provider.
+    pub fn provider_allocation_satisfaction(&self, provider: ProviderId) -> f64 {
+        self.providers
+            .get(&provider)
+            .map(|t| t.allocation_satisfaction())
+            .unwrap_or(1.0)
+    }
+
+    /// Direct access to a consumer's tracker, if registered.
+    pub fn consumer_tracker(&self, consumer: ConsumerId) -> Option<&ConsumerTracker> {
+        self.consumers.get(&consumer)
+    }
+
+    /// Direct access to a provider's tracker, if registered.
+    pub fn provider_tracker(&self, provider: ProviderId) -> Option<&ProviderTracker> {
+        self.providers.get(&provider)
+    }
+
+    /// Identifiers of all registered consumers.
+    pub fn consumers(&self) -> impl Iterator<Item = ConsumerId> + '_ {
+        self.consumers.keys().copied()
+    }
+
+    /// Identifiers of all registered providers.
+    pub fn providers(&self) -> impl Iterator<Item = ProviderId> + '_ {
+        self.providers.keys().copied()
+    }
+
+    /// Total number of allocations recorded.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// The tracker configuration in use.
+    pub fn config(&self) -> MediatorStateConfig {
+        self.config
+    }
+}
+
+impl Default for MediatorState {
+    fn default() -> Self {
+        MediatorState::paper_default()
+    }
+}
+
+impl MediatorView for MediatorState {
+    fn consumer_satisfaction(&self, consumer: ConsumerId) -> f64 {
+        self.consumers
+            .get(&consumer)
+            .map(|t| t.satisfaction())
+            .unwrap_or(self.config.initial_satisfaction)
+    }
+
+    fn provider_satisfaction(&self, provider: ProviderId) -> f64 {
+        // Equation 6 uses the smoothed (Table 2 / `proSatSize`) reading of
+        // the provider's intention-based satisfaction: it reacts to a
+        // provider being under-served over its recent history without
+        // letting a single empty sampling window swing `ω` to an extreme
+        // that would override the consumer's intentions entirely.
+        self.providers
+            .get(&provider)
+            .map(|t| t.satisfaction())
+            .unwrap_or(self.config.initial_satisfaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::RankedProvider;
+    use sqlb_types::{QueryClass, QueryId, SimTime};
+
+    fn query() -> Query {
+        Query::single(
+            QueryId::new(1),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        )
+    }
+
+    fn candidates(values: &[(u32, f64, f64)]) -> Vec<CandidateInfo> {
+        values
+            .iter()
+            .map(|&(id, ci, pi)| {
+                CandidateInfo::new(ProviderId::new(id))
+                    .with_consumer_intention(ci)
+                    .with_provider_intention(pi)
+            })
+            .collect()
+    }
+
+    fn allocation_to(query: QueryId, provider: u32) -> Allocation {
+        Allocation {
+            query,
+            selected: vec![ProviderId::new(provider)],
+            ranking: vec![RankedProvider {
+                provider: ProviderId::new(provider),
+                score: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn unknown_participants_report_initial_values() {
+        let state = MediatorState::paper_default();
+        assert_eq!(state.consumer_satisfaction(ConsumerId::new(7)), 0.5);
+        assert_eq!(state.provider_satisfaction(ProviderId::new(7)), 0.5);
+        assert_eq!(state.consumer_adequation(ConsumerId::new(7)), 0.5);
+        assert_eq!(state.provider_adequation(ProviderId::new(7)), 0.5);
+        assert_eq!(state.consumer_allocation_satisfaction(ConsumerId::new(7)), 1.0);
+        assert_eq!(state.provider_allocation_satisfaction(ProviderId::new(7)), 1.0);
+        assert_eq!(state.allocations(), 0);
+    }
+
+    #[test]
+    fn record_allocation_updates_both_sides() {
+        let mut state = MediatorState::paper_default();
+        let q = query();
+        let cands = candidates(&[(0, 0.8, 0.9), (1, -0.5, 0.2)]);
+        let alloc = allocation_to(q.id, 0);
+        state.record_allocation(&q, &cands, &alloc);
+
+        assert_eq!(state.allocations(), 1);
+        // Consumer got its preferred provider: satisfaction above
+        // adequation.
+        assert!(state.consumer_satisfaction(q.consumer) > state.consumer_adequation(q.consumer));
+        assert!(state.consumer_allocation_satisfaction(q.consumer) > 1.0);
+        // Selected provider's satisfaction reflects its positive intention.
+        assert!(state.provider_satisfaction(ProviderId::new(0)) > 0.9);
+        // Non-selected provider performed nothing yet, so its smoothed
+        // satisfaction stays at the initial value while its adequation
+        // reflects the proposal; its strict Definition 5 reading is 0.
+        assert_eq!(state.provider_satisfaction(ProviderId::new(1)), 0.5);
+        assert_eq!(
+            state
+                .provider_tracker(ProviderId::new(1))
+                .unwrap()
+                .satisfaction_strict(),
+            0.0
+        );
+        assert!(state.provider_adequation(ProviderId::new(1)) < 0.9);
+        assert_eq!(state.providers().count(), 2);
+        assert_eq!(state.consumers().count(), 1);
+    }
+
+    #[test]
+    fn raw_intentions_are_clamped_before_recording() {
+        let mut state = MediatorState::paper_default();
+        let q = query();
+        // A raw provider intention of -2.5 (possible under Definition 8
+        // with ε = 1) must not push satisfaction below 0.
+        let cands = candidates(&[(0, 1.0, -2.5)]);
+        let alloc = allocation_to(q.id, 0);
+        state.record_allocation(&q, &cands, &alloc);
+        assert!(state.provider_satisfaction(ProviderId::new(0)) >= 0.0);
+        assert_eq!(state.provider_satisfaction(ProviderId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn remove_participants_resets_their_view() {
+        let mut state = MediatorState::paper_default();
+        let q = query();
+        let cands = candidates(&[(0, 0.8, 0.9)]);
+        let alloc = allocation_to(q.id, 0);
+        state.record_allocation(&q, &cands, &alloc);
+        state.remove_provider(ProviderId::new(0));
+        state.remove_consumer(q.consumer);
+        assert_eq!(state.provider_satisfaction(ProviderId::new(0)), 0.5);
+        assert_eq!(state.consumer_satisfaction(q.consumer), 0.5);
+        assert!(state.provider_tracker(ProviderId::new(0)).is_none());
+        assert!(state.consumer_tracker(q.consumer).is_none());
+    }
+
+    #[test]
+    fn explicit_registration_is_idempotent() {
+        let mut state = MediatorState::paper_default();
+        state.register_provider(ProviderId::new(3));
+        state.register_provider(ProviderId::new(3));
+        state.register_consumer(ConsumerId::new(2));
+        state.register_consumer(ConsumerId::new(2));
+        assert_eq!(state.providers().count(), 1);
+        assert_eq!(state.consumers().count(), 1);
+        assert_eq!(state.config().consumer_window, 200);
+    }
+}

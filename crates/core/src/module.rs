@@ -1,0 +1,255 @@
+//! The query allocation module (Algorithm 1), synchronous form.
+//!
+//! Algorithm 1 of the paper gathers the consumer's intentions towards every
+//! candidate provider and every candidate provider's intention towards the
+//! query (in parallel, with a timeout), scores and ranks the candidates,
+//! allocates the query to the `q.n` best-ranked providers and notifies the
+//! others.
+//!
+//! [`QueryAllocationModule`] is the deterministic, in-process realization of
+//! that algorithm used by the simulator; the `sqlb-mediation` crate provides
+//! the concurrent (fork / waituntil / timeout) realization on top of
+//! channels. Both share the [`IntentionSource`] abstraction: the thing that
+//! answers intention requests (live agents, simulated agents, or canned
+//! values in tests). A source may decline to answer (modelling a timeout),
+//! in which case the module records an indifferent intention of `0`.
+
+use sqlb_types::{ProviderId, Query};
+
+use crate::allocation::{Allocation, AllocationMethod, Bid, CandidateInfo};
+use crate::mediator_state::MediatorState;
+
+/// Answers the mediator's intention (and bid) requests during one query
+/// allocation.
+pub trait IntentionSource {
+    /// The consumer `query.consumer`'s intention for allocating `query` to
+    /// `provider` (`ci_c(q, p)`, Definition 7). `None` models a consumer
+    /// that did not answer before the mediation timeout.
+    fn consumer_intention(&mut self, query: &Query, provider: ProviderId) -> Option<f64>;
+
+    /// The provider's intention for performing `query` (`pi_p(q)`,
+    /// Definition 8). `None` models a provider that did not answer before
+    /// the mediation timeout.
+    fn provider_intention(&mut self, query: &Query, provider: ProviderId) -> Option<f64>;
+
+    /// The provider's utilization as known to the mediator. Methods that do
+    /// not use utilization (SQLB proper) ignore this; the Capacity-based
+    /// baseline relies on it.
+    fn utilization(&self, provider: ProviderId) -> f64;
+
+    /// The provider's bid for the query, if the allocation method runs an
+    /// economic protocol (Mariposa-like baseline). The default is to not
+    /// bid.
+    fn bid(&mut self, _query: &Query, _provider: ProviderId) -> Option<Bid> {
+        None
+    }
+}
+
+/// The mediator's query allocation module: pairs an [`AllocationMethod`]
+/// with the mediator-side satisfaction bookkeeping and drives Algorithm 1
+/// for each incoming query.
+#[derive(Debug)]
+pub struct QueryAllocationModule<M> {
+    method: M,
+    state: MediatorState,
+}
+
+impl<M: AllocationMethod> QueryAllocationModule<M> {
+    /// Creates a module around an allocation method, with the paper-default
+    /// mediator state configuration.
+    pub fn new(method: M) -> Self {
+        QueryAllocationModule {
+            method,
+            state: MediatorState::paper_default(),
+        }
+    }
+
+    /// Creates a module with an explicit mediator state.
+    pub fn with_state(method: M, state: MediatorState) -> Self {
+        QueryAllocationModule { method, state }
+    }
+
+    /// The allocation method's display name.
+    pub fn method_name(&self) -> &'static str {
+        self.method.name()
+    }
+
+    /// Read access to the mediator-side satisfaction state.
+    pub fn state(&self) -> &MediatorState {
+        &self.state
+    }
+
+    /// Mutable access to the mediator-side satisfaction state (used by the
+    /// simulator to evict departed participants).
+    pub fn state_mut(&mut self) -> &mut MediatorState {
+        &mut self.state
+    }
+
+    /// Mutable access to the allocation method.
+    pub fn method_mut(&mut self) -> &mut M {
+        &mut self.method
+    }
+
+    /// Runs Algorithm 1 for one query.
+    ///
+    /// 1. asks `source` for the consumer's intention towards every
+    ///    candidate and each candidate's intention towards the query
+    ///    (lines 2–5; unanswered requests become indifferent `0` values);
+    /// 2. lets the allocation method score/rank the candidates and pick the
+    ///    `min(q.n, N)` best (lines 6–9);
+    /// 3. records the outcome in the mediator-side satisfaction state
+    ///    (the "mediation result" sent to all candidates, line 10).
+    pub fn allocate(
+        &mut self,
+        query: &Query,
+        candidates: &[ProviderId],
+        source: &mut dyn IntentionSource,
+    ) -> Allocation {
+        let infos = gather_candidate_info(query, candidates, source);
+        let allocation = self.method.allocate(query, &infos, &self.state);
+        debug_assert!(
+            allocation.selected.len() == query.n.min(infos.len() as u32) as usize,
+            "allocation methods must select exactly min(q.n, N) providers"
+        );
+        self.state.record_allocation(query, &infos, &allocation);
+        allocation
+    }
+}
+
+/// Gathers the per-candidate information (lines 2–5 of Algorithm 1) from an
+/// intention source. Exposed so the concurrent mediation runtime can share
+/// the same representation.
+pub fn gather_candidate_info(
+    query: &Query,
+    candidates: &[ProviderId],
+    source: &mut dyn IntentionSource,
+) -> Vec<CandidateInfo> {
+    candidates
+        .iter()
+        .map(|&p| {
+            let ci = source.consumer_intention(query, p).unwrap_or(0.0);
+            let pi = source.provider_intention(query, p).unwrap_or(0.0);
+            let mut info = CandidateInfo::new(p)
+                .with_consumer_intention(ci)
+                .with_provider_intention(pi)
+                .with_utilization(source.utilization(p));
+            if let Some(bid) = source.bid(query, p) {
+                info = info.with_bid(bid);
+            }
+            info
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::MediatorView;
+    use crate::sqlb::SqlbAllocator;
+    use std::collections::BTreeMap;
+    use sqlb_types::{ConsumerId, QueryClass, QueryId, SimTime};
+
+    /// A canned intention source for tests.
+    struct Canned {
+        consumer: BTreeMap<u32, f64>,
+        provider: BTreeMap<u32, f64>,
+        silent_providers: Vec<u32>,
+    }
+
+    impl IntentionSource for Canned {
+        fn consumer_intention(&mut self, _q: &Query, p: ProviderId) -> Option<f64> {
+            self.consumer.get(&p.raw()).copied()
+        }
+        fn provider_intention(&mut self, _q: &Query, p: ProviderId) -> Option<f64> {
+            if self.silent_providers.contains(&p.raw()) {
+                None
+            } else {
+                self.provider.get(&p.raw()).copied()
+            }
+        }
+        fn utilization(&self, _p: ProviderId) -> f64 {
+            0.0
+        }
+    }
+
+    fn query(id: u32) -> Query {
+        Query::single(
+            QueryId::new(id),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn module_runs_algorithm_1_end_to_end() {
+        let mut module = QueryAllocationModule::new(SqlbAllocator::new());
+        assert_eq!(module.method_name(), "SQLB");
+        let mut source = Canned {
+            consumer: [(0, 0.9), (1, -0.5), (2, 0.4)].into_iter().collect(),
+            provider: [(0, 0.8), (1, 0.9), (2, -0.3)].into_iter().collect(),
+            silent_providers: vec![],
+        };
+        let candidates: Vec<ProviderId> = (0..3).map(ProviderId::new).collect();
+        let alloc = module.allocate(&query(1), &candidates, &mut source);
+        assert_eq!(alloc.selected, vec![ProviderId::new(0)]);
+        assert_eq!(module.state().allocations(), 1);
+        // The consumer got a provider it likes → satisfaction above 0.5.
+        assert!(module.state().consumer_satisfaction(ConsumerId::new(0)) > 0.5);
+    }
+
+    #[test]
+    fn silent_participants_default_to_indifference() {
+        let mut module = QueryAllocationModule::new(SqlbAllocator::new());
+        let mut source = Canned {
+            consumer: [(0, 0.9), (1, 0.9)].into_iter().collect(),
+            provider: [(0, -0.9), (1, 0.9)].into_iter().collect(),
+            // Provider 1 never answers: its intention is read as 0, so the
+            // positive-intention provider is... p0 is negative, p1 silent
+            // (0). Score for p1 falls in the negative branch too (PI = 0),
+            // but its magnitude is smaller, so p1 still ranks first.
+            silent_providers: vec![1],
+        };
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let infos = gather_candidate_info(&query(2), &candidates, &mut source);
+        assert_eq!(infos[1].provider_intention, 0.0);
+        let alloc = module.allocate(&query(2), &candidates, &mut source);
+        assert_eq!(alloc.selected, vec![ProviderId::new(1)]);
+    }
+
+    #[test]
+    fn state_accumulates_over_multiple_allocations() {
+        let mut module = QueryAllocationModule::new(SqlbAllocator::new());
+        // Both providers want the query and the consumer is indifferent
+        // between them: the first allocation goes to p0 (deterministic
+        // tie-break), after which Equation 6 favours the less satisfied
+        // provider, so queries alternate instead of starving p1.
+        let mut source = Canned {
+            consumer: [(0, 0.5), (1, 0.5)].into_iter().collect(),
+            provider: [(0, 0.7), (1, 0.7)].into_iter().collect(),
+            silent_providers: vec![],
+        };
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let first = module.allocate(&query(0), &candidates, &mut source);
+        assert_eq!(first.selected, vec![ProviderId::new(0)]);
+        let mut wins = [0u32, 0u32];
+        for i in 1..200 {
+            let alloc = module.allocate(&query(i), &candidates, &mut source);
+            wins[alloc.selected[0].index()] += 1;
+        }
+        assert_eq!(module.state().allocations(), 200);
+        assert!(
+            wins[0] > 0 && wins[1] > 0,
+            "satisfaction balancing should spread queries across both providers, got {wins:?}"
+        );
+    }
+
+    #[test]
+    fn with_state_and_accessors() {
+        let state = MediatorState::paper_default();
+        let mut module = QueryAllocationModule::with_state(SqlbAllocator::new(), state);
+        module.state_mut().register_provider(ProviderId::new(9));
+        assert_eq!(module.state().providers().count(), 1);
+        let _ = module.method_mut();
+    }
+}

@@ -1,0 +1,218 @@
+//! Scoring and ranking of providers (Section 5.3).
+
+use serde::{Deserialize, Serialize};
+use sqlb_types::ProviderId;
+
+use crate::intention::IntentionParams;
+
+/// A provider together with its score for a given query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedProvider {
+    /// The provider being ranked.
+    pub provider: ProviderId,
+    /// Its score `scr_q(p)` (Definition 9).
+    pub score: f64,
+}
+
+/// The consumer/provider trade-off weight `ω` (Equation 6):
+///
+/// ```text
+/// ω = ((δs(c) − δs(p)) + 1) / 2
+/// ```
+///
+/// `δs(c)` and `δs(p)` are the *intention-based* satisfactions that the
+/// query allocation module can observe ("Conversely to provider's
+/// intention, the query allocation module has not access to private
+/// information. Thus, the satisfaction it uses has to be based on the
+/// intentions."). The more satisfied the consumer is relative to the
+/// provider, the more weight the provider's intention receives.
+pub fn omega(consumer_satisfaction: f64, provider_satisfaction: f64) -> f64 {
+    let c = consumer_satisfaction.clamp(0.0, 1.0);
+    let p = provider_satisfaction.clamp(0.0, 1.0);
+    ((c - p) + 1.0) / 2.0
+}
+
+/// Provider score `scr_q(p)` (Definition 9): the balance between the
+/// provider's intention `PI` to perform the query and the consumer's
+/// intention `CI` to allocate the query to it.
+///
+/// ```text
+/// scr =  PI^ω · CI^(1-ω)                                 if PI > 0 ∧ CI > 0
+/// scr = -[(1 - PI + ε)^ω · (1 - CI + ε)^(1-ω)]           otherwise
+/// ```
+///
+/// Intentions are accepted as raw `f64` values because Definitions 7–8 with
+/// `ε = 1` can produce magnitudes above 1 (see `crate::intention`).
+pub fn provider_score(
+    provider_intention: f64,
+    consumer_intention: f64,
+    omega: f64,
+    params: IntentionParams,
+) -> f64 {
+    let omega = omega.clamp(0.0, 1.0);
+    let eps = params.epsilon;
+    if provider_intention > 0.0 && consumer_intention > 0.0 {
+        provider_intention.powf(omega) * consumer_intention.powf(1.0 - omega)
+    } else {
+        -((1.0 - provider_intention + eps).powf(omega)
+            * (1.0 - consumer_intention + eps).powf(1.0 - omega))
+    }
+}
+
+/// Ranks candidates from best to worst score (the vector `R_q` of
+/// Section 5.3). Ties are broken by provider identifier so the ranking is
+/// deterministic.
+pub fn rank_candidates(mut candidates: Vec<RankedProvider>) -> Vec<RankedProvider> {
+    candidates.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.provider.cmp(&b.provider))
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P: IntentionParams = IntentionParams { epsilon: 1.0 };
+
+    #[test]
+    fn omega_balances_satisfactions() {
+        // Equally satisfied participants → both intentions weigh the same.
+        assert!((omega(0.5, 0.5) - 0.5).abs() < 1e-12);
+        // Fully satisfied consumer, unsatisfied provider → the provider's
+        // intention dominates (ω = 1).
+        assert!((omega(1.0, 0.0) - 1.0).abs() < 1e-12);
+        // Fully satisfied provider, unsatisfied consumer → the consumer's
+        // intention dominates (ω = 0).
+        assert!((omega(0.0, 1.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn omega_clamps_inputs() {
+        assert!((omega(2.0, -1.0) - 1.0).abs() < 1e-12);
+        assert!((omega(-5.0, 7.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_positive_branch_is_weighted_geometric_mean() {
+        let s = provider_score(0.64, 0.25, 0.5, P);
+        assert!((s - (0.64f64 * 0.25).sqrt()).abs() < 1e-12);
+        // ω = 1: only the provider's intention matters.
+        let s = provider_score(0.64, 0.25, 1.0, P);
+        assert!((s - 0.64).abs() < 1e-12);
+        // ω = 0: only the consumer's intention matters.
+        let s = provider_score(0.64, 0.25, 0.0, P);
+        assert!((s - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_negative_when_either_intention_non_positive() {
+        assert!(provider_score(-0.5, 0.9, 0.5, P) < 0.0);
+        assert!(provider_score(0.9, -0.5, 0.5, P) < 0.0);
+        assert!(provider_score(0.0, 0.9, 0.5, P) < 0.0);
+        assert!(provider_score(-2.5, -1.0, 0.3, P) < 0.0);
+    }
+
+    #[test]
+    fn score_orders_candidates_sensibly() {
+        // Table 1 intuition: a provider wanted by both sides should beat a
+        // provider wanted by only one side, which should beat a provider
+        // wanted by neither.
+        let both = provider_score(0.8, 0.8, 0.5, P);
+        let provider_only = provider_score(0.8, -0.3, 0.5, P);
+        let consumer_only = provider_score(-0.3, 0.8, 0.5, P);
+        let neither = provider_score(-0.3, -0.3, 0.5, P);
+        assert!(both > provider_only);
+        assert!(both > consumer_only);
+        assert!(provider_only > neither);
+        assert!(consumer_only > neither);
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let ranked = rank_candidates(vec![
+            RankedProvider {
+                provider: ProviderId::new(2),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(0),
+                score: 0.9,
+            },
+            RankedProvider {
+                provider: ProviderId::new(3),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(1),
+                score: -0.4,
+            },
+        ]);
+        let order: Vec<u32> = ranked.iter().map(|r| r.provider.raw()).collect();
+        assert_eq!(order, vec![0, 2, 3, 1]);
+        assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn ranking_of_empty_set_is_empty() {
+        assert!(rank_candidates(vec![]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_omega_in_unit_interval(c in 0.0f64..=1.0, p in 0.0f64..=1.0) {
+            let w = omega(c, p);
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+
+        #[test]
+        fn prop_score_sign_matches_branches(
+            pi in -2.5f64..=1.0,
+            ci in -2.5f64..=1.0,
+            w in 0.0f64..=1.0,
+        ) {
+            let s = provider_score(pi, ci, w, P);
+            prop_assert!(s.is_finite());
+            if pi > 0.0 && ci > 0.0 {
+                prop_assert!(s >= 0.0);
+            } else {
+                prop_assert!(s < 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_score_monotone_in_provider_intention_positive_branch(
+            ci in 0.05f64..=1.0,
+            w in 0.05f64..=1.0,
+            pi in 0.05f64..=0.95,
+        ) {
+            let low = provider_score(pi, ci, w, P);
+            let high = provider_score(pi + 0.05, ci, w, P);
+            prop_assert!(high >= low - 1e-12);
+        }
+
+        #[test]
+        fn prop_ranking_is_a_permutation(
+            scores in proptest::collection::vec(-2.0f64..=1.0, 0..50),
+        ) {
+            let candidates: Vec<RankedProvider> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &score)| RankedProvider {
+                    provider: ProviderId::new(i as u32),
+                    score,
+                })
+                .collect();
+            let ranked = rank_candidates(candidates.clone());
+            prop_assert_eq!(ranked.len(), candidates.len());
+            let mut ids: Vec<u32> = ranked.iter().map(|r| r.provider.raw()).collect();
+            ids.sort_unstable();
+            let expected: Vec<u32> = (0..scores.len() as u32).collect();
+            prop_assert_eq!(ids, expected);
+            prop_assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        }
+    }
+}

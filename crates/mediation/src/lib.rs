@@ -1,0 +1,27 @@
+//! # sqlb-mediation
+//!
+//! The mediation/communication substrate on which Algorithm 1 runs.
+//!
+//! The paper's query allocation algorithm *forks* a request for the
+//! consumer's intentions and, in parallel, a request to every candidate
+//! provider for its intention, then *waits until* the intention vectors are
+//! computed *or a timeout* elapses (Algorithm 1, lines 2–5). The
+//! deterministic, in-process realization of that algorithm lives in
+//! `sqlb-core::module`; this crate provides the concurrent realization used
+//! when consumers and providers are real, independently-running agents:
+//!
+//! * [`protocol`] — the message types exchanged between the mediator and
+//!   the participants (intention requests/replies, bid requests, allocation
+//!   notices);
+//! * [`runtime`] — a thread-per-participant runtime built on crossbeam
+//!   channels: the mediator broadcasts requests, gathers replies until the
+//!   deadline, treats missing replies as indifference, and notifies every
+//!   candidate of the mediation result.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod runtime;
+
+pub use protocol::{MediatorMessage, ParticipantReply};
+pub use runtime::{ConsumerEndpoint, MediationRuntime, ProviderEndpoint, RuntimeConfig};

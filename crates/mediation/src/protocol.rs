@@ -1,0 +1,124 @@
+//! The message protocol between the mediator and the participants.
+//!
+//! The protocol mirrors the steps of Algorithm 1 and the mediation
+//! architecture of Lamarre et al. \[10\] that the paper builds on: the
+//! mediator asks the issuing consumer for its intentions towards the
+//! candidate providers, asks every candidate provider for its intention
+//! (and, for economic methods, its bid), and finally "sends the mediation
+//! result to the `P_q \ \hat{P}_q` providers", i.e. also tells the
+//! candidates that were *not* selected.
+
+use serde::{Deserialize, Serialize};
+use sqlb_core::allocation::Bid;
+use sqlb_types::{ConsumerId, ProviderId, QueryId};
+
+/// Messages sent by the mediator to participants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MediatorMessage {
+    /// Ask the consumer for its intentions towards the candidate providers
+    /// of one of its queries (Algorithm 1, line 2).
+    ConsumerIntentionRequest {
+        /// The query being allocated.
+        query: QueryId,
+        /// The candidate set `P_q`.
+        candidates: Vec<ProviderId>,
+    },
+    /// Ask a provider for its intention to perform a query
+    /// (Algorithm 1, lines 3–4).
+    ProviderIntentionRequest {
+        /// The query being allocated.
+        query: QueryId,
+        /// Whether the provider should also return a bid (economic
+        /// methods).
+        request_bid: bool,
+    },
+    /// Notify a candidate provider of the mediation result
+    /// (Algorithm 1, lines 9–10).
+    AllocationNotice {
+        /// The query that was allocated.
+        query: QueryId,
+        /// Whether this provider was selected to perform the query.
+        selected: bool,
+    },
+    /// Notify the consumer of the final allocation.
+    AllocationResult {
+        /// The query that was allocated.
+        query: QueryId,
+        /// The providers the query was allocated to.
+        providers: Vec<ProviderId>,
+    },
+    /// Ask the participant to shut down (used when tearing the runtime
+    /// down).
+    Shutdown,
+}
+
+/// Replies sent by participants to the mediator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParticipantReply {
+    /// The consumer's intentions towards the candidate providers.
+    ConsumerIntentions {
+        /// The query the intentions are about.
+        query: QueryId,
+        /// The consumer that answered.
+        consumer: ConsumerId,
+        /// One `(provider, intention)` pair per candidate.
+        intentions: Vec<(ProviderId, f64)>,
+    },
+    /// A provider's intention (and optional bid) for a query.
+    ProviderIntention {
+        /// The query the intention is about.
+        query: QueryId,
+        /// The provider that answered.
+        provider: ProviderId,
+        /// The provider's intention `pi_p(q)`.
+        intention: f64,
+        /// The provider's bid, when requested.
+        bid: Option<Bid>,
+    },
+}
+
+impl ParticipantReply {
+    /// The query this reply is about.
+    pub fn query(&self) -> QueryId {
+        match self {
+            ParticipantReply::ConsumerIntentions { query, .. } => *query,
+            ParticipantReply::ProviderIntention { query, .. } => *query,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replies_expose_their_query() {
+        let r = ParticipantReply::ConsumerIntentions {
+            query: QueryId::new(3),
+            consumer: ConsumerId::new(1),
+            intentions: vec![(ProviderId::new(0), 0.5)],
+        };
+        assert_eq!(r.query(), QueryId::new(3));
+        let r = ParticipantReply::ProviderIntention {
+            query: QueryId::new(9),
+            provider: ProviderId::new(2),
+            intention: -0.25,
+            bid: Some(Bid::new(10.0, 1.0)),
+        };
+        assert_eq!(r.query(), QueryId::new(9));
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = MediatorMessage::ProviderIntentionRequest {
+            query: QueryId::new(1),
+            request_bid: true,
+        };
+        assert_eq!(m.clone(), m);
+        let n = MediatorMessage::AllocationNotice {
+            query: QueryId::new(1),
+            selected: false,
+        };
+        assert_ne!(m, n);
+    }
+}

@@ -1,0 +1,548 @@
+//! Thread-per-participant mediation runtime.
+//!
+//! The runtime realizes the concurrent part of Algorithm 1: for each query
+//! it *forks* an intention request to the issuing consumer and to every
+//! candidate provider (each participant runs on its own thread), *waits
+//! until* all answers have arrived *or a timeout* elapses, and treats
+//! missing answers as indifference (`0`). After the allocation decision it
+//! notifies every candidate of the mediation result, selected or not.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sqlb_core::allocation::{Allocation, AllocationMethod, Bid, CandidateInfo};
+use sqlb_core::MediatorState;
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
+
+/// Behaviour of a consumer participant reachable through the runtime.
+pub trait ConsumerEndpoint: Send + 'static {
+    /// The consumer's intentions towards the candidate providers of its
+    /// query (the vector `CI_q`).
+    fn intentions(&mut self, query: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)>;
+
+    /// Notification of the final allocation of one of the consumer's
+    /// queries.
+    fn allocation_result(&mut self, _query: QueryId, _providers: &[ProviderId]) {}
+}
+
+/// Behaviour of a provider participant reachable through the runtime.
+pub trait ProviderEndpoint: Send + 'static {
+    /// The provider's intention `pi_p(q)` for performing the query.
+    fn intention(&mut self, query: &Query) -> f64;
+
+    /// The provider's bid, when the allocation method runs an economic
+    /// protocol.
+    fn bid(&mut self, _query: &Query) -> Option<Bid> {
+        None
+    }
+
+    /// Notification of the mediation result (selected or not).
+    fn allocation_notice(&mut self, _query: QueryId, _selected: bool) {}
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// How long the mediator waits for intention replies before falling
+    /// back to indifference (Algorithm 1, line 5).
+    pub timeout: Duration,
+    /// Whether provider intention requests also ask for a bid.
+    pub request_bids: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            timeout: Duration::from_millis(200),
+            request_bids: false,
+        }
+    }
+}
+
+enum ConsumerRequest {
+    Intentions { query: Query, candidates: Vec<ProviderId> },
+    Result { query: QueryId, providers: Vec<ProviderId> },
+    Shutdown,
+}
+
+enum ProviderRequest {
+    Intention { query: Query, request_bid: bool },
+    Notice { query: QueryId, selected: bool },
+    Shutdown,
+}
+
+enum Reply {
+    Consumer {
+        query: QueryId,
+        intentions: Vec<(ProviderId, f64)>,
+    },
+    Provider {
+        query: QueryId,
+        provider: ProviderId,
+        intention: f64,
+        bid: Option<Bid>,
+    },
+}
+
+impl Reply {
+    fn query(&self) -> QueryId {
+        match self {
+            Reply::Consumer { query, .. } => *query,
+            Reply::Provider { query, .. } => *query,
+        }
+    }
+}
+
+/// The mediation runtime: owns one worker thread per registered
+/// participant and drives the fork / waituntil / timeout protocol.
+pub struct MediationRuntime {
+    config: RuntimeConfig,
+    consumers: HashMap<ConsumerId, Sender<ConsumerRequest>>,
+    providers: HashMap<ProviderId, Sender<ProviderRequest>>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl MediationRuntime {
+    /// Creates an empty runtime.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let (reply_tx, reply_rx) = unbounded();
+        MediationRuntime {
+            config,
+            consumers: HashMap::new(),
+            providers: HashMap::new(),
+            reply_tx,
+            reply_rx,
+            handles: Vec::new(),
+        }
+    }
+
+    /// Registers a consumer endpoint; a dedicated worker thread starts
+    /// serving its intention requests.
+    pub fn register_consumer(&mut self, id: ConsumerId, mut endpoint: impl ConsumerEndpoint) {
+        let (tx, rx) = unbounded::<ConsumerRequest>();
+        let reply_tx = self.reply_tx.clone();
+        let handle = std::thread::spawn(move || {
+            while let Ok(request) = rx.recv() {
+                match request {
+                    ConsumerRequest::Intentions { query, candidates } => {
+                        let intentions = endpoint.intentions(&query, &candidates);
+                        let _ = reply_tx.send(Reply::Consumer {
+                            query: query.id,
+                            intentions,
+                        });
+                    }
+                    ConsumerRequest::Result { query, providers } => {
+                        endpoint.allocation_result(query, &providers);
+                    }
+                    ConsumerRequest::Shutdown => break,
+                }
+            }
+        });
+        self.consumers.insert(id, tx);
+        self.handles.push(handle);
+    }
+
+    /// Registers a provider endpoint.
+    pub fn register_provider(&mut self, id: ProviderId, mut endpoint: impl ProviderEndpoint) {
+        let (tx, rx) = unbounded::<ProviderRequest>();
+        let reply_tx = self.reply_tx.clone();
+        let handle = std::thread::spawn(move || {
+            while let Ok(request) = rx.recv() {
+                match request {
+                    ProviderRequest::Intention { query, request_bid } => {
+                        let intention = endpoint.intention(&query);
+                        let bid = if request_bid { endpoint.bid(&query) } else { None };
+                        let _ = reply_tx.send(Reply::Provider {
+                            query: query.id,
+                            provider: id,
+                            intention,
+                            bid,
+                        });
+                    }
+                    ProviderRequest::Notice { query, selected } => {
+                        endpoint.allocation_notice(query, selected);
+                    }
+                    ProviderRequest::Shutdown => break,
+                }
+            }
+        });
+        self.providers.insert(id, tx);
+        self.handles.push(handle);
+    }
+
+    /// Removes a participant (e.g. on departure). Its worker thread shuts
+    /// down once it drains its queue.
+    pub fn deregister_provider(&mut self, id: ProviderId) {
+        if let Some(tx) = self.providers.remove(&id) {
+            let _ = tx.send(ProviderRequest::Shutdown);
+        }
+    }
+
+    /// Number of registered providers.
+    pub fn provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Number of registered consumers.
+    pub fn consumer_count(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// Gathers the candidate information for one query: forks the intention
+    /// requests, waits for the replies until the configured timeout and
+    /// fills in indifference (`0`) for missing answers (Algorithm 1,
+    /// lines 2–5).
+    pub fn gather(&self, query: &Query, candidates: &[ProviderId]) -> Vec<CandidateInfo> {
+        // Drain any stale reply left over from a previous, timed-out
+        // mediation round.
+        while self.reply_rx.try_recv().is_ok() {}
+
+        let mut expected = 0usize;
+        if let Some(tx) = self.consumers.get(&query.consumer) {
+            let _ = tx.send(ConsumerRequest::Intentions {
+                query: query.clone(),
+                candidates: candidates.to_vec(),
+            });
+            expected += 1;
+        }
+        for provider in candidates {
+            if let Some(tx) = self.providers.get(provider) {
+                let _ = tx.send(ProviderRequest::Intention {
+                    query: query.clone(),
+                    request_bid: self.config.request_bids,
+                });
+                expected += 1;
+            }
+        }
+
+        let mut consumer_intentions: HashMap<ProviderId, f64> = HashMap::new();
+        let mut provider_intentions: HashMap<ProviderId, (f64, Option<Bid>)> = HashMap::new();
+        let deadline = Instant::now() + self.config.timeout;
+        let mut received = 0usize;
+        while received < expected {
+            match self.reply_rx.recv_deadline(deadline) {
+                Ok(reply) if reply.query() == query.id => {
+                    received += 1;
+                    match reply {
+                        Reply::Consumer { intentions, .. } => {
+                            consumer_intentions.extend(intentions);
+                        }
+                        Reply::Provider {
+                            provider,
+                            intention,
+                            bid,
+                            ..
+                        } => {
+                            provider_intentions.insert(provider, (intention, bid));
+                        }
+                    }
+                }
+                Ok(_) => continue, // stale reply for an older query
+                Err(_) => break,   // timeout: remaining answers default to 0
+            }
+        }
+
+        candidates
+            .iter()
+            .map(|&p| {
+                let ci = consumer_intentions.get(&p).copied().unwrap_or(0.0);
+                let (pi, bid) = provider_intentions
+                    .get(&p)
+                    .copied()
+                    .unwrap_or((0.0, None));
+                let mut info = CandidateInfo::new(p)
+                    .with_consumer_intention(ci)
+                    .with_provider_intention(pi);
+                if let Some(bid) = bid {
+                    info = info.with_bid(bid);
+                }
+                info
+            })
+            .collect()
+    }
+
+    /// Notifies every candidate of the mediation result and the consumer of
+    /// its allocation (Algorithm 1, lines 9–10).
+    pub fn notify(&self, query: &Query, candidates: &[ProviderId], allocation: &Allocation) {
+        for provider in candidates {
+            if let Some(tx) = self.providers.get(provider) {
+                let _ = tx.send(ProviderRequest::Notice {
+                    query: query.id,
+                    selected: allocation.is_selected(*provider),
+                });
+            }
+        }
+        if let Some(tx) = self.consumers.get(&query.consumer) {
+            let _ = tx.send(ConsumerRequest::Result {
+                query: query.id,
+                providers: allocation.selected.clone(),
+            });
+        }
+    }
+
+    /// Runs the full Algorithm 1 for one query: gather → allocate → record
+    /// in the mediator state → notify.
+    pub fn mediate<M: AllocationMethod>(
+        &self,
+        query: &Query,
+        candidates: &[ProviderId],
+        method: &mut M,
+        state: &mut MediatorState,
+    ) -> Allocation {
+        let infos = self.gather(query, candidates);
+        let allocation = method.allocate(query, &infos, state);
+        state.record_allocation(query, &infos, &allocation);
+        self.notify(query, candidates, &allocation);
+        allocation
+    }
+}
+
+impl Drop for MediationRuntime {
+    fn drop(&mut self) {
+        for tx in self.consumers.values() {
+            let _ = tx.send(ConsumerRequest::Shutdown);
+        }
+        for tx in self.providers.values() {
+            let _ = tx.send(ProviderRequest::Shutdown);
+        }
+        self.consumers.clear();
+        self.providers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use sqlb_baselines::MariposaLike;
+    use sqlb_core::SqlbAllocator;
+    use sqlb_types::{QueryClass, SimTime};
+    use std::sync::Arc;
+
+    struct CannedConsumer {
+        values: Vec<f64>,
+        results: Arc<Mutex<Vec<Vec<ProviderId>>>>,
+    }
+
+    impl ConsumerEndpoint for CannedConsumer {
+        fn intentions(&mut self, _q: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
+            candidates
+                .iter()
+                .map(|&p| (p, self.values.get(p.index()).copied().unwrap_or(0.0)))
+                .collect()
+        }
+        fn allocation_result(&mut self, _query: QueryId, providers: &[ProviderId]) {
+            self.results.lock().push(providers.to_vec());
+        }
+    }
+
+    struct CannedProvider {
+        value: f64,
+        delay: Option<Duration>,
+        bid: Option<Bid>,
+        notices: Arc<Mutex<Vec<(QueryId, bool)>>>,
+    }
+
+    impl ProviderEndpoint for CannedProvider {
+        fn intention(&mut self, _q: &Query) -> f64 {
+            if let Some(delay) = self.delay {
+                std::thread::sleep(delay);
+            }
+            self.value
+        }
+        fn bid(&mut self, _q: &Query) -> Option<Bid> {
+            self.bid
+        }
+        fn allocation_notice(&mut self, query: QueryId, selected: bool) {
+            self.notices.lock().push((query, selected));
+        }
+    }
+
+    fn query(id: u32) -> Query {
+        Query::single(
+            QueryId::new(id),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        )
+    }
+
+    fn build_runtime(
+        provider_values: &[f64],
+        consumer_values: Vec<f64>,
+        config: RuntimeConfig,
+    ) -> (
+        MediationRuntime,
+        Arc<Mutex<Vec<(QueryId, bool)>>>,
+        Arc<Mutex<Vec<Vec<ProviderId>>>>,
+    ) {
+        let notices = Arc::new(Mutex::new(Vec::new()));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut runtime = MediationRuntime::new(config);
+        runtime.register_consumer(
+            ConsumerId::new(0),
+            CannedConsumer {
+                values: consumer_values,
+                results: results.clone(),
+            },
+        );
+        for (i, &value) in provider_values.iter().enumerate() {
+            runtime.register_provider(
+                ProviderId::new(i as u32),
+                CannedProvider {
+                    value,
+                    delay: None,
+                    bid: Some(Bid::new(100.0 * (i as f64 + 1.0), 1.0)),
+                    notices: notices.clone(),
+                },
+            );
+        }
+        (runtime, notices, results)
+    }
+
+    #[test]
+    fn gather_collects_all_intentions() {
+        let (runtime, _, _) = build_runtime(
+            &[0.8, -0.2, 0.4],
+            vec![0.5, 0.9, -0.1],
+            RuntimeConfig::default(),
+        );
+        let candidates: Vec<ProviderId> = (0..3).map(ProviderId::new).collect();
+        let infos = runtime.gather(&query(1), &candidates);
+        assert_eq!(infos.len(), 3);
+        assert_eq!(infos[0].provider_intention, 0.8);
+        assert_eq!(infos[1].provider_intention, -0.2);
+        assert_eq!(infos[0].consumer_intention, 0.5);
+        assert_eq!(infos[2].consumer_intention, -0.1);
+        assert!(infos[0].bid.is_none(), "bids are not requested by default");
+    }
+
+    #[test]
+    fn slow_provider_times_out_to_indifference() {
+        let notices = Arc::new(Mutex::new(Vec::new()));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut runtime = MediationRuntime::new(RuntimeConfig {
+            timeout: Duration::from_millis(50),
+            request_bids: false,
+        });
+        runtime.register_consumer(
+            ConsumerId::new(0),
+            CannedConsumer {
+                values: vec![0.9, 0.9],
+                results,
+            },
+        );
+        runtime.register_provider(
+            ProviderId::new(0),
+            CannedProvider {
+                value: 0.7,
+                delay: None,
+                bid: None,
+                notices: notices.clone(),
+            },
+        );
+        runtime.register_provider(
+            ProviderId::new(1),
+            CannedProvider {
+                value: 1.0,
+                delay: Some(Duration::from_millis(500)),
+                bid: None,
+                notices,
+            },
+        );
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let infos = runtime.gather(&query(1), &candidates);
+        assert_eq!(infos[0].provider_intention, 0.7);
+        assert_eq!(
+            infos[1].provider_intention, 0.0,
+            "the slow provider's answer missed the deadline"
+        );
+    }
+
+    #[test]
+    fn mediate_allocates_and_notifies_everyone() {
+        let (runtime, notices, results) = build_runtime(
+            &[0.9, 0.4],
+            vec![0.8, 0.8],
+            RuntimeConfig::default(),
+        );
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let mut method = SqlbAllocator::new();
+        let mut state = MediatorState::paper_default();
+        let allocation = runtime.mediate(&query(7), &candidates, &mut method, &mut state);
+        assert_eq!(allocation.selected, vec![ProviderId::new(0)]);
+        assert_eq!(state.allocations(), 1);
+
+        // Notifications are asynchronous; wait briefly for the workers.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let n = notices.lock().len();
+            let r = results.lock().len();
+            if (n == 2 && r == 1) || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let notices = notices.lock();
+        assert_eq!(notices.len(), 2, "both candidates are told the outcome");
+        assert!(notices.contains(&(QueryId::new(7), true)));
+        assert!(notices.contains(&(QueryId::new(7), false)));
+        assert_eq!(results.lock().len(), 1);
+    }
+
+    #[test]
+    fn bids_are_gathered_when_requested() {
+        let (runtime, _, _) = build_runtime(
+            &[0.5, 0.5],
+            vec![0.5, 0.5],
+            RuntimeConfig {
+                timeout: Duration::from_millis(500),
+                request_bids: true,
+            },
+        );
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let infos = runtime.gather(&query(1), &candidates);
+        assert_eq!(infos[0].bid.unwrap().price, 100.0);
+        assert_eq!(infos[1].bid.unwrap().price, 200.0);
+
+        // And the Mariposa-like broker can consume them directly.
+        let mut broker = MariposaLike::new();
+        let mut state = MediatorState::paper_default();
+        let allocation = runtime.mediate(&query(2), &candidates, &mut broker, &mut state);
+        assert_eq!(allocation.selected, vec![ProviderId::new(0)]);
+    }
+
+    #[test]
+    fn unknown_participants_default_to_indifference() {
+        let (runtime, _, _) = build_runtime(&[0.5], vec![0.5], RuntimeConfig::default());
+        // Candidate 9 is not registered with the runtime at all.
+        let candidates = vec![ProviderId::new(0), ProviderId::new(9)];
+        let infos = runtime.gather(&query(1), &candidates);
+        assert_eq!(infos[0].provider_intention, 0.5);
+        assert_eq!(infos[0].consumer_intention, 0.5);
+        assert_eq!(infos[1].provider_intention, 0.0);
+        assert_eq!(
+            infos[1].consumer_intention, 0.0,
+            "the consumer has no opinion on a provider it does not know"
+        );
+    }
+
+    #[test]
+    fn deregistering_a_provider_silences_it() {
+        let (mut runtime, _, _) = build_runtime(&[0.5, 0.6], vec![0.5, 0.5], RuntimeConfig::default());
+        assert_eq!(runtime.provider_count(), 2);
+        assert_eq!(runtime.consumer_count(), 1);
+        runtime.deregister_provider(ProviderId::new(1));
+        assert_eq!(runtime.provider_count(), 1);
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let infos = runtime.gather(&query(1), &candidates);
+        assert_eq!(infos[1].provider_intention, 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Provider characterization (Section 3.2).
+
+use serde::{Deserialize, Serialize};
+use sqlb_types::Intention;
+
+use crate::allocation_satisfaction;
+use crate::memory::InteractionMemory;
+
+/// Tracks a provider's characteristics.
+///
+/// * Adequation `δa(p)` (Definition 4) is computed over the provider's shown
+///   values for the `k_proposed` last *proposed* queries (the set
+///   `PQ^k_p`, whether allocated to it or not).
+/// * Satisfaction `δs(p)` (Definition 5) is computed over the shown values
+///   of the queries the provider actually *performed*. Following Table 2
+///   (`proSatSize`: "k last treated queries") this uses a dedicated memory
+///   of the last `k_performed` performed queries; see the crate-level
+///   documentation for why the literal `SQ^k_p ⊆ PQ^k_p` reading is not
+///   usable with the paper's own experimental parameters. The literal
+///   variant is exposed as [`ProviderTracker::satisfaction_strict`].
+/// * Allocation satisfaction `δas(p)` (Definition 6) is the ratio of the
+///   two.
+///
+/// Like [`crate::ConsumerTracker`], the tracker is value-agnostic: feed it
+/// intentions for the public view or preferences for the provider's private
+/// view (the private view is what Definition 8 uses to balance preferences
+/// against utilization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProviderTracker {
+    /// Shown values for every proposed query (performed or not).
+    proposed: InteractionMemory,
+    /// Shown values for performed queries only (Table 2 semantics).
+    performed: InteractionMemory,
+    /// Shown values with a performed flag, bounded by the proposed window,
+    /// backing the strict Definition 5 variant.
+    proposed_flags: std::collections::VecDeque<(f64, bool)>,
+    initial: f64,
+    proposed_total: u64,
+    performed_total: u64,
+}
+
+impl ProviderTracker {
+    /// Creates a tracker with a `k_proposed`-query adequation window and a
+    /// `k_performed`-query satisfaction window, reporting `initial` until
+    /// observations exist.
+    pub fn new(k_proposed: usize, k_performed: usize, initial: f64) -> Self {
+        ProviderTracker {
+            proposed: InteractionMemory::new(k_proposed),
+            performed: InteractionMemory::new(k_performed),
+            proposed_flags: std::collections::VecDeque::with_capacity(k_proposed),
+            initial,
+            proposed_total: 0,
+            performed_total: 0,
+        }
+    }
+
+    /// Creates a tracker with the paper's default configuration
+    /// (`proSatSize = 500`, initial satisfaction 0.5). The proposal window
+    /// uses the same size.
+    pub fn paper_default() -> Self {
+        ProviderTracker::new(500, 500, 0.5)
+    }
+
+    /// Records a query that was proposed to the provider, together with the
+    /// value the provider showed for it (its intention, or its preference
+    /// for the private view) and whether the query was allocated to it.
+    ///
+    /// The value is mapped from `[-1, 1]` to `[0, 1]` via `(x + 1)/2` as in
+    /// Definitions 4–5.
+    pub fn record_proposal(&mut self, shown: Intention, performed: bool) {
+        let mapped = shown.to_unit().value();
+        self.record_mapped(mapped, performed);
+    }
+
+    /// Records a proposal with an already-mapped `[0, 1]` value. Used when
+    /// the caller applies its own mapping (e.g. preference-based private
+    /// tracking).
+    pub fn record_mapped(&mut self, mapped: f64, performed: bool) {
+        let mapped = mapped.clamp(0.0, 1.0);
+        self.proposed.push(mapped);
+        if self.proposed_flags.len() == self.proposed.capacity() {
+            self.proposed_flags.pop_front();
+        }
+        self.proposed_flags.push_back((mapped, performed));
+        self.proposed_total += 1;
+        if performed {
+            self.performed.push(mapped);
+            self.performed_total += 1;
+        }
+    }
+
+    /// Provider adequation `δa(p)` (Definition 4). Returns the configured
+    /// initial value until the provider has been proposed at least one
+    /// query.
+    pub fn adequation(&self) -> f64 {
+        self.proposed.mean_or(self.initial)
+    }
+
+    /// Provider satisfaction `δs(p)` over the last `k_performed` performed
+    /// queries (Table 2 semantics). Returns the configured initial value
+    /// until the provider has performed at least one query.
+    pub fn satisfaction(&self) -> f64 {
+        self.performed.mean_or(self.initial)
+    }
+
+    /// Provider satisfaction computed strictly as Definition 5: the average
+    /// over the performed subset of the *proposed* window, and 0 when that
+    /// subset is empty. A provider that has not been proposed anything yet
+    /// reports the configured initial value (Table 2's
+    /// `iniSatisfaction = 0.5`).
+    ///
+    /// This is the value the SQLB feedback loop relies on: a provider whose
+    /// strict satisfaction collapses to 0 immediately receives a large `ω`
+    /// weight in Equation 6, which is what "reduces starvation" in the
+    /// paper's words.
+    pub fn satisfaction_strict(&self) -> f64 {
+        if self.proposed_flags.is_empty() {
+            return self.initial;
+        }
+        let performed: Vec<f64> = self
+            .proposed_flags
+            .iter()
+            .filter(|(_, p)| *p)
+            .map(|(v, _)| *v)
+            .collect();
+        if performed.is_empty() {
+            0.0
+        } else {
+            performed.iter().sum::<f64>() / performed.len() as f64
+        }
+    }
+
+    /// Provider allocation satisfaction `δas(p)` (Definition 6).
+    pub fn allocation_satisfaction(&self) -> f64 {
+        allocation_satisfaction(self.satisfaction(), self.adequation())
+    }
+
+    /// Total number of proposals recorded over the tracker's lifetime.
+    pub fn proposed_queries(&self) -> u64 {
+        self.proposed_total
+    }
+
+    /// Total number of performed queries recorded over the tracker's
+    /// lifetime.
+    pub fn performed_queries(&self) -> u64 {
+        self.performed_total
+    }
+
+    /// Number of proposals currently remembered.
+    pub fn proposal_window_len(&self) -> usize {
+        self.proposed.len()
+    }
+
+    /// Number of performed queries currently remembered.
+    pub fn performed_window_len(&self) -> usize {
+        self.performed.len()
+    }
+
+    /// The configured initial (pre-observation) value.
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reports_initial_before_observations() {
+        let t = ProviderTracker::paper_default();
+        assert_eq!(t.adequation(), 0.5);
+        assert_eq!(t.satisfaction(), 0.5);
+        assert_eq!(t.allocation_satisfaction(), 1.0);
+        assert_eq!(
+            t.satisfaction_strict(),
+            0.5,
+            "no proposals yet: the initial value applies"
+        );
+    }
+
+    #[test]
+    fn adequation_follows_proposed_queries() {
+        let mut t = ProviderTracker::new(10, 10, 0.5);
+        t.record_proposal(Intention::new(1.0), false);
+        t.record_proposal(Intention::new(-1.0), false);
+        // Mapped values 1.0 and 0.0 → adequation 0.5.
+        assert!((t.adequation() - 0.5).abs() < 1e-12);
+        // No performed query yet → satisfaction stays at the initial value.
+        assert_eq!(t.satisfaction(), 0.5);
+        assert_eq!(t.proposed_queries(), 2);
+        assert_eq!(t.performed_queries(), 0);
+    }
+
+    #[test]
+    fn satisfaction_follows_performed_queries_only() {
+        let mut t = ProviderTracker::new(10, 10, 0.5);
+        // The provider is proposed queries it likes but performs only the
+        // ones it dislikes: satisfaction < adequation.
+        for _ in 0..5 {
+            t.record_proposal(Intention::new(0.9), false);
+            t.record_proposal(Intention::new(-0.9), true);
+        }
+        assert!(t.satisfaction() < t.adequation());
+        assert!(t.allocation_satisfaction() < 1.0);
+        assert_eq!(t.performed_window_len(), 5);
+        assert_eq!(t.proposal_window_len(), 10);
+    }
+
+    #[test]
+    fn performing_desired_queries_raises_allocation_satisfaction() {
+        let mut t = ProviderTracker::new(10, 10, 0.5);
+        for _ in 0..5 {
+            t.record_proposal(Intention::new(0.9), true);
+            t.record_proposal(Intention::new(-0.9), false);
+        }
+        assert!(t.satisfaction() > t.adequation());
+        assert!(t.allocation_satisfaction() > 1.0);
+    }
+
+    #[test]
+    fn strict_satisfaction_matches_definition_5() {
+        let mut t = ProviderTracker::new(3, 10, 0.5);
+        t.record_proposal(Intention::new(1.0), true); // mapped 1.0
+        t.record_proposal(Intention::new(0.0), false);
+        t.record_proposal(Intention::new(-1.0), true); // mapped 0.0
+        assert!((t.satisfaction_strict() - 0.5).abs() < 1e-12);
+        // Pushing a fourth proposal evicts the first performed entry from
+        // the proposed window; the strict value now only sees the third.
+        t.record_proposal(Intention::new(0.5), false);
+        assert!((t.satisfaction_strict() - 0.0).abs() < 1e-12);
+        // The Table-2-style satisfaction still remembers both performed
+        // queries.
+        assert!((t.satisfaction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapped_values_are_clamped() {
+        let mut t = ProviderTracker::new(4, 4, 0.5);
+        t.record_mapped(4.0, true);
+        t.record_mapped(-2.0, true);
+        assert!((t.satisfaction() - 0.5).abs() < 1e-12);
+        assert_eq!(t.adequation(), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_outputs_in_unit_interval(
+            entries in proptest::collection::vec((-1.0f64..=1.0, proptest::bool::ANY), 0..200),
+        ) {
+            let mut t = ProviderTracker::new(16, 16, 0.5);
+            for (v, performed) in &entries {
+                t.record_proposal(Intention::new(*v), *performed);
+            }
+            prop_assert!((0.0..=1.0).contains(&t.adequation()));
+            prop_assert!((0.0..=1.0).contains(&t.satisfaction()));
+            prop_assert!((0.0..=1.0).contains(&t.satisfaction_strict()));
+            prop_assert!(t.allocation_satisfaction() >= 0.0);
+        }
+
+        #[test]
+        fn prop_counters_are_consistent(
+            entries in proptest::collection::vec((-1.0f64..=1.0, proptest::bool::ANY), 0..200),
+        ) {
+            let mut t = ProviderTracker::new(8, 8, 0.5);
+            for (v, performed) in &entries {
+                t.record_proposal(Intention::new(*v), *performed);
+            }
+            let performed_count = entries.iter().filter(|(_, p)| *p).count() as u64;
+            prop_assert_eq!(t.proposed_queries(), entries.len() as u64);
+            prop_assert_eq!(t.performed_queries(), performed_count);
+            prop_assert!(t.performed_window_len() <= 8);
+            prop_assert!(t.proposal_window_len() <= 8);
+        }
+    }
+}

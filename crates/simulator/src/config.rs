@@ -1,0 +1,277 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use sqlb_agents::{
+    ConsumerDepartureRule, PopulationConfig, ProviderDepartureRule,
+};
+use sqlb_baselines::{CapacityBased, MariposaLike, RandomAllocator, RoundRobinAllocator};
+use sqlb_core::{AllocationMethod, SqlbAllocator};
+use sqlb_types::SqlbError;
+
+use crate::workload::WorkloadPattern;
+
+/// The allocation method under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// The paper's contribution: Satisfaction-based Query Load Balancing.
+    Sqlb,
+    /// The Capacity based baseline (Section 6.2.1).
+    CapacityBased,
+    /// The Mariposa-like economic baseline (Section 6.2.2).
+    MariposaLike,
+    /// Uniform random allocation (ablation reference).
+    Random,
+    /// Round-robin allocation (ablation reference).
+    RoundRobin,
+}
+
+impl Method {
+    /// The three methods the paper evaluates, in the order its figures list
+    /// them.
+    pub const PAPER_METHODS: [Method; 3] =
+        [Method::Sqlb, Method::MariposaLike, Method::CapacityBased];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Sqlb => "SQLB",
+            Method::CapacityBased => "Capacity based",
+            Method::MariposaLike => "Mariposa-like",
+            Method::Random => "Random",
+            Method::RoundRobin => "Round-robin",
+        }
+    }
+
+    /// Builds a fresh allocator instance. `seed` is only used by the
+    /// randomized reference method.
+    pub fn build(self, seed: u64) -> Box<dyn AllocationMethod> {
+        match self {
+            Method::Sqlb => Box::new(SqlbAllocator::new()),
+            Method::CapacityBased => Box::new(CapacityBased::new()),
+            Method::MariposaLike => Box::new(MariposaLike::new()),
+            Method::Random => Box::new(RandomAllocator::new(seed)),
+            Method::RoundRobin => Box::new(RoundRobinAllocator::new()),
+        }
+    }
+
+    /// Whether this method runs the economic (bidding) protocol, in which
+    /// case the simulator gathers bids from the providers.
+    pub fn uses_bids(self) -> bool {
+        matches!(self, Method::MariposaLike)
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Population (participants, classes, preferences).
+    pub population: PopulationConfig,
+    /// Workload pattern over the run.
+    pub workload: WorkloadPattern,
+    /// Length of the run, in seconds of virtual time.
+    pub duration_secs: f64,
+    /// Seed for the arrival process and per-query draws. Repetition `i` of
+    /// an experiment uses `seed + i`.
+    pub seed: u64,
+    /// `q.n`: number of providers each query asks for (the paper uses 1).
+    pub query_n: u32,
+    /// Whether consumers are allowed to leave the system.
+    pub consumers_may_leave: bool,
+    /// Whether providers are allowed to leave the system.
+    pub providers_may_leave: bool,
+    /// The provider departure rule (thresholds and enabled reasons).
+    pub provider_departure: ProviderDepartureRule,
+    /// The consumer departure rule.
+    pub consumer_departure: ConsumerDepartureRule,
+    /// Interval between metric snapshots, in seconds.
+    pub sample_interval_secs: f64,
+    /// Interval between departure assessments, in seconds.
+    pub assessment_interval_secs: f64,
+    /// Virtual time before which no departure is evaluated, letting the
+    /// sliding utilization windows and satisfaction memories fill up before
+    /// participants judge the system.
+    pub departure_warmup_secs: f64,
+}
+
+impl SimulationConfig {
+    /// The paper's configuration (Table 2): 200 consumers, 400 providers,
+    /// 10 000 s runs. Captive participants by default; the experiment
+    /// drivers toggle departures per figure.
+    pub fn paper(seed: u64) -> Self {
+        SimulationConfig {
+            population: PopulationConfig::paper(seed),
+            workload: WorkloadPattern::paper_ramp(),
+            duration_secs: 10_000.0,
+            seed,
+            query_n: 1,
+            consumers_may_leave: false,
+            providers_may_leave: false,
+            provider_departure: ProviderDepartureRule::default(),
+            consumer_departure: ConsumerDepartureRule::default(),
+            sample_interval_secs: 100.0,
+            assessment_interval_secs: 50.0,
+            departure_warmup_secs: 200.0,
+        }
+    }
+
+    /// A scaled-down configuration preserving the paper's class mix and
+    /// window-to-population ratios. Used for tests, examples and the
+    /// default benchmark runs (a full paper-scale run takes minutes per
+    /// method; a scaled run takes well under a second).
+    pub fn scaled(consumers: u32, providers: u32, duration_secs: f64, seed: u64) -> Self {
+        let mut population = PopulationConfig::scaled(consumers, providers, seed);
+        // Consumers keep the paper's 200-query memory: it smooths their
+        // judgement of the mediator and does not need to shrink with the
+        // population. The provider windows, in contrast, must preserve the
+        // Table 2 window-to-population ratio (500 proposals for 400
+        // providers) or the wins-per-window statistics — and with them the
+        // satisfaction dynamics — would change completely at small scale.
+        population.consumer_config.memory = 200;
+        let provider_window = ((providers as f64) * 1.25).round() as usize;
+        population.provider_config.proposed_memory = provider_window.max(8);
+        population.provider_config.performed_memory = provider_window.max(8);
+        let mut provider_departure = ProviderDepartureRule::default();
+        provider_departure.min_proposed_queries = provider_window.max(8) as u64;
+        let mut consumer_departure = ConsumerDepartureRule::default();
+        consumer_departure.min_issued_queries = ((consumers as u64) / 4).max(10);
+        SimulationConfig {
+            population,
+            workload: WorkloadPattern::paper_ramp(),
+            duration_secs,
+            seed,
+            query_n: 1,
+            consumers_may_leave: false,
+            providers_may_leave: false,
+            provider_departure,
+            consumer_departure,
+            sample_interval_secs: (duration_secs / 100.0).max(1.0),
+            assessment_interval_secs: (duration_secs / 40.0).max(5.0),
+            departure_warmup_secs: (2.5 * population.provider_config.utilization_window_secs)
+                .min(duration_secs / 3.0),
+        }
+    }
+
+    /// Sets the workload pattern.
+    pub fn with_workload(mut self, workload: WorkloadPattern) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the seed (population and arrival process).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.population.seed = seed;
+        self
+    }
+
+    /// Enables provider departures with the given rule.
+    pub fn with_provider_departures(mut self, rule: ProviderDepartureRule) -> Self {
+        self.providers_may_leave = true;
+        self.provider_departure = rule;
+        self
+    }
+
+    /// Enables consumer departures with the given rule.
+    pub fn with_consumer_departures(mut self, rule: ConsumerDepartureRule) -> Self {
+        self.consumers_may_leave = true;
+        self.consumer_departure = rule;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SqlbError> {
+        self.population.validate()?;
+        if self.duration_secs <= 0.0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "simulation duration must be positive".into(),
+            });
+        }
+        if self.query_n == 0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "q.n must be at least 1".into(),
+            });
+        }
+        if self.sample_interval_secs <= 0.0 || self.assessment_interval_secs <= 0.0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "sampling and assessment intervals must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_2() {
+        let c = SimulationConfig::paper(0);
+        assert_eq!(c.population.consumers, 200);
+        assert_eq!(c.population.providers, 400);
+        assert_eq!(c.population.consumer_config.memory, 200);
+        assert_eq!(c.population.provider_config.performed_memory, 500);
+        assert_eq!(c.query_n, 1);
+        assert_eq!(c.duration_secs, 10_000.0);
+        assert!(c.validate().is_ok());
+        assert!(!c.consumers_may_leave && !c.providers_may_leave);
+    }
+
+    #[test]
+    fn scaled_config_preserves_window_ratios() {
+        let c = SimulationConfig::scaled(40, 80, 1_000.0, 7);
+        assert_eq!(c.population.consumer_config.memory, 200);
+        assert_eq!(c.population.provider_config.proposed_memory, 100);
+        assert_eq!(c.provider_departure.min_proposed_queries, 100);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let c = SimulationConfig::scaled(10, 20, 100.0, 0)
+            .with_workload(WorkloadPattern::Fixed(0.8))
+            .with_seed(9)
+            .with_provider_departures(ProviderDepartureRule::default())
+            .with_consumer_departures(ConsumerDepartureRule::default());
+        assert_eq!(c.workload, WorkloadPattern::Fixed(0.8));
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.population.seed, 9);
+        assert!(c.providers_may_leave);
+        assert!(c.consumers_may_leave);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.duration_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.query_n = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.sample_interval_secs = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn method_names_and_builders() {
+        assert_eq!(Method::Sqlb.name(), "SQLB");
+        assert_eq!(Method::CapacityBased.name(), "Capacity based");
+        assert_eq!(Method::MariposaLike.name(), "Mariposa-like");
+        for m in [
+            Method::Sqlb,
+            Method::CapacityBased,
+            Method::MariposaLike,
+            Method::Random,
+            Method::RoundRobin,
+        ] {
+            let built = m.build(1);
+            assert_eq!(built.name(), m.name());
+        }
+        assert!(Method::MariposaLike.uses_bids());
+        assert!(!Method::Sqlb.uses_bids());
+        assert_eq!(Method::PAPER_METHODS.len(), 3);
+    }
+}

@@ -1,0 +1,634 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine reproduces the mono-mediator system of Section 6.1: queries
+//! arrive following a Poisson process whose intensity is a fraction of the
+//! total system capacity, the mediator gathers intentions (and bids, for
+//! the economic method) from the issuing consumer and every candidate
+//! provider, the allocation method under test picks the providers, and the
+//! selected providers treat the query on a FIFO queue bounded only by their
+//! capacity. Metrics are sampled periodically; in autonomous experiments a
+//! periodic assessment lets dissatisfied, starved or overutilized
+//! participants leave the system.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sqlb_agents::Population;
+use sqlb_core::allocation::{AllocationMethod, CandidateInfo};
+use sqlb_core::MediatorState;
+use sqlb_core::mediator_state::MediatorStateConfig;
+use sqlb_metrics::{fairness, mean, Histogram, Summary};
+use sqlb_reputation::ReputationStore;
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError};
+
+use crate::config::{Method, SimulationConfig};
+use crate::events::{Event, EventQueue};
+use crate::stats::{ConsumerDepartureRecord, DepartureRecord, MetricSeries, SimulationReport};
+use crate::workload::{arrival_rate, sample_interarrival};
+
+/// The simulator for one `(configuration, method)` pair.
+pub struct Simulator {
+    config: SimulationConfig,
+    method_kind: Method,
+    method: Box<dyn AllocationMethod>,
+    population: Population,
+    mediator: MediatorState,
+    reputation: ReputationStore,
+    rng: StdRng,
+    queue: EventQueue,
+    /// Per-provider time at which its FIFO queue drains (seconds).
+    busy_until: Vec<f64>,
+    now: SimTime,
+    next_query_id: u32,
+    total_capacity: f64,
+    initial_consumers: usize,
+    initial_providers: usize,
+    /// Consecutive assessments at which each provider's departure rule
+    /// fired (the rule only takes effect after `required_consecutive`
+    /// strikes).
+    provider_strikes: Vec<u32>,
+    /// Consecutive assessments at which each consumer's departure rule
+    /// fired.
+    consumer_strikes: Vec<u32>,
+    // Statistics.
+    series: MetricSeries,
+    response_times: Histogram,
+    issued: u64,
+    completed: u64,
+    unallocated: u64,
+    provider_departures: Vec<DepartureRecord>,
+    consumer_departures: Vec<ConsumerDepartureRecord>,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given configuration and allocation
+    /// method.
+    pub fn new(config: SimulationConfig, method: Method) -> Result<Self, SqlbError> {
+        config.validate()?;
+        let population = Population::generate(&config.population)?;
+        let total_capacity = population.total_capacity();
+        let initial_consumers = population.consumer_count();
+        let initial_providers = population.provider_count();
+        let mediator = MediatorState::new(MediatorStateConfig {
+            consumer_window: config.population.consumer_config.memory,
+            provider_proposed_window: config.population.provider_config.proposed_memory,
+            provider_performed_window: config.population.provider_config.performed_memory,
+            initial_satisfaction: config.population.provider_config.initial_satisfaction,
+        });
+
+        let mut sim = Simulator {
+            method: method.build(config.seed),
+            method_kind: method,
+            population,
+            mediator,
+            reputation: ReputationStore::neutral(),
+            rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17)),
+            queue: EventQueue::new(),
+            busy_until: vec![0.0; initial_providers],
+            provider_strikes: vec![0; initial_providers],
+            consumer_strikes: vec![0; initial_consumers],
+            now: SimTime::ZERO,
+            next_query_id: 0,
+            total_capacity,
+            initial_consumers,
+            initial_providers,
+            series: MetricSeries::default(),
+            response_times: Histogram::new(0.0, 120.0, 240),
+            issued: 0,
+            completed: 0,
+            unallocated: 0,
+            provider_departures: Vec::new(),
+            consumer_departures: Vec::new(),
+            config,
+        };
+        sim.schedule_initial_events();
+        Ok(sim)
+    }
+
+    /// The allocation method under test.
+    pub fn method(&self) -> Method {
+        self.method_kind
+    }
+
+    /// Total system capacity (work units per second) at the start of the
+    /// run.
+    pub fn total_capacity(&self) -> f64 {
+        self.total_capacity
+    }
+
+    fn schedule_initial_events(&mut self) {
+        let first_arrival = self.next_interarrival();
+        if first_arrival.is_finite() {
+            self.queue
+                .schedule(SimTime::from_secs(first_arrival), Event::QueryArrival);
+        }
+        self.queue.schedule(
+            SimTime::from_secs(self.config.sample_interval_secs),
+            Event::Sample,
+        );
+        self.queue.schedule(
+            SimTime::from_secs(self.config.assessment_interval_secs),
+            Event::Assessment,
+        );
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimulationReport {
+        while let Some((time, event)) = self.queue.pop() {
+            if time.as_secs() > self.config.duration_secs {
+                break;
+            }
+            self.now = time;
+            match event {
+                Event::QueryArrival => self.handle_arrival(),
+                Event::QueryCompletion {
+                    provider,
+                    query: _,
+                    issued_at,
+                    work,
+                } => self.handle_completion(provider, issued_at, work),
+                Event::Sample => self.handle_sample(),
+                Event::Assessment => self.handle_assessment(),
+            }
+        }
+        self.finish()
+    }
+
+    fn workload_fraction(&self) -> f64 {
+        self.config
+            .workload
+            .fraction_at(self.now.as_secs(), self.config.duration_secs)
+    }
+
+    fn active_consumers(&self) -> Vec<ConsumerId> {
+        self.population
+            .consumers
+            .iter()
+            .filter(|c| !c.has_departed())
+            .map(|c| c.id())
+            .collect()
+    }
+
+    fn active_providers(&self) -> Vec<ProviderId> {
+        self.population
+            .providers
+            .iter()
+            .filter(|p| !p.has_departed())
+            .map(|p| p.id())
+            .collect()
+    }
+
+    fn next_interarrival(&mut self) -> f64 {
+        let active_consumers = self
+            .population
+            .consumers
+            .iter()
+            .filter(|c| !c.has_departed())
+            .count();
+        let consumer_fraction = if self.initial_consumers == 0 {
+            0.0
+        } else {
+            active_consumers as f64 / self.initial_consumers as f64
+        };
+        let rate = arrival_rate(
+            self.workload_fraction(),
+            self.total_capacity,
+            Population::mean_query_cost(),
+        ) * consumer_fraction;
+        sample_interarrival(&mut self.rng, rate)
+    }
+
+    fn schedule_next_arrival(&mut self) {
+        let dt = self.next_interarrival();
+        if dt.is_finite() {
+            let at = self.now + sqlb_types::SimDuration::from_secs(dt);
+            if at.as_secs() <= self.config.duration_secs {
+                self.queue.schedule(at, Event::QueryArrival);
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self) {
+        // Always keep the arrival process alive (its rate follows the
+        // workload pattern and the number of remaining consumers).
+        self.schedule_next_arrival();
+
+        let consumers = self.active_consumers();
+        if consumers.is_empty() {
+            return;
+        }
+        let consumer = consumers[self.rng.random_range(0..consumers.len())];
+        let class = if self.rng.random_bool(0.5) {
+            QueryClass::Light
+        } else {
+            QueryClass::Heavy
+        };
+        let mut query = Query::single(QueryId::new(self.next_query_id), consumer, class, self.now);
+        query.n = self.config.query_n;
+        self.next_query_id = self.next_query_id.wrapping_add(1);
+        self.issued += 1;
+
+        let candidates = self.active_providers();
+        if candidates.is_empty() {
+            self.unallocated += 1;
+            return;
+        }
+
+        // Gather intentions (Algorithm 1, lines 2–5). The consumer's
+        // intentions come from its preferences (and provider reputation);
+        // each provider's intention balances its preference for the query
+        // class against its current utilization.
+        let uses_bids = self.method_kind.uses_bids();
+        let now = self.now;
+        let consumer_agent = &self.population.consumers[consumer.index()];
+        let mut infos: Vec<CandidateInfo> = Vec::with_capacity(candidates.len());
+        for &p in &candidates {
+            let ci = consumer_agent.intention_for(&query, p, &self.reputation);
+            let provider_agent = &mut self.population.providers[p.index()];
+            let pi = provider_agent.intention_for(&query, now);
+            let utilization = provider_agent.utilization(now).value();
+            let mut info = CandidateInfo::new(p)
+                .with_consumer_intention(ci)
+                .with_provider_intention(pi)
+                .with_utilization(utilization);
+            if uses_bids {
+                info = info.with_bid(provider_agent.bid_for(&query, now));
+            }
+            infos.push(info);
+        }
+
+        // Allocation decision (Algorithm 1, lines 6–9).
+        let allocation = self.method.allocate(&query, &infos, &self.mediator);
+        self.mediator.record_allocation(&query, &infos, &allocation);
+
+        // Participant-side bookkeeping (the mediation result is sent to all
+        // candidates, line 10).
+        let shown_cis: Vec<f64> = infos.iter().map(|i| i.consumer_intention).collect();
+        let selected_indices: Vec<usize> = infos
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| allocation.is_selected(i.provider))
+            .map(|(idx, _)| idx)
+            .collect();
+        self.population.consumers[consumer.index()].record_allocation(
+            &shown_cis,
+            &selected_indices,
+            query.n,
+        );
+        for info in &infos {
+            let performed = allocation.is_selected(info.provider);
+            self.population.providers[info.provider.index()].record_proposal(
+                &query,
+                info.provider_intention,
+                performed,
+            );
+        }
+
+        // Enqueue the query at the selected providers.
+        for &p in &allocation.selected {
+            let provider_agent = &mut self.population.providers[p.index()];
+            let processing = provider_agent.assign(&query, now);
+            let start = self.busy_until[p.index()].max(now.as_secs());
+            let finish = start + processing.as_secs();
+            self.busy_until[p.index()] = finish;
+            self.queue.schedule(
+                SimTime::from_secs(finish),
+                Event::QueryCompletion {
+                    provider: p,
+                    query: query.id,
+                    issued_at: query.issued_at,
+                    work: query.cost(),
+                },
+            );
+        }
+    }
+
+    fn handle_completion(
+        &mut self,
+        provider: ProviderId,
+        issued_at: SimTime,
+        work: sqlb_types::WorkUnits,
+    ) {
+        self.population.providers[provider.index()].complete(work);
+        let response_time = (self.now - issued_at).as_secs();
+        self.response_times.record(response_time);
+        self.completed += 1;
+    }
+
+    fn handle_sample(&mut self) {
+        let now = self.now;
+        let mut sat_intention = Vec::new();
+        let mut sat_preference = Vec::new();
+        let mut alloc_sat_pref = Vec::new();
+        let mut alloc_sat_int = Vec::new();
+        let mut utilizations = Vec::new();
+        for p in self.population.providers.iter_mut().filter(|p| !p.has_departed()) {
+            // Figure 4(a) reports the provider's long-run feeling about the
+            // queries it performs, so the smoothed (Table 2) reading is
+            // plotted; the strict Definition 5 value drives departures.
+            sat_intention.push(p.smoothed_satisfaction());
+            sat_preference.push(p.preference_satisfaction());
+            alloc_sat_pref.push(p.preference_allocation_satisfaction());
+            alloc_sat_int.push(p.allocation_satisfaction());
+            utilizations.push(p.utilization(now).value());
+        }
+        let mut consumer_alloc_sat = Vec::new();
+        let mut consumer_sat = Vec::new();
+        for c in self.population.consumers.iter().filter(|c| !c.has_departed()) {
+            consumer_alloc_sat.push(c.allocation_satisfaction());
+            consumer_sat.push(c.satisfaction());
+        }
+
+        let workload_fraction = self.workload_fraction();
+        let s = &mut self.series;
+        s.provider_satisfaction_intention_mean
+            .push(now, mean(&sat_intention));
+        s.provider_satisfaction_preference_mean
+            .push(now, mean(&sat_preference));
+        s.provider_allocation_satisfaction_preference_mean
+            .push(now, mean(&alloc_sat_pref));
+        s.provider_allocation_satisfaction_intention_mean
+            .push(now, mean(&alloc_sat_int));
+        s.provider_satisfaction_fairness
+            .push(now, fairness(&sat_intention));
+        s.consumer_allocation_satisfaction_mean
+            .push(now, mean(&consumer_alloc_sat));
+        s.consumer_satisfaction_mean.push(now, mean(&consumer_sat));
+        s.consumer_satisfaction_fairness
+            .push(now, fairness(&consumer_sat));
+        s.utilization_mean.push(now, mean(&utilizations));
+        s.utilization_fairness.push(now, fairness(&utilizations));
+        s.workload_fraction.push(now, workload_fraction);
+        s.active_providers.push(now, sat_intention.len() as f64);
+        s.active_consumers.push(now, consumer_alloc_sat.len() as f64);
+
+        let next = now.as_secs() + self.config.sample_interval_secs;
+        if next <= self.config.duration_secs {
+            self.queue.schedule(SimTime::from_secs(next), Event::Sample);
+        }
+    }
+
+    fn handle_assessment(&mut self) {
+        let now = self.now;
+        let optimal_utilization = self.workload_fraction().max(0.05);
+
+        // Departures are only assessed once the sliding utilization windows
+        // and satisfaction memories have had time to fill; judging the
+        // system on a cold start would make every method shed providers.
+        let warmed_up = now.as_secs() >= self.config.departure_warmup_secs;
+
+        if warmed_up && self.config.providers_may_leave {
+            let rule = self.config.provider_departure;
+            for idx in 0..self.population.providers.len() {
+                let provider = &mut self.population.providers[idx];
+                if provider.has_departed() {
+                    continue;
+                }
+                let utilization = provider.utilization(now).value();
+                let reason = rule.evaluate(
+                    provider.strict_satisfaction(),
+                    provider.adequation(),
+                    utilization,
+                    optimal_utilization,
+                    provider.proposed_queries(),
+                );
+                match reason {
+                    Some(reason) => {
+                        self.provider_strikes[idx] += 1;
+                        // Overutilization is already smoothed by the sliding
+                        // utilization window, so it takes effect at the first
+                        // assessment that observes it; dissatisfaction and
+                        // starvation must persist across assessments.
+                        let required = if reason == sqlb_agents::DepartureReason::Overutilization {
+                            1
+                        } else {
+                            rule.required_consecutive.max(1)
+                        };
+                        if self.provider_strikes[idx] >= required {
+                            provider.depart();
+                            let id = provider.id();
+                            self.mediator.remove_provider(id);
+                            let profile = self.population.profiles[idx];
+                            self.provider_departures.push(DepartureRecord {
+                                provider: id,
+                                time_secs: now.as_secs(),
+                                reason,
+                                profile,
+                            });
+                        }
+                    }
+                    None => self.provider_strikes[idx] = 0,
+                }
+            }
+        }
+
+        if warmed_up && self.config.consumers_may_leave {
+            let rule = self.config.consumer_departure;
+            for (idx, consumer) in self.population.consumers.iter_mut().enumerate() {
+                if consumer.has_departed() {
+                    continue;
+                }
+                let reason = rule.evaluate(
+                    consumer.satisfaction(),
+                    consumer.adequation(),
+                    consumer.issued_queries(),
+                );
+                match reason {
+                    Some(_) => {
+                        self.consumer_strikes[idx] += 1;
+                        if self.consumer_strikes[idx] >= rule.required_consecutive.max(1) {
+                            consumer.depart();
+                            let id = consumer.id();
+                            self.mediator.remove_consumer(id);
+                            self.consumer_departures.push(ConsumerDepartureRecord {
+                                consumer: id,
+                                time_secs: now.as_secs(),
+                            });
+                        }
+                    }
+                    None => self.consumer_strikes[idx] = 0,
+                }
+            }
+        }
+
+        let next = now.as_secs() + self.config.assessment_interval_secs;
+        if next <= self.config.duration_secs {
+            self.queue
+                .schedule(SimTime::from_secs(next), Event::Assessment);
+        }
+    }
+
+    fn finish(mut self) -> SimulationReport {
+        let now = SimTime::from_secs(self.config.duration_secs);
+        let utilizations: Vec<f64> = self
+            .population
+            .providers
+            .iter_mut()
+            .filter(|p| !p.has_departed())
+            .map(|p| p.utilization(now).value())
+            .collect();
+        let provider_satisfaction: Vec<f64> = self
+            .population
+            .providers
+            .iter()
+            .filter(|p| !p.has_departed())
+            .map(|p| p.smoothed_satisfaction())
+            .collect();
+        let consumer_satisfaction: Vec<f64> = self
+            .population
+            .consumers
+            .iter()
+            .filter(|c| !c.has_departed())
+            .map(|c| c.satisfaction())
+            .collect();
+
+        SimulationReport {
+            method: self.method_kind.name().to_string(),
+            seed: self.config.seed,
+            series: self.series,
+            issued_queries: self.issued,
+            completed_queries: self.completed,
+            unallocated_queries: self.unallocated,
+            response_times: self.response_times,
+            provider_departures: self.provider_departures,
+            consumer_departures: self.consumer_departures,
+            initial_providers: self.initial_providers,
+            initial_consumers: self.initial_consumers,
+            final_utilization: Summary::of(&utilizations),
+            final_provider_satisfaction: Summary::of(&provider_satisfaction),
+            final_consumer_satisfaction: Summary::of(&consumer_satisfaction),
+        }
+    }
+}
+
+/// Convenience: builds and runs one simulation.
+pub fn run_simulation(config: SimulationConfig, method: Method) -> Result<SimulationReport, SqlbError> {
+    Ok(Simulator::new(config, method)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadPattern;
+    use sqlb_agents::{EnabledReasons, ProviderDepartureRule};
+
+    fn small_config(duration: f64, seed: u64) -> SimulationConfig {
+        SimulationConfig::scaled(16, 32, duration, seed)
+    }
+
+    #[test]
+    fn captive_run_completes_and_accounts_for_queries() {
+        let report = run_simulation(
+            small_config(300.0, 1).with_workload(WorkloadPattern::Fixed(0.5)),
+            Method::Sqlb,
+        )
+        .unwrap();
+        assert!(report.issued_queries > 100, "got {}", report.issued_queries);
+        assert!(report.completed_queries > 0);
+        assert!(report.completed_queries <= report.issued_queries);
+        assert_eq!(report.unallocated_queries, 0);
+        assert!(report.mean_response_time() > 0.0);
+        assert!(report.provider_departures.is_empty());
+        assert!(report.consumer_departures.is_empty());
+        assert!(!report.series.utilization_mean.is_empty());
+        assert_eq!(report.method, "SQLB");
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_given_seed() {
+        let a = run_simulation(small_config(200.0, 3), Method::CapacityBased).unwrap();
+        let b = run_simulation(small_config(200.0, 3), Method::CapacityBased).unwrap();
+        assert_eq!(a.issued_queries, b.issued_queries);
+        assert_eq!(a.completed_queries, b.completed_queries);
+        assert_eq!(
+            a.series.utilization_mean.values(),
+            b.series.utilization_mean.values()
+        );
+        let c = run_simulation(small_config(200.0, 4), Method::CapacityBased).unwrap();
+        assert_ne!(a.issued_queries, c.issued_queries);
+    }
+
+    #[test]
+    fn all_methods_run_at_moderate_workload() {
+        for method in [
+            Method::Sqlb,
+            Method::CapacityBased,
+            Method::MariposaLike,
+            Method::Random,
+            Method::RoundRobin,
+        ] {
+            let report = run_simulation(
+                small_config(150.0, 5).with_workload(WorkloadPattern::Fixed(0.6)),
+                method,
+            )
+            .unwrap();
+            assert!(report.issued_queries > 0, "{method:?} issued no query");
+            assert!(
+                report.completion_rate() > 0.5,
+                "{method:?} completed only {}",
+                report.completion_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn sqlb_satisfies_consumers_more_than_capacity_based() {
+        let config = small_config(400.0, 11).with_workload(WorkloadPattern::Fixed(0.6));
+        let sqlb = run_simulation(config, Method::Sqlb).unwrap();
+        let capacity = run_simulation(config, Method::CapacityBased).unwrap();
+        let sqlb_cas = sqlb
+            .series
+            .consumer_allocation_satisfaction_mean
+            .last_value()
+            .unwrap();
+        let cap_cas = capacity
+            .series
+            .consumer_allocation_satisfaction_mean
+            .last_value()
+            .unwrap();
+        assert!(
+            sqlb_cas > 1.0,
+            "SQLB should satisfy consumers (δas > 1), got {sqlb_cas}"
+        );
+        assert!(
+            sqlb_cas > cap_cas,
+            "SQLB {sqlb_cas} should beat Capacity based {cap_cas}"
+        );
+    }
+
+    #[test]
+    fn capacity_based_balances_load_best() {
+        let config = small_config(400.0, 13).with_workload(WorkloadPattern::Fixed(0.7));
+        let capacity = run_simulation(config, Method::CapacityBased).unwrap();
+        let mariposa = run_simulation(config, Method::MariposaLike).unwrap();
+        let cap_fair = capacity.series.utilization_fairness.mean_after(100.0);
+        let mar_fair = mariposa.series.utilization_fairness.mean_after(100.0);
+        assert!(
+            cap_fair > mar_fair,
+            "Capacity based fairness {cap_fair} should exceed Mariposa-like {mar_fair}"
+        );
+    }
+
+    #[test]
+    fn autonomous_run_records_departures() {
+        let config = small_config(600.0, 17)
+            .with_workload(WorkloadPattern::Fixed(0.8))
+            .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL));
+        let report = run_simulation(config, Method::MariposaLike).unwrap();
+        assert!(
+            !report.provider_departures.is_empty(),
+            "Mariposa-like at 80% workload should lose providers"
+        );
+        assert!(report.provider_departure_fraction() <= 1.0);
+        // Departed providers are reflected in the active-provider series.
+        let last_active = report.series.active_providers.last_value().unwrap();
+        assert!(last_active < report.initial_providers as f64);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = small_config(100.0, 0);
+        config.duration_secs = -1.0;
+        assert!(Simulator::new(config, Method::Sqlb).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! The event queue of the discrete-event engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sqlb_types::{ProviderId, QueryId, SimTime, WorkUnits};
+
+/// An event scheduled in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The next query arrives at the mediator.
+    QueryArrival,
+    /// A provider finishes treating a query.
+    QueryCompletion {
+        /// The provider that performed the query.
+        provider: ProviderId,
+        /// The completed query.
+        query: QueryId,
+        /// When the query entered the system (to compute the response
+        /// time).
+        issued_at: SimTime,
+        /// The work the query consumed on that provider.
+        work: WorkUnits,
+    },
+    /// Periodic metrics snapshot.
+    Sample,
+    /// Periodic departure assessment.
+    Assessment,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the earliest (time, seq)
+        // comes out first. The sequence number makes ordering total and
+        // deterministic for simultaneous events.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue ordered by `(time, insertion sequence)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event at the given time.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn events_come_out_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), Event::Sample);
+        q.schedule(t(1.0), Event::QueryArrival);
+        q.schedule(t(3.0), Event::Assessment);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), Event::Sample);
+        q.schedule(t(2.0), Event::QueryArrival);
+        q.schedule(t(2.0), Event::Assessment);
+        assert_eq!(q.pop().unwrap().1, Event::Sample);
+        assert_eq!(q.pop().unwrap().1, Event::QueryArrival);
+        assert_eq!(q.pop().unwrap().1, Event::Assessment);
+    }
+
+    #[test]
+    fn peek_reports_earliest_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(9.0), Event::Sample);
+        q.schedule(t(4.0), Event::Sample);
+        assert_eq!(q.peek_time().unwrap().as_secs(), 4.0);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn completion_events_carry_their_payload() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            t(1.5),
+            Event::QueryCompletion {
+                provider: ProviderId::new(3),
+                query: QueryId::new(7),
+                issued_at: t(1.0),
+                work: WorkUnits::new(130.0),
+            },
+        );
+        match q.pop().unwrap().1 {
+            Event::QueryCompletion {
+                provider,
+                query,
+                issued_at,
+                work,
+            } => {
+                assert_eq!(provider, ProviderId::new(3));
+                assert_eq!(query, QueryId::new(7));
+                assert_eq!(issued_at.as_secs(), 1.0);
+                assert_eq!(work.value(), 130.0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_non_decreasing(times in proptest::collection::vec(0.0f64..1000.0, 0..200)) {
+            let mut q = EventQueue::new();
+            for &time in &times {
+                q.schedule(t(time), Event::QueryArrival);
+            }
+            let mut last = -1.0;
+            while let Some((time, _)) = q.pop() {
+                prop_assert!(time.as_secs() >= last);
+                last = time.as_secs();
+            }
+        }
+    }
+}

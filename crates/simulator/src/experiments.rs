@@ -1,0 +1,861 @@
+//! Experiment drivers: one function per figure/table of the paper's
+//! evaluation (Section 6).
+//!
+//! Every driver is deterministic for a given [`ExperimentScale`] (the seed
+//! is part of the scale) and returns a plain-data result with a
+//! `to_text()` renderer, which is what the `sqlb-bench` regeneration
+//! binaries print.
+//!
+//! The default scale is a reduced version of the paper's setup (same class
+//! mix, same window-to-population ratios) so that the full suite runs in
+//! seconds; [`ExperimentScale::paper`] reproduces the exact Table 2
+//! configuration at the cost of minutes per figure.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sqlb_agents::{
+    AdaptationClass, CapacityClass, DepartureReason, EnabledReasons, InterestClass,
+    ProviderDepartureRule,
+};
+use sqlb_core::intention::{provider_intention, IntentionParams};
+use sqlb_core::scoring::omega;
+use sqlb_metrics::{SeriesSet, TimeSeries};
+use sqlb_types::SqlbError;
+
+use crate::config::{Method, SimulationConfig};
+use crate::engine::run_simulation;
+use crate::stats::SimulationReport;
+use crate::workload::WorkloadPattern;
+
+/// The size/length/repetition knobs shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of consumers.
+    pub consumers: u32,
+    /// Number of providers.
+    pub providers: u32,
+    /// Virtual duration of each run, in seconds.
+    pub duration_secs: f64,
+    /// Number of repetitions per configuration (`nbRepeat`, Table 2: 10).
+    pub repetitions: u32,
+    /// Base seed; repetition `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's full Table 2 scale (expensive: minutes per figure).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            consumers: 200,
+            providers: 400,
+            duration_secs: 10_000.0,
+            repetitions: 10,
+            seed: 42,
+        }
+    }
+
+    /// The default reduced scale used by the regeneration binaries
+    /// (seconds per figure, same qualitative shapes).
+    pub fn default_scaled() -> Self {
+        ExperimentScale {
+            consumers: 40,
+            providers: 80,
+            duration_secs: 1_500.0,
+            repetitions: 2,
+            seed: 42,
+        }
+    }
+
+    /// A very small scale for tests.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            consumers: 12,
+            providers: 24,
+            duration_secs: 250.0,
+            repetitions: 1,
+            seed: 42,
+        }
+    }
+
+    /// Builds the simulation configuration for repetition `rep`.
+    pub fn config(&self, rep: u32) -> SimulationConfig {
+        if self.consumers == 200 && self.providers == 400 {
+            SimulationConfig::paper(self.seed + rep as u64)
+        } else {
+            SimulationConfig::scaled(
+                self.consumers,
+                self.providers,
+                self.duration_secs,
+                self.seed + rep as u64,
+            )
+        }
+        .with_seed(self.seed + rep as u64)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::default_scaled()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 / Figure 3: analytic surfaces (no simulation needed).
+// ---------------------------------------------------------------------------
+
+/// One grid point of the Figure 2 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Point {
+    /// Provider preference `prf_p(q)`.
+    pub preference: f64,
+    /// Provider utilization `Ut(p)`.
+    pub utilization: f64,
+    /// The resulting intention `pi_p(q)`.
+    pub intention: f64,
+}
+
+/// Figure 2: the provider-intention surface over preference × utilization
+/// for a fixed satisfaction (the paper plots `δs = 0.5`, preferences in
+/// `[-1, 1]`, utilizations in `[0, 2]`).
+pub fn fig2_provider_intention_surface(satisfaction: f64, steps: usize) -> Vec<Fig2Point> {
+    let steps = steps.max(2);
+    let mut points = Vec::with_capacity(steps * steps);
+    for i in 0..steps {
+        let preference = -1.0 + 2.0 * i as f64 / (steps - 1) as f64;
+        for j in 0..steps {
+            let utilization = 2.0 * j as f64 / (steps - 1) as f64;
+            points.push(Fig2Point {
+                preference,
+                utilization,
+                intention: provider_intention(
+                    preference,
+                    utilization,
+                    satisfaction,
+                    IntentionParams::default(),
+                ),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Figure 2 surface as a gnuplot-style grid (blank line between
+/// preference rows).
+pub fn fig2_to_text(points: &[Fig2Point]) -> String {
+    let mut out = String::from("# preference  utilization  intention\n");
+    let mut last_pref = f64::NAN;
+    for p in points {
+        if !last_pref.is_nan() && (p.preference - last_pref).abs() > 1e-12 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{:+.3} {:.3} {:+.4}", p.preference, p.utilization, p.intention);
+        last_pref = p.preference;
+    }
+    out
+}
+
+/// One grid point of the Figure 3 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// Consumer satisfaction `δs(c)`.
+    pub consumer_satisfaction: f64,
+    /// Provider satisfaction `δs(p)`.
+    pub provider_satisfaction: f64,
+    /// The resulting trade-off weight `ω`.
+    pub omega: f64,
+}
+
+/// Figure 3: the `ω` surface over consumer × provider satisfaction
+/// (Equation 6).
+pub fn fig3_omega_surface(steps: usize) -> Vec<Fig3Point> {
+    let steps = steps.max(2);
+    let mut points = Vec::with_capacity(steps * steps);
+    for i in 0..steps {
+        let c = i as f64 / (steps - 1) as f64;
+        for j in 0..steps {
+            let p = j as f64 / (steps - 1) as f64;
+            points.push(Fig3Point {
+                consumer_satisfaction: c,
+                provider_satisfaction: p,
+                omega: omega(c, p),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the Figure 3 surface.
+pub fn fig3_to_text(points: &[Fig3Point]) -> String {
+    let mut out = String::from("# consumer_sat  provider_sat  omega\n");
+    let mut last = f64::NAN;
+    for p in points {
+        if !last.is_nan() && (p.consumer_satisfaction - last).abs() > 1e-12 {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{:.3} {:.3} {:.4}",
+            p.consumer_satisfaction, p.provider_satisfaction, p.omega
+        );
+        last = p.consumer_satisfaction;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(a)–(h): captive participants, workload ramp.
+// ---------------------------------------------------------------------------
+
+/// The panels of Figure 4 that are time series under the workload ramp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fig4Panel {
+    /// (a) providers' satisfaction mean based on intentions.
+    ProviderSatisfactionIntention,
+    /// (b) providers' satisfaction mean based on preferences.
+    ProviderSatisfactionPreference,
+    /// (c) providers' allocation-satisfaction mean based on preferences.
+    ProviderAllocationSatisfactionPreference,
+    /// (d) provider satisfaction fairness.
+    ProviderSatisfactionFairness,
+    /// (e) consumers' allocation-satisfaction mean.
+    ConsumerAllocationSatisfaction,
+    /// (f) consumer satisfaction fairness.
+    ConsumerSatisfactionFairness,
+    /// (g) query load (utilization) mean.
+    UtilizationMean,
+    /// (h) query load (utilization) fairness.
+    UtilizationFairness,
+}
+
+impl Fig4Panel {
+    /// All panels, in the paper's order.
+    pub const ALL: [Fig4Panel; 8] = [
+        Fig4Panel::ProviderSatisfactionIntention,
+        Fig4Panel::ProviderSatisfactionPreference,
+        Fig4Panel::ProviderAllocationSatisfactionPreference,
+        Fig4Panel::ProviderSatisfactionFairness,
+        Fig4Panel::ConsumerAllocationSatisfaction,
+        Fig4Panel::ConsumerSatisfactionFairness,
+        Fig4Panel::UtilizationMean,
+        Fig4Panel::UtilizationFairness,
+    ];
+
+    /// Panel letter in the paper's Figure 4.
+    pub fn letter(self) -> char {
+        match self {
+            Fig4Panel::ProviderSatisfactionIntention => 'a',
+            Fig4Panel::ProviderSatisfactionPreference => 'b',
+            Fig4Panel::ProviderAllocationSatisfactionPreference => 'c',
+            Fig4Panel::ProviderSatisfactionFairness => 'd',
+            Fig4Panel::ConsumerAllocationSatisfaction => 'e',
+            Fig4Panel::ConsumerSatisfactionFairness => 'f',
+            Fig4Panel::UtilizationMean => 'g',
+            Fig4Panel::UtilizationFairness => 'h',
+        }
+    }
+
+    /// Human-readable description (the paper's sub-caption).
+    pub fn description(self) -> &'static str {
+        match self {
+            Fig4Panel::ProviderSatisfactionIntention => {
+                "Providers' satisfaction mean based on intentions"
+            }
+            Fig4Panel::ProviderSatisfactionPreference => {
+                "Providers' satisfaction mean based on preferences"
+            }
+            Fig4Panel::ProviderAllocationSatisfactionPreference => {
+                "Providers' allocation satisfaction mean based on preferences"
+            }
+            Fig4Panel::ProviderSatisfactionFairness => "Provider satisfaction fairness",
+            Fig4Panel::ConsumerAllocationSatisfaction => "Consumers' allocation satisfaction",
+            Fig4Panel::ConsumerSatisfactionFairness => "Consumer satisfaction fairness",
+            Fig4Panel::UtilizationMean => "Query load mean",
+            Fig4Panel::UtilizationFairness => "Query load fairness",
+        }
+    }
+
+    /// Parses a panel letter (`a`–`h`).
+    pub fn from_letter(letter: char) -> Option<Fig4Panel> {
+        Fig4Panel::ALL
+            .into_iter()
+            .find(|p| p.letter() == letter.to_ascii_lowercase())
+    }
+
+    fn extract(self, report: &SimulationReport) -> &TimeSeries {
+        let s = &report.series;
+        match self {
+            Fig4Panel::ProviderSatisfactionIntention => &s.provider_satisfaction_intention_mean,
+            Fig4Panel::ProviderSatisfactionPreference => &s.provider_satisfaction_preference_mean,
+            Fig4Panel::ProviderAllocationSatisfactionPreference => {
+                &s.provider_allocation_satisfaction_preference_mean
+            }
+            Fig4Panel::ProviderSatisfactionFairness => &s.provider_satisfaction_fairness,
+            Fig4Panel::ConsumerAllocationSatisfaction => &s.consumer_allocation_satisfaction_mean,
+            Fig4Panel::ConsumerSatisfactionFairness => &s.consumer_satisfaction_fairness,
+            Fig4Panel::UtilizationMean => &s.utilization_mean,
+            Fig4Panel::UtilizationFairness => &s.utilization_fairness,
+        }
+    }
+}
+
+/// Result of the Figure 4(a)–(h) experiment: per panel, one time series per
+/// method (averaged over repetitions).
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// The panels, each as a set of per-method series.
+    pub panels: BTreeMap<Fig4Panel, SeriesSet>,
+    /// The scale the experiment ran at.
+    pub scale: ExperimentScale,
+}
+
+impl Fig4Result {
+    /// Renders one panel as a text table.
+    pub fn panel_to_text(&self, panel: Fig4Panel) -> String {
+        let mut out = format!(
+            "# Figure 4({}): {} — workload ramp 30%..100%, captive participants\n",
+            panel.letter(),
+            panel.description()
+        );
+        if let Some(set) = self.panels.get(&panel) {
+            out.push_str(&set.to_table("time_s"));
+        }
+        out
+    }
+}
+
+/// Averages several time series sampled at identical instants.
+fn average_series(series: &[&TimeSeries]) -> TimeSeries {
+    let mut out = TimeSeries::new();
+    if series.is_empty() {
+        return out;
+    }
+    let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
+    for i in 0..len {
+        let time = series[0].points()[i].time;
+        let value =
+            series.iter().map(|s| s.points()[i].value).sum::<f64>() / series.len() as f64;
+        out.push_raw(time, value);
+    }
+    out
+}
+
+/// Runs the captive Figure 4(a)–(h) experiment: the three paper methods
+/// under the 30 % → 100 % workload ramp, captive participants.
+pub fn fig4_captive_ramp(scale: ExperimentScale) -> Result<Fig4Result, SqlbError> {
+    let mut per_method_reports: Vec<(Method, Vec<SimulationReport>)> = Vec::new();
+    for method in Method::PAPER_METHODS {
+        let mut reports = Vec::new();
+        for rep in 0..scale.repetitions.max(1) {
+            let config = scale.config(rep).with_workload(WorkloadPattern::paper_ramp());
+            reports.push(run_simulation(config, method)?);
+        }
+        per_method_reports.push((method, reports));
+    }
+
+    let mut panels = BTreeMap::new();
+    for panel in Fig4Panel::ALL {
+        let mut set = SeriesSet::new();
+        for (method, reports) in &per_method_reports {
+            let series: Vec<&TimeSeries> = reports.iter().map(|r| panel.extract(r)).collect();
+            let averaged = average_series(&series);
+            let target = set.series_mut(method.name());
+            for point in averaged.points() {
+                target.push_raw(point.time, point.value);
+            }
+        }
+        panels.insert(panel, set);
+    }
+    Ok(Fig4Result { panels, scale })
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4(i), Figure 5, Figure 6: response times and departures versus
+// workload.
+// ---------------------------------------------------------------------------
+
+/// Per-method measurements at one workload level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRow {
+    /// Workload as a fraction of the total system capacity.
+    pub workload: f64,
+    /// `(method name, mean response time in seconds)`.
+    pub response_times: Vec<(String, f64)>,
+    /// `(method name, % of providers that departed)`.
+    pub provider_departures_pct: Vec<(String, f64)>,
+    /// `(method name, % of consumers that departed)`.
+    pub consumer_departures_pct: Vec<(String, f64)>,
+}
+
+/// Result of a workload sweep (captive or autonomous).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSweepResult {
+    /// Human-readable description of the sweep.
+    pub title: String,
+    /// One row per workload level.
+    pub rows: Vec<WorkloadRow>,
+}
+
+impl WorkloadSweepResult {
+    /// Renders the response-time columns (Figures 4(i), 5(a), 5(b)).
+    pub fn response_times_to_text(&self) -> String {
+        self.render(|row| &row.response_times, "mean_response_time_s")
+    }
+
+    /// Renders the provider-departure columns (Figure 5(c)).
+    pub fn provider_departures_to_text(&self) -> String {
+        self.render(|row| &row.provider_departures_pct, "provider_departures_%")
+    }
+
+    /// Renders the consumer-departure columns (Figure 6).
+    pub fn consumer_departures_to_text(&self) -> String {
+        self.render(|row| &row.consumer_departures_pct, "consumer_departures_%")
+    }
+
+    fn render<'a>(
+        &'a self,
+        field: impl Fn(&'a WorkloadRow) -> &'a Vec<(String, f64)>,
+        what: &str,
+    ) -> String {
+        let mut out = format!("# {} — {}\n", self.title, what);
+        if let Some(first) = self.rows.first() {
+            let _ = write!(out, "{:>12}", "workload_%");
+            for (name, _) in field(first) {
+                let _ = write!(out, " {:>18}", name);
+            }
+            out.push('\n');
+        }
+        for row in &self.rows {
+            let _ = write!(out, "{:>12.0}", row.workload * 100.0);
+            for (_, value) in field(row) {
+                let _ = write!(out, " {:>18.3}", value);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Which autonomy setting a workload sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AutonomySetting {
+    /// Captive participants (Figure 4(i)).
+    Captive,
+    /// Providers may leave by dissatisfaction or starvation
+    /// (Figure 5(a)).
+    DissatisfactionAndStarvation,
+    /// Providers may leave by dissatisfaction, starvation or
+    /// overutilization; consumers may leave by dissatisfaction
+    /// (Figures 5(b), 5(c), 6 and Table 3).
+    AllReasons,
+}
+
+impl AutonomySetting {
+    fn title(self) -> &'static str {
+        match self {
+            AutonomySetting::Captive => "Captive participants",
+            AutonomySetting::DissatisfactionAndStarvation => {
+                "Providers may leave by dissatisfaction or starvation"
+            }
+            AutonomySetting::AllReasons => {
+                "Providers may leave by dissatisfaction, starvation, or overutilization"
+            }
+        }
+    }
+
+    fn apply(self, config: SimulationConfig) -> SimulationConfig {
+        match self {
+            AutonomySetting::Captive => config,
+            AutonomySetting::DissatisfactionAndStarvation => config.with_provider_departures(
+                ProviderDepartureRule::with_enabled(EnabledReasons::DISSATISFACTION_AND_STARVATION),
+            ),
+            AutonomySetting::AllReasons => config
+                .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL))
+                .with_consumer_departures(Default::default()),
+        }
+    }
+}
+
+/// The workload levels the paper sweeps (Figures 4(i), 5 and 6 plot 10 % to
+/// 100 % of the total system capacity).
+pub const PAPER_WORKLOADS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Runs a workload sweep for the three paper methods under the given
+/// autonomy setting, and returns mean response times and departure
+/// percentages per workload level.
+pub fn workload_sweep(
+    scale: ExperimentScale,
+    workloads: &[f64],
+    setting: AutonomySetting,
+) -> Result<WorkloadSweepResult, SqlbError> {
+    let mut rows = Vec::with_capacity(workloads.len());
+    for &workload in workloads {
+        let mut response_times = Vec::new();
+        let mut provider_departures = Vec::new();
+        let mut consumer_departures = Vec::new();
+        for method in Method::PAPER_METHODS {
+            let mut rt_sum = 0.0;
+            let mut pd_sum = 0.0;
+            let mut cd_sum = 0.0;
+            let reps = scale.repetitions.max(1);
+            for rep in 0..reps {
+                let config = setting.apply(
+                    scale
+                        .config(rep)
+                        .with_workload(WorkloadPattern::Fixed(workload)),
+                );
+                let report = run_simulation(config, method)?;
+                rt_sum += report.mean_response_time();
+                pd_sum += report.provider_departure_fraction() * 100.0;
+                cd_sum += report.consumer_departure_fraction() * 100.0;
+            }
+            response_times.push((method.name().to_string(), rt_sum / reps as f64));
+            provider_departures.push((method.name().to_string(), pd_sum / reps as f64));
+            consumer_departures.push((method.name().to_string(), cd_sum / reps as f64));
+        }
+        rows.push(WorkloadRow {
+            workload,
+            response_times,
+            provider_departures_pct: provider_departures,
+            consumer_departures_pct: consumer_departures,
+        });
+    }
+    Ok(WorkloadSweepResult {
+        title: setting.title().to_string(),
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: departure-reason breakdown at 80 % workload.
+// ---------------------------------------------------------------------------
+
+/// One cell group of Table 3: for a method, a departure reason and a class
+/// dimension, the percentage of the initial provider population that left,
+/// split by low/medium/high class value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Allocation method.
+    pub method: String,
+    /// Departure reason.
+    pub reason: DepartureReason,
+    /// Class dimension ("consumer interest", "adaptation", "capacity").
+    pub dimension: &'static str,
+    /// Percentage of providers with the low class value that left for this
+    /// reason.
+    pub low: f64,
+    /// Percentage with the medium class value.
+    pub medium: f64,
+    /// Percentage with the high class value.
+    pub high: f64,
+}
+
+impl Table3Row {
+    /// Total percentage across the three class values.
+    pub fn total(&self) -> f64 {
+        self.low + self.medium + self.high
+    }
+}
+
+/// Result of the Table 3 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Result {
+    /// The workload fraction the analysis ran at (paper: 0.8).
+    pub workload: f64,
+    /// All rows (method × reason × dimension).
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3Result {
+    /// Renders the table in a layout close to the paper's Table 3.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# Table 3: provider departure reasons at {:.0}% of the total system capacity\n",
+            self.workload * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:<18} {:<18} {:>7} {:>7} {:>7} {:>7}",
+            "method", "reason", "dimension", "low%", "med%", "high%", "total%"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<18} {:<18} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+                row.method,
+                row.reason.to_string(),
+                row.dimension,
+                row.low,
+                row.medium,
+                row.high,
+                row.total()
+            );
+        }
+        out
+    }
+}
+
+/// Runs the Table 3 analysis: the three paper methods at the given workload
+/// with all departure reasons enabled, and a breakdown of provider
+/// departures per reason and class dimension.
+pub fn table3_departure_breakdown(
+    scale: ExperimentScale,
+    workload: f64,
+) -> Result<Table3Result, SqlbError> {
+    let mut rows = Vec::new();
+    for method in Method::PAPER_METHODS {
+        // Use the first repetition only: Table 3 is a per-run breakdown.
+        let config = AutonomySetting::AllReasons.apply(
+            scale
+                .config(0)
+                .with_workload(WorkloadPattern::Fixed(workload)),
+        );
+        let report = run_simulation(config, method)?;
+        let total = report.initial_providers.max(1) as f64;
+        for reason in [
+            DepartureReason::Dissatisfaction,
+            DepartureReason::Starvation,
+            DepartureReason::Overutilization,
+        ] {
+            let departures: Vec<_> = report
+                .provider_departures
+                .iter()
+                .filter(|d| d.reason == reason)
+                .collect();
+            let pct = |count: usize| count as f64 / total * 100.0;
+
+            let by_interest = |class: InterestClass| {
+                pct(departures.iter().filter(|d| d.profile.interest == class).count())
+            };
+            rows.push(Table3Row {
+                method: method.name().to_string(),
+                reason,
+                dimension: "consumer interest",
+                low: by_interest(InterestClass::Low),
+                medium: by_interest(InterestClass::Medium),
+                high: by_interest(InterestClass::High),
+            });
+
+            let by_adaptation = |class: AdaptationClass| {
+                pct(departures
+                    .iter()
+                    .filter(|d| d.profile.adaptation == class)
+                    .count())
+            };
+            rows.push(Table3Row {
+                method: method.name().to_string(),
+                reason,
+                dimension: "adaptation",
+                low: by_adaptation(AdaptationClass::Low),
+                medium: by_adaptation(AdaptationClass::Medium),
+                high: by_adaptation(AdaptationClass::High),
+            });
+
+            let by_capacity = |class: CapacityClass| {
+                pct(departures
+                    .iter()
+                    .filter(|d| d.profile.capacity == class)
+                    .count())
+            };
+            rows.push(Table3Row {
+                method: method.name().to_string(),
+                reason,
+                dimension: "capacity",
+                low: by_capacity(CapacityClass::Low),
+                medium: by_capacity(CapacityClass::Medium),
+                high: by_capacity(CapacityClass::High),
+            });
+        }
+    }
+    Ok(Table3Result { workload, rows })
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: the simulation parameters.
+// ---------------------------------------------------------------------------
+
+/// Renders the Table 2 parameter listing for a configuration.
+pub fn table2_parameters(config: &SimulationConfig) -> String {
+    let mut out = String::from("# Table 2: simulation parameters\n");
+    let rows: Vec<(&str, &str, String)> = vec![
+        ("nbConsumers", "Number of consumers", config.population.consumers.to_string()),
+        ("nbProviders", "Number of providers", config.population.providers.to_string()),
+        ("nbMediators", "Number of mediators", "1".to_string()),
+        ("qDistribution", "Query arrival distribution", "Poisson".to_string()),
+        (
+            "iniSatisfaction",
+            "Initial satisfaction",
+            format!("{}", config.population.provider_config.initial_satisfaction),
+        ),
+        (
+            "conSatSize",
+            "k last issued queries",
+            config.population.consumer_config.memory.to_string(),
+        ),
+        (
+            "proSatSize",
+            "k last treated queries",
+            config.population.provider_config.performed_memory.to_string(),
+        ),
+        ("nbRepeat", "Repetition of simulations", "10".to_string()),
+    ];
+    let _ = writeln!(out, "{:<18} {:<34} {:>10}", "Parameter", "Definition", "Value");
+    for (name, definition, value) in rows {
+        let _ = writeln!(out, "{:<18} {:<34} {:>10}", name, definition, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_surface_covers_the_grid_and_matches_definition_8() {
+        let points = fig2_provider_intention_surface(0.5, 5);
+        assert_eq!(points.len(), 25);
+        // Corner checks: fully preferred and idle → intention 1; fully
+        // preferred but at Ut = 2 → the negative branch.
+        let best = points
+            .iter()
+            .find(|p| (p.preference - 1.0).abs() < 1e-9 && p.utilization.abs() < 1e-9)
+            .unwrap();
+        assert!((best.intention - 1.0).abs() < 1e-9);
+        let overloaded = points
+            .iter()
+            .find(|p| (p.preference - 1.0).abs() < 1e-9 && (p.utilization - 2.0).abs() < 1e-9)
+            .unwrap();
+        assert!(overloaded.intention < 0.0);
+        let text = fig2_to_text(&points);
+        assert!(text.contains("# preference"));
+        assert!(text.lines().count() > 25);
+    }
+
+    #[test]
+    fn fig3_surface_matches_equation_6() {
+        let points = fig3_omega_surface(3);
+        assert_eq!(points.len(), 9);
+        for p in &points {
+            assert!((p.omega - ((p.consumer_satisfaction - p.provider_satisfaction) + 1.0) / 2.0)
+                .abs()
+                < 1e-12);
+        }
+        assert!(fig3_to_text(&points).contains("omega"));
+    }
+
+    #[test]
+    fn fig4_panels_round_trip_letters() {
+        for panel in Fig4Panel::ALL {
+            assert_eq!(Fig4Panel::from_letter(panel.letter()), Some(panel));
+        }
+        assert_eq!(Fig4Panel::from_letter('z'), None);
+        assert_eq!(Fig4Panel::from_letter('A'), Some(Fig4Panel::ProviderSatisfactionIntention));
+    }
+
+    #[test]
+    fn fig4_experiment_produces_all_panels_and_methods() {
+        let result = fig4_captive_ramp(ExperimentScale::quick()).unwrap();
+        assert_eq!(result.panels.len(), 8);
+        for panel in Fig4Panel::ALL {
+            let set = &result.panels[&panel];
+            assert_eq!(set.len(), 3, "one series per paper method");
+            for name in ["SQLB", "Capacity based", "Mariposa-like"] {
+                assert!(!set.series(name).unwrap().is_empty());
+            }
+            let text = result.panel_to_text(panel);
+            assert!(text.contains("Figure 4"));
+            assert!(text.contains("SQLB"));
+        }
+    }
+
+    #[test]
+    fn workload_sweep_captive_produces_rows() {
+        let result = workload_sweep(
+            ExperimentScale::quick(),
+            &[0.4, 0.8],
+            AutonomySetting::Captive,
+        )
+        .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        for row in &result.rows {
+            assert_eq!(row.response_times.len(), 3);
+            // Captive runs never record departures.
+            assert!(row.provider_departures_pct.iter().all(|(_, v)| *v == 0.0));
+            assert!(row.consumer_departures_pct.iter().all(|(_, v)| *v == 0.0));
+        }
+        let text = result.response_times_to_text();
+        assert!(text.contains("workload_%"));
+        assert!(text.contains("SQLB"));
+    }
+
+    #[test]
+    fn autonomous_sweep_records_departures() {
+        let result = workload_sweep(
+            ExperimentScale::quick(),
+            &[0.8],
+            AutonomySetting::AllReasons,
+        )
+        .unwrap();
+        let row = &result.rows[0];
+        // At least one of the baselines should lose providers at 80 %.
+        let max_departure = row
+            .provider_departures_pct
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        assert!(max_departure > 0.0, "expected provider departures at 80%");
+        assert!(result.provider_departures_to_text().contains("departures"));
+        assert!(result.consumer_departures_to_text().contains("departures"));
+    }
+
+    #[test]
+    fn table3_breakdown_has_all_cells() {
+        let result = table3_departure_breakdown(ExperimentScale::quick(), 0.8).unwrap();
+        // 3 methods × 3 reasons × 3 dimensions.
+        assert_eq!(result.rows.len(), 27);
+        let text = result.to_text();
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("dissatisfaction"));
+        assert!(text.contains("capacity"));
+        for row in &result.rows {
+            assert!(row.total() >= 0.0 && row.total() <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table2_lists_paper_parameters() {
+        let text = table2_parameters(&SimulationConfig::paper(0));
+        assert!(text.contains("nbConsumers"));
+        assert!(text.contains("200"));
+        assert!(text.contains("400"));
+        assert!(text.contains("Poisson"));
+        assert!(text.contains("proSatSize"));
+    }
+
+    #[test]
+    fn average_series_is_pointwise_mean() {
+        let mut a = TimeSeries::new();
+        let mut b = TimeSeries::new();
+        for i in 0..5 {
+            a.push_raw(i as f64, 1.0);
+            b.push_raw(i as f64, 3.0);
+        }
+        let avg = average_series(&[&a, &b]);
+        assert_eq!(avg.len(), 5);
+        assert!(avg.values().iter().all(|v| (*v - 2.0).abs() < 1e-12));
+        assert!(average_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn scales_produce_valid_configs() {
+        for scale in [
+            ExperimentScale::quick(),
+            ExperimentScale::default_scaled(),
+            ExperimentScale::paper(),
+        ] {
+            assert!(scale.config(0).validate().is_ok());
+            assert!(scale.config(3).validate().is_ok());
+        }
+        assert_eq!(ExperimentScale::default(), ExperimentScale::default_scaled());
+    }
+}

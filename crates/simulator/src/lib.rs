@@ -1,0 +1,37 @@
+//! # sqlb-sim
+//!
+//! The discrete-event simulator used to reproduce the evaluation of the
+//! SQLB paper (Section 6), plus the experiment drivers that regenerate
+//! every figure and table.
+//!
+//! The simulated system follows the paper's setup: a single mediator
+//! allocating every incoming query, a population of heterogeneous consumers
+//! and providers (crate `sqlb-agents`), Poisson query arrivals whose rate
+//! is expressed as a fraction of the total system capacity, provider queue
+//! servers with finite capacity, and optional participant departures.
+//!
+//! * [`config`] — simulation configuration (Table 2 defaults plus scaled
+//!   variants) and the [`config::Method`] selector for the allocation
+//!   method under test;
+//! * [`workload`] — workload patterns (fixed or ramping fraction of the
+//!   total system capacity) and the Poisson arrival process;
+//! * [`events`] — the event queue of the discrete-event engine;
+//! * [`stats`] — measurement collection: per-sample metric snapshots,
+//!   response times, departure records and the final [`stats::SimulationReport`];
+//! * [`engine`] — the simulator itself;
+//! * [`experiments`] — one driver per paper figure/table (Figures 2–6,
+//!   Tables 2–3), returning printable results.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod events;
+pub mod experiments;
+pub mod stats;
+pub mod workload;
+
+pub use config::{Method, SimulationConfig};
+pub use engine::Simulator;
+pub use stats::{DepartureRecord, SimulationReport};
+pub use workload::WorkloadPattern;

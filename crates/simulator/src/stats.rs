@@ -1,0 +1,226 @@
+//! Measurement collection and the simulation report.
+
+use serde::{Deserialize, Serialize};
+use sqlb_agents::{DepartureReason, ProviderProfile};
+use sqlb_metrics::{Histogram, Summary, TimeSeries};
+use sqlb_types::{ConsumerId, ProviderId};
+
+/// All metric time series recorded during a run. Each series is sampled at
+/// the configured sampling interval over the *active* (non-departed)
+/// participants, which is what the paper's Figure 4 plots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSeries {
+    /// Figure 4(a): providers' satisfaction mean, based on intentions
+    /// ("what a query allocation method can see").
+    pub provider_satisfaction_intention_mean: TimeSeries,
+    /// Figure 4(b): providers' satisfaction mean, based on preferences
+    /// ("what providers really feel").
+    pub provider_satisfaction_preference_mean: TimeSeries,
+    /// Figure 4(c): providers' allocation-satisfaction mean, based on
+    /// preferences.
+    pub provider_allocation_satisfaction_preference_mean: TimeSeries,
+    /// Providers' allocation-satisfaction mean based on intentions
+    /// (not plotted in the paper but useful for diagnostics).
+    pub provider_allocation_satisfaction_intention_mean: TimeSeries,
+    /// Figure 4(d): provider satisfaction fairness (intention-based).
+    pub provider_satisfaction_fairness: TimeSeries,
+    /// Figure 4(e): consumers' allocation-satisfaction mean.
+    pub consumer_allocation_satisfaction_mean: TimeSeries,
+    /// Consumers' satisfaction mean (diagnostic).
+    pub consumer_satisfaction_mean: TimeSeries,
+    /// Figure 4(f): consumer satisfaction fairness.
+    pub consumer_satisfaction_fairness: TimeSeries,
+    /// Figure 4(g): query load (utilization) mean.
+    pub utilization_mean: TimeSeries,
+    /// Figure 4(h): query load (utilization) fairness.
+    pub utilization_fairness: TimeSeries,
+    /// The workload fraction applied over time (the x-axis of several
+    /// figures when re-plotted against workload).
+    pub workload_fraction: TimeSeries,
+    /// Number of providers still in the system.
+    pub active_providers: TimeSeries,
+    /// Number of consumers still in the system.
+    pub active_consumers: TimeSeries,
+}
+
+/// A provider departure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepartureRecord {
+    /// The provider that left.
+    pub provider: ProviderId,
+    /// When it left (seconds of virtual time).
+    pub time_secs: f64,
+    /// Why it left.
+    pub reason: DepartureReason,
+    /// Its class profile (used by Table 3's breakdown).
+    pub profile: ProviderProfile,
+}
+
+/// A consumer departure (always by dissatisfaction in the paper's model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerDepartureRecord {
+    /// The consumer that left.
+    pub consumer: ConsumerId,
+    /// When it left (seconds of virtual time).
+    pub time_secs: f64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Display name of the allocation method under test.
+    pub method: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// All sampled metric series.
+    pub series: MetricSeries,
+    /// Queries issued by consumers.
+    pub issued_queries: u64,
+    /// Queries whose results were delivered before the end of the run.
+    pub completed_queries: u64,
+    /// Queries that could not be allocated because no provider remained in
+    /// the system.
+    pub unallocated_queries: u64,
+    /// Response-time distribution of completed queries (seconds).
+    pub response_times: Histogram,
+    /// Provider departures, in chronological order.
+    pub provider_departures: Vec<DepartureRecord>,
+    /// Consumer departures, in chronological order.
+    pub consumer_departures: Vec<ConsumerDepartureRecord>,
+    /// Number of providers at the start of the run.
+    pub initial_providers: usize,
+    /// Number of consumers at the start of the run.
+    pub initial_consumers: usize,
+    /// Summary of provider utilization at the end of the run.
+    pub final_utilization: Summary,
+    /// Summary of provider (intention-based) satisfaction at the end of the
+    /// run.
+    pub final_provider_satisfaction: Summary,
+    /// Summary of consumer satisfaction at the end of the run.
+    pub final_consumer_satisfaction: Summary,
+}
+
+impl SimulationReport {
+    /// Mean response time of completed queries, in seconds.
+    pub fn mean_response_time(&self) -> f64 {
+        self.response_times.mean()
+    }
+
+    /// Fraction of providers that departed during the run.
+    pub fn provider_departure_fraction(&self) -> f64 {
+        if self.initial_providers == 0 {
+            0.0
+        } else {
+            self.provider_departures.len() as f64 / self.initial_providers as f64
+        }
+    }
+
+    /// Fraction of consumers that departed during the run.
+    pub fn consumer_departure_fraction(&self) -> f64 {
+        if self.initial_consumers == 0 {
+            0.0
+        } else {
+            self.consumer_departures.len() as f64 / self.initial_consumers as f64
+        }
+    }
+
+    /// Fraction of issued queries that completed.
+    pub fn completion_rate(&self) -> f64 {
+        if self.issued_queries == 0 {
+            1.0
+        } else {
+            self.completed_queries as f64 / self.issued_queries as f64
+        }
+    }
+
+    /// Number of provider departures with the given reason.
+    pub fn departures_by_reason(&self, reason: DepartureReason) -> usize {
+        self.provider_departures
+            .iter()
+            .filter(|d| d.reason == reason)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_agents::{AdaptationClass, CapacityClass, InterestClass};
+
+    fn profile() -> ProviderProfile {
+        ProviderProfile {
+            interest: InterestClass::High,
+            adaptation: AdaptationClass::Medium,
+            capacity: CapacityClass::Low,
+        }
+    }
+
+    fn empty_report() -> SimulationReport {
+        SimulationReport {
+            method: "test".into(),
+            seed: 0,
+            series: MetricSeries::default(),
+            issued_queries: 0,
+            completed_queries: 0,
+            unallocated_queries: 0,
+            response_times: Histogram::new(0.0, 60.0, 60),
+            provider_departures: Vec::new(),
+            consumer_departures: Vec::new(),
+            initial_providers: 0,
+            initial_consumers: 0,
+            final_utilization: Summary::of(&[]),
+            final_provider_satisfaction: Summary::of(&[]),
+            final_consumer_satisfaction: Summary::of(&[]),
+        }
+    }
+
+    #[test]
+    fn empty_report_has_neutral_ratios() {
+        let r = empty_report();
+        assert_eq!(r.mean_response_time(), 0.0);
+        assert_eq!(r.provider_departure_fraction(), 0.0);
+        assert_eq!(r.consumer_departure_fraction(), 0.0);
+        assert_eq!(r.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn ratios_and_reason_counts() {
+        let mut r = empty_report();
+        r.initial_providers = 10;
+        r.initial_consumers = 4;
+        r.issued_queries = 100;
+        r.completed_queries = 80;
+        r.provider_departures = vec![
+            DepartureRecord {
+                provider: ProviderId::new(0),
+                time_secs: 10.0,
+                reason: DepartureReason::Dissatisfaction,
+                profile: profile(),
+            },
+            DepartureRecord {
+                provider: ProviderId::new(1),
+                time_secs: 20.0,
+                reason: DepartureReason::Overutilization,
+                profile: profile(),
+            },
+        ];
+        r.consumer_departures = vec![ConsumerDepartureRecord {
+            consumer: ConsumerId::new(0),
+            time_secs: 5.0,
+        }];
+        assert!((r.provider_departure_fraction() - 0.2).abs() < 1e-12);
+        assert!((r.consumer_departure_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.completion_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(r.departures_by_reason(DepartureReason::Dissatisfaction), 1);
+        assert_eq!(r.departures_by_reason(DepartureReason::Overutilization), 1);
+        assert_eq!(r.departures_by_reason(DepartureReason::Starvation), 0);
+    }
+
+    #[test]
+    fn response_time_mean_reflects_records() {
+        let mut r = empty_report();
+        r.response_times.record(2.0);
+        r.response_times.record(4.0);
+        assert!((r.mean_response_time() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! The error type shared by the SQLB crates.
+
+use std::fmt;
+
+use crate::ids::{ConsumerId, ProviderId, QueryId};
+
+/// Convenient result alias using [`SqlbError`].
+pub type SqlbResult<T> = Result<T, SqlbError>;
+
+/// Errors produced by the SQLB framework crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlbError {
+    /// A numeric value fell outside its documented domain.
+    OutOfRange {
+        /// Human-readable description of the value.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the accepted domain.
+        min: f64,
+        /// Upper bound of the accepted domain.
+        max: f64,
+    },
+    /// A query was malformed (e.g. `q.n = 0`).
+    InvalidQuery {
+        /// The offending query.
+        query: QueryId,
+        /// Why the query was rejected.
+        reason: &'static str,
+    },
+    /// A query was not feasible: the matchmaker found no provider able to
+    /// treat it. The paper only considers feasible queries; the framework
+    /// surfaces this condition explicitly instead.
+    NoProviderAvailable {
+        /// The query that could not be allocated.
+        query: QueryId,
+    },
+    /// A consumer identifier is unknown to the component that received it.
+    UnknownConsumer(ConsumerId),
+    /// A provider identifier is unknown to the component that received it.
+    UnknownProvider(ProviderId),
+    /// A participant attempted an operation after having left the system.
+    ParticipantDeparted {
+        /// Which participant departed (display form, e.g. `"p12"`).
+        participant: String,
+    },
+    /// A configuration value is inconsistent (e.g. class fractions that do
+    /// not sum to one).
+    InvalidConfig {
+        /// Why the configuration was rejected.
+        reason: String,
+    },
+    /// The mediation runtime failed to collect intentions before its
+    /// timeout and no fallback was permitted.
+    MediationTimeout {
+        /// The query whose mediation timed out.
+        query: QueryId,
+    },
+    /// A communication channel between agents was closed unexpectedly.
+    ChannelClosed {
+        /// Description of the endpoint that disappeared.
+        endpoint: &'static str,
+    },
+}
+
+impl fmt::Display for SqlbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlbError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(f, "{what} out of range: {value} not in [{min}, {max}]"),
+            SqlbError::InvalidQuery { query, reason } => {
+                write!(f, "invalid query {query}: {reason}")
+            }
+            SqlbError::NoProviderAvailable { query } => {
+                write!(f, "no provider available for query {query}")
+            }
+            SqlbError::UnknownConsumer(c) => write!(f, "unknown consumer {c}"),
+            SqlbError::UnknownProvider(p) => write!(f, "unknown provider {p}"),
+            SqlbError::ParticipantDeparted { participant } => {
+                write!(f, "participant {participant} has departed from the system")
+            }
+            SqlbError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SqlbError::MediationTimeout { query } => {
+                write!(f, "mediation timed out while allocating query {query}")
+            }
+            SqlbError::ChannelClosed { endpoint } => {
+                write!(f, "communication channel closed: {endpoint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SqlbError::OutOfRange {
+            what: "intention",
+            value: 2.0,
+            min: -1.0,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("intention"));
+        assert!(e.to_string().contains("2"));
+
+        let e = SqlbError::NoProviderAvailable {
+            query: QueryId::new(7),
+        };
+        assert!(e.to_string().contains("q7"));
+
+        let e = SqlbError::UnknownProvider(ProviderId::new(3));
+        assert!(e.to_string().contains("p3"));
+
+        let e = SqlbError::InvalidConfig {
+            reason: "fractions must sum to 1".into(),
+        };
+        assert!(e.to_string().contains("sum to 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<SqlbError>();
+    }
+}

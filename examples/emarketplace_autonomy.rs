@@ -1,0 +1,61 @@
+//! A public e-marketplace with autonomous participants (Sections 1.1 and
+//! 6.3.2): providers and consumers are free to leave the mediator when they
+//! are dissatisfied, starved or overutilized.
+//!
+//! The example runs the three paper methods at 80 % workload with all
+//! departure reasons enabled and prints who survived — the experiment
+//! behind Figure 5, Figure 6 and Table 3.
+//!
+//! Run with: `cargo run --release --example emarketplace_autonomy`
+
+use sqlb::prelude::*;
+use sqlb::sim::engine::run_simulation;
+
+fn main() {
+    let workload = 0.8;
+    println!("== Autonomous e-marketplace at {:.0}% of the total system capacity ==\n", workload * 100.0);
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "method", "resp. (s)", "prov. left", "dissat.", "starved", "overutil.", "cons. left"
+    );
+
+    for method in [Method::Sqlb, Method::MariposaLike, Method::CapacityBased] {
+        let config = SimulationConfig::scaled(40, 80, 1_200.0, 42)
+            .with_workload(WorkloadPattern::Fixed(workload))
+            .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL))
+            .with_consumer_departures(ConsumerDepartureRule::default());
+        let report = run_simulation(config, method).expect("simulation");
+
+        let pct = |count: usize, total: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64 * 100.0
+            }
+        };
+        println!(
+            "{:<16} {:>10.2} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            report.method,
+            report.mean_response_time(),
+            report.provider_departure_fraction() * 100.0,
+            pct(
+                report.departures_by_reason(DepartureReason::Dissatisfaction),
+                report.initial_providers
+            ),
+            pct(
+                report.departures_by_reason(DepartureReason::Starvation),
+                report.initial_providers
+            ),
+            pct(
+                report.departures_by_reason(DepartureReason::Overutilization),
+                report.initial_providers
+            ),
+            report.consumer_departure_fraction() * 100.0,
+        );
+    }
+
+    println!();
+    println!("The paper's qualitative result: the baselines lose most of their providers");
+    println!("(Capacity based through dissatisfaction, Mariposa-like through overutilization)");
+    println!("and more than 20% of their consumers, while SQLB keeps the bulk of both.");
+}

@@ -1,0 +1,189 @@
+//! Integration tests of the autonomous setting (Section 6.3.2): departures
+//! by dissatisfaction, starvation and overutilization, and their impact on
+//! the three allocation methods.
+
+use sqlb::prelude::*;
+use sqlb::sim::engine::run_simulation;
+use sqlb::sim::{Method, SimulationConfig, WorkloadPattern};
+
+fn autonomous_config(workload: f64, seed: u64, enabled: EnabledReasons) -> SimulationConfig {
+    SimulationConfig::scaled(24, 48, 900.0, seed)
+        .with_workload(WorkloadPattern::Fixed(workload))
+        .with_provider_departures(ProviderDepartureRule::with_enabled(enabled))
+        .with_consumer_departures(ConsumerDepartureRule::default())
+}
+
+#[test]
+fn sqlb_retains_more_providers_than_the_baselines() {
+    // Figure 5(c): at high workload the baselines lose most providers while
+    // SQLB keeps the bulk of them.
+    let workload = 0.8;
+    let sqlb = run_simulation(
+        autonomous_config(workload, 11, EnabledReasons::ALL),
+        Method::Sqlb,
+    )
+    .unwrap();
+    let capacity = run_simulation(
+        autonomous_config(workload, 11, EnabledReasons::ALL),
+        Method::CapacityBased,
+    )
+    .unwrap();
+    let mariposa = run_simulation(
+        autonomous_config(workload, 11, EnabledReasons::ALL),
+        Method::MariposaLike,
+    )
+    .unwrap();
+
+    let sqlb_loss = sqlb.provider_departure_fraction();
+    let capacity_loss = capacity.provider_departure_fraction();
+    let mariposa_loss = mariposa.provider_departure_fraction();
+    assert!(
+        sqlb_loss < capacity_loss,
+        "SQLB lost {sqlb_loss:.2} vs Capacity based {capacity_loss:.2}"
+    );
+    assert!(
+        sqlb_loss < mariposa_loss,
+        "SQLB lost {sqlb_loss:.2} vs Mariposa-like {mariposa_loss:.2}"
+    );
+    assert!(
+        capacity_loss > 0.3,
+        "Capacity based should lose a large share of providers, lost {capacity_loss:.2}"
+    );
+}
+
+#[test]
+fn departure_reasons_match_the_paper_qualitatively() {
+    // Table 3: Capacity based departures are dominated by dissatisfaction,
+    // Mariposa-like shows a clear overutilization component, SQLB shows no
+    // overutilization departures.
+    let workload = 0.8;
+    let capacity = run_simulation(
+        autonomous_config(workload, 13, EnabledReasons::ALL),
+        Method::CapacityBased,
+    )
+    .unwrap();
+    let mariposa = run_simulation(
+        autonomous_config(workload, 13, EnabledReasons::ALL),
+        Method::MariposaLike,
+    )
+    .unwrap();
+    let sqlb = run_simulation(
+        autonomous_config(workload, 13, EnabledReasons::ALL),
+        Method::Sqlb,
+    )
+    .unwrap();
+
+    assert!(
+        capacity.departures_by_reason(DepartureReason::Dissatisfaction)
+            >= capacity.departures_by_reason(DepartureReason::Overutilization),
+        "Capacity based should lose providers mainly by dissatisfaction"
+    );
+    assert!(
+        mariposa.departures_by_reason(DepartureReason::Overutilization) > 0,
+        "Mariposa-like should overutilize some providers"
+    );
+    // Table 3: SQLB's overutilization departures are marginal (6 % in the
+    // paper) while Mariposa-like's dominate its losses (65 %).
+    assert!(
+        sqlb.departures_by_reason(DepartureReason::Overutilization)
+            < mariposa.departures_by_reason(DepartureReason::Overutilization),
+        "SQLB providers fold utilization into their intentions; Mariposa-like does not"
+    );
+}
+
+#[test]
+fn sqlb_keeps_its_consumers() {
+    // Figure 6: SQLB has (almost) no consumer departures, the baselines
+    // lose a significant share.
+    let workload = 0.7;
+    let sqlb = run_simulation(
+        autonomous_config(workload, 17, EnabledReasons::ALL),
+        Method::Sqlb,
+    )
+    .unwrap();
+    let capacity = run_simulation(
+        autonomous_config(workload, 17, EnabledReasons::ALL),
+        Method::CapacityBased,
+    )
+    .unwrap();
+
+    assert!(
+        sqlb.consumer_departure_fraction() < 0.05,
+        "SQLB should keep its consumers, lost {:.2}",
+        sqlb.consumer_departure_fraction()
+    );
+    assert!(
+        capacity.consumer_departure_fraction() > sqlb.consumer_departure_fraction(),
+        "Capacity based should lose more consumers ({:.2}) than SQLB ({:.2})",
+        capacity.consumer_departure_fraction(),
+        sqlb.consumer_departure_fraction()
+    );
+}
+
+#[test]
+fn restricting_departure_reasons_restricts_recorded_reasons() {
+    // Figure 5(a) setting: overutilization departures are disabled, so none
+    // may be recorded.
+    let report = run_simulation(
+        autonomous_config(0.9, 19, EnabledReasons::DISSATISFACTION_AND_STARVATION),
+        Method::MariposaLike,
+    )
+    .unwrap();
+    assert_eq!(
+        report.departures_by_reason(DepartureReason::Overutilization),
+        0
+    );
+    // The sum over reasons equals the number of departures.
+    let total: usize = [
+        DepartureReason::Dissatisfaction,
+        DepartureReason::Starvation,
+        DepartureReason::Overutilization,
+    ]
+    .into_iter()
+    .map(|r| report.departures_by_reason(r))
+    .sum();
+    assert_eq!(total, report.provider_departures.len());
+}
+
+#[test]
+fn departures_degrade_response_times() {
+    // Figure 5(b) versus Figure 4(i): for the method that loses most of its
+    // providers, the autonomous response time is no better than the captive
+    // one at the same workload.
+    let workload = 0.8;
+    let captive = run_simulation(
+        SimulationConfig::scaled(24, 48, 900.0, 23).with_workload(WorkloadPattern::Fixed(workload)),
+        Method::CapacityBased,
+    )
+    .unwrap();
+    let autonomous = run_simulation(
+        autonomous_config(workload, 23, EnabledReasons::ALL),
+        Method::CapacityBased,
+    )
+    .unwrap();
+    assert!(autonomous.provider_departure_fraction() > 0.2);
+    assert!(
+        autonomous.mean_response_time() >= captive.mean_response_time() * 0.9,
+        "losing providers should not make the system faster (captive {:.2}s, autonomous {:.2}s)",
+        captive.mean_response_time(),
+        autonomous.mean_response_time()
+    );
+}
+
+#[test]
+fn departed_providers_receive_no_further_queries() {
+    let report = run_simulation(
+        autonomous_config(0.8, 29, EnabledReasons::ALL),
+        Method::MariposaLike,
+    )
+    .unwrap();
+    if report.provider_departures.is_empty() {
+        return; // nothing to check at this seed
+    }
+    // The active-provider series must be non-increasing and end at
+    // initial - departures.
+    let values = report.series.active_providers.values();
+    assert!(values.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+    let expected = report.initial_providers - report.provider_departures.len();
+    assert_eq!(*values.last().unwrap() as usize, expected);
+}

@@ -1,0 +1,94 @@
+//! Integration tests of the experiment harness: every figure/table driver
+//! must run at the quick scale and produce structurally complete output.
+
+use sqlb::sim::experiments::{
+    fig2_provider_intention_surface, fig3_omega_surface, fig4_captive_ramp, table2_parameters,
+    table3_departure_breakdown, workload_sweep, AutonomySetting, ExperimentScale, Fig4Panel,
+};
+use sqlb::sim::SimulationConfig;
+
+#[test]
+fn fig2_and_fig3_surfaces_are_complete_grids() {
+    let fig2 = fig2_provider_intention_surface(0.5, 21);
+    assert_eq!(fig2.len(), 441);
+    assert!(fig2.iter().all(|p| p.intention.is_finite()));
+    assert!(fig2.iter().any(|p| p.intention > 0.9));
+    assert!(fig2.iter().any(|p| p.intention < -1.5));
+
+    let fig3 = fig3_omega_surface(21);
+    assert_eq!(fig3.len(), 441);
+    assert!(fig3.iter().all(|p| (0.0..=1.0).contains(&p.omega)));
+}
+
+#[test]
+fn fig4_driver_emits_every_panel_for_every_method() {
+    let result = fig4_captive_ramp(ExperimentScale::quick()).unwrap();
+    assert_eq!(result.panels.len(), Fig4Panel::ALL.len());
+    for panel in Fig4Panel::ALL {
+        let table = result.panel_to_text(panel);
+        let header = table.lines().nth(1).unwrap_or_default();
+        for method in ["SQLB", "Capacity based", "Mariposa-like"] {
+            assert!(
+                header.contains(method),
+                "panel {} misses {method}: {header}",
+                panel.letter()
+            );
+        }
+        // At least a handful of sample rows exist.
+        assert!(table.lines().count() > 5, "panel {} too short", panel.letter());
+    }
+}
+
+#[test]
+fn workload_sweeps_cover_requested_workloads_in_order() {
+    let workloads = [0.3, 0.6, 0.9];
+    let result = workload_sweep(ExperimentScale::quick(), &workloads, AutonomySetting::Captive)
+        .unwrap();
+    let observed: Vec<f64> = result.rows.iter().map(|r| r.workload).collect();
+    assert_eq!(observed, workloads.to_vec());
+    // Response times grow (weakly) with workload for every method.
+    for idx in 0..3 {
+        let rts: Vec<f64> = result
+            .rows
+            .iter()
+            .map(|r| r.response_times[idx].1)
+            .collect();
+        assert!(
+            rts[0] <= rts[2] + 0.5,
+            "response times should not collapse as workload triples: {rts:?}"
+        );
+    }
+}
+
+#[test]
+fn table3_percentages_are_consistent_with_totals() {
+    let result = table3_departure_breakdown(ExperimentScale::quick(), 0.8).unwrap();
+    // For a given method and reason, every dimension slices the same set of
+    // departures, so the three dimension totals must agree.
+    for method in ["SQLB", "Capacity based", "Mariposa-like"] {
+        for reason in ["dissatisfaction", "starvation", "overutilization"] {
+            let totals: Vec<f64> = result
+                .rows
+                .iter()
+                .filter(|r| r.method == method && r.reason.to_string() == reason)
+                .map(|r| r.total())
+                .collect();
+            assert_eq!(totals.len(), 3, "{method}/{reason}");
+            assert!(
+                (totals[0] - totals[1]).abs() < 1e-9 && (totals[1] - totals[2]).abs() < 1e-9,
+                "{method}/{reason}: dimension totals disagree: {totals:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_text_reflects_the_configuration_it_is_given() {
+    let scaled = table2_parameters(&SimulationConfig::scaled(40, 80, 100.0, 0));
+    assert!(scaled.contains("40"));
+    assert!(scaled.contains("80"));
+    let paper = table2_parameters(&SimulationConfig::paper(0));
+    assert!(paper.contains("200"));
+    assert!(paper.contains("400"));
+    assert!(paper.contains("500"));
+}
