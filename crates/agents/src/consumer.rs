@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 use sqlb_core::intention::{consumer_intention, IntentionParams};
 use sqlb_reputation::ReputationStore;
-use sqlb_satisfaction::{
-    consumer_query_adequation, consumer_query_satisfaction, ConsumerTracker,
-};
+use sqlb_satisfaction::{consumer_query_adequation, consumer_query_satisfaction, ConsumerTracker};
 use sqlb_types::{ConsumerId, Intention, Preference, ProviderId, Query};
 
 /// Configuration of a consumer agent.
@@ -114,14 +112,11 @@ impl ConsumerAgent {
     /// Records the outcome of one of this consumer's queries: the shown
     /// intentions over the whole candidate set and the subset that was
     /// selected. `n` is the number of results the consumer desired.
-    pub fn record_allocation(
-        &mut self,
-        shown_intentions: &[f64],
-        selected: &[usize],
-        n: u32,
-    ) {
-        let intentions: Vec<Intention> =
-            shown_intentions.iter().map(|&v| Intention::new(v)).collect();
+    pub fn record_allocation(&mut self, shown_intentions: &[f64], selected: &[usize], n: u32) {
+        let intentions: Vec<Intention> = shown_intentions
+            .iter()
+            .map(|&v| Intention::new(v))
+            .collect();
         if let Some(adequation) = consumer_query_adequation(&intentions) {
             let selected_intentions: Vec<Intention> = selected
                 .iter()
@@ -191,9 +186,14 @@ mod tests {
         );
         let reputation = ReputationStore::neutral();
         assert!((c.intention_for(&query(), ProviderId::new(0), &reputation) - 0.7).abs() < 1e-12);
-        assert!((c.intention_for(&query(), ProviderId::new(1), &reputation) - (-0.4)).abs() < 1e-12);
+        assert!(
+            (c.intention_for(&query(), ProviderId::new(1), &reputation) - (-0.4)).abs() < 1e-12
+        );
         // Unknown provider → neutral preference.
-        assert_eq!(c.intention_for(&query(), ProviderId::new(9), &reputation), 0.0);
+        assert_eq!(
+            c.intention_for(&query(), ProviderId::new(9), &reputation),
+            0.0
+        );
     }
 
     #[test]

@@ -193,14 +193,10 @@ impl ProviderDepartureRule {
         {
             return Some(DepartureReason::Overutilization);
         }
-        if self.enabled.dissatisfaction
-            && satisfaction < adequation - self.dissatisfaction_margin
-        {
+        if self.enabled.dissatisfaction && satisfaction < adequation - self.dissatisfaction_margin {
             return Some(DepartureReason::Dissatisfaction);
         }
-        if self.enabled.starvation
-            && utilization < self.starvation_fraction * optimal_utilization
-        {
+        if self.enabled.starvation && utilization < self.starvation_fraction * optimal_utilization {
             return Some(DepartureReason::Starvation);
         }
         None
@@ -275,7 +271,8 @@ mod tests {
 
     #[test]
     fn disabled_reasons_are_ignored() {
-        let rule = ProviderDepartureRule::with_enabled(EnabledReasons::DISSATISFACTION_AND_STARVATION);
+        let rule =
+            ProviderDepartureRule::with_enabled(EnabledReasons::DISSATISFACTION_AND_STARVATION);
         assert_eq!(rule.evaluate(0.6, 0.6, 5.0, 0.8, 1000), None);
         assert_eq!(
             rule.evaluate(0.1, 0.6, 5.0, 0.8, 1000),
@@ -287,9 +284,15 @@ mod tests {
 
     #[test]
     fn reasons_display() {
-        assert_eq!(DepartureReason::Dissatisfaction.to_string(), "dissatisfaction");
+        assert_eq!(
+            DepartureReason::Dissatisfaction.to_string(),
+            "dissatisfaction"
+        );
         assert_eq!(DepartureReason::Starvation.to_string(), "starvation");
-        assert_eq!(DepartureReason::Overutilization.to_string(), "overutilization");
+        assert_eq!(
+            DepartureReason::Overutilization.to_string(),
+            "overutilization"
+        );
     }
 
     proptest! {

@@ -29,3 +29,8 @@ pub use population::{
 };
 pub use provider::{ProviderAgent, ProviderConfig};
 pub use utilization::UtilizationWindow;
+
+/// Stable-identifier participant state table (defined in `sqlb-types` so
+/// lower layers such as the mediator state can use it too; re-exported
+/// here because agent populations are its primary producer).
+pub use sqlb_types::table::{ParticipantTable, StableId};

@@ -23,7 +23,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sqlb_types::{Capacity, ConsumerId, Preference, ProviderId, QueryClass, SqlbError};
+use sqlb_types::{
+    Capacity, ConsumerId, ParticipantTable, Preference, ProviderId, QueryClass, SqlbError,
+};
 
 use crate::consumer::{ConsumerAgent, ConsumerConfig};
 use crate::provider::{ProviderAgent, ProviderConfig};
@@ -215,14 +217,19 @@ impl Default for PopulationConfig {
 }
 
 /// A generated population of consumer and provider agents.
+///
+/// Agents are stored in [`ParticipantTable`]s keyed by their stable
+/// identifiers, so code that holds a [`ConsumerId`]/[`ProviderId`] can
+/// never be redirected to another agent by a departure elsewhere in the
+/// population.
 #[derive(Debug, Clone)]
 pub struct Population {
-    /// The consumer agents, indexed by consumer id.
-    pub consumers: Vec<ConsumerAgent>,
-    /// The provider agents, indexed by provider id.
-    pub providers: Vec<ProviderAgent>,
-    /// The class profile of each provider, indexed by provider id.
-    pub profiles: Vec<ProviderProfile>,
+    /// The consumer agents, keyed by consumer id.
+    pub consumers: ParticipantTable<ConsumerId, ConsumerAgent>,
+    /// The provider agents, keyed by provider id.
+    pub providers: ParticipantTable<ProviderId, ProviderAgent>,
+    /// The class profile of each provider, keyed by provider id.
+    pub profiles: ParticipantTable<ProviderId, ProviderProfile>,
 }
 
 impl Population {
@@ -235,7 +242,11 @@ impl Population {
         let interest = assign_classes(
             n,
             &config.interest_fractions,
-            [InterestClass::High, InterestClass::Medium, InterestClass::Low],
+            [
+                InterestClass::High,
+                InterestClass::Medium,
+                InterestClass::Low,
+            ],
             &mut rng,
         );
         let adaptation = assign_classes(
@@ -251,7 +262,11 @@ impl Population {
         let capacity = assign_classes(
             n,
             &config.capacity_fractions,
-            [CapacityClass::High, CapacityClass::Medium, CapacityClass::Low],
+            [
+                CapacityClass::High,
+                CapacityClass::Medium,
+                CapacityClass::Low,
+            ],
             &mut rng,
         );
 
@@ -295,9 +310,9 @@ impl Population {
             .collect();
 
         Ok(Population {
-            consumers,
-            providers,
-            profiles,
+            consumers: ParticipantTable::from_values(consumers),
+            providers: ParticipantTable::from_values(providers),
+            profiles: ParticipantTable::from_values(profiles),
         })
     }
 
@@ -305,7 +320,7 @@ impl Population {
     /// work units per second.
     pub fn total_capacity(&self) -> f64 {
         self.providers
-            .iter()
+            .values()
             .map(|p| p.capacity().units_per_sec())
             .sum()
     }
@@ -322,7 +337,7 @@ impl Population {
 
     /// The class profile of a provider.
     pub fn profile(&self, provider: ProviderId) -> Option<ProviderProfile> {
-        self.profiles.get(provider.index()).copied()
+        self.profiles.get(provider).copied()
     }
 
     /// Mean treatment cost of the paper's query mix (used to convert a
@@ -368,17 +383,17 @@ mod tests {
 
         let high_interest = pop
             .profiles
-            .iter()
+            .values()
             .filter(|p| p.interest == InterestClass::High)
             .count();
         let high_capacity = pop
             .profiles
-            .iter()
+            .values()
             .filter(|p| p.capacity == CapacityClass::High)
             .count();
         let low_adaptation = pop
             .profiles
-            .iter()
+            .values()
             .filter(|p| p.adaptation == AdaptationClass::Low)
             .count();
         assert_eq!(high_interest, 240); // 60 % of 400
@@ -388,16 +403,20 @@ mod tests {
 
     #[test]
     fn capacity_ratios_match_paper() {
-        assert!((CapacityClass::High.capacity().units_per_sec()
-            / CapacityClass::Medium.capacity().units_per_sec()
-            - 3.0)
-            .abs()
-            < 1e-9);
-        assert!((CapacityClass::High.capacity().units_per_sec()
-            / CapacityClass::Low.capacity().units_per_sec()
-            - 7.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (CapacityClass::High.capacity().units_per_sec()
+                / CapacityClass::Medium.capacity().units_per_sec()
+                - 3.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (CapacityClass::High.capacity().units_per_sec()
+                / CapacityClass::Low.capacity().units_per_sec()
+                - 7.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -410,9 +429,9 @@ mod tests {
     #[test]
     fn preferences_fall_in_class_ranges() {
         let pop = Population::generate(&PopulationConfig::scaled(20, 50, 7)).unwrap();
-        for consumer in &pop.consumers {
-            for (i, profile) in pop.profiles.iter().enumerate() {
-                let pref = consumer.preference_for(ProviderId::new(i as u32)).value();
+        for consumer in pop.consumers.values() {
+            for (id, profile) in pop.profiles.iter() {
+                let pref = consumer.preference_for(id).value();
                 let (lo, hi) = profile.interest.preference_range();
                 assert!(
                     pref >= lo - 1e-9 && pref <= hi + 1e-9,
@@ -420,8 +439,8 @@ mod tests {
                 );
             }
         }
-        for (i, provider) in pop.providers.iter().enumerate() {
-            let (lo, hi) = pop.profiles[i].adaptation.preference_range();
+        for (id, provider) in pop.providers.iter() {
+            let (lo, hi) = pop.profiles[id].adaptation.preference_range();
             for class in [QueryClass::Light, QueryClass::Heavy] {
                 let pref = provider.preference_for(class).value();
                 assert!(pref >= lo - 1e-9 && pref <= hi + 1e-9);
@@ -434,7 +453,7 @@ mod tests {
         let a = Population::generate(&PopulationConfig::scaled(10, 30, 99)).unwrap();
         let b = Population::generate(&PopulationConfig::scaled(10, 30, 99)).unwrap();
         assert_eq!(a.profiles, b.profiles);
-        for (ca, cb) in a.consumers.iter().zip(&b.consumers) {
+        for (ca, cb) in a.consumers.values().zip(b.consumers.values()) {
             for p in 0..30 {
                 assert_eq!(
                     ca.preference_for(ProviderId::new(p)).value(),

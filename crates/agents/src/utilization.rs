@@ -37,7 +37,10 @@ impl UtilizationWindow {
 
     /// Creates a window for a provider of the given capacity.
     pub fn new(capacity: Capacity, window: SimDuration) -> Self {
-        assert!(window.as_secs() > 0.0, "utilization window must be positive");
+        assert!(
+            window.as_secs() > 0.0,
+            "utilization window must be positive"
+        );
         UtilizationWindow {
             capacity,
             window,

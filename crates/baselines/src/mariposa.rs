@@ -123,7 +123,11 @@ impl MariposaLike {
         let load_factor = (1.0 + candidate.utilization.max(0.0)).powf(self.config.load_adjustment);
         let adjusted_price = bid.price * load_factor;
         let mut cost = adjusted_price + self.config.delay_weight * bid.delay;
-        if !self.config.default_curve.accepts(&Bid::new(adjusted_price, bid.delay)) {
+        if !self
+            .config
+            .default_curve
+            .accepts(&Bid::new(adjusted_price, bid.delay))
+        {
             // Rejected bids are only used as a last resort: queries must be
             // treated if a provider exists (Section 2), so instead of
             // dropping the query we push these bids to the back of the
@@ -151,9 +155,9 @@ impl AllocationMethod for MariposaLike {
         let ranked: Vec<RankedProvider> = candidates
             .iter()
             .map(|c| {
-                let bid = c
-                    .bid
-                    .unwrap_or_else(|| Bid::new(query.cost().value(), query.cost().value() / 100.0));
+                let bid = c.bid.unwrap_or_else(|| {
+                    Bid::new(query.cost().value(), query.cost().value() / 100.0)
+                });
                 RankedProvider {
                     provider: c.provider,
                     score: -self.effective_cost(c, &bid),

@@ -81,7 +81,9 @@ mod tests {
     }
 
     fn candidates(n: u32) -> Vec<CandidateInfo> {
-        (0..n).map(|i| CandidateInfo::new(ProviderId::new(i))).collect()
+        (0..n)
+            .map(|i| CandidateInfo::new(ProviderId::new(i)))
+            .collect()
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Micro-benchmarks of the allocation hot path: intention computation,
 //! scoring, and the three paper allocation methods over candidate sets of
-//! the paper's size (400 providers) and smaller.
+//! the paper's size (400 providers) and smaller — plus an end-to-end
+//! allocation-throughput comparison of the mono-mediator pipeline against
+//! K ∈ {2, 4, 8} mediator shards, recorded to `BENCH_allocation.json` at
+//! the repository root so the performance trajectory is tracked over time.
 
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlb_baselines::{CapacityBased, MariposaLike};
@@ -11,6 +14,8 @@ use sqlb_core::allocation::{AllocationMethod, Bid, CandidateInfo, UniformView};
 use sqlb_core::intention::{consumer_intention, provider_intention, IntentionParams};
 use sqlb_core::scoring::{omega, provider_score};
 use sqlb_core::SqlbAllocator;
+use sqlb_sim::engine::run_simulation;
+use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
 use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
 
 fn candidates(n: u32) -> Vec<CandidateInfo> {
@@ -96,5 +101,83 @@ fn bench_allocators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_intentions, bench_allocators);
+/// End-to-end allocation throughput per shard count: short captive runs of
+/// the full engine, measured wall-clock, reported as queries/second and
+/// exported as JSON.
+fn bench_shard_throughput(c: &mut Criterion) {
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    const RUNS_PER_COUNT: usize = 3;
+    // One set of constants feeds both the simulation runs and the JSON
+    // record, so the recorded configuration can never drift from the one
+    // that produced the numbers.
+    const CONSUMERS: u32 = 32;
+    const PROVIDERS: u32 = 64;
+    const DURATION_SECS: f64 = 400.0;
+    const WORKLOAD: f64 = 0.6;
+    const SEED: u64 = 7;
+    const METHOD: Method = Method::Sqlb;
+
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("shard_throughput");
+    group.measurement_time(Duration::from_millis(400));
+    for &shards in &SHARD_COUNTS {
+        let config = SimulationConfig::scaled(CONSUMERS, PROVIDERS, DURATION_SECS, SEED)
+            .with_workload(WorkloadPattern::Fixed(WORKLOAD))
+            .with_mediator_shards(shards);
+
+        // A dedicated best-of-N wall-clock measurement for the JSON record
+        // (criterion's per-iteration mean is noisier for multi-ms runs).
+        let mut best = Duration::MAX;
+        let mut issued = 0u64;
+        for _ in 0..RUNS_PER_COUNT {
+            let start = Instant::now();
+            let report = run_simulation(config, METHOD).expect("run");
+            let elapsed = start.elapsed();
+            issued = report.issued_queries;
+            best = best.min(elapsed);
+        }
+        let throughput = issued as f64 / best.as_secs_f64();
+        rows.push((shards, issued, best, throughput));
+
+        group.bench_with_input(
+            BenchmarkId::new("sqlb_allocations", shards),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let report = run_simulation(black_box(config), METHOD).expect("run");
+                    black_box(report.issued_queries)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // `CARGO_MANIFEST_DIR` is crates/bench; the record lives at the repo
+    // root so successive runs overwrite one well-known file.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allocation.json");
+    let mut json = String::from("{\n  \"benchmark\": \"allocation_throughput\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"consumers\": {CONSUMERS}, \"providers\": {PROVIDERS}, \"duration_secs\": {DURATION_SECS}, \"workload\": {WORKLOAD}, \"method\": \"{}\"}},\n",
+        METHOD.name(),
+    ));
+    json.push_str("  \"shards\": [\n");
+    for (i, (shards, issued, best, throughput)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"mediator_shards\": {shards}, \"issued_queries\": {issued}, \"best_wall_ms\": {:.3}, \"allocations_per_sec\": {throughput:.1}}}{comma}\n",
+            best.as_secs_f64() * 1e3,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write BENCH_allocation.json: {e}");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_intentions,
+    bench_allocators,
+    bench_shard_throughput
+);
 criterion_main!(benches);

@@ -21,7 +21,7 @@ fn bench_trackers(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             let value = ((i % 200) as f64 / 100.0) - 1.0;
-            tracker.record_proposal(Intention::new(value), i % 3 == 0);
+            tracker.record_proposal(Intention::new(value), i.is_multiple_of(3));
             i += 1;
             black_box(tracker.satisfaction() + tracker.adequation())
         })
@@ -84,7 +84,9 @@ fn bench_metrics(c: &mut Criterion) {
     group.bench_function("min_max_ratio_400", |b| {
         b.iter(|| min_max_ratio(black_box(&values)))
     });
-    group.bench_function("summary_400", |b| b.iter(|| Summary::of(black_box(&values))));
+    group.bench_function("summary_400", |b| {
+        b.iter(|| Summary::of(black_box(&values)))
+    });
     group.finish();
 }
 

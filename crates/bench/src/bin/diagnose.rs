@@ -76,7 +76,11 @@ fn main() {
         for d in &report.provider_departures {
             *reasons.entry(format!("{}", d.reason)).or_insert(0u32) += 1;
         }
-        println!("provider departures: {} {:?}", report.provider_departures.len(), reasons);
+        println!(
+            "provider departures: {} {:?}",
+            report.provider_departures.len(),
+            reasons
+        );
         println!("consumer departures: {}", report.consumer_departures.len());
         println!(
             "first provider departures: {:?}",
@@ -84,7 +88,11 @@ fn main() {
                 .provider_departures
                 .iter()
                 .take(10)
-                .map(|d| (d.time_secs as i64, format!("{}", d.reason), d.profile.interest.label()))
+                .map(|d| (
+                    d.time_secs as i64,
+                    format!("{}", d.reason),
+                    d.profile.interest.label()
+                ))
                 .collect::<Vec<_>>()
         );
         return;
@@ -97,10 +105,11 @@ fn main() {
     use sqlb_agents::Population;
     use sqlb_types::{Query, QueryClass, QueryId, SimTime};
 
-    let config = SimulationConfig::scaled(24, 48, 600.0, 11).with_workload(WorkloadPattern::Fixed(workload));
+    let config =
+        SimulationConfig::scaled(24, 48, 600.0, 11).with_workload(WorkloadPattern::Fixed(workload));
     let population = Population::generate(&config.population).unwrap();
-    let mut providers = population.providers.clone();
-    let consumers = population.consumers.clone();
+    let mut providers: Vec<_> = population.providers.values().cloned().collect();
+    let consumers: Vec<_> = population.consumers.values().cloned().collect();
     let profiles = population.profiles.clone();
     let total_capacity = population.total_capacity();
     let rate = workload * total_capacity / 140.0;
@@ -121,8 +130,17 @@ fn main() {
     while now < duration {
         now += -(1.0 - rng.random::<f64>()).ln() / rate;
         let consumer = &consumers[rng.random_range(0..consumers.len())];
-        let class = if rng.random_bool(0.5) { QueryClass::Light } else { QueryClass::Heavy };
-        let query = Query::single(QueryId::new(qid), consumer.id(), class, SimTime::from_secs(now));
+        let class = if rng.random_bool(0.5) {
+            QueryClass::Light
+        } else {
+            QueryClass::Heavy
+        };
+        let query = Query::single(
+            QueryId::new(qid),
+            consumer.id(),
+            class,
+            SimTime::from_secs(now),
+        );
         qid += 1;
         let infos: Vec<CandidateInfo> = providers
             .iter_mut()
@@ -146,7 +164,7 @@ fn main() {
         let winner_info = infos.iter().find(|i| i.provider == winner).unwrap();
         ci_sum += winner_info.consumer_intention;
         n += 1;
-        match profiles[winner.index()].interest {
+        match profiles[winner].interest {
             InterestClass::High => class_counts[0] += 1,
             InterestClass::Medium => class_counts[1] += 1,
             InterestClass::Low => class_counts[2] += 1,
@@ -169,9 +187,9 @@ fn main() {
     let mut high_ut = Vec::new();
     let mut med_ut = Vec::new();
     let mut low_ut = Vec::new();
-    for (i, p) in providers.iter_mut().enumerate() {
+    for p in providers.iter_mut() {
         let u = p.utilization(SimTime::from_secs(duration)).value();
-        match profiles[i].interest {
+        match profiles[p.id()].interest {
             InterestClass::High => high_ut.push(u),
             InterestClass::Medium => med_ut.push(u),
             InterestClass::Low => low_ut.push(u),
@@ -193,5 +211,8 @@ fn main() {
         mean(&med_ut),
         mean(&low_ut)
     );
-    println!("mean response time (no queueing of completions): {:.2}s", response_sum / n as f64);
+    println!(
+        "mean response time (no queueing of completions): {:.2}s",
+        response_sum / n as f64
+    );
 }

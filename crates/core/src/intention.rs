@@ -108,7 +108,8 @@ pub fn provider_intention(
     if preference > 0.0 && utilization < 1.0 {
         preference.powf(1.0 - satisfaction) * (1.0 - utilization).powf(satisfaction)
     } else {
-        -((1.0 - preference + eps).powf(1.0 - satisfaction) * (utilization + eps).powf(satisfaction))
+        -((1.0 - preference + eps).powf(1.0 - satisfaction)
+            * (utilization + eps).powf(satisfaction))
     }
 }
 

@@ -31,6 +31,7 @@
 
 pub mod allocation;
 pub mod intention;
+pub mod mediator;
 pub mod mediator_state;
 pub mod module;
 pub mod scoring;
@@ -38,6 +39,7 @@ pub mod sqlb;
 
 pub use allocation::{Allocation, AllocationMethod, CandidateInfo, MediatorView};
 pub use intention::{consumer_intention, provider_intention, IntentionParams, DEFAULT_EPSILON};
+pub use mediator::{ConsumerDigestEntry, Mediator, SatisfactionDigest};
 pub use mediator_state::MediatorState;
 pub use module::{IntentionSource, QueryAllocationModule};
 pub use scoring::{omega, provider_score, rank_candidates, RankedProvider};

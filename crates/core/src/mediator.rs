@@ -1,0 +1,256 @@
+//! The mediator abstraction.
+//!
+//! The paper evaluates a *mono-mediator* system, but its model explicitly
+//! allows several mediators (Section 2). [`Mediator`] packages what one
+//! mediation point owns — an identity, an allocation method instance, and
+//! the intention-based satisfaction bookkeeping ([`MediatorState`]) that
+//! Equation 6 needs — behind one interface, so upper layers (the
+//! simulator's shard router, the concurrent runtime) can run one or many
+//! without caring which.
+//!
+//! When several mediators partition the providers, each only observes the
+//! allocations it performed itself, so its view of a *consumer*'s
+//! satisfaction is partial (consumers reach every shard; providers belong
+//! to exactly one). [`Mediator::export_digest`] and
+//! [`Mediator::absorb_digests`] implement the periodic satisfaction-view
+//! synchronization that repairs this: each mediator publishes its local
+//! consumer readings with their observation weights, and every peer blends
+//! them into its own view.
+
+use serde::{Deserialize, Serialize};
+use sqlb_types::{ConsumerId, MediatorId, Query};
+
+use crate::allocation::{Allocation, AllocationMethod, CandidateInfo};
+use crate::mediator_state::{MediatorState, MediatorStateConfig};
+
+/// One consumer's satisfaction reading inside a [`SatisfactionDigest`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerDigestEntry {
+    /// The consumer the reading is about.
+    pub consumer: ConsumerId,
+    /// The mediator's local, intention-based satisfaction reading.
+    pub satisfaction: f64,
+    /// Number of local observations backing the reading (the tracker's
+    /// window fill). Peers use it to weight the blend.
+    pub weight: u64,
+}
+
+/// A mediator's shareable view of consumer satisfaction, exchanged during
+/// periodic synchronization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatisfactionDigest {
+    /// The mediator that produced the digest.
+    pub mediator: MediatorId,
+    /// One entry per consumer the mediator has observed.
+    pub consumers: Vec<ConsumerDigestEntry>,
+}
+
+/// One mediation point: an allocation method plus the mediator-side
+/// satisfaction state it scores with.
+pub struct Mediator {
+    id: MediatorId,
+    method: Box<dyn AllocationMethod>,
+    state: MediatorState,
+}
+
+impl Mediator {
+    /// Creates a mediator with the given method and tracker configuration.
+    pub fn new(
+        id: MediatorId,
+        method: Box<dyn AllocationMethod>,
+        config: MediatorStateConfig,
+    ) -> Self {
+        Mediator {
+            id,
+            method,
+            state: MediatorState::new(config),
+        }
+    }
+
+    /// The mediator's identity.
+    pub fn id(&self) -> MediatorId {
+        self.id
+    }
+
+    /// Name of the allocation method this mediator runs.
+    pub fn method_name(&self) -> &'static str {
+        self.method.name()
+    }
+
+    /// The mediator's satisfaction state.
+    pub fn state(&self) -> &MediatorState {
+        &self.state
+    }
+
+    /// Mutable access to the mediator's satisfaction state.
+    pub fn state_mut(&mut self) -> &mut MediatorState {
+        &mut self.state
+    }
+
+    /// Runs the allocation decision of Algorithm 1 (lines 6–9) for one
+    /// query over the gathered candidate information, and records the
+    /// outcome in the mediator's satisfaction state.
+    pub fn allocate(&mut self, query: &Query, candidates: &[CandidateInfo]) -> Allocation {
+        let allocation = self.method.allocate(query, candidates, &self.state);
+        self.state.record_allocation(query, candidates, &allocation);
+        allocation
+    }
+
+    /// Publishes this mediator's local consumer-satisfaction readings.
+    pub fn export_digest(&self) -> SatisfactionDigest {
+        let consumers = self
+            .state
+            .consumers()
+            .filter_map(|consumer| {
+                let weight = self.state.consumer_observation_weight(consumer);
+                if weight == 0 {
+                    return None;
+                }
+                let tracker = self.state.consumer_tracker(consumer)?;
+                Some(ConsumerDigestEntry {
+                    consumer,
+                    satisfaction: tracker.satisfaction(),
+                    weight,
+                })
+            })
+            .collect();
+        SatisfactionDigest {
+            mediator: self.id,
+            consumers,
+        }
+    }
+
+    /// Replaces this mediator's remote consumer views with the aggregate
+    /// of the given peer digests. The mediator's own digest is skipped, so
+    /// an all-to-all exchange can pass the same slice to everyone.
+    pub fn absorb_digests(&mut self, digests: &[SatisfactionDigest]) {
+        self.state.clear_remote_consumer_views();
+        for digest in digests {
+            if digest.mediator == self.id {
+                continue;
+            }
+            for entry in &digest.consumers {
+                self.state.add_remote_consumer_view(
+                    entry.consumer,
+                    entry.satisfaction,
+                    entry.weight,
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mediator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mediator")
+            .field("id", &self.id)
+            .field("method", &self.method.name())
+            .field("allocations", &self.state.allocations())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::MediatorView;
+    use crate::sqlb::SqlbAllocator;
+    use sqlb_types::{ProviderId, QueryClass, QueryId, SimTime};
+
+    fn mediator(raw: u32) -> Mediator {
+        Mediator::new(
+            MediatorId::new(raw),
+            Box::new(SqlbAllocator::new()),
+            MediatorStateConfig::default(),
+        )
+    }
+
+    fn candidates(values: &[(u32, f64, f64)]) -> Vec<CandidateInfo> {
+        values
+            .iter()
+            .map(|&(id, ci, pi)| {
+                CandidateInfo::new(ProviderId::new(id))
+                    .with_consumer_intention(ci)
+                    .with_provider_intention(pi)
+            })
+            .collect()
+    }
+
+    fn query(id: u32, consumer: u32) -> Query {
+        Query::single(
+            QueryId::new(id),
+            ConsumerId::new(consumer),
+            QueryClass::Light,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn allocate_records_into_state() {
+        let mut m = mediator(0);
+        let q = query(1, 0);
+        let allocation = m.allocate(&q, &candidates(&[(0, 0.9, 0.9), (1, -0.9, -0.9)]));
+        assert_eq!(allocation.selected, vec![ProviderId::new(0)]);
+        assert_eq!(m.state().allocations(), 1);
+        assert_eq!(m.method_name(), "SQLB");
+        assert_eq!(m.id(), MediatorId::new(0));
+    }
+
+    #[test]
+    fn digest_round_trip_blends_consumer_views() {
+        let mut a = mediator(0);
+        let mut b = mediator(1);
+
+        // Mediator A sees consumer 0 get exactly what it wanted; mediator B
+        // never sees consumer 0 at all.
+        for i in 0..10 {
+            a.allocate(&query(i, 0), &candidates(&[(0, 1.0, 1.0)]));
+        }
+        let before = b.state().consumer_satisfaction(ConsumerId::new(0));
+        assert_eq!(before, 0.5, "B starts from the initial value");
+
+        let digests = vec![a.export_digest(), b.export_digest()];
+        a.absorb_digests(&digests);
+        b.absorb_digests(&digests);
+
+        let after = b.state().consumer_satisfaction(ConsumerId::new(0));
+        assert!(
+            after > 0.9,
+            "B should adopt A's highly satisfied view, got {after}"
+        );
+        // A ignores its own digest, so its local view is unchanged.
+        let a_view = a.state().consumer_satisfaction(ConsumerId::new(0));
+        assert!(a_view > 0.9);
+    }
+
+    #[test]
+    fn absorb_is_idempotent_per_round() {
+        let mut a = mediator(0);
+        let mut b = mediator(1);
+        for i in 0..5 {
+            a.allocate(&query(i, 3), &candidates(&[(0, 0.8, 0.5)]));
+        }
+        let digests = vec![a.export_digest()];
+        b.absorb_digests(&digests);
+        let first = b.state().consumer_satisfaction(ConsumerId::new(3));
+        // A second synchronization round with the same digest must not
+        // double-count the observations.
+        b.absorb_digests(&digests);
+        let second = b.state().consumer_satisfaction(ConsumerId::new(3));
+        assert_eq!(first, second);
+        assert_eq!(
+            b.state()
+                .remote_consumer_view(ConsumerId::new(3))
+                .unwrap()
+                .1,
+            5
+        );
+    }
+
+    #[test]
+    fn empty_trackers_are_not_exported() {
+        let mut m = mediator(0);
+        m.state_mut().register_consumer(ConsumerId::new(9));
+        assert!(m.export_digest().consumers.is_empty());
+    }
+}

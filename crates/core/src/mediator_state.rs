@@ -6,11 +6,9 @@
 //! intention-based [`ConsumerTracker`] per consumer and an intention-based
 //! [`ProviderTracker`] per provider, updated after every allocation.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
-use sqlb_types::{ConsumerId, Intention, ProviderId, Query};
+use sqlb_types::{ConsumerId, Intention, ParticipantTable, ProviderId, Query};
 
 use crate::allocation::{Allocation, CandidateInfo, MediatorView};
 
@@ -40,13 +38,27 @@ impl Default for MediatorStateConfig {
     }
 }
 
+/// A consumer's satisfaction as reported by *other* mediators, absorbed
+/// during periodic view synchronization (see `crate::mediator`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteConsumerView {
+    /// Weighted sum of the remote satisfaction readings.
+    weighted_satisfaction: f64,
+    /// Total weight (number of remote observations backing the readings).
+    weight: u64,
+}
+
 /// The mediator's view of every participant's intention-based
 /// characteristics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MediatorState {
     config: MediatorStateConfig,
-    consumers: BTreeMap<ConsumerId, ConsumerTracker>,
-    providers: BTreeMap<ProviderId, ProviderTracker>,
+    consumers: ParticipantTable<ConsumerId, ConsumerTracker>,
+    providers: ParticipantTable<ProviderId, ProviderTracker>,
+    /// Consumer satisfaction absorbed from peer mediators. Empty in a
+    /// mono-mediator system, so the blended reading reduces to the local
+    /// tracker exactly.
+    remote_consumers: ParticipantTable<ConsumerId, RemoteConsumerView>,
     allocations: u64,
 }
 
@@ -55,8 +67,9 @@ impl MediatorState {
     pub fn new(config: MediatorStateConfig) -> Self {
         MediatorState {
             config,
-            consumers: BTreeMap::new(),
-            providers: BTreeMap::new(),
+            consumers: ParticipantTable::new(),
+            providers: ParticipantTable::new(),
+            remote_consumers: ParticipantTable::new(),
             allocations: 0,
         }
     }
@@ -70,15 +83,15 @@ impl MediatorState {
     /// lazily on their first allocation).
     pub fn register_consumer(&mut self, consumer: ConsumerId) {
         let config = self.config;
-        self.consumers
-            .entry(consumer)
-            .or_insert_with(|| ConsumerTracker::new(config.consumer_window, config.initial_satisfaction));
+        self.consumers.or_insert_with(consumer, || {
+            ConsumerTracker::new(config.consumer_window, config.initial_satisfaction)
+        });
     }
 
     /// Registers a provider explicitly.
     pub fn register_provider(&mut self, provider: ProviderId) {
         let config = self.config;
-        self.providers.entry(provider).or_insert_with(|| {
+        self.providers.or_insert_with(provider, || {
             ProviderTracker::new(
                 config.provider_proposed_window,
                 config.provider_performed_window,
@@ -89,12 +102,13 @@ impl MediatorState {
 
     /// Forgets a consumer (e.g. after it departs from the system).
     pub fn remove_consumer(&mut self, consumer: ConsumerId) {
-        self.consumers.remove(&consumer);
+        self.consumers.remove(consumer);
+        self.remote_consumers.remove(consumer);
     }
 
     /// Forgets a provider.
     pub fn remove_provider(&mut self, provider: ProviderId) {
-        self.providers.remove(&provider);
+        self.providers.remove(provider);
     }
 
     /// Records the outcome of one query allocation: updates the issuing
@@ -121,13 +135,13 @@ impl MediatorState {
             .filter(|(_, c)| allocation.is_selected(c.provider))
             .map(|(i, _)| i)
             .collect();
-        if let Some(tracker) = self.consumers.get_mut(&query.consumer) {
+        if let Some(tracker) = self.consumers.get_mut(query.consumer) {
             tracker.record_allocation(&consumer_intentions, &selected_indices, query.n);
         }
 
         for candidate in candidates {
             self.register_provider(candidate.provider);
-            if let Some(tracker) = self.providers.get_mut(&candidate.provider) {
+            if let Some(tracker) = self.providers.get_mut(candidate.provider) {
                 tracker.record_proposal(
                     Intention::new(candidate.provider_intention),
                     allocation.is_selected(candidate.provider),
@@ -140,7 +154,7 @@ impl MediatorState {
     /// Intention-based adequation `δa(c)` of a consumer.
     pub fn consumer_adequation(&self, consumer: ConsumerId) -> f64 {
         self.consumers
-            .get(&consumer)
+            .get(consumer)
             .map(|t| t.adequation())
             .unwrap_or(self.config.initial_satisfaction)
     }
@@ -148,7 +162,7 @@ impl MediatorState {
     /// Intention-based allocation satisfaction `δas(c)` of a consumer.
     pub fn consumer_allocation_satisfaction(&self, consumer: ConsumerId) -> f64 {
         self.consumers
-            .get(&consumer)
+            .get(consumer)
             .map(|t| t.allocation_satisfaction())
             .unwrap_or(1.0)
     }
@@ -156,7 +170,7 @@ impl MediatorState {
     /// Intention-based adequation `δa(p)` of a provider.
     pub fn provider_adequation(&self, provider: ProviderId) -> f64 {
         self.providers
-            .get(&provider)
+            .get(provider)
             .map(|t| t.adequation())
             .unwrap_or(self.config.initial_satisfaction)
     }
@@ -164,29 +178,77 @@ impl MediatorState {
     /// Intention-based allocation satisfaction `δas(p)` of a provider.
     pub fn provider_allocation_satisfaction(&self, provider: ProviderId) -> f64 {
         self.providers
-            .get(&provider)
+            .get(provider)
             .map(|t| t.allocation_satisfaction())
             .unwrap_or(1.0)
     }
 
     /// Direct access to a consumer's tracker, if registered.
     pub fn consumer_tracker(&self, consumer: ConsumerId) -> Option<&ConsumerTracker> {
-        self.consumers.get(&consumer)
+        self.consumers.get(consumer)
     }
 
     /// Direct access to a provider's tracker, if registered.
     pub fn provider_tracker(&self, provider: ProviderId) -> Option<&ProviderTracker> {
-        self.providers.get(&provider)
+        self.providers.get(provider)
     }
 
     /// Identifiers of all registered consumers.
     pub fn consumers(&self) -> impl Iterator<Item = ConsumerId> + '_ {
-        self.consumers.keys().copied()
+        self.consumers.keys()
     }
 
     /// Identifiers of all registered providers.
     pub fn providers(&self) -> impl Iterator<Item = ProviderId> + '_ {
-        self.providers.keys().copied()
+        self.providers.keys()
+    }
+
+    /// The number of locally observed allocations backing a consumer's
+    /// satisfaction reading (the tracker's window fill). Used as the local
+    /// weight when blending with remote views.
+    pub fn consumer_observation_weight(&self, consumer: ConsumerId) -> u64 {
+        self.consumers
+            .get(consumer)
+            .map(|t| t.window_len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Drops every absorbed remote consumer view (called at the start of a
+    /// synchronization round).
+    pub fn clear_remote_consumer_views(&mut self) {
+        self.remote_consumers.clear();
+    }
+
+    /// Accumulates a peer mediator's satisfaction reading for `consumer`,
+    /// weighted by the number of observations backing it. Readings from
+    /// several peers add up; [`MediatorView::consumer_satisfaction`] then
+    /// blends the aggregate with the local tracker.
+    pub fn add_remote_consumer_view(
+        &mut self,
+        consumer: ConsumerId,
+        satisfaction: f64,
+        weight: u64,
+    ) {
+        if weight == 0 || !satisfaction.is_finite() {
+            return;
+        }
+        let view = self
+            .remote_consumers
+            .or_insert_with(consumer, || RemoteConsumerView {
+                weighted_satisfaction: 0.0,
+                weight: 0,
+            });
+        view.weighted_satisfaction += satisfaction * weight as f64;
+        view.weight += weight;
+    }
+
+    /// The aggregated remote satisfaction view for a consumer, if any peer
+    /// reported one: `(mean satisfaction, total weight)`.
+    pub fn remote_consumer_view(&self, consumer: ConsumerId) -> Option<(f64, u64)> {
+        self.remote_consumers
+            .get(consumer)
+            .filter(|v| v.weight > 0)
+            .map(|v| (v.weighted_satisfaction / v.weight as f64, v.weight))
     }
 
     /// Total number of allocations recorded.
@@ -208,10 +270,25 @@ impl Default for MediatorState {
 
 impl MediatorView for MediatorState {
     fn consumer_satisfaction(&self, consumer: ConsumerId) -> f64 {
-        self.consumers
-            .get(&consumer)
-            .map(|t| t.satisfaction())
-            .unwrap_or(self.config.initial_satisfaction)
+        // Blend the local tracker with whatever peer mediators reported at
+        // the last synchronization, weighting each side by its number of
+        // observations. With no remote views (the mono-mediator case) this
+        // is exactly the local reading.
+        let local = self.consumers.get(consumer).map(|t| t.satisfaction());
+        match (local, self.remote_consumer_view(consumer)) {
+            (Some(local_sat), Some((remote_sat, remote_weight))) => {
+                let local_weight = self.consumer_observation_weight(consumer);
+                if local_weight == 0 {
+                    remote_sat
+                } else {
+                    let (lw, rw) = (local_weight as f64, remote_weight as f64);
+                    (local_sat * lw + remote_sat * rw) / (lw + rw)
+                }
+            }
+            (Some(local_sat), None) => local_sat,
+            (None, Some((remote_sat, _))) => remote_sat,
+            (None, None) => self.config.initial_satisfaction,
+        }
     }
 
     fn provider_satisfaction(&self, provider: ProviderId) -> f64 {
@@ -220,8 +297,10 @@ impl MediatorView for MediatorState {
         // provider being under-served over its recent history without
         // letting a single empty sampling window swing `ω` to an extreme
         // that would override the consumer's intentions entirely.
+        // Providers are owned by exactly one mediator shard, so no remote
+        // blending is needed on this side.
         self.providers
-            .get(&provider)
+            .get(provider)
             .map(|t| t.satisfaction())
             .unwrap_or(self.config.initial_satisfaction)
     }
@@ -271,8 +350,14 @@ mod tests {
         assert_eq!(state.provider_satisfaction(ProviderId::new(7)), 0.5);
         assert_eq!(state.consumer_adequation(ConsumerId::new(7)), 0.5);
         assert_eq!(state.provider_adequation(ProviderId::new(7)), 0.5);
-        assert_eq!(state.consumer_allocation_satisfaction(ConsumerId::new(7)), 1.0);
-        assert_eq!(state.provider_allocation_satisfaction(ProviderId::new(7)), 1.0);
+        assert_eq!(
+            state.consumer_allocation_satisfaction(ConsumerId::new(7)),
+            1.0
+        );
+        assert_eq!(
+            state.provider_allocation_satisfaction(ProviderId::new(7)),
+            1.0
+        );
         assert_eq!(state.allocations(), 0);
     }
 

@@ -146,8 +146,8 @@ mod tests {
     use super::*;
     use crate::allocation::MediatorView;
     use crate::sqlb::SqlbAllocator;
-    use std::collections::BTreeMap;
     use sqlb_types::{ConsumerId, QueryClass, QueryId, SimTime};
+    use std::collections::BTreeMap;
 
     /// A canned intention source for tests.
     struct Canned {

@@ -8,22 +8,17 @@ use crate::intention::IntentionParams;
 use crate::scoring::{omega, provider_score, rank_candidates, RankedProvider};
 
 /// How the consumer/provider trade-off weight `ω` is obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum OmegaPolicy {
     /// Equation 6: `ω = ((δs(c) − δs(p)) + 1) / 2`, computed per candidate
     /// from the mediator's intention-based satisfaction view. This is the
     /// policy that "guarantees equity at all levels".
+    #[default]
     SatisfactionBalanced,
     /// A fixed `ω` value. Section 5.3 notes that "one can also set ω's
     /// value according to the kind of application", e.g. `ω = 0` when
     /// providers are cooperative and result quality is all that matters.
     Fixed(f64),
-}
-
-impl Default for OmegaPolicy {
-    fn default() -> Self {
-        OmegaPolicy::SatisfactionBalanced
-    }
 }
 
 /// Configuration of the SQLB allocator.
@@ -146,8 +141,8 @@ mod tests {
         let mut sqlb = SqlbAllocator::new();
         let q = query(1);
         let candidates = vec![
-            candidate(1, -0.8, 0.9),  // provider wants it, consumer does not
-            candidate(2, 0.9, -0.6),  // consumer wants it, provider does not
+            candidate(1, -0.8, 0.9), // provider wants it, consumer does not
+            candidate(2, 0.9, -0.6), // consumer wants it, provider does not
             candidate(3, -0.7, 0.3),
             candidate(4, 0.8, -0.2),
             candidate(5, 0.7, 0.6), // both want it

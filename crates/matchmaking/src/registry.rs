@@ -65,7 +65,10 @@ impl CapabilityRegistry {
 
     /// Registers an additional capability for a provider.
     pub fn register(&mut self, provider: ProviderId, capability: Capability) {
-        self.capabilities.entry(provider).or_default().push(capability);
+        self.capabilities
+            .entry(provider)
+            .or_default()
+            .push(capability);
     }
 
     /// Removes a provider and all of its capabilities (e.g. when it departs

@@ -7,7 +7,7 @@
 //! missing answers as indifference (`0`). After the allocation decision it
 //! notifies every candidate of the mediation result, selected or not.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -21,6 +21,20 @@ pub trait ConsumerEndpoint: Send + 'static {
     /// The consumer's intentions towards the candidate providers of its
     /// query (the vector `CI_q`).
     fn intentions(&mut self, query: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)>;
+
+    /// Batched form of [`ConsumerEndpoint::intentions`]: one request
+    /// covering several of the consumer's queries, answered in one reply.
+    /// The default implementation loops over the single-query method;
+    /// endpoints can override it to amortize per-request work.
+    fn intentions_batch(
+        &mut self,
+        requests: &[(Query, Vec<ProviderId>)],
+    ) -> Vec<(QueryId, Vec<(ProviderId, f64)>)> {
+        requests
+            .iter()
+            .map(|(query, candidates)| (query.id, self.intentions(query, candidates)))
+            .collect()
+    }
 
     /// Notification of the final allocation of one of the consumer's
     /// queries.
@@ -36,6 +50,26 @@ pub trait ProviderEndpoint: Send + 'static {
     /// protocol.
     fn bid(&mut self, _query: &Query) -> Option<Bid> {
         None
+    }
+
+    /// Batched form of [`ProviderEndpoint::intention`]: one request
+    /// covering every query of a mediation batch that lists this provider
+    /// as a candidate, answered in one reply (with bids when the protocol
+    /// asks for them). The default implementation loops over the
+    /// single-query methods.
+    fn intention_batch(
+        &mut self,
+        queries: &[Query],
+        request_bids: bool,
+    ) -> Vec<(QueryId, f64, Option<Bid>)> {
+        queries
+            .iter()
+            .map(|query| {
+                let intention = self.intention(query);
+                let bid = if request_bids { self.bid(query) } else { None };
+                (query.id, intention, bid)
+            })
+            .collect()
     }
 
     /// Notification of the mediation result (selected or not).
@@ -62,14 +96,35 @@ impl Default for RuntimeConfig {
 }
 
 enum ConsumerRequest {
-    Intentions { query: Query, candidates: Vec<ProviderId> },
-    Result { query: QueryId, providers: Vec<ProviderId> },
+    Intentions {
+        query: Query,
+        candidates: Vec<ProviderId>,
+    },
+    IntentionsBatch {
+        batch: u64,
+        requests: Vec<(Query, Vec<ProviderId>)>,
+    },
+    Result {
+        query: QueryId,
+        providers: Vec<ProviderId>,
+    },
     Shutdown,
 }
 
 enum ProviderRequest {
-    Intention { query: Query, request_bid: bool },
-    Notice { query: QueryId, selected: bool },
+    Intention {
+        query: Query,
+        request_bid: bool,
+    },
+    IntentionBatch {
+        batch: u64,
+        queries: Vec<Query>,
+        request_bids: bool,
+    },
+    Notice {
+        query: QueryId,
+        selected: bool,
+    },
     Shutdown,
 }
 
@@ -84,15 +139,15 @@ enum Reply {
         intention: f64,
         bid: Option<Bid>,
     },
-}
-
-impl Reply {
-    fn query(&self) -> QueryId {
-        match self {
-            Reply::Consumer { query, .. } => *query,
-            Reply::Provider { query, .. } => *query,
-        }
-    }
+    ConsumerBatch {
+        batch: u64,
+        intentions: Vec<(QueryId, Vec<(ProviderId, f64)>)>,
+    },
+    ProviderBatch {
+        batch: u64,
+        provider: ProviderId,
+        intentions: Vec<(QueryId, f64, Option<Bid>)>,
+    },
 }
 
 /// The mediation runtime: owns one worker thread per registered
@@ -104,6 +159,9 @@ pub struct MediationRuntime {
     reply_tx: Sender<Reply>,
     reply_rx: Receiver<Reply>,
     handles: Vec<JoinHandle<()>>,
+    /// Identifier of the next mediation batch, so late batch replies can
+    /// be told apart from the current round's.
+    next_batch: std::sync::atomic::AtomicU64,
 }
 
 impl MediationRuntime {
@@ -117,6 +175,7 @@ impl MediationRuntime {
             reply_tx,
             reply_rx,
             handles: Vec::new(),
+            next_batch: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -134,6 +193,10 @@ impl MediationRuntime {
                             query: query.id,
                             intentions,
                         });
+                    }
+                    ConsumerRequest::IntentionsBatch { batch, requests } => {
+                        let intentions = endpoint.intentions_batch(&requests);
+                        let _ = reply_tx.send(Reply::ConsumerBatch { batch, intentions });
                     }
                     ConsumerRequest::Result { query, providers } => {
                         endpoint.allocation_result(query, &providers);
@@ -155,12 +218,28 @@ impl MediationRuntime {
                 match request {
                     ProviderRequest::Intention { query, request_bid } => {
                         let intention = endpoint.intention(&query);
-                        let bid = if request_bid { endpoint.bid(&query) } else { None };
+                        let bid = if request_bid {
+                            endpoint.bid(&query)
+                        } else {
+                            None
+                        };
                         let _ = reply_tx.send(Reply::Provider {
                             query: query.id,
                             provider: id,
                             intention,
                             bid,
+                        });
+                    }
+                    ProviderRequest::IntentionBatch {
+                        batch,
+                        queries,
+                        request_bids,
+                    } => {
+                        let intentions = endpoint.intention_batch(&queries, request_bids);
+                        let _ = reply_tx.send(Reply::ProviderBatch {
+                            batch,
+                            provider: id,
+                            intentions,
                         });
                     }
                     ProviderRequest::Notice { query, selected } => {
@@ -225,23 +304,23 @@ impl MediationRuntime {
         let mut received = 0usize;
         while received < expected {
             match self.reply_rx.recv_deadline(deadline) {
-                Ok(reply) if reply.query() == query.id => {
+                Ok(Reply::Consumer {
+                    query: replied,
+                    intentions,
+                }) if replied == query.id => {
                     received += 1;
-                    match reply {
-                        Reply::Consumer { intentions, .. } => {
-                            consumer_intentions.extend(intentions);
-                        }
-                        Reply::Provider {
-                            provider,
-                            intention,
-                            bid,
-                            ..
-                        } => {
-                            provider_intentions.insert(provider, (intention, bid));
-                        }
-                    }
+                    consumer_intentions.extend(intentions);
                 }
-                Ok(_) => continue, // stale reply for an older query
+                Ok(Reply::Provider {
+                    query: replied,
+                    provider,
+                    intention,
+                    bid,
+                }) if replied == query.id => {
+                    received += 1;
+                    provider_intentions.insert(provider, (intention, bid));
+                }
+                Ok(_) => continue, // stale reply for an older query or batch
                 Err(_) => break,   // timeout: remaining answers default to 0
             }
         }
@@ -250,10 +329,7 @@ impl MediationRuntime {
             .iter()
             .map(|&p| {
                 let ci = consumer_intentions.get(&p).copied().unwrap_or(0.0);
-                let (pi, bid) = provider_intentions
-                    .get(&p)
-                    .copied()
-                    .unwrap_or((0.0, None));
+                let (pi, bid) = provider_intentions.get(&p).copied().unwrap_or((0.0, None));
                 let mut info = CandidateInfo::new(p)
                     .with_consumer_intention(ci)
                     .with_provider_intention(pi);
@@ -261,6 +337,146 @@ impl MediationRuntime {
                     info = info.with_bid(bid);
                 }
                 info
+            })
+            .collect()
+    }
+
+    /// Gathers the candidate information for a *batch* of queries with one
+    /// round-trip per participant: every distinct consumer receives a
+    /// single request covering all of its queries in the batch, and every
+    /// distinct candidate provider a single request covering all the
+    /// queries that list it. Replies are awaited until the configured
+    /// timeout; whatever is missing then falls back to indifference (`0`),
+    /// exactly as in the single-query path (Algorithm 1, line 5).
+    ///
+    /// Returns one candidate-info vector per input query, in input order.
+    pub fn gather_batch(&self, requests: &[(Query, Vec<ProviderId>)]) -> Vec<Vec<CandidateInfo>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Drain stale replies from previous, timed-out rounds.
+        while self.reply_rx.try_recv().is_ok() {}
+        let batch = self
+            .next_batch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        // One message per distinct consumer (BTreeMaps keep the send order
+        // deterministic).
+        let mut by_consumer: BTreeMap<ConsumerId, Vec<(Query, Vec<ProviderId>)>> = BTreeMap::new();
+        let mut by_provider: BTreeMap<ProviderId, Vec<Query>> = BTreeMap::new();
+        for (query, candidates) in requests {
+            by_consumer
+                .entry(query.consumer)
+                .or_default()
+                .push((query.clone(), candidates.clone()));
+            for provider in candidates {
+                by_provider
+                    .entry(*provider)
+                    .or_default()
+                    .push(query.clone());
+            }
+        }
+
+        let mut expected = 0usize;
+        for (consumer, consumer_requests) in by_consumer {
+            if let Some(tx) = self.consumers.get(&consumer) {
+                let _ = tx.send(ConsumerRequest::IntentionsBatch {
+                    batch,
+                    requests: consumer_requests,
+                });
+                expected += 1;
+            }
+        }
+        for (provider, queries) in by_provider {
+            if let Some(tx) = self.providers.get(&provider) {
+                let _ = tx.send(ProviderRequest::IntentionBatch {
+                    batch,
+                    queries,
+                    request_bids: self.config.request_bids,
+                });
+                expected += 1;
+            }
+        }
+
+        let mut consumer_intentions: HashMap<(QueryId, ProviderId), f64> = HashMap::new();
+        let mut provider_intentions: HashMap<(QueryId, ProviderId), (f64, Option<Bid>)> =
+            HashMap::new();
+        let deadline = Instant::now() + self.config.timeout;
+        let mut received = 0usize;
+        while received < expected {
+            match self.reply_rx.recv_deadline(deadline) {
+                Ok(Reply::ConsumerBatch {
+                    batch: replied,
+                    intentions,
+                }) if replied == batch => {
+                    received += 1;
+                    for (query, per_provider) in intentions {
+                        for (provider, intention) in per_provider {
+                            consumer_intentions.insert((query, provider), intention);
+                        }
+                    }
+                }
+                Ok(Reply::ProviderBatch {
+                    batch: replied,
+                    provider,
+                    intentions,
+                }) if replied == batch => {
+                    received += 1;
+                    for (query, intention, bid) in intentions {
+                        provider_intentions.insert((query, provider), (intention, bid));
+                    }
+                }
+                Ok(_) => continue, // stale single reply or an older batch
+                Err(_) => break,   // timeout: remaining answers default to 0
+            }
+        }
+
+        requests
+            .iter()
+            .map(|(query, candidates)| {
+                candidates
+                    .iter()
+                    .map(|&p| {
+                        let ci = consumer_intentions
+                            .get(&(query.id, p))
+                            .copied()
+                            .unwrap_or(0.0);
+                        let (pi, bid) = provider_intentions
+                            .get(&(query.id, p))
+                            .copied()
+                            .unwrap_or((0.0, None));
+                        let mut info = CandidateInfo::new(p)
+                            .with_consumer_intention(ci)
+                            .with_provider_intention(pi);
+                        if let Some(bid) = bid {
+                            info = info.with_bid(bid);
+                        }
+                        info
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs Algorithm 1 for a whole batch of queries: one batched gather
+    /// round-trip per participant, then an allocation decision per query
+    /// (recorded in the mediator state) and the result notifications.
+    /// Returns one allocation per input query, in input order.
+    pub fn mediate_batch<M: AllocationMethod>(
+        &self,
+        requests: &[(Query, Vec<ProviderId>)],
+        method: &mut M,
+        state: &mut MediatorState,
+    ) -> Vec<Allocation> {
+        let infos = self.gather_batch(requests);
+        requests
+            .iter()
+            .zip(&infos)
+            .map(|((query, candidates), query_infos)| {
+                let allocation = method.allocate(query, query_infos, state);
+                state.record_allocation(query, query_infos, &allocation);
+                self.notify(query, candidates, &allocation);
+                allocation
             })
             .collect()
     }
@@ -374,15 +590,14 @@ mod tests {
         )
     }
 
+    type Notices = Arc<Mutex<Vec<(QueryId, bool)>>>;
+    type Results = Arc<Mutex<Vec<Vec<ProviderId>>>>;
+
     fn build_runtime(
         provider_values: &[f64],
         consumer_values: Vec<f64>,
         config: RuntimeConfig,
-    ) -> (
-        MediationRuntime,
-        Arc<Mutex<Vec<(QueryId, bool)>>>,
-        Arc<Mutex<Vec<Vec<ProviderId>>>>,
-    ) {
+    ) -> (MediationRuntime, Notices, Results) {
         let notices = Arc::new(Mutex::new(Vec::new()));
         let results = Arc::new(Mutex::new(Vec::new()));
         let mut runtime = MediationRuntime::new(config);
@@ -468,11 +683,8 @@ mod tests {
 
     #[test]
     fn mediate_allocates_and_notifies_everyone() {
-        let (runtime, notices, results) = build_runtime(
-            &[0.9, 0.4],
-            vec![0.8, 0.8],
-            RuntimeConfig::default(),
-        );
+        let (runtime, notices, results) =
+            build_runtime(&[0.9, 0.4], vec![0.8, 0.8], RuntimeConfig::default());
         let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
         let mut method = SqlbAllocator::new();
         let mut state = MediatorState::paper_default();
@@ -534,9 +746,117 @@ mod tests {
         );
     }
 
+    /// A provider endpoint that counts how many requests (not queries) it
+    /// receives, to pin down the one-round-trip-per-participant property.
+    struct CountingProvider {
+        value: f64,
+        requests: Arc<Mutex<u32>>,
+    }
+
+    impl ProviderEndpoint for CountingProvider {
+        fn intention(&mut self, _q: &Query) -> f64 {
+            self.value
+        }
+        fn intention_batch(
+            &mut self,
+            queries: &[Query],
+            request_bids: bool,
+        ) -> Vec<(QueryId, f64, Option<Bid>)> {
+            *self.requests.lock() += 1;
+            queries
+                .iter()
+                .map(|q| {
+                    (
+                        q.id,
+                        self.value,
+                        if request_bids { self.bid(q) } else { None },
+                    )
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn gather_batch_serves_many_queries_with_one_request_per_participant() {
+        let requests_seen = Arc::new(Mutex::new(0u32));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let mut runtime = MediationRuntime::new(RuntimeConfig::default());
+        runtime.register_consumer(
+            ConsumerId::new(0),
+            CannedConsumer {
+                values: vec![0.5, -0.25],
+                results,
+            },
+        );
+        for (i, value) in [0.8, -0.2].into_iter().enumerate() {
+            runtime.register_provider(
+                ProviderId::new(i as u32),
+                CountingProvider {
+                    value,
+                    requests: requests_seen.clone(),
+                },
+            );
+        }
+
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let batch: Vec<(Query, Vec<ProviderId>)> =
+            (0..5).map(|i| (query(i), candidates.clone())).collect();
+        let infos = runtime.gather_batch(&batch);
+
+        assert_eq!(infos.len(), 5);
+        for per_query in &infos {
+            assert_eq!(per_query.len(), 2);
+            assert_eq!(per_query[0].provider_intention, 0.8);
+            assert_eq!(per_query[1].provider_intention, -0.2);
+            assert_eq!(per_query[0].consumer_intention, 0.5);
+            assert_eq!(per_query[1].consumer_intention, -0.25);
+        }
+        assert_eq!(
+            *requests_seen.lock(),
+            2,
+            "five queries must cost each provider exactly one round-trip"
+        );
+    }
+
+    #[test]
+    fn gather_batch_of_nothing_is_empty() {
+        let (runtime, _, _) = build_runtime(&[0.5], vec![0.5], RuntimeConfig::default());
+        assert!(runtime.gather_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn mediate_batch_allocates_and_notifies_per_query() {
+        let (runtime, notices, results) =
+            build_runtime(&[0.9, 0.4], vec![0.8, 0.8], RuntimeConfig::default());
+        let candidates: Vec<ProviderId> = (0..2).map(ProviderId::new).collect();
+        let batch: Vec<(Query, Vec<ProviderId>)> =
+            (0..3).map(|i| (query(i), candidates.clone())).collect();
+        let mut method = SqlbAllocator::new();
+        let mut state = MediatorState::paper_default();
+        let allocations = runtime.mediate_batch(&batch, &mut method, &mut state);
+        assert_eq!(allocations.len(), 3);
+        for allocation in &allocations {
+            assert_eq!(allocation.selected, vec![ProviderId::new(0)]);
+        }
+        assert_eq!(state.allocations(), 3);
+
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let n = notices.lock().len();
+            let r = results.lock().len();
+            if (n == 6 && r == 3) || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(notices.lock().len(), 6, "2 candidates × 3 queries");
+        assert_eq!(results.lock().len(), 3);
+    }
+
     #[test]
     fn deregistering_a_provider_silences_it() {
-        let (mut runtime, _, _) = build_runtime(&[0.5, 0.6], vec![0.5, 0.5], RuntimeConfig::default());
+        let (mut runtime, _, _) =
+            build_runtime(&[0.5, 0.6], vec![0.5, 0.5], RuntimeConfig::default());
         assert_eq!(runtime.provider_count(), 2);
         assert_eq!(runtime.consumer_count(), 1);
         runtime.deregister_provider(ProviderId::new(1));

@@ -86,7 +86,10 @@ pub fn min_max_ratio(values: &[f64]) -> f64 {
 /// Returns `1` for an empty set. Panics if `c0` is not strictly positive,
 /// mirroring the paper's requirement.
 pub fn min_max_ratio_with(values: &[f64], c0: f64) -> f64 {
-    assert!(c0 > 0.0, "the min-max constant c0 must be strictly positive");
+    assert!(
+        c0 > 0.0,
+        "the min-max constant c0 must be strictly positive"
+    );
     if values.is_empty() {
         return 1.0;
     }

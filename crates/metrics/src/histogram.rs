@@ -208,7 +208,7 @@ mod tests {
                 h.record(v);
             }
             let quant = h.quantile(q).unwrap();
-            prop_assert!(quant >= 0.0 && quant <= 10.0);
+            prop_assert!((0.0..=10.0).contains(&quant));
         }
     }
 }

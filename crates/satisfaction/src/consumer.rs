@@ -16,11 +16,8 @@ pub fn consumer_query_adequation(intentions_over_pq: &[Intention]) -> Option<f64
     if intentions_over_pq.is_empty() {
         return None;
     }
-    let mean = intentions_over_pq
-        .iter()
-        .map(|i| i.value())
-        .sum::<f64>()
-        / intentions_over_pq.len() as f64;
+    let mean =
+        intentions_over_pq.iter().map(|i| i.value()).sum::<f64>() / intentions_over_pq.len() as f64;
     Some((mean + 1.0) / 2.0)
 }
 
@@ -285,8 +282,8 @@ mod tests {
                 .map(|(i, _)| i)
                 .unwrap();
             let s_best = consumer_query_satisfaction(&[ints[best]], 1);
-            for i in 0..ints.len() {
-                let s_i = consumer_query_satisfaction(&[ints[i]], 1);
+            for &intention in &ints {
+                let s_i = consumer_query_satisfaction(&[intention], 1);
                 prop_assert!(s_best >= s_i - 1e-12);
             }
         }

@@ -1,9 +1,7 @@
 //! Simulation configuration.
 
 use serde::{Deserialize, Serialize};
-use sqlb_agents::{
-    ConsumerDepartureRule, PopulationConfig, ProviderDepartureRule,
-};
+use sqlb_agents::{ConsumerDepartureRule, PopulationConfig, ProviderDepartureRule};
 use sqlb_baselines::{CapacityBased, MariposaLike, RandomAllocator, RoundRobinAllocator};
 use sqlb_core::{AllocationMethod, SqlbAllocator};
 use sqlb_types::SqlbError;
@@ -91,6 +89,12 @@ pub struct SimulationConfig {
     /// sliding utilization windows and satisfaction memories fill up before
     /// participants judge the system.
     pub departure_warmup_secs: f64,
+    /// Number of mediator shards the providers are partitioned across.
+    /// `1` reproduces the paper's mono-mediator system exactly.
+    pub mediator_shards: usize,
+    /// Interval between satisfaction-view synchronizations across shards,
+    /// in seconds. Ignored when `mediator_shards == 1`.
+    pub sync_interval_secs: f64,
 }
 
 impl SimulationConfig {
@@ -111,6 +115,8 @@ impl SimulationConfig {
             sample_interval_secs: 100.0,
             assessment_interval_secs: 50.0,
             departure_warmup_secs: 200.0,
+            mediator_shards: 1,
+            sync_interval_secs: 100.0,
         }
     }
 
@@ -130,10 +136,14 @@ impl SimulationConfig {
         let provider_window = ((providers as f64) * 1.25).round() as usize;
         population.provider_config.proposed_memory = provider_window.max(8);
         population.provider_config.performed_memory = provider_window.max(8);
-        let mut provider_departure = ProviderDepartureRule::default();
-        provider_departure.min_proposed_queries = provider_window.max(8) as u64;
-        let mut consumer_departure = ConsumerDepartureRule::default();
-        consumer_departure.min_issued_queries = ((consumers as u64) / 4).max(10);
+        let provider_departure = ProviderDepartureRule {
+            min_proposed_queries: provider_window.max(8) as u64,
+            ..ProviderDepartureRule::default()
+        };
+        let consumer_departure = ConsumerDepartureRule {
+            min_issued_queries: ((consumers as u64) / 4).max(10),
+            ..ConsumerDepartureRule::default()
+        };
         SimulationConfig {
             population,
             workload: WorkloadPattern::paper_ramp(),
@@ -148,6 +158,8 @@ impl SimulationConfig {
             assessment_interval_secs: (duration_secs / 40.0).max(5.0),
             departure_warmup_secs: (2.5 * population.provider_config.utilization_window_secs)
                 .min(duration_secs / 3.0),
+            mediator_shards: 1,
+            sync_interval_secs: (duration_secs / 100.0).max(1.0),
         }
     }
 
@@ -178,6 +190,20 @@ impl SimulationConfig {
         self
     }
 
+    /// Partitions the providers across `shards` mediator shards (1 = the
+    /// paper's mono-mediator setup).
+    pub fn with_mediator_shards(mut self, shards: usize) -> Self {
+        self.mediator_shards = shards;
+        self
+    }
+
+    /// Sets the interval between satisfaction-view synchronizations across
+    /// shards.
+    pub fn with_sync_interval(mut self, secs: f64) -> Self {
+        self.sync_interval_secs = secs;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SqlbError> {
         self.population.validate()?;
@@ -194,6 +220,24 @@ impl SimulationConfig {
         if self.sample_interval_secs <= 0.0 || self.assessment_interval_secs <= 0.0 {
             return Err(SqlbError::InvalidConfig {
                 reason: "sampling and assessment intervals must be positive".into(),
+            });
+        }
+        if self.mediator_shards == 0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "at least one mediator shard is required".into(),
+            });
+        }
+        if self.mediator_shards > self.population.providers as usize {
+            return Err(SqlbError::InvalidConfig {
+                reason: format!(
+                    "{} mediator shards cannot partition {} providers (shards would start empty)",
+                    self.mediator_shards, self.population.providers
+                ),
+            });
+        }
+        if self.sync_interval_secs <= 0.0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "the shard synchronization interval must be positive".into(),
             });
         }
         Ok(())
@@ -213,6 +257,7 @@ mod tests {
         assert_eq!(c.population.provider_config.performed_memory, 500);
         assert_eq!(c.query_n, 1);
         assert_eq!(c.duration_secs, 10_000.0);
+        assert_eq!(c.mediator_shards, 1, "the paper runs a single mediator");
         assert!(c.validate().is_ok());
         assert!(!c.consumers_may_leave && !c.providers_may_leave);
     }
@@ -232,12 +277,17 @@ mod tests {
             .with_workload(WorkloadPattern::Fixed(0.8))
             .with_seed(9)
             .with_provider_departures(ProviderDepartureRule::default())
-            .with_consumer_departures(ConsumerDepartureRule::default());
+            .with_consumer_departures(ConsumerDepartureRule::default())
+            .with_mediator_shards(4)
+            .with_sync_interval(25.0);
         assert_eq!(c.workload, WorkloadPattern::Fixed(0.8));
         assert_eq!(c.seed, 9);
         assert_eq!(c.population.seed, 9);
         assert!(c.providers_may_leave);
         assert!(c.consumers_may_leave);
+        assert_eq!(c.mediator_shards, 4);
+        assert_eq!(c.sync_interval_secs, 25.0);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -252,6 +302,22 @@ mod tests {
 
         let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
         c.sample_interval_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.mediator_shards = 0;
+        assert!(c.validate().is_err());
+
+        // More shards than providers would leave shards empty from the
+        // start; every query routed there would be undeliverable.
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.mediator_shards = 21;
+        assert!(c.validate().is_err());
+        c.mediator_shards = 20;
+        assert!(c.validate().is_ok());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.sync_interval_secs = 0.0;
         assert!(c.validate().is_err());
     }
 

@@ -1,28 +1,43 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine reproduces the mono-mediator system of Section 6.1: queries
-//! arrive following a Poisson process whose intensity is a fraction of the
-//! total system capacity, the mediator gathers intentions (and bids, for
-//! the economic method) from the issuing consumer and every candidate
-//! provider, the allocation method under test picks the providers, and the
-//! selected providers treat the query on a FIFO queue bounded only by their
-//! capacity. Metrics are sampled periodically; in autonomous experiments a
-//! periodic assessment lets dissatisfied, starved or overutilized
-//! participants leave the system.
+//! The engine reproduces the system of Section 6.1, generalized to be
+//! mediator-count-agnostic: queries arrive following a Poisson process
+//! whose intensity is a fraction of the total system capacity, the
+//! responsible mediator shard gathers intentions (and bids, for the
+//! economic method) from the issuing consumer and every candidate provider
+//! it owns, the allocation method under test picks the providers, and the
+//! selected providers treat the query on a FIFO queue bounded only by
+//! their capacity. Metrics are sampled periodically; in autonomous
+//! experiments a periodic assessment lets dissatisfied, starved or
+//! overutilized participants leave the system.
+//!
+//! With `mediator_shards = 1` (the default, and the paper's setup) a
+//! single shard owns every provider and the engine is exactly the
+//! mono-mediator pipeline. With `K > 1`, providers are partitioned across
+//! `K` [`sqlb_core::Mediator`]s by the [`crate::shard::ShardRouter`],
+//! queries route to the shard of their consumer, and a periodic
+//! [`Event::SyncViews`] exchanges satisfaction digests between shards.
+//!
+//! All per-participant engine state (queue drain times, departure strikes)
+//! lives in [`ParticipantTable`]s keyed by stable ids, never in vectors
+//! indexed by a participant's initial position: a departure can therefore
+//! never redirect state updates to the wrong survivor.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sqlb_agents::Population;
-use sqlb_core::allocation::{AllocationMethod, CandidateInfo};
-use sqlb_core::MediatorState;
+use sqlb_core::allocation::CandidateInfo;
 use sqlb_core::mediator_state::MediatorStateConfig;
 use sqlb_metrics::{fairness, mean, Histogram, Summary};
 use sqlb_reputation::ReputationStore;
-use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError};
+use sqlb_types::{
+    ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError,
+};
 
 use crate::config::{Method, SimulationConfig};
 use crate::events::{Event, EventQueue};
+use crate::shard::ShardRouter;
 use crate::stats::{ConsumerDepartureRecord, DepartureRecord, MetricSeries, SimulationReport};
 use crate::workload::{arrival_rate, sample_interarrival};
 
@@ -30,14 +45,16 @@ use crate::workload::{arrival_rate, sample_interarrival};
 pub struct Simulator {
     config: SimulationConfig,
     method_kind: Method,
-    method: Box<dyn AllocationMethod>,
+    /// The mediation layer: one or more mediator shards plus the
+    /// provider-to-shard assignment.
+    router: ShardRouter,
     population: Population,
-    mediator: MediatorState,
     reputation: ReputationStore,
     rng: StdRng,
     queue: EventQueue,
-    /// Per-provider time at which its FIFO queue drains (seconds).
-    busy_until: Vec<f64>,
+    /// Per-provider time at which its FIFO queue drains (seconds), keyed
+    /// by stable provider id.
+    busy_until: ParticipantTable<ProviderId, f64>,
     now: SimTime,
     next_query_id: u32,
     total_capacity: f64,
@@ -46,10 +63,10 @@ pub struct Simulator {
     /// Consecutive assessments at which each provider's departure rule
     /// fired (the rule only takes effect after `required_consecutive`
     /// strikes).
-    provider_strikes: Vec<u32>,
+    provider_strikes: ParticipantTable<ProviderId, u32>,
     /// Consecutive assessments at which each consumer's departure rule
     /// fired.
-    consumer_strikes: Vec<u32>,
+    consumer_strikes: ParticipantTable<ConsumerId, u32>,
     // Statistics.
     series: MetricSeries,
     response_times: Histogram,
@@ -67,26 +84,31 @@ impl Simulator {
         config.validate()?;
         let population = Population::generate(&config.population)?;
         let total_capacity = population.total_capacity();
-        let initial_consumers = population.consumer_count();
-        let initial_providers = population.provider_count();
-        let mediator = MediatorState::new(MediatorStateConfig {
+        let initial_consumers = population.consumers.len();
+        let initial_providers = population.providers.len();
+        let state_config = MediatorStateConfig {
             consumer_window: config.population.consumer_config.memory,
             provider_proposed_window: config.population.provider_config.proposed_memory,
             provider_performed_window: config.population.provider_config.performed_memory,
             initial_satisfaction: config.population.provider_config.initial_satisfaction,
-        });
+        };
+        let router = ShardRouter::new(
+            config.mediator_shards,
+            method,
+            config.seed,
+            state_config,
+            population.providers.keys(),
+        );
 
         let mut sim = Simulator {
-            method: method.build(config.seed),
             method_kind: method,
-            population,
-            mediator,
+            router,
             reputation: ReputationStore::neutral(),
             rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17)),
             queue: EventQueue::new(),
-            busy_until: vec![0.0; initial_providers],
-            provider_strikes: vec![0; initial_providers],
-            consumer_strikes: vec![0; initial_consumers],
+            busy_until: ParticipantTable::from_fn(initial_providers, |_: ProviderId| 0.0),
+            provider_strikes: ParticipantTable::from_fn(initial_providers, |_: ProviderId| 0),
+            consumer_strikes: ParticipantTable::from_fn(initial_consumers, |_: ConsumerId| 0),
             now: SimTime::ZERO,
             next_query_id: 0,
             total_capacity,
@@ -99,6 +121,7 @@ impl Simulator {
             unallocated: 0,
             provider_departures: Vec::new(),
             consumer_departures: Vec::new(),
+            population,
             config,
         };
         sim.schedule_initial_events();
@@ -116,6 +139,11 @@ impl Simulator {
         self.total_capacity
     }
 
+    /// The number of mediator shards this simulator runs.
+    pub fn shard_count(&self) -> usize {
+        self.router.shard_count()
+    }
+
     fn schedule_initial_events(&mut self) {
         let first_arrival = self.next_interarrival();
         if first_arrival.is_finite() {
@@ -130,6 +158,14 @@ impl Simulator {
             SimTime::from_secs(self.config.assessment_interval_secs),
             Event::Assessment,
         );
+        // A mono-mediator run schedules no synchronization at all, keeping
+        // its event stream identical to the pre-sharding engine.
+        if self.router.shard_count() > 1 {
+            self.queue.schedule(
+                SimTime::from_secs(self.config.sync_interval_secs),
+                Event::SyncViews,
+            );
+        }
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -149,6 +185,7 @@ impl Simulator {
                 } => self.handle_completion(provider, issued_at, work),
                 Event::Sample => self.handle_sample(),
                 Event::Assessment => self.handle_assessment(),
+                Event::SyncViews => self.handle_sync(),
             }
         }
         self.finish()
@@ -164,17 +201,8 @@ impl Simulator {
         self.population
             .consumers
             .iter()
-            .filter(|c| !c.has_departed())
-            .map(|c| c.id())
-            .collect()
-    }
-
-    fn active_providers(&self) -> Vec<ProviderId> {
-        self.population
-            .providers
-            .iter()
-            .filter(|p| !p.has_departed())
-            .map(|p| p.id())
+            .filter(|(_, c)| !c.has_departed())
+            .map(|(id, _)| id)
             .collect()
     }
 
@@ -182,7 +210,7 @@ impl Simulator {
         let active_consumers = self
             .population
             .consumers
-            .iter()
+            .values()
             .filter(|c| !c.has_departed())
             .count();
         let consumer_fraction = if self.initial_consumers == 0 {
@@ -208,6 +236,35 @@ impl Simulator {
         }
     }
 
+    /// The candidate set for a query routed to `shard`: the active
+    /// providers that shard owns, in ascending id order (with one shard
+    /// this is every active provider, as in the paper).
+    fn shard_candidates(&self, shard: usize) -> Vec<ProviderId> {
+        self.router
+            .providers_of_shard(shard)
+            .filter(|&p| {
+                self.population
+                    .providers
+                    .get(p)
+                    .is_some_and(|agent| !agent.has_departed())
+            })
+            .collect()
+    }
+
+    /// The preferred shard if it still has active providers, otherwise the
+    /// next shard (in wrap-around order) that does. `None` only when every
+    /// provider of the whole system has departed. With one shard this
+    /// reduces to "the shard, or nothing" — the mono-mediator behaviour.
+    fn first_shard_with_candidates(&self, preferred: usize) -> Option<(usize, Vec<ProviderId>)> {
+        let shard_count = self.router.shard_count();
+        (0..shard_count)
+            .map(|offset| (preferred + offset) % shard_count)
+            .find_map(|shard| {
+                let candidates = self.shard_candidates(shard);
+                (!candidates.is_empty()).then_some((shard, candidates))
+            })
+    }
+
     fn handle_arrival(&mut self) {
         // Always keep the arrival process alive (its rate follows the
         // workload pattern and the number of remaining consumers).
@@ -228,11 +285,19 @@ impl Simulator {
         self.next_query_id = self.next_query_id.wrapping_add(1);
         self.issued += 1;
 
-        let candidates = self.active_providers();
-        if candidates.is_empty() {
+        // Route the query to its mediator shard; the candidate set is the
+        // providers that shard owns. Routing is deterministic (consumer id
+        // modulo shard count), so a mono-mediator run consumes exactly the
+        // same random stream as the pre-sharding engine. A query is only
+        // unallocated when *no* shard has an active provider left:
+        // departures can empty one shard while the system still has
+        // capacity, in which case the query falls over to the next
+        // non-empty shard (deterministically, so runs stay reproducible).
+        let preferred = self.router.shard_for_consumer(consumer);
+        let Some((shard, candidates)) = self.first_shard_with_candidates(preferred) else {
             self.unallocated += 1;
             return;
-        }
+        };
 
         // Gather intentions (Algorithm 1, lines 2–5). The consumer's
         // intentions come from its preferences (and provider reputation);
@@ -240,11 +305,11 @@ impl Simulator {
         // class against its current utilization.
         let uses_bids = self.method_kind.uses_bids();
         let now = self.now;
-        let consumer_agent = &self.population.consumers[consumer.index()];
+        let consumer_agent = &self.population.consumers[consumer];
         let mut infos: Vec<CandidateInfo> = Vec::with_capacity(candidates.len());
         for &p in &candidates {
             let ci = consumer_agent.intention_for(&query, p, &self.reputation);
-            let provider_agent = &mut self.population.providers[p.index()];
+            let provider_agent = &mut self.population.providers[p];
             let pi = provider_agent.intention_for(&query, now);
             let utilization = provider_agent.utilization(now).value();
             let mut info = CandidateInfo::new(p)
@@ -257,9 +322,9 @@ impl Simulator {
             infos.push(info);
         }
 
-        // Allocation decision (Algorithm 1, lines 6–9).
-        let allocation = self.method.allocate(&query, &infos, &self.mediator);
-        self.mediator.record_allocation(&query, &infos, &allocation);
+        // Allocation decision (Algorithm 1, lines 6–9), recorded in the
+        // shard's satisfaction state.
+        let allocation = self.router.allocate(shard, &query, &infos);
 
         // Participant-side bookkeeping (the mediation result is sent to all
         // candidates, line 10).
@@ -270,14 +335,14 @@ impl Simulator {
             .filter(|(_, i)| allocation.is_selected(i.provider))
             .map(|(idx, _)| idx)
             .collect();
-        self.population.consumers[consumer.index()].record_allocation(
+        self.population.consumers[consumer].record_allocation(
             &shown_cis,
             &selected_indices,
             query.n,
         );
         for info in &infos {
             let performed = allocation.is_selected(info.provider);
-            self.population.providers[info.provider.index()].record_proposal(
+            self.population.providers[info.provider].record_proposal(
                 &query,
                 info.provider_intention,
                 performed,
@@ -286,11 +351,11 @@ impl Simulator {
 
         // Enqueue the query at the selected providers.
         for &p in &allocation.selected {
-            let provider_agent = &mut self.population.providers[p.index()];
+            let provider_agent = &mut self.population.providers[p];
             let processing = provider_agent.assign(&query, now);
-            let start = self.busy_until[p.index()].max(now.as_secs());
+            let start = self.busy_until[p].max(now.as_secs());
             let finish = start + processing.as_secs();
-            self.busy_until[p.index()] = finish;
+            self.busy_until[p] = finish;
             self.queue.schedule(
                 SimTime::from_secs(finish),
                 Event::QueryCompletion {
@@ -309,7 +374,7 @@ impl Simulator {
         issued_at: SimTime,
         work: sqlb_types::WorkUnits,
     ) {
-        self.population.providers[provider.index()].complete(work);
+        self.population.providers[provider].complete(work);
         let response_time = (self.now - issued_at).as_secs();
         self.response_times.record(response_time);
         self.completed += 1;
@@ -322,7 +387,12 @@ impl Simulator {
         let mut alloc_sat_pref = Vec::new();
         let mut alloc_sat_int = Vec::new();
         let mut utilizations = Vec::new();
-        for p in self.population.providers.iter_mut().filter(|p| !p.has_departed()) {
+        for p in self
+            .population
+            .providers
+            .values_mut()
+            .filter(|p| !p.has_departed())
+        {
             // Figure 4(a) reports the provider's long-run feeling about the
             // queries it performs, so the smoothed (Table 2) reading is
             // plotted; the strict Definition 5 value drives departures.
@@ -334,7 +404,12 @@ impl Simulator {
         }
         let mut consumer_alloc_sat = Vec::new();
         let mut consumer_sat = Vec::new();
-        for c in self.population.consumers.iter().filter(|c| !c.has_departed()) {
+        for c in self
+            .population
+            .consumers
+            .values()
+            .filter(|c| !c.has_departed())
+        {
             consumer_alloc_sat.push(c.allocation_satisfaction());
             consumer_sat.push(c.satisfaction());
         }
@@ -360,11 +435,21 @@ impl Simulator {
         s.utilization_fairness.push(now, fairness(&utilizations));
         s.workload_fraction.push(now, workload_fraction);
         s.active_providers.push(now, sat_intention.len() as f64);
-        s.active_consumers.push(now, consumer_alloc_sat.len() as f64);
+        s.active_consumers
+            .push(now, consumer_alloc_sat.len() as f64);
 
         let next = now.as_secs() + self.config.sample_interval_secs;
         if next <= self.config.duration_secs {
             self.queue.schedule(SimTime::from_secs(next), Event::Sample);
+        }
+    }
+
+    fn handle_sync(&mut self) {
+        self.router.sync_views();
+        let next = self.now.as_secs() + self.config.sync_interval_secs;
+        if next <= self.config.duration_secs {
+            self.queue
+                .schedule(SimTime::from_secs(next), Event::SyncViews);
         }
     }
 
@@ -379,8 +464,9 @@ impl Simulator {
 
         if warmed_up && self.config.providers_may_leave {
             let rule = self.config.provider_departure;
-            for idx in 0..self.population.providers.len() {
-                let provider = &mut self.population.providers[idx];
+            let ids: Vec<ProviderId> = self.population.providers.keys().collect();
+            for id in ids {
+                let provider = &mut self.population.providers[id];
                 if provider.has_departed() {
                     continue;
                 }
@@ -394,7 +480,7 @@ impl Simulator {
                 );
                 match reason {
                     Some(reason) => {
-                        self.provider_strikes[idx] += 1;
+                        self.provider_strikes[id] += 1;
                         // Overutilization is already smoothed by the sliding
                         // utilization window, so it takes effect at the first
                         // assessment that observes it; dissatisfaction and
@@ -404,11 +490,11 @@ impl Simulator {
                         } else {
                             rule.required_consecutive.max(1)
                         };
-                        if self.provider_strikes[idx] >= required {
+                        if self.provider_strikes[id] >= required {
+                            let provider = &mut self.population.providers[id];
                             provider.depart();
-                            let id = provider.id();
-                            self.mediator.remove_provider(id);
-                            let profile = self.population.profiles[idx];
+                            self.router.remove_provider(id);
+                            let profile = self.population.profiles[id];
                             self.provider_departures.push(DepartureRecord {
                                 provider: id,
                                 time_secs: now.as_secs(),
@@ -417,14 +503,16 @@ impl Simulator {
                             });
                         }
                     }
-                    None => self.provider_strikes[idx] = 0,
+                    None => self.provider_strikes[id] = 0,
                 }
             }
         }
 
         if warmed_up && self.config.consumers_may_leave {
             let rule = self.config.consumer_departure;
-            for (idx, consumer) in self.population.consumers.iter_mut().enumerate() {
+            let ids: Vec<ConsumerId> = self.population.consumers.keys().collect();
+            for id in ids {
+                let consumer = &mut self.population.consumers[id];
                 if consumer.has_departed() {
                     continue;
                 }
@@ -435,18 +523,17 @@ impl Simulator {
                 );
                 match reason {
                     Some(_) => {
-                        self.consumer_strikes[idx] += 1;
-                        if self.consumer_strikes[idx] >= rule.required_consecutive.max(1) {
-                            consumer.depart();
-                            let id = consumer.id();
-                            self.mediator.remove_consumer(id);
+                        self.consumer_strikes[id] += 1;
+                        if self.consumer_strikes[id] >= rule.required_consecutive.max(1) {
+                            self.population.consumers[id].depart();
+                            self.router.remove_consumer(id);
                             self.consumer_departures.push(ConsumerDepartureRecord {
                                 consumer: id,
                                 time_secs: now.as_secs(),
                             });
                         }
                     }
-                    None => self.consumer_strikes[idx] = 0,
+                    None => self.consumer_strikes[id] = 0,
                 }
             }
         }
@@ -463,21 +550,21 @@ impl Simulator {
         let utilizations: Vec<f64> = self
             .population
             .providers
-            .iter_mut()
+            .values_mut()
             .filter(|p| !p.has_departed())
             .map(|p| p.utilization(now).value())
             .collect();
         let provider_satisfaction: Vec<f64> = self
             .population
             .providers
-            .iter()
+            .values()
             .filter(|p| !p.has_departed())
             .map(|p| p.smoothed_satisfaction())
             .collect();
         let consumer_satisfaction: Vec<f64> = self
             .population
             .consumers
-            .iter()
+            .values()
             .filter(|c| !c.has_departed())
             .map(|c| c.satisfaction())
             .collect();
@@ -494,6 +581,9 @@ impl Simulator {
             consumer_departures: self.consumer_departures,
             initial_providers: self.initial_providers,
             initial_consumers: self.initial_consumers,
+            mediator_shards: self.router.shard_count(),
+            shard_allocations: self.router.allocations_per_shard(),
+            sync_rounds: self.router.sync_rounds(),
             final_utilization: Summary::of(&utilizations),
             final_provider_satisfaction: Summary::of(&provider_satisfaction),
             final_consumer_satisfaction: Summary::of(&consumer_satisfaction),
@@ -502,7 +592,10 @@ impl Simulator {
 }
 
 /// Convenience: builds and runs one simulation.
-pub fn run_simulation(config: SimulationConfig, method: Method) -> Result<SimulationReport, SqlbError> {
+pub fn run_simulation(
+    config: SimulationConfig,
+    method: Method,
+) -> Result<SimulationReport, SqlbError> {
     Ok(Simulator::new(config, method)?.run())
 }
 
@@ -532,6 +625,10 @@ mod tests {
         assert!(report.consumer_departures.is_empty());
         assert!(!report.series.utilization_mean.is_empty());
         assert_eq!(report.method, "SQLB");
+        assert_eq!(report.mediator_shards, 1);
+        assert_eq!(report.sync_rounds, 0, "a mono-mediator run never syncs");
+        assert_eq!(report.shard_allocations.len(), 1);
+        assert_eq!(report.shard_allocations[0], report.issued_queries);
     }
 
     #[test]
@@ -546,6 +643,109 @@ mod tests {
         );
         let c = run_simulation(small_config(200.0, 4), Method::CapacityBased).unwrap();
         assert_ne!(a.issued_queries, c.issued_queries);
+    }
+
+    #[test]
+    fn explicit_k1_is_bit_identical_to_the_default_mono_engine() {
+        // The acceptance bar for the sharding refactor: asking for one
+        // shard must reproduce the mono-mediator pipeline exactly, sample
+        // by sample.
+        let mono = run_simulation(small_config(300.0, 9), Method::Sqlb).unwrap();
+        let k1 = run_simulation(
+            small_config(300.0, 9)
+                .with_mediator_shards(1)
+                .with_sync_interval(10.0),
+            Method::Sqlb,
+        )
+        .unwrap();
+        assert_eq!(mono.issued_queries, k1.issued_queries);
+        assert_eq!(mono.completed_queries, k1.completed_queries);
+        assert_eq!(
+            mono.series.utilization_mean.values(),
+            k1.series.utilization_mean.values()
+        );
+        assert_eq!(
+            mono.series.consumer_allocation_satisfaction_mean.values(),
+            k1.series.consumer_allocation_satisfaction_mean.values()
+        );
+        assert_eq!(mono.response_times.mean(), k1.response_times.mean(),);
+    }
+
+    #[test]
+    fn sharded_runs_complete_and_spread_allocations() {
+        for shards in [2usize, 4] {
+            let report = run_simulation(
+                small_config(300.0, 21)
+                    .with_workload(WorkloadPattern::Fixed(0.5))
+                    .with_mediator_shards(shards),
+                Method::Sqlb,
+            )
+            .unwrap();
+            assert_eq!(report.mediator_shards, shards);
+            assert_eq!(report.shard_allocations.len(), shards);
+            assert!(
+                report.shard_allocations.iter().all(|&a| a > 0),
+                "every shard should mediate some queries: {:?}",
+                report.shard_allocations
+            );
+            assert_eq!(
+                report.shard_allocations.iter().sum::<u64>(),
+                report.issued_queries - report.unallocated_queries
+            );
+            assert!(report.sync_rounds > 0, "sharded runs synchronize views");
+            assert!(report.completion_rate() > 0.5);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic_too() {
+        let config = small_config(250.0, 33).with_mediator_shards(4);
+        let a = run_simulation(config, Method::Sqlb).unwrap();
+        let b = run_simulation(config, Method::Sqlb).unwrap();
+        assert_eq!(a.issued_queries, b.issued_queries);
+        assert_eq!(a.shard_allocations, b.shard_allocations);
+        assert_eq!(
+            a.series.consumer_satisfaction_mean.values(),
+            b.series.consumer_satisfaction_mean.values()
+        );
+    }
+
+    #[test]
+    fn queries_fall_over_to_other_shards_when_one_empties() {
+        // One provider per shard: any single departure empties a shard.
+        // An aggressive starvation rule makes the under-utilized
+        // high-capacity providers leave while the small ones stay busy and
+        // survive. Captive consumers routed to an emptied shard must fall
+        // over to a surviving shard instead of being dropped — unallocated
+        // queries are only legitimate once *every* provider has left.
+        let aggressive_starvation = ProviderDepartureRule {
+            starvation_fraction: 0.9,
+            min_proposed_queries: 1,
+            required_consecutive: 1,
+            enabled: EnabledReasons {
+                dissatisfaction: false,
+                starvation: true,
+                overutilization: false,
+            },
+            ..ProviderDepartureRule::default()
+        };
+        let config = SimulationConfig::scaled(8, 4, 900.0, 17)
+            .with_workload(WorkloadPattern::Fixed(0.6))
+            .with_provider_departures(aggressive_starvation)
+            .with_mediator_shards(4);
+        let report = run_simulation(config, Method::MariposaLike).unwrap();
+        assert!(
+            !report.provider_departures.is_empty(),
+            "the scenario needs at least one emptied shard to be meaningful"
+        );
+        assert!(
+            report.provider_departures.len() < report.initial_providers,
+            "some provider must survive for fall-over to have a target"
+        );
+        assert_eq!(
+            report.unallocated_queries, 0,
+            "queries to an emptied shard must fall over while providers remain"
+        );
     }
 
     #[test]

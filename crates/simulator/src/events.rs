@@ -26,6 +26,9 @@ pub enum Event {
     Sample,
     /// Periodic departure assessment.
     Assessment,
+    /// Periodic satisfaction-view synchronization between mediator shards
+    /// (only scheduled when the engine runs more than one shard).
+    SyncViews,
 }
 
 #[derive(Debug, Clone)]
@@ -117,7 +120,9 @@ mod tests {
         q.schedule(t(5.0), Event::Sample);
         q.schedule(t(1.0), Event::QueryArrival);
         q.schedule(t(3.0), Event::Assessment);
-        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_secs()).collect();
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_secs())
+            .collect();
         assert_eq!(times, vec![1.0, 3.0, 5.0]);
         assert!(q.is_empty());
     }

@@ -149,7 +149,11 @@ pub fn fig2_to_text(points: &[Fig2Point]) -> String {
         if !last_pref.is_nan() && (p.preference - last_pref).abs() > 1e-12 {
             out.push('\n');
         }
-        let _ = writeln!(out, "{:+.3} {:.3} {:+.4}", p.preference, p.utilization, p.intention);
+        let _ = writeln!(
+            out,
+            "{:+.3} {:.3} {:+.4}",
+            p.preference, p.utilization, p.intention
+        );
         last_pref = p.preference;
     }
     out
@@ -333,8 +337,7 @@ fn average_series(series: &[&TimeSeries]) -> TimeSeries {
     let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
     for i in 0..len {
         let time = series[0].points()[i].time;
-        let value =
-            series.iter().map(|s| s.points()[i].value).sum::<f64>() / series.len() as f64;
+        let value = series.iter().map(|s| s.points()[i].value).sum::<f64>() / series.len() as f64;
         out.push_raw(time, value);
     }
     out
@@ -347,7 +350,9 @@ pub fn fig4_captive_ramp(scale: ExperimentScale) -> Result<Fig4Result, SqlbError
     for method in Method::PAPER_METHODS {
         let mut reports = Vec::new();
         for rep in 0..scale.repetitions.max(1) {
-            let config = scale.config(rep).with_workload(WorkloadPattern::paper_ramp());
+            let config = scale
+                .config(rep)
+                .with_workload(WorkloadPattern::paper_ramp());
             reports.push(run_simulation(config, method)?);
         }
         per_method_reports.push((method, reports));
@@ -625,7 +630,10 @@ pub fn table3_departure_breakdown(
             let pct = |count: usize| count as f64 / total * 100.0;
 
             let by_interest = |class: InterestClass| {
-                pct(departures.iter().filter(|d| d.profile.interest == class).count())
+                pct(departures
+                    .iter()
+                    .filter(|d| d.profile.interest == class)
+                    .count())
             };
             rows.push(Table3Row {
                 method: method.name().to_string(),
@@ -678,10 +686,22 @@ pub fn table3_departure_breakdown(
 pub fn table2_parameters(config: &SimulationConfig) -> String {
     let mut out = String::from("# Table 2: simulation parameters\n");
     let rows: Vec<(&str, &str, String)> = vec![
-        ("nbConsumers", "Number of consumers", config.population.consumers.to_string()),
-        ("nbProviders", "Number of providers", config.population.providers.to_string()),
+        (
+            "nbConsumers",
+            "Number of consumers",
+            config.population.consumers.to_string(),
+        ),
+        (
+            "nbProviders",
+            "Number of providers",
+            config.population.providers.to_string(),
+        ),
         ("nbMediators", "Number of mediators", "1".to_string()),
-        ("qDistribution", "Query arrival distribution", "Poisson".to_string()),
+        (
+            "qDistribution",
+            "Query arrival distribution",
+            "Poisson".to_string(),
+        ),
         (
             "iniSatisfaction",
             "Initial satisfaction",
@@ -695,11 +715,19 @@ pub fn table2_parameters(config: &SimulationConfig) -> String {
         (
             "proSatSize",
             "k last treated queries",
-            config.population.provider_config.performed_memory.to_string(),
+            config
+                .population
+                .provider_config
+                .performed_memory
+                .to_string(),
         ),
         ("nbRepeat", "Repetition of simulations", "10".to_string()),
     ];
-    let _ = writeln!(out, "{:<18} {:<34} {:>10}", "Parameter", "Definition", "Value");
+    let _ = writeln!(
+        out,
+        "{:<18} {:<34} {:>10}",
+        "Parameter", "Definition", "Value"
+    );
     for (name, definition, value) in rows {
         let _ = writeln!(out, "{:<18} {:<34} {:>10}", name, definition, value);
     }
@@ -736,9 +764,10 @@ mod tests {
         let points = fig3_omega_surface(3);
         assert_eq!(points.len(), 9);
         for p in &points {
-            assert!((p.omega - ((p.consumer_satisfaction - p.provider_satisfaction) + 1.0) / 2.0)
-                .abs()
-                < 1e-12);
+            assert!(
+                (p.omega - ((p.consumer_satisfaction - p.provider_satisfaction) + 1.0) / 2.0).abs()
+                    < 1e-12
+            );
         }
         assert!(fig3_to_text(&points).contains("omega"));
     }
@@ -749,7 +778,10 @@ mod tests {
             assert_eq!(Fig4Panel::from_letter(panel.letter()), Some(panel));
         }
         assert_eq!(Fig4Panel::from_letter('z'), None);
-        assert_eq!(Fig4Panel::from_letter('A'), Some(Fig4Panel::ProviderSatisfactionIntention));
+        assert_eq!(
+            Fig4Panel::from_letter('A'),
+            Some(Fig4Panel::ProviderSatisfactionIntention)
+        );
     }
 
     #[test]
@@ -856,6 +888,9 @@ mod tests {
             assert!(scale.config(0).validate().is_ok());
             assert!(scale.config(3).validate().is_ok());
         }
-        assert_eq!(ExperimentScale::default(), ExperimentScale::default_scaled());
+        assert_eq!(
+            ExperimentScale::default(),
+            ExperimentScale::default_scaled()
+        );
     }
 }

@@ -4,11 +4,14 @@
 //! SQLB paper (Section 6), plus the experiment drivers that regenerate
 //! every figure and table.
 //!
-//! The simulated system follows the paper's setup: a single mediator
+//! The simulated system follows the paper's setup — a mediation layer
 //! allocating every incoming query, a population of heterogeneous consumers
 //! and providers (crate `sqlb-agents`), Poisson query arrivals whose rate
 //! is expressed as a fraction of the total system capacity, provider queue
-//! servers with finite capacity, and optional participant departures.
+//! servers with finite capacity, and optional participant departures — but
+//! is mediator-count-agnostic: the [`shard`] module partitions providers
+//! across K mediator shards, with K = 1 (the default) reproducing the
+//! paper's mono-mediator results bit-for-bit.
 //!
 //! * [`config`] — simulation configuration (Table 2 defaults plus scaled
 //!   variants) and the [`config::Method`] selector for the allocation
@@ -16,6 +19,8 @@
 //! * [`workload`] — workload patterns (fixed or ramping fraction of the
 //!   total system capacity) and the Poisson arrival process;
 //! * [`events`] — the event queue of the discrete-event engine;
+//! * [`shard`] — the mediator shard router and its satisfaction-view
+//!   synchronization;
 //! * [`stats`] — measurement collection: per-sample metric snapshots,
 //!   response times, departure records and the final [`stats::SimulationReport`];
 //! * [`engine`] — the simulator itself;
@@ -28,10 +33,12 @@ pub mod config;
 pub mod engine;
 pub mod events;
 pub mod experiments;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
 pub use config::{Method, SimulationConfig};
 pub use engine::Simulator;
+pub use shard::ShardRouter;
 pub use stats::{DepartureRecord, SimulationReport};
 pub use workload::WorkloadPattern;

@@ -1,0 +1,261 @@
+//! The sharding router: mediator-count-agnostic mediation.
+//!
+//! The paper evaluates a mono-mediator system, but its model allows many
+//! mediators (Section 2). [`ShardRouter`] partitions the providers across
+//! `K` [`Mediator`] shards (round-robin by provider id, so the partition
+//! is stable and seed-independent) and routes each query to the shard
+//! responsible for it. With `K = 1` every provider lands in shard 0 and
+//! every query routes there, reproducing the mono-mediator pipeline
+//! bit-for-bit under the same seed.
+//!
+//! Each shard only observes the allocations it performs, so consumer
+//! satisfaction views drift apart between shards; [`ShardRouter::sync_views`]
+//! runs the periodic all-to-all digest exchange
+//! ([`Mediator::export_digest`] / [`Mediator::absorb_digests`]) that blends
+//! them back together.
+
+use sqlb_core::mediator_state::MediatorStateConfig;
+use sqlb_core::{Allocation, CandidateInfo, Mediator};
+use sqlb_types::ProviderId;
+use sqlb_types::{ConsumerId, MediatorId, ParticipantTable, Query, StableId};
+
+use crate::config::Method;
+
+/// Routes queries to mediator shards and owns the shard set.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Vec<Mediator>,
+    /// Which shard owns each (still-present) provider.
+    assignment: ParticipantTable<ProviderId, usize>,
+    /// Completed synchronization rounds.
+    sync_rounds: u64,
+}
+
+impl ShardRouter {
+    /// Builds `shard_count` mediators running `method` and partitions the
+    /// given providers across them round-robin by id. Each shard's method
+    /// instance is seeded with `seed + shard index`, so shard 0 of a
+    /// mono-mediator router behaves exactly like the pre-sharding engine.
+    pub fn new(
+        shard_count: usize,
+        method: Method,
+        seed: u64,
+        state_config: MediatorStateConfig,
+        providers: impl IntoIterator<Item = ProviderId>,
+    ) -> Self {
+        let shard_count = shard_count.max(1);
+        let shards = (0..shard_count)
+            .map(|i| {
+                Mediator::new(
+                    MediatorId::new(i as u32),
+                    method.build(seed.wrapping_add(i as u64)),
+                    state_config,
+                )
+            })
+            .collect();
+        let assignment = providers
+            .into_iter()
+            .map(|p| (p, p.slot() % shard_count))
+            .collect();
+        ShardRouter {
+            shards,
+            assignment,
+            sync_rounds: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that mediates queries of the given consumer. Routing is a
+    /// pure function of the consumer id, so it never consumes randomness
+    /// and stays stable across departures.
+    pub fn shard_for_consumer(&self, consumer: ConsumerId) -> usize {
+        consumer.slot() % self.shards.len()
+    }
+
+    /// The shard that owns a provider, if the provider is still present.
+    pub fn shard_of_provider(&self, provider: ProviderId) -> Option<usize> {
+        self.assignment.get(provider).copied()
+    }
+
+    /// The providers a shard owns, in ascending id order.
+    pub fn providers_of_shard(&self, shard: usize) -> impl Iterator<Item = ProviderId> + '_ {
+        self.assignment
+            .iter()
+            .filter(move |(_, s)| **s == shard)
+            .map(|(p, _)| p)
+    }
+
+    /// The mediator of a shard.
+    pub fn mediator(&self, shard: usize) -> &Mediator {
+        &self.shards[shard]
+    }
+
+    /// Mutable access to the mediator of a shard.
+    pub fn mediator_mut(&mut self, shard: usize) -> &mut Mediator {
+        &mut self.shards[shard]
+    }
+
+    /// Runs the allocation decision on the given shard and records it in
+    /// that shard's satisfaction state.
+    pub fn allocate(
+        &mut self,
+        shard: usize,
+        query: &Query,
+        candidates: &[CandidateInfo],
+    ) -> Allocation {
+        self.shards[shard].allocate(query, candidates)
+    }
+
+    /// Removes a departed provider from its shard's assignment and
+    /// satisfaction state.
+    pub fn remove_provider(&mut self, provider: ProviderId) {
+        if let Some(shard) = self.assignment.remove(provider) {
+            self.shards[shard].state_mut().remove_provider(provider);
+        }
+    }
+
+    /// Removes a departed consumer from every shard's satisfaction state.
+    pub fn remove_consumer(&mut self, consumer: ConsumerId) {
+        for shard in &mut self.shards {
+            shard.state_mut().remove_consumer(consumer);
+        }
+    }
+
+    /// One all-to-all satisfaction-view synchronization round.
+    pub fn sync_views(&mut self) {
+        if self.shards.len() < 2 {
+            return;
+        }
+        let digests: Vec<_> = self.shards.iter().map(Mediator::export_digest).collect();
+        for shard in &mut self.shards {
+            shard.absorb_digests(&digests);
+        }
+        self.sync_rounds += 1;
+    }
+
+    /// Completed synchronization rounds.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
+    }
+
+    /// Allocations performed per shard, in shard order.
+    pub fn allocations_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|m| m.state().allocations())
+            .collect()
+    }
+
+    /// Total allocations across all shards.
+    pub fn total_allocations(&self) -> u64 {
+        self.allocations_per_shard().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_core::allocation::MediatorView;
+    use sqlb_types::{QueryClass, QueryId, SimTime};
+
+    fn router(k: usize, providers: u32) -> ShardRouter {
+        ShardRouter::new(
+            k,
+            Method::Sqlb,
+            42,
+            MediatorStateConfig::default(),
+            (0..providers).map(ProviderId::new),
+        )
+    }
+
+    #[test]
+    fn k1_owns_everything_in_shard_zero() {
+        let r = router(1, 5);
+        assert_eq!(r.shard_count(), 1);
+        for p in 0..5 {
+            assert_eq!(r.shard_of_provider(ProviderId::new(p)), Some(0));
+        }
+        assert_eq!(r.shard_for_consumer(ConsumerId::new(17)), 0);
+        assert_eq!(
+            r.providers_of_shard(0).count(),
+            5,
+            "shard 0 sees every provider"
+        );
+    }
+
+    #[test]
+    fn partition_is_round_robin_and_total() {
+        let r = router(4, 10);
+        for p in 0..10u32 {
+            assert_eq!(
+                r.shard_of_provider(ProviderId::new(p)),
+                Some(p as usize % 4)
+            );
+        }
+        let total: usize = (0..4).map(|s| r.providers_of_shard(s).count()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn removal_forgets_the_provider_everywhere() {
+        let mut r = router(2, 4);
+        r.remove_provider(ProviderId::new(2));
+        assert_eq!(r.shard_of_provider(ProviderId::new(2)), None);
+        assert!(r.providers_of_shard(0).all(|p| p != ProviderId::new(2)));
+        // Removing again is a no-op.
+        r.remove_provider(ProviderId::new(2));
+        assert_eq!(r.providers_of_shard(0).count(), 1);
+    }
+
+    #[test]
+    fn sync_propagates_consumer_views_across_shards() {
+        let mut r = router(2, 4);
+        let consumer = ConsumerId::new(0);
+        let query = Query::single(QueryId::new(1), consumer, QueryClass::Light, SimTime::ZERO);
+        // Shard 0 repeatedly sees the consumer perfectly served.
+        for i in 0..10 {
+            let q = Query::single(QueryId::new(i), consumer, QueryClass::Light, SimTime::ZERO);
+            let infos = vec![CandidateInfo::new(ProviderId::new(0))
+                .with_consumer_intention(1.0)
+                .with_provider_intention(1.0)];
+            r.allocate(0, &q, &infos);
+        }
+        let _ = query;
+        let before = r.mediator(1).state().consumer_satisfaction(consumer);
+        assert_eq!(before, 0.5);
+        r.sync_views();
+        let after = r.mediator(1).state().consumer_satisfaction(consumer);
+        assert!(after > 0.9, "sync should carry the view over, got {after}");
+        assert_eq!(r.sync_rounds(), 1);
+    }
+
+    #[test]
+    fn k1_sync_is_a_no_op() {
+        let mut r = router(1, 2);
+        r.sync_views();
+        assert_eq!(r.sync_rounds(), 0);
+    }
+
+    #[test]
+    fn allocation_counters_aggregate() {
+        let mut r = router(2, 2);
+        let q = Query::single(
+            QueryId::new(0),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        );
+        let infos = vec![CandidateInfo::new(ProviderId::new(0))
+            .with_consumer_intention(0.5)
+            .with_provider_intention(0.5)];
+        r.allocate(0, &q, &infos);
+        r.allocate(1, &q, &infos);
+        r.allocate(1, &q, &infos);
+        assert_eq!(r.allocations_per_shard(), vec![1, 2]);
+        assert_eq!(r.total_allocations(), 3);
+    }
+}

@@ -91,6 +91,12 @@ pub struct SimulationReport {
     pub initial_providers: usize,
     /// Number of consumers at the start of the run.
     pub initial_consumers: usize,
+    /// Number of mediator shards the run used (1 = the paper's setup).
+    pub mediator_shards: usize,
+    /// Allocations performed per mediator shard, in shard order.
+    pub shard_allocations: Vec<u64>,
+    /// Satisfaction-view synchronization rounds completed between shards.
+    pub sync_rounds: u64,
     /// Summary of provider utilization at the end of the run.
     pub final_utilization: Summary,
     /// Summary of provider (intention-based) satisfaction at the end of the
@@ -168,6 +174,9 @@ mod tests {
             consumer_departures: Vec::new(),
             initial_providers: 0,
             initial_consumers: 0,
+            mediator_shards: 1,
+            shard_allocations: Vec::new(),
+            sync_rounds: 0,
             final_utilization: Summary::of(&[]),
             final_provider_satisfaction: Summary::of(&[]),
             final_consumer_satisfaction: Summary::of(&[]),

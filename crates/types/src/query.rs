@@ -175,7 +175,12 @@ impl Query {
     /// Convenience constructor used pervasively by the simulator and tests:
     /// a single-result query (`q.n = 1`, the paper's evaluation setting) of
     /// the given class issued at `issued_at`.
-    pub fn single(id: QueryId, consumer: ConsumerId, class: QueryClass, issued_at: SimTime) -> Self {
+    pub fn single(
+        id: QueryId,
+        consumer: ConsumerId,
+        class: QueryClass,
+        issued_at: SimTime,
+    ) -> Self {
         Query {
             id,
             consumer,

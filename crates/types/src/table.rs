@@ -1,0 +1,333 @@
+//! Stable-identifier participant tables.
+//!
+//! Simulation and mediation state used to live in parallel `Vec`s indexed
+//! by a participant's *initial position*, which silently corrupts once
+//! autonomous departures shrink the population: positions shift, but
+//! identifiers do not. [`ParticipantTable`] replaces that pattern with a
+//! map keyed by the participant's stable identifier ([`ConsumerId`],
+//! [`ProviderId`], ...). Lookups stay O(1) (a dense slot vector indexed by
+//! the raw id), iteration is always in ascending id order (so seeded runs
+//! stay deterministic), and removing a participant never invalidates the
+//! keys of the others.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+use crate::ids::{ConsumerId, MediatorId, ProviderId, QueryId};
+
+/// A copyable identifier with a stable, dense raw index.
+pub trait StableId: Copy + Eq + fmt::Display {
+    /// The raw index of the identifier.
+    fn slot(self) -> usize;
+
+    /// Rebuilds the identifier from a raw index.
+    fn from_slot(slot: usize) -> Self;
+}
+
+macro_rules! stable_id_impls {
+    ($($t:ty),*) => {$(
+        impl StableId for $t {
+            #[inline]
+            fn slot(self) -> usize {
+                self.index()
+            }
+
+            #[inline]
+            fn from_slot(slot: usize) -> Self {
+                Self::new(slot as u32)
+            }
+        }
+    )*};
+}
+
+stable_id_impls!(ConsumerId, ProviderId, MediatorId, QueryId);
+
+/// A map from stable participant identifiers to per-participant state.
+///
+/// Designed for the small, dense id spaces of the simulator (participants
+/// are numbered from 0 at generation time): storage is a slot vector, so
+/// `get`/`insert`/`remove` are O(1) and iteration is ordered by id.
+#[derive(Debug, Clone)]
+pub struct ParticipantTable<K: StableId, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K: StableId, V> ParticipantTable<K, V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ParticipantTable {
+            slots: Vec::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Builds a table from values whose identifiers are their positions
+    /// (the layout population generators produce).
+    pub fn from_values(values: impl IntoIterator<Item = V>) -> Self {
+        let slots: Vec<Option<V>> = values.into_iter().map(Some).collect();
+        let len = slots.len();
+        ParticipantTable {
+            slots,
+            len,
+            _key: PhantomData,
+        }
+    }
+
+    /// Builds a table with `n` entries produced by `f(id)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(K) -> V) -> Self {
+        ParticipantTable::from_values((0..n).map(|i| f(K::from_slot(i))))
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` has an entry.
+    pub fn contains(&self, key: K) -> bool {
+        self.slots.get(key.slot()).is_some_and(Option::is_some)
+    }
+
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.slots.get(key.slot()).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry for `key`, if present.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.slots.get_mut(key.slot()).and_then(Option::as_mut)
+    }
+
+    /// Inserts an entry, returning the previous value for `key` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let slot = key.slot();
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        let previous = self.slots[slot].replace(value);
+        if previous.is_none() {
+            self.len += 1;
+        }
+        previous
+    }
+
+    /// Returns a mutable reference to the entry for `key`, inserting the
+    /// result of `default` first if absent.
+    pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        if !self.contains(key) {
+            self.insert(key, default());
+        }
+        self.get_mut(key).expect("entry just ensured")
+    }
+
+    /// Removes the entry for `key`, keeping every other key valid.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let removed = self.slots.get_mut(key.slot()).and_then(Option::take);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over `(id, value)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, value)| value.as_ref().map(|v| (K::from_slot(slot), v)))
+    }
+
+    /// Iterates over `(id, value)` pairs with mutable values.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> + '_ {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, value)| value.as_mut().map(|v| (K::from_slot(slot), v)))
+    }
+
+    /// Iterates over present identifiers in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over present values in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates over present values mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> + '_ {
+        self.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Keeps only the entries for which `keep` returns `true`.
+    pub fn retain(&mut self, mut keep: impl FnMut(K, &mut V) -> bool) {
+        for slot in 0..self.slots.len() {
+            let drop_it = match self.slots[slot].as_mut() {
+                Some(value) => !keep(K::from_slot(slot), value),
+                None => false,
+            };
+            if drop_it {
+                self.slots[slot] = None;
+                self.len -= 1;
+            }
+        }
+    }
+}
+
+impl<K: StableId, V> Default for ParticipantTable<K, V> {
+    fn default() -> Self {
+        ParticipantTable::new()
+    }
+}
+
+impl<K: StableId, V: PartialEq> PartialEq for ParticipantTable<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && va == vb)
+    }
+}
+
+impl<K: StableId, V> Index<K> for ParticipantTable<K, V> {
+    type Output = V;
+
+    fn index(&self, key: K) -> &V {
+        match self.get(key) {
+            Some(value) => value,
+            None => panic!("no participant {key} in table"),
+        }
+    }
+}
+
+impl<K: StableId, V> IndexMut<K> for ParticipantTable<K, V> {
+    fn index_mut(&mut self, key: K) -> &mut V {
+        match self.get_mut(key) {
+            Some(value) => value,
+            None => panic!("no participant {key} in table"),
+        }
+    }
+}
+
+impl<K: StableId, V> FromIterator<(K, V)> for ParticipantTable<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut table = ParticipantTable::new();
+        for (key, value) in iter {
+            table.insert(key, value);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(raw: u32) -> ProviderId {
+        ProviderId::new(raw)
+    }
+
+    #[test]
+    fn keys_survive_removals() {
+        let mut table: ParticipantTable<ProviderId, &str> =
+            ParticipantTable::from_values(["a", "b", "c", "d"]);
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.remove(p(1)), Some("b"));
+        // The keys of the remaining entries are untouched — this is the
+        // property the positional-Vec layout violated.
+        assert_eq!(table.get(p(2)), Some(&"c"));
+        assert_eq!(table.get(p(3)), Some(&"d"));
+        assert_eq!(table.get(p(1)), None);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.remove(p(1)), None);
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_ordered_by_id() {
+        let mut table: ParticipantTable<ConsumerId, u32> = ParticipantTable::new();
+        table.insert(ConsumerId::new(5), 50);
+        table.insert(ConsumerId::new(1), 10);
+        table.insert(ConsumerId::new(3), 30);
+        let pairs: Vec<(u32, u32)> = table.iter().map(|(k, v)| (k.raw(), *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 50)]);
+        assert_eq!(
+            table.keys().map(ConsumerId::raw).collect::<Vec<_>>(),
+            [1, 3, 5]
+        );
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_previous() {
+        let mut table: ParticipantTable<ProviderId, u32> = ParticipantTable::new();
+        assert_eq!(table.insert(p(2), 1), None);
+        assert_eq!(table.insert(p(2), 2), Some(1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[p(2)], 2);
+        table[p(2)] += 5;
+        assert_eq!(table[p(2)], 7);
+    }
+
+    #[test]
+    fn or_insert_with_is_lazy_and_idempotent() {
+        let mut table: ParticipantTable<ConsumerId, Vec<u32>> = ParticipantTable::new();
+        table.or_insert_with(ConsumerId::new(0), Vec::new).push(1);
+        table
+            .or_insert_with(ConsumerId::new(0), || panic!("must not run"))
+            .push(2);
+        assert_eq!(table[ConsumerId::new(0)], vec![1, 2]);
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let mut table: ParticipantTable<ProviderId, u32> =
+            ParticipantTable::from_values([0, 1, 2, 3, 4]);
+        table.retain(|_, v| v.is_multiple_of(2));
+        assert_eq!(table.len(), 3);
+        assert_eq!(
+            table.keys().map(ProviderId::raw).collect::<Vec<_>>(),
+            [0, 2, 4]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no participant p9")]
+    fn indexing_a_missing_key_panics_with_the_id() {
+        let table: ParticipantTable<ProviderId, u32> = ParticipantTable::from_values([1]);
+        let _ = table[p(9)];
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a: ParticipantTable<ProviderId, u32> = ParticipantTable::from_values([1, 2]);
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.remove(p(0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_fn_assigns_sequential_ids() {
+        let table: ParticipantTable<ConsumerId, u32> =
+            ParticipantTable::from_fn(3, |id: ConsumerId| id.raw() * 10);
+        assert_eq!(table[ConsumerId::new(2)], 20);
+        assert_eq!(table.len(), 3);
+    }
+}

@@ -13,7 +13,10 @@ use sqlb::sim::engine::run_simulation;
 
 fn main() {
     let workload = 0.8;
-    println!("== Autonomous e-marketplace at {:.0}% of the total system capacity ==\n", workload * 100.0);
+    println!(
+        "== Autonomous e-marketplace at {:.0}% of the total system capacity ==\n",
+        workload * 100.0
+    );
     println!(
         "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "method", "resp. (s)", "prov. left", "dissat.", "starved", "overutil.", "cons. left"

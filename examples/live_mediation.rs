@@ -21,13 +21,16 @@ impl ConsumerEndpoint for ParityConsumer {
     fn intentions(&mut self, _query: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
         candidates
             .iter()
-            .map(|&p| (p, if p.raw() % 2 == 0 { 0.8 } else { -0.4 }))
+            .map(|&p| (p, if p.raw().is_multiple_of(2) { 0.8 } else { -0.4 }))
             .collect()
     }
 
     fn allocation_result(&mut self, query: QueryId, providers: &[ProviderId]) {
         let names: Vec<String> = providers.iter().map(|p| p.to_string()).collect();
-        println!("  consumer: query {query} allocated to [{}]", names.join(", "));
+        println!(
+            "  consumer: query {query} allocated to [{}]",
+            names.join(", ")
+        );
     }
 }
 
@@ -78,7 +81,10 @@ fn main() {
     let mut state = MediatorState::paper_default();
     let candidates: Vec<ProviderId> = (0..5).map(ProviderId::new).collect();
 
-    println!("== Live mediation over {} provider threads ==", candidates.len());
+    println!(
+        "== Live mediation over {} provider threads ==",
+        candidates.len()
+    );
     for i in 0..3u32 {
         let query = Query::single(
             QueryId::new(i),
@@ -91,7 +97,11 @@ fn main() {
             "mediator: query {} -> {} (best score {:+.3})",
             query.id,
             allocation.selected[0],
-            allocation.ranking.first().map(|r| r.score).unwrap_or(f64::NAN)
+            allocation
+                .ranking
+                .first()
+                .map(|r| r.score)
+                .unwrap_or(f64::NAN)
         );
         // Give the asynchronous notifications a moment to print.
         std::thread::sleep(Duration::from_millis(50));

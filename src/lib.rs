@@ -88,11 +88,11 @@ pub mod prelude {
     pub use sqlb_core::allocation::{
         Allocation, AllocationMethod, Bid, CandidateInfo, MediatorView, UniformView,
     };
+    pub use sqlb_core::scoring::{omega, provider_score, rank_candidates, RankedProvider};
     pub use sqlb_core::{
         consumer_intention, provider_intention, IntentionParams, MediatorState, OmegaPolicy,
         QueryAllocationModule, SqlbAllocator, SqlbConfig,
     };
-    pub use sqlb_core::scoring::{omega, provider_score, rank_candidates, RankedProvider};
     pub use sqlb_matchmaking::{Capability, CapabilityRegistry, Matchmaker, UniversalMatchmaker};
     pub use sqlb_metrics::{fairness, mean, min_max_ratio, Summary, TimeSeries};
     pub use sqlb_reputation::ReputationStore;

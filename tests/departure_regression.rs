@@ -1,0 +1,150 @@
+//! Regression tests for the departure-indexing bug class.
+//!
+//! The engine used to keep per-participant state (`busy_until`, departure
+//! strikes) in `Vec`s indexed by each participant's *initial position*.
+//! That layout silently corrupts once autonomous departures shrink the
+//! population: state updates meant for one survivor land on another. All
+//! such state now lives in `ParticipantTable`s keyed by stable ids; these
+//! tests run autonomy experiments well past the first departure — in both
+//! the mono-mediator and the sharded configuration — and check that every
+//! recorded metric stays finite and attributable to a real participant.
+
+use std::collections::HashSet;
+
+use sqlb::prelude::*;
+use sqlb::sim::engine::run_simulation;
+use sqlb::sim::{Method, SimulationConfig, SimulationReport, WorkloadPattern};
+
+fn autonomous_config(seed: u64) -> SimulationConfig {
+    SimulationConfig::scaled(24, 48, 900.0, seed)
+        .with_workload(WorkloadPattern::Fixed(0.8))
+        .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL))
+        .with_consumer_departures(ConsumerDepartureRule::default())
+}
+
+fn assert_series_finite(report: &SimulationReport) {
+    let series = [
+        (
+            "provider_satisfaction_intention_mean",
+            &report.series.provider_satisfaction_intention_mean,
+        ),
+        (
+            "provider_satisfaction_preference_mean",
+            &report.series.provider_satisfaction_preference_mean,
+        ),
+        (
+            "consumer_allocation_satisfaction_mean",
+            &report.series.consumer_allocation_satisfaction_mean,
+        ),
+        (
+            "consumer_satisfaction_mean",
+            &report.series.consumer_satisfaction_mean,
+        ),
+        ("utilization_mean", &report.series.utilization_mean),
+        ("utilization_fairness", &report.series.utilization_fairness),
+        ("active_providers", &report.series.active_providers),
+        ("active_consumers", &report.series.active_consumers),
+    ];
+    for (name, ts) in series {
+        assert!(!ts.is_empty(), "{name} recorded no samples");
+        assert!(
+            ts.values().iter().all(|v| v.is_finite()),
+            "{name} contains a non-finite sample after departures"
+        );
+    }
+}
+
+fn check_departure_integrity(report: &SimulationReport) {
+    assert!(
+        !report.provider_departures.is_empty(),
+        "this configuration must produce at least one provider departure \
+         for the regression to be exercised"
+    );
+
+    assert_series_finite(report);
+
+    // Each departure is attributed to a distinct, real provider of the
+    // initial population — a positional mix-up would eventually record the
+    // same survivor twice or point past the population.
+    let mut seen = HashSet::new();
+    for d in &report.provider_departures {
+        assert!(
+            (d.provider.index()) < report.initial_providers,
+            "departure record points outside the population: {}",
+            d.provider
+        );
+        assert!(
+            seen.insert(d.provider),
+            "provider {} was recorded as departing twice",
+            d.provider
+        );
+        assert!(d.time_secs.is_finite() && d.time_secs >= 0.0);
+    }
+    let mut seen_consumers = HashSet::new();
+    for d in &report.consumer_departures {
+        assert!((d.consumer.index()) < report.initial_consumers);
+        assert!(seen_consumers.insert(d.consumer));
+    }
+
+    // The active-provider series must march down in lockstep with the
+    // departure log and end exactly at initial - departed.
+    let active = report.series.active_providers.values();
+    assert!(
+        active.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+        "active-provider series must be non-increasing"
+    );
+    let expected = report.initial_providers - report.provider_departures.len();
+    assert_eq!(*active.last().unwrap() as usize, expected);
+
+    // Query accounting survives the shrinking population.
+    assert!(report.completed_queries <= report.issued_queries);
+    assert!(report.mean_response_time().is_finite());
+}
+
+#[test]
+fn metrics_stay_finite_past_departures_mono_mediator() {
+    let report = run_simulation(autonomous_config(17), Method::MariposaLike).unwrap();
+    check_departure_integrity(&report);
+    assert_eq!(report.mediator_shards, 1);
+}
+
+#[test]
+fn metrics_stay_finite_past_departures_with_shards() {
+    // The ISSUE's acceptance bar: a K>1 run completes an autonomy
+    // experiment with at least one departure, without panics or index
+    // corruption.
+    let report = run_simulation(
+        autonomous_config(17).with_mediator_shards(2),
+        Method::MariposaLike,
+    )
+    .unwrap();
+    check_departure_integrity(&report);
+    assert_eq!(report.mediator_shards, 2);
+    assert!(report.sync_rounds > 0);
+    assert_eq!(
+        report.shard_allocations.iter().sum::<u64>(),
+        report.issued_queries - report.unallocated_queries
+    );
+}
+
+#[test]
+fn departed_providers_keep_their_identity_in_records() {
+    // Cross-check the departure log against the population layout: the
+    // recorded profiles must match what the (stable-keyed) population
+    // assigned to those ids at generation time.
+    let config = autonomous_config(23);
+    let population = Population::generate(&config.population).unwrap();
+    let report = run_simulation(config, Method::CapacityBased).unwrap();
+    for d in &report.provider_departures {
+        let expected = population
+            .profiles
+            .get(d.provider)
+            .copied()
+            .expect("departed provider must exist in the generated population");
+        assert_eq!(
+            d.profile, expected,
+            "departure record for {} carries another provider's profile",
+            d.provider
+        );
+    }
+}

@@ -13,13 +13,24 @@ fn config(workload: f64, duration: f64, seed: u64) -> SimulationConfig {
 fn captive_runs_preserve_query_accounting() {
     for method in [Method::Sqlb, Method::CapacityBased, Method::MariposaLike] {
         let report = run_simulation(config(0.6, 400.0, 1), method).unwrap();
-        assert!(report.issued_queries > 500, "{method:?}: {}", report.issued_queries);
+        assert!(
+            report.issued_queries > 500,
+            "{method:?}: {}",
+            report.issued_queries
+        );
         assert!(report.completed_queries <= report.issued_queries);
-        assert_eq!(report.unallocated_queries, 0, "captive system never drops queries");
+        assert_eq!(
+            report.unallocated_queries, 0,
+            "captive system never drops queries"
+        );
         // At 60% workload the vast majority of queries complete within the
         // run; the Mariposa-like broker concentrates queries on the cheapest
         // providers and therefore leaves a longer tail in flight.
-        let minimum = if method == Method::MariposaLike { 0.75 } else { 0.9 };
+        let minimum = if method == Method::MariposaLike {
+            0.75
+        } else {
+            0.9
+        };
         assert!(
             report.completion_rate() > minimum,
             "{method:?} completion rate {}",
@@ -87,7 +98,8 @@ fn capacity_based_gives_the_best_load_balance_and_response_times() {
     let capacity = run_simulation(config(0.8, 500.0, 4), Method::CapacityBased).unwrap();
     let mariposa = run_simulation(config(0.8, 500.0, 4), Method::MariposaLike).unwrap();
 
-    let fairness = |r: &sqlb::sim::SimulationReport| r.series.utilization_fairness.mean_after(100.0);
+    let fairness =
+        |r: &sqlb::sim::SimulationReport| r.series.utilization_fairness.mean_after(100.0);
     assert!(fairness(&capacity) >= fairness(&sqlb) - 0.02);
     assert!(fairness(&capacity) > fairness(&mariposa));
 
@@ -134,7 +146,14 @@ fn mediator_state_and_agent_state_agree_on_what_is_observable() {
     // intentions equal preferences, observable by both sides). A short run
     // must keep the two views consistent in the aggregate.
     let report = run_simulation(config(0.5, 300.0, 6), Method::Sqlb).unwrap();
-    let consumer_mean = report.series.consumer_satisfaction_mean.last_value().unwrap();
-    assert!(consumer_mean > 0.5, "selected providers should please consumers");
+    let consumer_mean = report
+        .series
+        .consumer_satisfaction_mean
+        .last_value()
+        .unwrap();
+    assert!(
+        consumer_mean > 0.5,
+        "selected providers should please consumers"
+    );
     assert!(consumer_mean <= 1.0);
 }

@@ -35,15 +35,23 @@ fn fig4_driver_emits_every_panel_for_every_method() {
             );
         }
         // At least a handful of sample rows exist.
-        assert!(table.lines().count() > 5, "panel {} too short", panel.letter());
+        assert!(
+            table.lines().count() > 5,
+            "panel {} too short",
+            panel.letter()
+        );
     }
 }
 
 #[test]
 fn workload_sweeps_cover_requested_workloads_in_order() {
     let workloads = [0.3, 0.6, 0.9];
-    let result = workload_sweep(ExperimentScale::quick(), &workloads, AutonomySetting::Captive)
-        .unwrap();
+    let result = workload_sweep(
+        ExperimentScale::quick(),
+        &workloads,
+        AutonomySetting::Captive,
+    )
+    .unwrap();
     let observed: Vec<f64> = result.rows.iter().map(|r| r.workload).collect();
     assert_eq!(observed, workloads.to_vec());
     // Response times grow (weakly) with workload for every method.

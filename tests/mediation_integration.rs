@@ -55,6 +55,20 @@ impl ProviderEndpoint for AgentProvider {
     }
 }
 
+/// A provider endpoint wrapping a real agent but answering only after a
+/// fixed delay — a stand-in for an overloaded or partitioned participant.
+struct SlowAgentProvider {
+    agent: Arc<Mutex<ProviderAgent>>,
+    delay: Duration,
+}
+
+impl ProviderEndpoint for SlowAgentProvider {
+    fn intention(&mut self, query: &Query) -> f64 {
+        std::thread::sleep(self.delay);
+        self.agent.lock().intention_for(query, SimTime::ZERO)
+    }
+}
+
 fn population() -> Population {
     Population::generate(&PopulationConfig::scaled(4, 8, 123)).unwrap()
 }
@@ -64,7 +78,7 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
     let population = population();
     let providers: Vec<Arc<Mutex<ProviderAgent>>> = population
         .providers
-        .iter()
+        .values()
         .map(|p| Arc::new(Mutex::new(p.clone())))
         .collect();
 
@@ -72,7 +86,7 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
         timeout: Duration::from_millis(500),
         request_bids: false,
     });
-    let consumer_agent = population.consumers[0].clone();
+    let consumer_agent = population.consumers[ConsumerId::new(0)].clone();
     runtime.register_consumer(
         consumer_agent.id(),
         AgentConsumer {
@@ -82,7 +96,12 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
     );
     for provider in &providers {
         let id = provider.lock().id();
-        runtime.register_provider(id, AgentProvider { agent: provider.clone() });
+        runtime.register_provider(
+            id,
+            AgentProvider {
+                agent: provider.clone(),
+            },
+        );
     }
 
     let candidates: Vec<ProviderId> = providers.iter().map(|p| p.lock().id()).collect();
@@ -94,7 +113,11 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
         let query = Query::single(
             QueryId::new(i),
             consumer_agent.id(),
-            if i % 2 == 0 { QueryClass::Light } else { QueryClass::Heavy },
+            if i.is_multiple_of(2) {
+                QueryClass::Light
+            } else {
+                QueryClass::Heavy
+            },
             SimTime::ZERO,
         );
         let allocation = runtime.mediate(&query, &candidates, &mut method, &mut state);
@@ -114,9 +137,7 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
         .enumerate()
         .max_by_key(|(_, c)| **c)
         .unwrap();
-    let best_pref = consumer_agent
-        .preference_for(candidates[best_idx])
-        .value();
+    let best_pref = consumer_agent.preference_for(candidates[best_idx]).value();
     let max_pref = candidates
         .iter()
         .map(|&p| consumer_agent.preference_for(p).value())
@@ -133,10 +154,11 @@ fn agents_mediate_over_threads_and_update_their_satisfaction() {
     // selected providers saw their satisfaction move away from the initial
     // value.
     std::thread::sleep(Duration::from_millis(100));
-    let any_updated = providers
-        .iter()
-        .any(|p| p.lock().proposed_queries() > 0);
-    assert!(any_updated, "allocation notices should reach the provider agents");
+    let any_updated = providers.iter().any(|p| p.lock().proposed_queries() > 0);
+    assert!(
+        any_updated,
+        "allocation notices should reach the provider agents"
+    );
 }
 
 #[test]
@@ -146,7 +168,7 @@ fn mariposa_over_the_runtime_uses_real_bids() {
         timeout: Duration::from_millis(500),
         request_bids: true,
     });
-    let consumer_agent = population.consumers[0].clone();
+    let consumer_agent = population.consumers[ConsumerId::new(0)].clone();
     runtime.register_consumer(
         consumer_agent.id(),
         AgentConsumer {
@@ -154,7 +176,7 @@ fn mariposa_over_the_runtime_uses_real_bids() {
             reputation: ReputationStore::neutral(),
         },
     );
-    for provider in &population.providers {
+    for provider in population.providers.values() {
         runtime.register_provider(
             provider.id(),
             AgentProvider {
@@ -162,9 +184,14 @@ fn mariposa_over_the_runtime_uses_real_bids() {
             },
         );
     }
-    let candidates: Vec<ProviderId> = population.providers.iter().map(|p| p.id()).collect();
+    let candidates: Vec<ProviderId> = population.providers.values().map(|p| p.id()).collect();
     let infos = runtime.gather(
-        &Query::single(QueryId::new(0), consumer_agent.id(), QueryClass::Light, SimTime::ZERO),
+        &Query::single(
+            QueryId::new(0),
+            consumer_agent.id(),
+            QueryClass::Light,
+            SimTime::ZERO,
+        ),
         &candidates,
     );
     assert!(infos.iter().all(|i| i.bid.is_some()), "every provider bids");
@@ -172,10 +199,140 @@ fn mariposa_over_the_runtime_uses_real_bids() {
     let mut broker = MariposaLike::new();
     let mut state = MediatorState::paper_default();
     let allocation = runtime.mediate(
-        &Query::single(QueryId::new(1), consumer_agent.id(), QueryClass::Light, SimTime::ZERO),
+        &Query::single(
+            QueryId::new(1),
+            consumer_agent.id(),
+            QueryClass::Light,
+            SimTime::ZERO,
+        ),
         &candidates,
         &mut broker,
         &mut state,
     );
     assert_eq!(allocation.selected.len(), 1);
+}
+
+/// Builds a runtime over real agents where provider 0 is fast and provider
+/// 1 is slower than the configured timeout.
+fn runtime_with_slow_provider(
+    timeout: Duration,
+    slow_delay: Duration,
+) -> (MediationRuntime, ConsumerAgent, Vec<ProviderId>) {
+    let population = population();
+    let mut runtime = MediationRuntime::new(RuntimeConfig {
+        timeout,
+        request_bids: false,
+    });
+    let consumer_agent = population.consumers[ConsumerId::new(0)].clone();
+    runtime.register_consumer(
+        consumer_agent.id(),
+        AgentConsumer {
+            agent: consumer_agent.clone(),
+            reputation: ReputationStore::neutral(),
+        },
+    );
+    let candidates: Vec<ProviderId> = population.providers.keys().take(2).collect();
+    let fast = population.providers[candidates[0]].clone();
+    let slow = population.providers[candidates[1]].clone();
+    runtime.register_provider(
+        candidates[0],
+        AgentProvider {
+            agent: Arc::new(Mutex::new(fast)),
+        },
+    );
+    runtime.register_provider(
+        candidates[1],
+        SlowAgentProvider {
+            agent: Arc::new(Mutex::new(slow)),
+            delay: slow_delay,
+        },
+    );
+    (runtime, consumer_agent, candidates)
+}
+
+#[test]
+fn slow_provider_falls_back_to_indifference_on_the_single_query_path() {
+    // Algorithm 1, line 5: answers missing at the timeout are treated as
+    // indifference (intention 0). The fast provider's real intention and
+    // the consumer's intentions must still come through.
+    let (runtime, consumer_agent, candidates) =
+        runtime_with_slow_provider(Duration::from_millis(80), Duration::from_millis(600));
+    let query = Query::single(
+        QueryId::new(1),
+        consumer_agent.id(),
+        QueryClass::Light,
+        SimTime::ZERO,
+    );
+    let infos = runtime.gather(&query, &candidates);
+    assert_eq!(infos.len(), 2);
+    let expected_fast = {
+        let population = population();
+        population.providers[candidates[0]]
+            .clone()
+            .intention_for(&query, SimTime::ZERO)
+    };
+    assert_eq!(
+        infos[0].provider_intention, expected_fast,
+        "the fast provider's answer arrives in time"
+    );
+    assert_eq!(
+        infos[1].provider_intention, 0.0,
+        "the slow provider's answer missed the deadline and defaults to 0"
+    );
+    // The consumer answered for both candidates regardless.
+    let expected_ci =
+        consumer_agent.intention_for(&query, candidates[1], &ReputationStore::neutral());
+    assert_eq!(infos[1].consumer_intention, expected_ci);
+}
+
+#[test]
+fn slow_provider_falls_back_to_indifference_on_the_batched_path() {
+    // Same fallback on the batched entry point: one round-trip per
+    // participant serves the whole batch, and the slow provider's missing
+    // batch reply zeroes its intention for every query of the batch.
+    let (runtime, consumer_agent, candidates) =
+        runtime_with_slow_provider(Duration::from_millis(80), Duration::from_millis(600));
+    let batch: Vec<(Query, Vec<ProviderId>)> = (0..4)
+        .map(|i| {
+            (
+                Query::single(
+                    QueryId::new(i),
+                    consumer_agent.id(),
+                    if i.is_multiple_of(2) {
+                        QueryClass::Light
+                    } else {
+                        QueryClass::Heavy
+                    },
+                    SimTime::ZERO,
+                ),
+                candidates.clone(),
+            )
+        })
+        .collect();
+    let infos = runtime.gather_batch(&batch);
+    assert_eq!(infos.len(), 4);
+    for (i, per_query) in infos.iter().enumerate() {
+        assert!(
+            per_query[0].provider_intention != 0.0,
+            "query {i}: the fast provider should answer with a real intention"
+        );
+        assert_eq!(
+            per_query[1].provider_intention, 0.0,
+            "query {i}: the slow provider must default to indifference"
+        );
+        assert!(
+            per_query[1].consumer_intention != 0.0,
+            "query {i}: the consumer's view of the slow provider still arrives"
+        );
+    }
+
+    // The whole mediation still goes through and allocates every query.
+    let mut method = SqlbAllocator::new();
+    let mut state = MediatorState::paper_default();
+    let allocations = runtime.mediate_batch(&batch, &mut method, &mut state);
+    assert_eq!(allocations.len(), 4);
+    for allocation in &allocations {
+        assert_eq!(allocation.selected.len(), 1);
+    }
+    assert_eq!(state.allocations(), 4);
 }

@@ -1,0 +1,255 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses.
+//!
+//! Each benchmark runs a short warm-up, picks a batch size so one timed
+//! batch lasts at least ~50 µs, then measures batches until a small time
+//! budget is exhausted. Results (mean ns/iter) are printed at the end of
+//! `main` and kept on the [`Criterion`] value so harnesses can export them
+//! (see [`Criterion::results`] and [`Criterion::export_json`]).
+//!
+//! There is no statistical analysis, no plotting and no comparison with
+//! previous runs — just stable, quick measurements suitable for spotting
+//! order-of-magnitude regressions offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/id` label.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let result = run_bench(id.to_string(), Duration::from_millis(200), f);
+        self.results.push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a summary table to stdout.
+    pub fn print_summary(&self) {
+        println!("{:<54} {:>14} {:>12}", "benchmark", "mean_ns/iter", "iters");
+        for r in &self.results {
+            println!("{:<54} {:>14.1} {:>12}", r.id, r.mean_ns, r.iterations);
+        }
+    }
+
+    /// Writes the results as a JSON array to `path`.
+    pub fn export_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.iterations,
+                comma
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// A group of related benchmarks sharing a label prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the time budget for each benchmark of the group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        // Cap the budget: this shim is for quick offline smoke benches.
+        self.measurement_time = time.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-budget driven here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let result = run_bench(label, self.measurement_time, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    budget: Duration,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `f` until the time budget is exhausted.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm up and estimate the cost of one call.
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Pick a batch size lasting at least ~50 µs per measurement.
+        let batch = (Duration::from_micros(50).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iterations += batch as u64;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+fn run_bench(id: String, budget: Duration, mut f: impl FnMut(&mut Bencher)) -> BenchResult {
+    let mut bencher = Bencher {
+        budget,
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    BenchResult {
+        id,
+        mean_ns: bencher.mean_ns,
+        iterations: bencher.iterations,
+    }
+}
+
+/// Declares a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every group and printing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.print_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/noop");
+        assert_eq!(c.results()[1].id, "g/with_input/4");
+        assert!(c.results().iter().all(|r| r.mean_ns > 0.0));
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut c = Criterion::default();
+        c.bench_function("solo", |b| b.iter(|| 2 + 2));
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        c.export_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'));
+        assert!(text.contains("\"id\": \"solo\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

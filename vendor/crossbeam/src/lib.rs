@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` channel API used by this
+//! workspace, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! MPSC channels with a `crossbeam::channel`-shaped API.
+
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives, every sender is gone, or the
+        /// deadline passes.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(41).unwrap();
+            tx.clone().send(42).unwrap();
+            assert_eq!(rx.recv(), Ok(41));
+            assert_eq!(rx.try_recv(), Ok(42));
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn recv_deadline_times_out() {
+            let (tx, rx) = unbounded::<u32>();
+            let deadline = Instant::now() + Duration::from_millis(20);
+            assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+            drop(tx);
+            let deadline = Instant::now() + Duration::from_millis(20);
+            assert_eq!(
+                rx.recv_deadline(deadline),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses.
+//!
+//! Instead of shrinking and persistence, this shim runs each property a
+//! fixed number of cases with inputs drawn from a deterministic generator
+//! seeded from the test's name. Supported surface:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   header) over functions of the form `fn name(x in strategy, ...)`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (return
+//!   [`TestCaseError`] instead of panicking, so they compose with `?`);
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`collection::vec`], [`bool::ANY`](crate::bool::ANY),
+//!   [`num::f64::ANY`](crate::num::f64::ANY), [`Just`] and
+//!   [`Strategy::prop_map`].
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test name, so each property gets
+    /// a stable but distinct stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64-bit value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A failed property case. Constructed by the `prop_assert*` macros; test
+/// helpers can also return it from `Result<(), TestCaseError>` functions.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-property configuration. Only the number of cases is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of arbitrary values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        (start + rng.unit_f64() * (end - start)).min(end)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Strategy yielding arbitrary booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Any boolean.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl crate::Strategy for AnyBool {
+        type Value = ::core::primitive::bool;
+
+        fn sample(&self, rng: &mut crate::TestRng) -> ::core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        /// Strategy yielding arbitrary `f64`s, including non-finite values.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF64;
+
+        /// Any `f64`: special values (±0, ±∞, NaN, subnormals) mixed with
+        /// arbitrary bit patterns.
+        pub const ANY: AnyF64 = AnyF64;
+
+        impl crate::Strategy for AnyF64 {
+            type Value = ::core::primitive::f64;
+
+            fn sample(&self, rng: &mut crate::TestRng) -> ::core::primitive::f64 {
+                match rng.next_u64() % 10 {
+                    0 => ::core::primitive::f64::NAN,
+                    1 => ::core::primitive::f64::INFINITY,
+                    2 => ::core::primitive::f64::NEG_INFINITY,
+                    3 => 0.0,
+                    4 => -0.0,
+                    5 => ::core::primitive::f64::MIN_POSITIVE / 2.0, // subnormal
+                    _ => ::core::primitive::f64::from_bits(rng.next_u64()),
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let len = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // A `match` avoids negating the condition, which trips clippy's
+        // neg_cmp_op_on_partial_ord lint for float comparisons.
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+            }
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current property case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { ... }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "property '{}' failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        __e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn helper(x: f64) -> Result<(), TestCaseError> {
+        prop_assert!(x >= 0.0, "got {x}");
+        Ok(())
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..=1.0, b in crate::bool::ANY) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..=1.0).contains(&y));
+            prop_assert!((b as u8) <= 1);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in crate::collection::vec((0u32..5, crate::bool::ANY), 1..20),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _) in &v {
+                prop_assert!(*n < 5);
+            }
+        }
+
+        #[test]
+        fn question_mark_composes(x in 0.0f64..1.0) {
+            helper(x)?;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_header_is_accepted(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_applies(v in (1u32..3).prop_map(|x| x * 10)) {
+            prop_assert!(v == 10 || v == 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn any_f64_hits_special_values() {
+        let mut rng = TestRng::for_test("any_f64");
+        let mut saw_nan = false;
+        let mut saw_inf = false;
+        let mut saw_finite = false;
+        for _ in 0..200 {
+            let x = crate::Strategy::sample(&crate::num::f64::ANY, &mut rng);
+            saw_nan |= x.is_nan();
+            saw_inf |= x.is_infinite();
+            saw_finite |= x.is_finite();
+        }
+        assert!(saw_nan && saw_inf && saw_finite);
+    }
+}

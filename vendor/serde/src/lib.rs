@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! actually serializes anything (there is no `serde_json` and no wire
+//! format in the build environment). This proc-macro crate accepts the
+//! derives and expands them to nothing, so `use serde::{Deserialize,
+//! Serialize};` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
