@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/allocation-3a57481b3ff28a45.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/debug/deps/liballocation-3a57481b3ff28a45.rmeta: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

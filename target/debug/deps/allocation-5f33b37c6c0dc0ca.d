@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/allocation-5f33b37c6c0dc0ca.d: crates/bench/benches/allocation.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocation-5f33b37c6c0dc0ca.rmeta: crates/bench/benches/allocation.rs Cargo.toml
+
+crates/bench/benches/allocation.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

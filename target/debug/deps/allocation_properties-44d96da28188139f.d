@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocation_properties-44d96da28188139f.d: tests/allocation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocation_properties-44d96da28188139f.rmeta: tests/allocation_properties.rs Cargo.toml
+
+tests/allocation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

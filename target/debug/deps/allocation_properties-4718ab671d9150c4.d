@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocation_properties-4718ab671d9150c4.d: tests/allocation_properties.rs
+
+/root/repo/target/debug/deps/allocation_properties-4718ab671d9150c4: tests/allocation_properties.rs
+
+tests/allocation_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocation_properties-fde44e41b73d6369.d: tests/allocation_properties.rs
+
+/root/repo/target/debug/deps/liballocation_properties-fde44e41b73d6369.rmeta: tests/allocation_properties.rs
+
+tests/allocation_properties.rs:

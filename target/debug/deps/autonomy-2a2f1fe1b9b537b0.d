@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autonomy-2a2f1fe1b9b537b0.d: tests/autonomy.rs
+
+/root/repo/target/debug/deps/libautonomy-2a2f1fe1b9b537b0.rmeta: tests/autonomy.rs
+
+tests/autonomy.rs:

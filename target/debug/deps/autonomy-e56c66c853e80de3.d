@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autonomy-e56c66c853e80de3.d: tests/autonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautonomy-e56c66c853e80de3.rmeta: tests/autonomy.rs Cargo.toml
+
+tests/autonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autonomy-f7dda5f1bf0d6300.d: tests/autonomy.rs
+
+/root/repo/target/debug/deps/autonomy-f7dda5f1bf0d6300: tests/autonomy.rs
+
+tests/autonomy.rs:

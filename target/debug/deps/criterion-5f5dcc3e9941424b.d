@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5f5dcc3e9941424b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5f5dcc3e9941424b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6c5548e91de05a86.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-6c5548e91de05a86: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-98cb9d16fcc08636.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-98cb9d16fcc08636.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

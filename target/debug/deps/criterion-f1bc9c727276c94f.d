@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f1bc9c727276c94f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1bc9c727276c94f.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1bc9c727276c94f.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

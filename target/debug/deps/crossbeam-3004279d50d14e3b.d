@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-3004279d50d14e3b.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-3004279d50d14e3b.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-8ed2ed015638f043.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-8ed2ed015638f043: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-d47527da9aaa35d0.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-d47527da9aaa35d0.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

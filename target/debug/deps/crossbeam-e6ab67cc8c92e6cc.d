@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-e6ab67cc8c92e6cc.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e6ab67cc8c92e6cc.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-e6ab67cc8c92e6cc.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

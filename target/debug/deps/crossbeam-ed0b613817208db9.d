@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ed0b613817208db9.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ed0b613817208db9.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/departure_regression-0790cc3bcb46f530.d: tests/departure_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeparture_regression-0790cc3bcb46f530.rmeta: tests/departure_regression.rs Cargo.toml
+
+tests/departure_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/departure_regression-27b4497552e39f0e.d: tests/departure_regression.rs
+
+/root/repo/target/debug/deps/libdeparture_regression-27b4497552e39f0e.rmeta: tests/departure_regression.rs
+
+tests/departure_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/departure_regression-c40917432d3537eb.d: tests/departure_regression.rs
+
+/root/repo/target/debug/deps/departure_regression-c40917432d3537eb: tests/departure_regression.rs
+
+tests/departure_regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnose-0617c2b73d5194e1.d: crates/bench/src/bin/diagnose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnose-0617c2b73d5194e1.rmeta: crates/bench/src/bin/diagnose.rs Cargo.toml
+
+crates/bench/src/bin/diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

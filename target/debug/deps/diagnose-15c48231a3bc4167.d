@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose-15c48231a3bc4167.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/debug/deps/libdiagnose-15c48231a3bc4167.rmeta: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose-1ecf3f39fcf23138.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/debug/deps/libdiagnose-1ecf3f39fcf23138.rmeta: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

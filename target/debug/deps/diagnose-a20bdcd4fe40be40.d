@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diagnose-a20bdcd4fe40be40.d: crates/bench/src/bin/diagnose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiagnose-a20bdcd4fe40be40.rmeta: crates/bench/src/bin/diagnose.rs Cargo.toml
+
+crates/bench/src/bin/diagnose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose-ac6afea5564c6ae1.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/debug/deps/diagnose-ac6afea5564c6ae1: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

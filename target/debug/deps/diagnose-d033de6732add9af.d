@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose-d033de6732add9af.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/debug/deps/diagnose-d033de6732add9af: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diagnose-e41b4726dd317c67.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/debug/deps/diagnose-e41b4726dd317c67: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

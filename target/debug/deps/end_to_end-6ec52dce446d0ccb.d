@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6ec52dce446d0ccb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-6ec52dce446d0ccb.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

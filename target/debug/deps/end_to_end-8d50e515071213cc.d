@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8d50e515071213cc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8d50e515071213cc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

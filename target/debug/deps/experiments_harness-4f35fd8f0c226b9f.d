@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_harness-4f35fd8f0c226b9f.d: tests/experiments_harness.rs
+
+/root/repo/target/debug/deps/experiments_harness-4f35fd8f0c226b9f: tests/experiments_harness.rs
+
+tests/experiments_harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_harness-673d900cedc0489d.d: tests/experiments_harness.rs
+
+/root/repo/target/debug/deps/libexperiments_harness-673d900cedc0489d.rmeta: tests/experiments_harness.rs
+
+tests/experiments_harness.rs:

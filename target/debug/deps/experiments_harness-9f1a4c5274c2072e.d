@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_harness-9f1a4c5274c2072e.d: tests/experiments_harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_harness-9f1a4c5274c2072e.rmeta: tests/experiments_harness.rs Cargo.toml
+
+tests/experiments_harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

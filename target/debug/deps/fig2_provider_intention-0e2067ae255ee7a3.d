@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_provider_intention-0e2067ae255ee7a3.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/debug/deps/fig2_provider_intention-0e2067ae255ee7a3: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

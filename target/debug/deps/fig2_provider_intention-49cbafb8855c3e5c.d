@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_provider_intention-49cbafb8855c3e5c.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/debug/deps/fig2_provider_intention-49cbafb8855c3e5c: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_provider_intention-5dd7c27aa4746f63.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/debug/deps/libfig2_provider_intention-5dd7c27aa4746f63.rmeta: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_provider_intention-657f63ab63a8634f.d: crates/bench/src/bin/fig2_provider_intention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_provider_intention-657f63ab63a8634f.rmeta: crates/bench/src/bin/fig2_provider_intention.rs Cargo.toml
+
+crates/bench/src/bin/fig2_provider_intention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_provider_intention-93449ec3388f60e9.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/debug/deps/fig2_provider_intention-93449ec3388f60e9: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

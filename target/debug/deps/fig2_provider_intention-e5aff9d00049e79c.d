@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_provider_intention-e5aff9d00049e79c.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/debug/deps/libfig2_provider_intention-e5aff9d00049e79c.rmeta: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_provider_intention-f3ac2624199383c1.d: crates/bench/src/bin/fig2_provider_intention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_provider_intention-f3ac2624199383c1.rmeta: crates/bench/src/bin/fig2_provider_intention.rs Cargo.toml
+
+crates/bench/src/bin/fig2_provider_intention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

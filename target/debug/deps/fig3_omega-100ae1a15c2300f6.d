@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_omega-100ae1a15c2300f6.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/debug/deps/libfig3_omega-100ae1a15c2300f6.rmeta: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

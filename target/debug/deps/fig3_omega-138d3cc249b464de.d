@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_omega-138d3cc249b464de.d: crates/bench/src/bin/fig3_omega.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_omega-138d3cc249b464de.rmeta: crates/bench/src/bin/fig3_omega.rs Cargo.toml
+
+crates/bench/src/bin/fig3_omega.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

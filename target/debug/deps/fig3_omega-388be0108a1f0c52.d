@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_omega-388be0108a1f0c52.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/debug/deps/fig3_omega-388be0108a1f0c52: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_omega-3bf330be20f88133.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/debug/deps/fig3_omega-3bf330be20f88133: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_omega-e2b9fb390690d05e.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/debug/deps/fig3_omega-e2b9fb390690d05e: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_omega-e38c3e5a54468396.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/debug/deps/libfig3_omega-e38c3e5a54468396.rmeta: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

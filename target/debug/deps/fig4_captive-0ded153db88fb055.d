@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_captive-0ded153db88fb055.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/debug/deps/fig4_captive-0ded153db88fb055: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_captive-1f5df5e9b4e2a763.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/debug/deps/fig4_captive-1f5df5e9b4e2a763: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_captive-4f3172733771a6d3.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/debug/deps/libfig4_captive-4f3172733771a6d3.rmeta: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

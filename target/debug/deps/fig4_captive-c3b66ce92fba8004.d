@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_captive-c3b66ce92fba8004.d: crates/bench/src/bin/fig4_captive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_captive-c3b66ce92fba8004.rmeta: crates/bench/src/bin/fig4_captive.rs Cargo.toml
+
+crates/bench/src/bin/fig4_captive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_captive-c8cc9fd4323d5042.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/debug/deps/fig4_captive-c8cc9fd4323d5042: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_captive-f945afff6b2b39fb.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/debug/deps/libfig4_captive-f945afff6b2b39fb.rmeta: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

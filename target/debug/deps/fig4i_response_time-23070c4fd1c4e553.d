@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4i_response_time-23070c4fd1c4e553.d: crates/bench/src/bin/fig4i_response_time.rs
+
+/root/repo/target/debug/deps/fig4i_response_time-23070c4fd1c4e553: crates/bench/src/bin/fig4i_response_time.rs
+
+crates/bench/src/bin/fig4i_response_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4i_response_time-3fb33f12c1184565.d: crates/bench/src/bin/fig4i_response_time.rs
+
+/root/repo/target/debug/deps/fig4i_response_time-3fb33f12c1184565: crates/bench/src/bin/fig4i_response_time.rs
+
+crates/bench/src/bin/fig4i_response_time.rs:

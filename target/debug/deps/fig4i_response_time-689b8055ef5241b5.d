@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4i_response_time-689b8055ef5241b5.d: crates/bench/src/bin/fig4i_response_time.rs
+
+/root/repo/target/debug/deps/fig4i_response_time-689b8055ef5241b5: crates/bench/src/bin/fig4i_response_time.rs
+
+crates/bench/src/bin/fig4i_response_time.rs:

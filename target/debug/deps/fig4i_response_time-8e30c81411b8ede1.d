@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4i_response_time-8e30c81411b8ede1.d: crates/bench/src/bin/fig4i_response_time.rs
+
+/root/repo/target/debug/deps/libfig4i_response_time-8e30c81411b8ede1.rmeta: crates/bench/src/bin/fig4i_response_time.rs
+
+crates/bench/src/bin/fig4i_response_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4i_response_time-e4519634f7dc23b8.d: crates/bench/src/bin/fig4i_response_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4i_response_time-e4519634f7dc23b8.rmeta: crates/bench/src/bin/fig4i_response_time.rs Cargo.toml
+
+crates/bench/src/bin/fig4i_response_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

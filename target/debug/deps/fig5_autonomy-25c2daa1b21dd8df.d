@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autonomy-25c2daa1b21dd8df.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/debug/deps/libfig5_autonomy-25c2daa1b21dd8df.rmeta: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_autonomy-2f5d8dcfecccf5e1.d: crates/bench/src/bin/fig5_autonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_autonomy-2f5d8dcfecccf5e1.rmeta: crates/bench/src/bin/fig5_autonomy.rs Cargo.toml
+
+crates/bench/src/bin/fig5_autonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

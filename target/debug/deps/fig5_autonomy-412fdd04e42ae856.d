@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autonomy-412fdd04e42ae856.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/debug/deps/fig5_autonomy-412fdd04e42ae856: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autonomy-526c0f3791500cf4.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/debug/deps/fig5_autonomy-526c0f3791500cf4: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

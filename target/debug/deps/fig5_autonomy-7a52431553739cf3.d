@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_autonomy-7a52431553739cf3.d: crates/bench/src/bin/fig5_autonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_autonomy-7a52431553739cf3.rmeta: crates/bench/src/bin/fig5_autonomy.rs Cargo.toml
+
+crates/bench/src/bin/fig5_autonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autonomy-94007317c7f868c8.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/debug/deps/libfig5_autonomy-94007317c7f868c8.rmeta: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_autonomy-dd176fbf86eeee05.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/debug/deps/fig5_autonomy-dd176fbf86eeee05: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

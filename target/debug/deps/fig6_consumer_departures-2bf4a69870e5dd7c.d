@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-2bf4a69870e5dd7c.d: crates/bench/src/bin/fig6_consumer_departures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_consumer_departures-2bf4a69870e5dd7c.rmeta: crates/bench/src/bin/fig6_consumer_departures.rs Cargo.toml
+
+crates/bench/src/bin/fig6_consumer_departures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

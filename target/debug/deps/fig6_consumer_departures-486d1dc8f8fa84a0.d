@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-486d1dc8f8fa84a0.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/debug/deps/fig6_consumer_departures-486d1dc8f8fa84a0: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

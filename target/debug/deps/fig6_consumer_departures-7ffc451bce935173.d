@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-7ffc451bce935173.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/debug/deps/fig6_consumer_departures-7ffc451bce935173: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

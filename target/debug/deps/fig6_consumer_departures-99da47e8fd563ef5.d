@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-99da47e8fd563ef5.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/debug/deps/libfig6_consumer_departures-99da47e8fd563ef5.rmeta: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-a44f20a5fdcc82cc.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/debug/deps/fig6_consumer_departures-a44f20a5fdcc82cc: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

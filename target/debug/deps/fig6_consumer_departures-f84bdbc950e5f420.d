@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_consumer_departures-f84bdbc950e5f420.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/debug/deps/libfig6_consumer_departures-f84bdbc950e5f420.rmeta: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mediation_integration-4294a8fd58def203.d: tests/mediation_integration.rs
+
+/root/repo/target/debug/deps/libmediation_integration-4294a8fd58def203.rmeta: tests/mediation_integration.rs
+
+tests/mediation_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mediation_integration-8fac3e04641a0e42.d: tests/mediation_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmediation_integration-8fac3e04641a0e42.rmeta: tests/mediation_integration.rs Cargo.toml
+
+tests/mediation_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

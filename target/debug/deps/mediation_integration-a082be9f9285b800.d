@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mediation_integration-a082be9f9285b800.d: tests/mediation_integration.rs
+
+/root/repo/target/debug/deps/mediation_integration-a082be9f9285b800: tests/mediation_integration.rs
+
+tests/mediation_integration.rs:

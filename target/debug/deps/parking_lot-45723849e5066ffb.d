@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-45723849e5066ffb.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-45723849e5066ffb.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

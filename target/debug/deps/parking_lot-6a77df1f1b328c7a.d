@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-6a77df1f1b328c7a.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-6a77df1f1b328c7a: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

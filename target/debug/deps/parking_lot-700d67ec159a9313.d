@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-700d67ec159a9313.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-700d67ec159a9313.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

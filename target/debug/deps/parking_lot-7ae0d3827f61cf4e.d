@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-7ae0d3827f61cf4e.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7ae0d3827f61cf4e.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7ae0d3827f61cf4e.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

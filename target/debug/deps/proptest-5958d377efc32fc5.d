@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5958d377efc32fc5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-5958d377efc32fc5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

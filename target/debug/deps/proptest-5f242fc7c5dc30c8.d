@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-5f242fc7c5dc30c8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-5f242fc7c5dc30c8.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

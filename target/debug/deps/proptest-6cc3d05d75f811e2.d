@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6cc3d05d75f811e2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6cc3d05d75f811e2.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

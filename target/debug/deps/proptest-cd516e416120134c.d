@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cd516e416120134c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cd516e416120134c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cd516e416120134c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

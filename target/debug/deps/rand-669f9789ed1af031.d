@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-669f9789ed1af031.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-669f9789ed1af031: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/satisfaction-8fc04d530d2545b0.d: crates/bench/benches/satisfaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsatisfaction-8fc04d530d2545b0.rmeta: crates/bench/benches/satisfaction.rs Cargo.toml
+
+crates/bench/benches/satisfaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

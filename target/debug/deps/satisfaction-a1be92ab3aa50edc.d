@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/satisfaction-a1be92ab3aa50edc.d: crates/bench/benches/satisfaction.rs
+
+/root/repo/target/debug/deps/libsatisfaction-a1be92ab3aa50edc.rmeta: crates/bench/benches/satisfaction.rs
+
+crates/bench/benches/satisfaction.rs:

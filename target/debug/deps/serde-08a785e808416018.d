@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-08a785e808416018.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-08a785e808416018.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-40f5f9b2735e0dec.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-40f5f9b2735e0dec: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-9bad6d6dd01c2c59.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9bad6d6dd01c2c59.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

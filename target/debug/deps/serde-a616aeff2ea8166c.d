@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a616aeff2ea8166c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a616aeff2ea8166c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

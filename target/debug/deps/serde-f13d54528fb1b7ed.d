@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f13d54528fb1b7ed.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f13d54528fb1b7ed.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

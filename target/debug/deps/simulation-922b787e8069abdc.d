@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-922b787e8069abdc.d: crates/bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-922b787e8069abdc.rmeta: crates/bench/benches/simulation.rs Cargo.toml
+
+crates/bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation-f5ddfbaef594e804.d: crates/bench/benches/simulation.rs
+
+/root/repo/target/debug/deps/libsimulation-f5ddfbaef594e804.rmeta: crates/bench/benches/simulation.rs
+
+crates/bench/benches/simulation.rs:

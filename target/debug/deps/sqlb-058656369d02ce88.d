@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb-058656369d02ce88.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-058656369d02ce88.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-058656369d02ce88.rmeta: src/lib.rs
+
+src/lib.rs:

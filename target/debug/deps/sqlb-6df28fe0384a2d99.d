@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb-6df28fe0384a2d99.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-6df28fe0384a2d99.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb-7d9f6a5a28654437.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-7d9f6a5a28654437.rmeta: src/lib.rs
+
+src/lib.rs:

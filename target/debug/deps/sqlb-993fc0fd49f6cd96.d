@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb-993fc0fd49f6cd96.d: src/lib.rs
+
+/root/repo/target/debug/deps/sqlb-993fc0fd49f6cd96: src/lib.rs
+
+src/lib.rs:

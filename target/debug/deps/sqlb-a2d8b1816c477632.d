@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb-a2d8b1816c477632.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-a2d8b1816c477632.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb-a2d8b1816c477632.rmeta: src/lib.rs
+
+src/lib.rs:

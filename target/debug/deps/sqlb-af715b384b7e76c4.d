@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb-af715b384b7e76c4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb-af715b384b7e76c4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

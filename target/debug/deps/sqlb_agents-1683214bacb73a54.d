@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sqlb_agents-1683214bacb73a54.d: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_agents-1683214bacb73a54.rmeta: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs Cargo.toml
+
+crates/agents/src/lib.rs:
+crates/agents/src/consumer.rs:
+crates/agents/src/departure.rs:
+crates/agents/src/population.rs:
+crates/agents/src/provider.rs:
+crates/agents/src/utilization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

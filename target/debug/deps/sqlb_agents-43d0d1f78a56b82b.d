@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_agents-43d0d1f78a56b82b.d: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/debug/deps/libsqlb_agents-43d0d1f78a56b82b.rlib: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/debug/deps/libsqlb_agents-43d0d1f78a56b82b.rmeta: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/consumer.rs:
+crates/agents/src/departure.rs:
+crates/agents/src/population.rs:
+crates/agents/src/provider.rs:
+crates/agents/src/utilization.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlb_agents-682166ed6fa51d73.d: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/debug/deps/libsqlb_agents-682166ed6fa51d73.rmeta: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/consumer.rs:
+crates/agents/src/departure.rs:
+crates/agents/src/population.rs:
+crates/agents/src/provider.rs:
+crates/agents/src/utilization.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_agents-b178cd11efae4f0d.d: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/debug/deps/libsqlb_agents-b178cd11efae4f0d.rlib: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/debug/deps/libsqlb_agents-b178cd11efae4f0d.rmeta: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/consumer.rs:
+crates/agents/src/departure.rs:
+crates/agents/src/population.rs:
+crates/agents/src/provider.rs:
+crates/agents/src/utilization.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sqlb_baselines-38c73e9dfabe268c.d: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-38c73e9dfabe268c.rlib: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-38c73e9dfabe268c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/capacity.rs:
+crates/baselines/src/mariposa.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/roundrobin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_baselines-453148ef510a2cbf.d: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-453148ef510a2cbf.rmeta: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/capacity.rs:
+crates/baselines/src/mariposa.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/roundrobin.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sqlb_baselines-5c1adb6c4d552eee.d: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-5c1adb6c4d552eee.rlib: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-5c1adb6c4d552eee.rmeta: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/capacity.rs:
+crates/baselines/src/mariposa.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/roundrobin.rs:

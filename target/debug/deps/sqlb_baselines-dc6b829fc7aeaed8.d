@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_baselines-dc6b829fc7aeaed8.d: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/debug/deps/libsqlb_baselines-dc6b829fc7aeaed8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/capacity.rs:
+crates/baselines/src/mariposa.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/roundrobin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_bench-1653feb3be7dcc5b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sqlb_bench-1653feb3be7dcc5b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_bench-34642c7af23fe4fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-34642c7af23fe4fa.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

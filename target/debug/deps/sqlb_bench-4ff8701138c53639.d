@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_bench-4ff8701138c53639.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-4ff8701138c53639.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-4ff8701138c53639.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

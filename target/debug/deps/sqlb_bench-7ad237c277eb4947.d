@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_bench-7ad237c277eb4947.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_bench-7ad237c277eb4947.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_bench-858fd6bdf929bb2f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-858fd6bdf929bb2f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-858fd6bdf929bb2f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_bench-a751a8270e2e1b80.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-a751a8270e2e1b80.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

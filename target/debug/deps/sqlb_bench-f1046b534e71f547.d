@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_bench-f1046b534e71f547.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-f1046b534e71f547.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_bench-f1046b534e71f547.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_core-138542a578b2b87f.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+/root/repo/target/debug/deps/libsqlb_core-138542a578b2b87f.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/intention.rs:
+crates/core/src/mediator.rs:
+crates/core/src/mediator_state.rs:
+crates/core/src/module.rs:
+crates/core/src/scoring.rs:
+crates/core/src/sqlb.rs:

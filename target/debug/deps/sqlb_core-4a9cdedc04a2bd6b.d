@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sqlb_core-4a9cdedc04a2bd6b.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_core-4a9cdedc04a2bd6b.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/intention.rs:
+crates/core/src/mediator.rs:
+crates/core/src/mediator_state.rs:
+crates/core/src/module.rs:
+crates/core/src/scoring.rs:
+crates/core/src/sqlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

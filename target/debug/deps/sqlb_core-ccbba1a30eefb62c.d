@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_core-ccbba1a30eefb62c.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+/root/repo/target/debug/deps/sqlb_core-ccbba1a30eefb62c: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/intention.rs:
+crates/core/src/mediator.rs:
+crates/core/src/mediator_state.rs:
+crates/core/src/module.rs:
+crates/core/src/scoring.rs:
+crates/core/src/sqlb.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-125f2e461834542a.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-125f2e461834542a.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-882db027d83aed4c.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-882db027d83aed4c.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-9cd5a6970e1de556.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/sqlb_matchmaking-9cd5a6970e1de556: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

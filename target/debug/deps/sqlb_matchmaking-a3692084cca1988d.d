@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-a3692084cca1988d.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-a3692084cca1988d.rlib: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-a3692084cca1988d.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

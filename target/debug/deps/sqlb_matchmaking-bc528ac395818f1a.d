@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-bc528ac395818f1a.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-bc528ac395818f1a.rlib: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-bc528ac395818f1a.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

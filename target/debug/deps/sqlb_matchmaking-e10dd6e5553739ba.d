@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlb_matchmaking-e10dd6e5553739ba.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_matchmaking-e10dd6e5553739ba.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs Cargo.toml
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_mediation-62e557573108ad99.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-62e557573108ad99.rlib: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-62e557573108ad99.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

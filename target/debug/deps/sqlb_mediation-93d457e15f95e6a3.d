@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_mediation-93d457e15f95e6a3.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/sqlb_mediation-93d457e15f95e6a3: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_mediation-bcad41d3e400d64b.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-bcad41d3e400d64b.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

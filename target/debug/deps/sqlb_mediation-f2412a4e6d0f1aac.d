@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sqlb_mediation-f2412a4e6d0f1aac.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_mediation-f2412a4e6d0f1aac.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs Cargo.toml
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_mediation-f89cefe520b8e649.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-f89cefe520b8e649.rlib: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-f89cefe520b8e649.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

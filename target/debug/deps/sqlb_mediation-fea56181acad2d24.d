@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_mediation-fea56181acad2d24.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/debug/deps/libsqlb_mediation-fea56181acad2d24.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

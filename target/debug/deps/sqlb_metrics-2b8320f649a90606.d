@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sqlb_metrics-2b8320f649a90606.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libsqlb_metrics-2b8320f649a90606.rlib: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libsqlb_metrics-2b8320f649a90606.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

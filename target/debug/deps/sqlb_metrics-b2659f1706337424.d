@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_metrics-b2659f1706337424.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libsqlb_metrics-b2659f1706337424.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_metrics-b461f4c4830d7095.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/debug/deps/libsqlb_metrics-b461f4c4830d7095.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

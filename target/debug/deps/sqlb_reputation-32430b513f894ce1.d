@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_reputation-32430b513f894ce1.d: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-32430b513f894ce1.rlib: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-32430b513f894ce1.rmeta: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_reputation-5118f656af5ca431.d: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-5118f656af5ca431.rmeta: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sqlb_reputation-9861d9d8f6d41016.d: crates/reputation/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_reputation-9861d9d8f6d41016.rmeta: crates/reputation/src/lib.rs Cargo.toml
+
+crates/reputation/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

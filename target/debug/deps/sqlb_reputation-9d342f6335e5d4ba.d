@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_reputation-9d342f6335e5d4ba.d: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-9d342f6335e5d4ba.rmeta: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

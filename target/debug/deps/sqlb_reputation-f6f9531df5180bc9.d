@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sqlb_reputation-f6f9531df5180bc9.d: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-f6f9531df5180bc9.rlib: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/libsqlb_reputation-f6f9531df5180bc9.rmeta: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

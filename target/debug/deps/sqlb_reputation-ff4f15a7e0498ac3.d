@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlb_reputation-ff4f15a7e0498ac3.d: crates/reputation/src/lib.rs
+
+/root/repo/target/debug/deps/sqlb_reputation-ff4f15a7e0498ac3: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

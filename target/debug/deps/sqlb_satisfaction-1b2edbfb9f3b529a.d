@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlb_satisfaction-1b2edbfb9f3b529a.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-1b2edbfb9f3b529a.rlib: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-1b2edbfb9f3b529a.rmeta: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:

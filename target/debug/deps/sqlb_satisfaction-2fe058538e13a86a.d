@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_satisfaction-2fe058538e13a86a.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-2fe058538e13a86a.rmeta: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs Cargo.toml
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sqlb_satisfaction-7baa4f2d08d24501.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-7baa4f2d08d24501.rmeta: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sqlb_satisfaction-9a71bb443d7cba6e.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-9a71bb443d7cba6e.rlib: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/libsqlb_satisfaction-9a71bb443d7cba6e.rmeta: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:

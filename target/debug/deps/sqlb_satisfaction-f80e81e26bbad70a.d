@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sqlb_satisfaction-f80e81e26bbad70a.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/debug/deps/sqlb_satisfaction-f80e81e26bbad70a: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:

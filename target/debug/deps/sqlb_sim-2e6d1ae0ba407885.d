@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_sim-2e6d1ae0ba407885.d: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/debug/deps/libsqlb_sim-2e6d1ae0ba407885.rmeta: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/config.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/events.rs:
+crates/simulator/src/experiments.rs:
+crates/simulator/src/shard.rs:
+crates/simulator/src/stats.rs:
+crates/simulator/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_sim-3734d3ec6431603a.d: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/debug/deps/sqlb_sim-3734d3ec6431603a: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/config.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/events.rs:
+crates/simulator/src/experiments.rs:
+crates/simulator/src/shard.rs:
+crates/simulator/src/stats.rs:
+crates/simulator/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sqlb_sim-46e569253da5cd81.d: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/debug/deps/libsqlb_sim-46e569253da5cd81.rlib: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/debug/deps/libsqlb_sim-46e569253da5cd81.rmeta: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/config.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/events.rs:
+crates/simulator/src/experiments.rs:
+crates/simulator/src/shard.rs:
+crates/simulator/src/stats.rs:
+crates/simulator/src/workload.rs:

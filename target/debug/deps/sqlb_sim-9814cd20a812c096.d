@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sqlb_sim-9814cd20a812c096.d: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_sim-9814cd20a812c096.rmeta: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs Cargo.toml
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/config.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/events.rs:
+crates/simulator/src/experiments.rs:
+crates/simulator/src/shard.rs:
+crates/simulator/src/stats.rs:
+crates/simulator/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sqlb_types-3b723e00fd1236b7.d: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsqlb_types-3b723e00fd1236b7.rmeta: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/capacity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/query.rs:
+crates/types/src/table.rs:
+crates/types/src/time.rs:
+crates/types/src/values.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

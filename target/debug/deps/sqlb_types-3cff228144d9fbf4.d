@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sqlb_types-3cff228144d9fbf4.d: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/debug/deps/libsqlb_types-3cff228144d9fbf4.rmeta: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+crates/types/src/lib.rs:
+crates/types/src/capacity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/query.rs:
+crates/types/src/table.rs:
+crates/types/src/time.rs:
+crates/types/src/values.rs:

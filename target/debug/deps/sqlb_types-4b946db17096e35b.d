@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sqlb_types-4b946db17096e35b.d: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/debug/deps/libsqlb_types-4b946db17096e35b.rlib: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/debug/deps/libsqlb_types-4b946db17096e35b.rmeta: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+crates/types/src/lib.rs:
+crates/types/src/capacity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/query.rs:
+crates/types/src/table.rs:
+crates/types/src/time.rs:
+crates/types/src/values.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sqlb_types-abc6b955a64ade26.d: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/debug/deps/libsqlb_types-abc6b955a64ade26.rlib: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/debug/deps/libsqlb_types-abc6b955a64ade26.rmeta: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+crates/types/src/lib.rs:
+crates/types/src/capacity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/query.rs:
+crates/types/src/table.rs:
+crates/types/src/time.rs:
+crates/types/src/values.rs:

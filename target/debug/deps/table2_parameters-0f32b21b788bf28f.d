@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_parameters-0f32b21b788bf28f.d: crates/bench/src/bin/table2_parameters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_parameters-0f32b21b788bf28f.rmeta: crates/bench/src/bin/table2_parameters.rs Cargo.toml
+
+crates/bench/src/bin/table2_parameters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

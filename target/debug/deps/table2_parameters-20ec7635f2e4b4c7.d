@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-20ec7635f2e4b4c7.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/table2_parameters-20ec7635f2e4b4c7: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

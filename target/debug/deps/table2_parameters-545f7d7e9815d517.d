@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-545f7d7e9815d517.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/table2_parameters-545f7d7e9815d517: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

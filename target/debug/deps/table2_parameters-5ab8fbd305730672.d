@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-5ab8fbd305730672.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/libtable2_parameters-5ab8fbd305730672.rmeta: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

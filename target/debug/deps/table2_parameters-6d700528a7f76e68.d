@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-6d700528a7f76e68.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/libtable2_parameters-6d700528a7f76e68.rmeta: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_parameters-9e41b4688156f64e.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/debug/deps/table2_parameters-9e41b4688156f64e: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_departures-0242dfddcddcd216.d: crates/bench/src/bin/table3_departures.rs
+
+/root/repo/target/debug/deps/table3_departures-0242dfddcddcd216: crates/bench/src/bin/table3_departures.rs
+
+crates/bench/src/bin/table3_departures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_departures-718348a432fa2895.d: crates/bench/src/bin/table3_departures.rs
+
+/root/repo/target/debug/deps/table3_departures-718348a432fa2895: crates/bench/src/bin/table3_departures.rs
+
+crates/bench/src/bin/table3_departures.rs:

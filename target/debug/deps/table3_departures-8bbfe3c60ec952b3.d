@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_departures-8bbfe3c60ec952b3.d: crates/bench/src/bin/table3_departures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_departures-8bbfe3c60ec952b3.rmeta: crates/bench/src/bin/table3_departures.rs Cargo.toml
+
+crates/bench/src/bin/table3_departures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_departures-b3073dd933bbfd18.d: crates/bench/src/bin/table3_departures.rs
+
+/root/repo/target/debug/deps/libtable3_departures-b3073dd933bbfd18.rmeta: crates/bench/src/bin/table3_departures.rs
+
+crates/bench/src/bin/table3_departures.rs:

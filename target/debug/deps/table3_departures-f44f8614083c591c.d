@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_departures-f44f8614083c591c.d: crates/bench/src/bin/table3_departures.rs
+
+/root/repo/target/debug/deps/table3_departures-f44f8614083c591c: crates/bench/src/bin/table3_departures.rs
+
+crates/bench/src/bin/table3_departures.rs:

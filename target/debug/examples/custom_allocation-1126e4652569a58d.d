@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_allocation-1126e4652569a58d.d: examples/custom_allocation.rs
+
+/root/repo/target/debug/examples/custom_allocation-1126e4652569a58d: examples/custom_allocation.rs
+
+examples/custom_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_allocation-1ac00a4af1cc74f3.d: examples/custom_allocation.rs
+
+/root/repo/target/debug/examples/libcustom_allocation-1ac00a4af1cc74f3.rmeta: examples/custom_allocation.rs
+
+examples/custom_allocation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_allocation-7aec868217fc8a64.d: examples/custom_allocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_allocation-7aec868217fc8a64.rmeta: examples/custom_allocation.rs Cargo.toml
+
+examples/custom_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/emarketplace_autonomy-b6d8359830750fe7.d: examples/emarketplace_autonomy.rs
+
+/root/repo/target/debug/examples/emarketplace_autonomy-b6d8359830750fe7: examples/emarketplace_autonomy.rs
+
+examples/emarketplace_autonomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/emarketplace_autonomy-d7ccdaeed96a5d2b.d: examples/emarketplace_autonomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libemarketplace_autonomy-d7ccdaeed96a5d2b.rmeta: examples/emarketplace_autonomy.rs Cargo.toml
+
+examples/emarketplace_autonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/emarketplace_autonomy-e64201a87af0ab51.d: examples/emarketplace_autonomy.rs
+
+/root/repo/target/debug/examples/libemarketplace_autonomy-e64201a87af0ab51.rmeta: examples/emarketplace_autonomy.rs
+
+examples/emarketplace_autonomy.rs:

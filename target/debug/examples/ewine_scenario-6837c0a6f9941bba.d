@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ewine_scenario-6837c0a6f9941bba.d: examples/ewine_scenario.rs
+
+/root/repo/target/debug/examples/libewine_scenario-6837c0a6f9941bba.rmeta: examples/ewine_scenario.rs
+
+examples/ewine_scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ewine_scenario-9af6ab0c72c55db6.d: examples/ewine_scenario.rs
+
+/root/repo/target/debug/examples/ewine_scenario-9af6ab0c72c55db6: examples/ewine_scenario.rs
+
+examples/ewine_scenario.rs:

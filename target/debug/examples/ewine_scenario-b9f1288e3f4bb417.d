@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ewine_scenario-b9f1288e3f4bb417.d: examples/ewine_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libewine_scenario-b9f1288e3f4bb417.rmeta: examples/ewine_scenario.rs Cargo.toml
+
+examples/ewine_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

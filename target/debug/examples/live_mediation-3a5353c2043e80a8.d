@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_mediation-3a5353c2043e80a8.d: examples/live_mediation.rs
+
+/root/repo/target/debug/examples/liblive_mediation-3a5353c2043e80a8.rmeta: examples/live_mediation.rs
+
+examples/live_mediation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_mediation-4dbb8a5a03d9e9cf.d: examples/live_mediation.rs
+
+/root/repo/target/debug/examples/live_mediation-4dbb8a5a03d9e9cf: examples/live_mediation.rs
+
+examples/live_mediation.rs:

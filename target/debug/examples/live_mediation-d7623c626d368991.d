@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_mediation-d7623c626d368991.d: examples/live_mediation.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_mediation-d7623c626d368991.rmeta: examples/live_mediation.rs Cargo.toml
+
+examples/live_mediation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-009f524199435aaf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-009f524199435aaf.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

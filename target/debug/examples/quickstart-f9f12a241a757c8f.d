@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f9f12a241a757c8f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f9f12a241a757c8f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/rngs.rs /root/repo/vendor/rand/src/seq.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.so: /root/repo/vendor/serde/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/allocation-51c21f761a610d35.d: crates/bench/benches/allocation.rs
+
+/root/repo/target/release/deps/allocation-51c21f761a610d35: crates/bench/benches/allocation.rs
+
+crates/bench/benches/allocation.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

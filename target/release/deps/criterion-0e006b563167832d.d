@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0e006b563167832d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0e006b563167832d.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0e006b563167832d.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

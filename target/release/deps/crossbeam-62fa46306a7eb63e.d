@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-62fa46306a7eb63e.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-62fa46306a7eb63e.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-62fa46306a7eb63e.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diagnose-a98cabfc51573f6b.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/release/deps/diagnose-a98cabfc51573f6b: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

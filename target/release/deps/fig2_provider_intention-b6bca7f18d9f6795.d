@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_provider_intention-b6bca7f18d9f6795.d: crates/bench/src/bin/fig2_provider_intention.rs
+
+/root/repo/target/release/deps/fig2_provider_intention-b6bca7f18d9f6795: crates/bench/src/bin/fig2_provider_intention.rs
+
+crates/bench/src/bin/fig2_provider_intention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_omega-99b7bbaeabf007aa.d: crates/bench/src/bin/fig3_omega.rs
+
+/root/repo/target/release/deps/fig3_omega-99b7bbaeabf007aa: crates/bench/src/bin/fig3_omega.rs
+
+crates/bench/src/bin/fig3_omega.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_captive-07b1269327027b25.d: crates/bench/src/bin/fig4_captive.rs
+
+/root/repo/target/release/deps/fig4_captive-07b1269327027b25: crates/bench/src/bin/fig4_captive.rs
+
+crates/bench/src/bin/fig4_captive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4i_response_time-5ebe4849d82323ce.d: crates/bench/src/bin/fig4i_response_time.rs
+
+/root/repo/target/release/deps/fig4i_response_time-5ebe4849d82323ce: crates/bench/src/bin/fig4i_response_time.rs
+
+crates/bench/src/bin/fig4i_response_time.rs:

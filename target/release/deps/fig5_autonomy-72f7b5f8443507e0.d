@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_autonomy-72f7b5f8443507e0.d: crates/bench/src/bin/fig5_autonomy.rs
+
+/root/repo/target/release/deps/fig5_autonomy-72f7b5f8443507e0: crates/bench/src/bin/fig5_autonomy.rs
+
+crates/bench/src/bin/fig5_autonomy.rs:

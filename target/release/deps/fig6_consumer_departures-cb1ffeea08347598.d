@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_consumer_departures-cb1ffeea08347598.d: crates/bench/src/bin/fig6_consumer_departures.rs
+
+/root/repo/target/release/deps/fig6_consumer_departures-cb1ffeea08347598: crates/bench/src/bin/fig6_consumer_departures.rs
+
+crates/bench/src/bin/fig6_consumer_departures.rs:

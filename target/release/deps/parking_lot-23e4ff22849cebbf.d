@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-23e4ff22849cebbf.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-23e4ff22849cebbf.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-23e4ff22849cebbf.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

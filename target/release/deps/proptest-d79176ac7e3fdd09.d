@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d79176ac7e3fdd09.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d79176ac7e3fdd09.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d79176ac7e3fdd09.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

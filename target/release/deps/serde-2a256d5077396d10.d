@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-2a256d5077396d10.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2a256d5077396d10.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

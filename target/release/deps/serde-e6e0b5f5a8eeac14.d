@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-e6e0b5f5a8eeac14.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e6e0b5f5a8eeac14.so: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

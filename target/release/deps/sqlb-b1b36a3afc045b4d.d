@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sqlb-b1b36a3afc045b4d.d: src/lib.rs
+
+/root/repo/target/release/deps/libsqlb-b1b36a3afc045b4d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsqlb-b1b36a3afc045b4d.rmeta: src/lib.rs
+
+src/lib.rs:

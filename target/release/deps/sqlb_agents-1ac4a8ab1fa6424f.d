@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sqlb_agents-1ac4a8ab1fa6424f.d: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/release/deps/libsqlb_agents-1ac4a8ab1fa6424f.rlib: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+/root/repo/target/release/deps/libsqlb_agents-1ac4a8ab1fa6424f.rmeta: crates/agents/src/lib.rs crates/agents/src/consumer.rs crates/agents/src/departure.rs crates/agents/src/population.rs crates/agents/src/provider.rs crates/agents/src/utilization.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/consumer.rs:
+crates/agents/src/departure.rs:
+crates/agents/src/population.rs:
+crates/agents/src/provider.rs:
+crates/agents/src/utilization.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sqlb_baselines-e1690ef20d05ba00.d: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/release/deps/libsqlb_baselines-e1690ef20d05ba00.rlib: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+/root/repo/target/release/deps/libsqlb_baselines-e1690ef20d05ba00.rmeta: crates/baselines/src/lib.rs crates/baselines/src/capacity.rs crates/baselines/src/mariposa.rs crates/baselines/src/random.rs crates/baselines/src/roundrobin.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/capacity.rs:
+crates/baselines/src/mariposa.rs:
+crates/baselines/src/random.rs:
+crates/baselines/src/roundrobin.rs:

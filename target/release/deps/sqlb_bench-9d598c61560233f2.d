@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sqlb_bench-9d598c61560233f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsqlb_bench-9d598c61560233f2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsqlb_bench-9d598c61560233f2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sqlb_core-df3e8829e0721a94.d: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+/root/repo/target/release/deps/libsqlb_core-df3e8829e0721a94.rlib: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+/root/repo/target/release/deps/libsqlb_core-df3e8829e0721a94.rmeta: crates/core/src/lib.rs crates/core/src/allocation.rs crates/core/src/intention.rs crates/core/src/mediator.rs crates/core/src/mediator_state.rs crates/core/src/module.rs crates/core/src/scoring.rs crates/core/src/sqlb.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocation.rs:
+crates/core/src/intention.rs:
+crates/core/src/mediator.rs:
+crates/core/src/mediator_state.rs:
+crates/core/src/module.rs:
+crates/core/src/scoring.rs:
+crates/core/src/sqlb.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sqlb_matchmaking-a7c87a1958def95c.d: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/release/deps/libsqlb_matchmaking-a7c87a1958def95c.rlib: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+/root/repo/target/release/deps/libsqlb_matchmaking-a7c87a1958def95c.rmeta: crates/matchmaking/src/lib.rs crates/matchmaking/src/registry.rs
+
+crates/matchmaking/src/lib.rs:
+crates/matchmaking/src/registry.rs:

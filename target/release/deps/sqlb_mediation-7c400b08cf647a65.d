@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sqlb_mediation-7c400b08cf647a65.d: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/release/deps/libsqlb_mediation-7c400b08cf647a65.rlib: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+/root/repo/target/release/deps/libsqlb_mediation-7c400b08cf647a65.rmeta: crates/mediation/src/lib.rs crates/mediation/src/protocol.rs crates/mediation/src/runtime.rs
+
+crates/mediation/src/lib.rs:
+crates/mediation/src/protocol.rs:
+crates/mediation/src/runtime.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sqlb_metrics-5cde5a1daf264d28.d: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libsqlb_metrics-5cde5a1daf264d28.rlib: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+/root/repo/target/release/deps/libsqlb_metrics-5cde5a1daf264d28.rmeta: crates/metrics/src/lib.rs crates/metrics/src/aggregate.rs crates/metrics/src/histogram.rs crates/metrics/src/summary.rs crates/metrics/src/timeseries.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/aggregate.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/timeseries.rs:

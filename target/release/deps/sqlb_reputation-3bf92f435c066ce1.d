@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sqlb_reputation-3bf92f435c066ce1.d: crates/reputation/src/lib.rs
+
+/root/repo/target/release/deps/libsqlb_reputation-3bf92f435c066ce1.rlib: crates/reputation/src/lib.rs
+
+/root/repo/target/release/deps/libsqlb_reputation-3bf92f435c066ce1.rmeta: crates/reputation/src/lib.rs
+
+crates/reputation/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sqlb_satisfaction-8d60aa16e85aae2d.d: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/release/deps/libsqlb_satisfaction-8d60aa16e85aae2d.rlib: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+/root/repo/target/release/deps/libsqlb_satisfaction-8d60aa16e85aae2d.rmeta: crates/satisfaction/src/lib.rs crates/satisfaction/src/consumer.rs crates/satisfaction/src/memory.rs crates/satisfaction/src/provider.rs
+
+crates/satisfaction/src/lib.rs:
+crates/satisfaction/src/consumer.rs:
+crates/satisfaction/src/memory.rs:
+crates/satisfaction/src/provider.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sqlb_sim-94f31d11bfa6ed4b.d: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/release/deps/libsqlb_sim-94f31d11bfa6ed4b.rlib: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+/root/repo/target/release/deps/libsqlb_sim-94f31d11bfa6ed4b.rmeta: crates/simulator/src/lib.rs crates/simulator/src/config.rs crates/simulator/src/engine.rs crates/simulator/src/events.rs crates/simulator/src/experiments.rs crates/simulator/src/shard.rs crates/simulator/src/stats.rs crates/simulator/src/workload.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/config.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/events.rs:
+crates/simulator/src/experiments.rs:
+crates/simulator/src/shard.rs:
+crates/simulator/src/stats.rs:
+crates/simulator/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sqlb_types-b97b925055c33688.d: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/release/deps/libsqlb_types-b97b925055c33688.rlib: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+/root/repo/target/release/deps/libsqlb_types-b97b925055c33688.rmeta: crates/types/src/lib.rs crates/types/src/capacity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/query.rs crates/types/src/table.rs crates/types/src/time.rs crates/types/src/values.rs
+
+crates/types/src/lib.rs:
+crates/types/src/capacity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/query.rs:
+crates/types/src/table.rs:
+crates/types/src/time.rs:
+crates/types/src/values.rs:

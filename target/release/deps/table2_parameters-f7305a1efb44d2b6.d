@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_parameters-f7305a1efb44d2b6.d: crates/bench/src/bin/table2_parameters.rs
+
+/root/repo/target/release/deps/table2_parameters-f7305a1efb44d2b6: crates/bench/src/bin/table2_parameters.rs
+
+crates/bench/src/bin/table2_parameters.rs:

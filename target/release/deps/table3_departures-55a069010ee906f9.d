@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_departures-55a069010ee906f9.d: crates/bench/src/bin/table3_departures.rs
+
+/root/repo/target/release/deps/table3_departures-55a069010ee906f9: crates/bench/src/bin/table3_departures.rs
+
+crates/bench/src/bin/table3_departures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_seed_scan-e64e256547537c75.d: examples/_seed_scan.rs
+
+/root/repo/target/release/examples/_seed_scan-e64e256547537c75: examples/_seed_scan.rs
+
+examples/_seed_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_shards-4156b28d93ed2d08.d: examples/_verify_shards.rs
+
+/root/repo/target/release/examples/_verify_shards-4156b28d93ed2d08: examples/_verify_shards.rs
+
+examples/_verify_shards.rs:

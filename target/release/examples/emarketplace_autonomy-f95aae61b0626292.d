@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/emarketplace_autonomy-f95aae61b0626292.d: examples/emarketplace_autonomy.rs
+
+/root/repo/target/release/examples/emarketplace_autonomy-f95aae61b0626292: examples/emarketplace_autonomy.rs
+
+examples/emarketplace_autonomy.rs:

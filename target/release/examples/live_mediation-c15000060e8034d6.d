@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_mediation-c15000060e8034d6.d: examples/live_mediation.rs
+
+/root/repo/target/release/examples/live_mediation-c15000060e8034d6: examples/live_mediation.rs
+
+examples/live_mediation.rs:

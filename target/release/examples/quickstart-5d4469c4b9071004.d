@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5d4469c4b9071004.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5d4469c4b9071004: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.so: /root/repo/vendor/serde/src/lib.rs
