@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 use sqlb_core::intention::{consumer_intention, IntentionParams};
 use sqlb_reputation::ReputationStore;
-use sqlb_satisfaction::{consumer_query_adequation, consumer_query_satisfaction, ConsumerTracker};
-use sqlb_types::{ConsumerId, Intention, Preference, ProviderId, Query};
+use sqlb_satisfaction::{consumer_query_outcome, ConsumerTracker};
+use sqlb_types::{ConsumerId, Preference, ProviderId, Query};
 
 /// Configuration of a consumer agent.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -113,16 +113,11 @@ impl ConsumerAgent {
     /// intentions over the whole candidate set and the subset that was
     /// selected. `n` is the number of results the consumer desired.
     pub fn record_allocation(&mut self, shown_intentions: &[f64], selected: &[usize], n: u32) {
-        let intentions: Vec<Intention> = shown_intentions
-            .iter()
-            .map(|&v| Intention::new(v))
-            .collect();
-        if let Some(adequation) = consumer_query_adequation(&intentions) {
-            let selected_intentions: Vec<Intention> = selected
-                .iter()
-                .filter_map(|&i| intentions.get(i).copied())
-                .collect();
-            let satisfaction = consumer_query_satisfaction(&selected_intentions, n);
+        // Equations 1–2 in one allocation-free pass (bit-identical to the
+        // Intention-slice variants; see `consumer_query_outcome`).
+        if let Some((adequation, satisfaction)) =
+            consumer_query_outcome(shown_intentions, selected, n)
+        {
             self.tracker.record_values(adequation, satisfaction);
         }
     }

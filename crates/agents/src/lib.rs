@@ -14,12 +14,14 @@
 
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod consumer;
 pub mod departure;
 pub mod population;
 pub mod provider;
 pub mod utilization;
 
+pub use active::ActiveSet;
 pub use consumer::{ConsumerAgent, ConsumerConfig};
 pub use departure::{
     ConsumerDepartureRule, DepartureReason, EnabledReasons, ProviderDepartureRule,

@@ -27,6 +27,7 @@ use sqlb_types::{
     Capacity, ConsumerId, ParticipantTable, Preference, ProviderId, QueryClass, SqlbError,
 };
 
+use crate::active::ActiveSet;
 use crate::consumer::{ConsumerAgent, ConsumerConfig};
 use crate::provider::{ProviderAgent, ProviderConfig};
 
@@ -222,6 +223,12 @@ impl Default for PopulationConfig {
 /// identifiers, so code that holds a [`ConsumerId`]/[`ProviderId`] can
 /// never be redirected to another agent by a departure elsewhere in the
 /// population.
+///
+/// The population also maintains incremental *active* indices (the
+/// participants that have not departed), so per-arrival hot paths never
+/// rescan the agent tables. Keep the agents' departed flags in sync by
+/// departing participants through [`Population::depart_consumer`] /
+/// [`Population::depart_provider`] rather than the agents directly.
 #[derive(Debug, Clone)]
 pub struct Population {
     /// The consumer agents, keyed by consumer id.
@@ -230,6 +237,10 @@ pub struct Population {
     pub providers: ParticipantTable<ProviderId, ProviderAgent>,
     /// The class profile of each provider, keyed by provider id.
     pub profiles: ParticipantTable<ProviderId, ProviderProfile>,
+    /// Consumers that have not departed, ascending id.
+    active_consumers: ActiveSet<ConsumerId>,
+    /// Providers that have not departed, ascending id.
+    active_providers: ActiveSet<ProviderId>,
 }
 
 impl Population {
@@ -310,10 +321,75 @@ impl Population {
             .collect();
 
         Ok(Population {
+            active_consumers: (0..config.consumers).map(ConsumerId::new).collect(),
+            active_providers: (0..config.providers).map(ProviderId::new).collect(),
             consumers: ParticipantTable::from_values(consumers),
             providers: ParticipantTable::from_values(providers),
             profiles: ParticipantTable::from_values(profiles),
         })
+    }
+
+    /// Identifiers of the consumers that have not departed, in ascending
+    /// id order — exactly the sequence a filter over
+    /// [`Population::consumers`] would produce, but maintained
+    /// incrementally instead of rebuilt per read.
+    pub fn active_consumer_ids(&self) -> &[ConsumerId] {
+        self.active_consumers.ids()
+    }
+
+    /// Identifiers of the providers that have not departed, ascending.
+    pub fn active_provider_ids(&self) -> &[ProviderId] {
+        self.active_providers.ids()
+    }
+
+    /// Number of consumers that have not departed.
+    pub fn active_consumer_count(&self) -> usize {
+        self.active_consumers.len()
+    }
+
+    /// Number of providers that have not departed.
+    pub fn active_provider_count(&self) -> usize {
+        self.active_providers.len()
+    }
+
+    /// Marks a consumer as departed and drops it from the active index.
+    /// Departed consumers stop issuing queries.
+    pub fn depart_consumer(&mut self, consumer: ConsumerId) {
+        if let Some(agent) = self.consumers.get_mut(consumer) {
+            agent.depart();
+        }
+        self.active_consumers.remove(consumer);
+    }
+
+    /// Marks a provider as departed and drops it from the active index.
+    pub fn depart_provider(&mut self, provider: ProviderId) {
+        if let Some(agent) = self.providers.get_mut(provider) {
+            agent.depart();
+        }
+        self.active_providers.remove(provider);
+    }
+
+    /// Debug-checks that the incremental active indices agree with a
+    /// from-scratch rebuild over the agents' departed flags. Compiled to a
+    /// no-op in release builds; the engine calls it after every
+    /// departure assessment.
+    pub fn debug_assert_active_indices_consistent(&self) {
+        debug_assert!(
+            self.active_consumers.ids().iter().copied().eq(self
+                .consumers
+                .iter()
+                .filter(|(_, c)| !c.has_departed())
+                .map(|(id, _)| id)),
+            "active-consumer index diverged from the departed flags"
+        );
+        debug_assert!(
+            self.active_providers.ids().iter().copied().eq(self
+                .providers
+                .iter()
+                .filter(|(_, p)| !p.has_departed())
+                .map(|(id, _)| id)),
+            "active-provider index diverged from the departed flags"
+        );
     }
 
     /// Total system capacity: the aggregate capacity of all providers, in

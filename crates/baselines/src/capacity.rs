@@ -1,8 +1,8 @@
 //! The Capacity based baseline (Section 6.2.1).
 
 use sqlb_core::{
-    allocation::{take_best, Allocation, AllocationMethod, CandidateInfo, MediatorView},
-    scoring::{rank_candidates, RankedProvider},
+    allocation::{select_best, Allocation, AllocationMethod, CandidateInfo, MediatorView},
+    scoring::RankedProvider,
 };
 use sqlb_types::Query;
 
@@ -17,13 +17,25 @@ use sqlb_types::Query;
 /// The candidate's score is `−Ut(p)`, so ranking by decreasing score yields
 /// the least-utilized providers first; ties are broken by provider
 /// identifier.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CapacityBased;
+#[derive(Debug, Clone)]
+pub struct CapacityBased {
+    record_ranking: bool,
+    scratch: Vec<RankedProvider>,
+}
+
+impl Default for CapacityBased {
+    fn default() -> Self {
+        CapacityBased {
+            record_ranking: true,
+            scratch: Vec::new(),
+        }
+    }
+}
 
 impl CapacityBased {
     /// Creates the allocator.
     pub fn new() -> Self {
-        CapacityBased
+        CapacityBased::default()
     }
 }
 
@@ -38,14 +50,19 @@ impl AllocationMethod for CapacityBased {
         candidates: &[CandidateInfo],
         _view: &dyn MediatorView,
     ) -> Allocation {
-        let ranked: Vec<RankedProvider> = candidates
-            .iter()
-            .map(|c| RankedProvider {
-                provider: c.provider,
-                score: -c.utilization,
-            })
-            .collect();
-        take_best(query, rank_candidates(ranked))
+        let mut scored = std::mem::take(&mut self.scratch);
+        scored.clear();
+        scored.extend(candidates.iter().map(|c| RankedProvider {
+            provider: c.provider,
+            score: -c.utilization,
+        }));
+        let allocation = select_best(query, &mut scored, self.record_ranking);
+        self.scratch = scored;
+        allocation
+    }
+
+    fn set_record_ranking(&mut self, record: bool) {
+        self.record_ranking = record;
     }
 }
 

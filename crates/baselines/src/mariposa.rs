@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 use sqlb_core::{
-    allocation::{take_best, Allocation, AllocationMethod, Bid, CandidateInfo, MediatorView},
-    scoring::{rank_candidates, RankedProvider},
+    allocation::{select_best, Allocation, AllocationMethod, Bid, CandidateInfo, MediatorView},
+    scoring::RankedProvider,
 };
 use sqlb_types::Query;
 
@@ -95,9 +95,21 @@ impl Default for MariposaConfig {
 /// evaluation exposes: the most *adapted* providers bid lowest, keep
 /// winning queries, and end up overutilized, while QLB is only enforced
 /// "crudely" through the load adjustment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MariposaLike {
     config: MariposaConfig,
+    record_ranking: bool,
+    scratch: Vec<RankedProvider>,
+}
+
+impl Default for MariposaLike {
+    fn default() -> Self {
+        MariposaLike {
+            config: MariposaConfig::default(),
+            record_ranking: true,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 impl MariposaLike {
@@ -108,7 +120,10 @@ impl MariposaLike {
 
     /// Creates a broker with an explicit configuration.
     pub fn with_config(config: MariposaConfig) -> Self {
-        MariposaLike { config }
+        MariposaLike {
+            config,
+            ..MariposaLike::default()
+        }
     }
 
     /// The configuration in use.
@@ -152,19 +167,24 @@ impl AllocationMethod for MariposaLike {
         candidates: &[CandidateInfo],
         _view: &dyn MediatorView,
     ) -> Allocation {
-        let ranked: Vec<RankedProvider> = candidates
-            .iter()
-            .map(|c| {
-                let bid = c.bid.unwrap_or_else(|| {
-                    Bid::new(query.cost().value(), query.cost().value() / 100.0)
-                });
-                RankedProvider {
-                    provider: c.provider,
-                    score: -self.effective_cost(c, &bid),
-                }
-            })
-            .collect();
-        take_best(query, rank_candidates(ranked))
+        let mut scored = std::mem::take(&mut self.scratch);
+        scored.clear();
+        scored.extend(candidates.iter().map(|c| {
+            let bid = c
+                .bid
+                .unwrap_or_else(|| Bid::new(query.cost().value(), query.cost().value() / 100.0));
+            RankedProvider {
+                provider: c.provider,
+                score: -self.effective_cost(c, &bid),
+            }
+        }));
+        let allocation = select_best(query, &mut scored, self.record_ranking);
+        self.scratch = scored;
+        allocation
+    }
+
+    fn set_record_ranking(&mut self, record: bool) {
+        self.record_ranking = record;
     }
 }
 

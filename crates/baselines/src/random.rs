@@ -18,6 +18,8 @@ use sqlb_types::Query;
 #[derive(Debug, Clone)]
 pub struct RandomAllocator {
     rng: StdRng,
+    record_ranking: bool,
+    order: Vec<usize>,
 }
 
 impl RandomAllocator {
@@ -25,6 +27,8 @@ impl RandomAllocator {
     pub fn new(seed: u64) -> Self {
         RandomAllocator {
             rng: StdRng::seed_from_u64(seed),
+            record_ranking: true,
+            order: Vec::new(),
         }
     }
 }
@@ -46,22 +50,37 @@ impl AllocationMethod for RandomAllocator {
         candidates: &[CandidateInfo],
         _view: &dyn MediatorView,
     ) -> Allocation {
-        let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.shuffle(&mut self.rng);
-        let ranking: Vec<RankedProvider> = order
-            .iter()
-            .enumerate()
-            .map(|(rank, &idx)| RankedProvider {
-                provider: candidates[idx].provider,
-                score: -(rank as f64),
-            })
-            .collect();
-        let n = (query.n as usize).min(ranking.len());
+        // The shuffle consumes the same random stream whether or not the
+        // ranking diagnostic is materialized, so runs stay reproducible
+        // across both modes.
+        self.order.clear();
+        self.order.extend(0..candidates.len());
+        self.order.shuffle(&mut self.rng);
+        let n = (query.n as usize).min(candidates.len());
+        let ranking: Vec<RankedProvider> = if self.record_ranking {
+            self.order
+                .iter()
+                .enumerate()
+                .map(|(rank, &idx)| RankedProvider {
+                    provider: candidates[idx].provider,
+                    score: -(rank as f64),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Allocation {
             query: query.id,
-            selected: ranking.iter().take(n).map(|r| r.provider).collect(),
+            selected: self.order[..n]
+                .iter()
+                .map(|&idx| candidates[idx].provider)
+                .collect(),
             ranking,
         }
+    }
+
+    fn set_record_ranking(&mut self, record: bool) {
+        self.record_ranking = record;
     }
 }
 

@@ -13,9 +13,19 @@ use sqlb_types::Query;
 /// evaluation; it provides a "perfectly even spread by count" reference for
 /// ablation benchmarks (note that an even spread by *count* is not an even
 /// spread by *load* when provider capacities are heterogeneous).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RoundRobinAllocator {
     next: u64,
+    record_ranking: bool,
+}
+
+impl Default for RoundRobinAllocator {
+    fn default() -> Self {
+        RoundRobinAllocator {
+            next: 0,
+            record_ranking: true,
+        }
+    }
 }
 
 impl RoundRobinAllocator {
@@ -45,21 +55,31 @@ impl AllocationMethod for RoundRobinAllocator {
         }
         let start = (self.next % candidates.len() as u64) as usize;
         self.next = self.next.wrapping_add(1);
-        let ranking: Vec<RankedProvider> = (0..candidates.len())
-            .map(|offset| {
-                let idx = (start + offset) % candidates.len();
-                RankedProvider {
-                    provider: candidates[idx].provider,
-                    score: -(offset as f64),
-                }
-            })
-            .collect();
-        let n = (query.n as usize).min(ranking.len());
+        let n = (query.n as usize).min(candidates.len());
+        let ranking: Vec<RankedProvider> = if self.record_ranking {
+            (0..candidates.len())
+                .map(|offset| {
+                    let idx = (start + offset) % candidates.len();
+                    RankedProvider {
+                        provider: candidates[idx].provider,
+                        score: -(offset as f64),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Allocation {
             query: query.id,
-            selected: ranking.iter().take(n).map(|r| r.provider).collect(),
+            selected: (0..n)
+                .map(|offset| candidates[(start + offset) % candidates.len()].provider)
+                .collect(),
             ranking,
         }
+    }
+
+    fn set_record_ranking(&mut self, record: bool) {
+        self.record_ranking = record;
     }
 }
 

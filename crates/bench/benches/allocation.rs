@@ -6,17 +6,20 @@
 //! the repository root so the performance trajectory is tracked over time.
 
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlb_agents::{Population, PopulationConfig};
 use sqlb_baselines::{CapacityBased, MariposaLike};
+use sqlb_bench::perf;
 use sqlb_core::allocation::{AllocationMethod, Bid, CandidateInfo, UniformView};
 use sqlb_core::intention::{consumer_intention, provider_intention, IntentionParams};
+use sqlb_core::mediator_state::MediatorStateConfig;
 use sqlb_core::scoring::{omega, provider_score};
-use sqlb_core::SqlbAllocator;
+use sqlb_core::{Mediator, SqlbAllocator};
+use sqlb_reputation::ReputationStore;
 use sqlb_sim::engine::run_simulation;
-use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
-use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+use sqlb_types::{ConsumerId, MediatorId, ProviderId, Query, QueryClass, QueryId, SimTime};
 
 fn candidates(n: u32) -> Vec<CandidateInfo> {
     (0..n)
@@ -101,50 +104,86 @@ fn bench_allocators(c: &mut Criterion) {
     group.finish();
 }
 
+/// The isolated arrival→allocation path (Algorithm 1 without the event
+/// loop): gather the consumer's and every candidate provider's intention
+/// from real agents, run the allocation decision on a real mediator, and
+/// record the outcome — exactly what the engine does per query arrival,
+/// minus event-queue and completion bookkeeping. This is the number the
+/// tentpole optimizations move; the `ranking-on` variant shows what the
+/// diagnostic costs when enabled.
+fn bench_isolated_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isolated_allocate");
+    group.measurement_time(Duration::from_secs(1));
+    for record_ranking in [false, true] {
+        let mut population = Population::generate(&PopulationConfig::scaled(
+            perf::CONSUMERS,
+            perf::PROVIDERS,
+            7,
+        ))
+        .expect("population");
+        let reputation = ReputationStore::neutral();
+        let mut mediator = Mediator::new(
+            MediatorId::new(0),
+            Box::new(SqlbAllocator::new()),
+            MediatorStateConfig::default(),
+        );
+        mediator.set_record_ranking(record_ranking);
+        let candidates: Vec<ProviderId> = population.providers.keys().collect();
+        let mut infos: Vec<CandidateInfo> = Vec::with_capacity(candidates.len());
+        let mut next_query: u32 = 0;
+        let label = if record_ranking {
+            "ranking-on"
+        } else {
+            "hot-path"
+        };
+        group.bench_function(BenchmarkId::new("sqlb", label), |b| {
+            b.iter(|| {
+                let consumer = ConsumerId::new(next_query % perf::CONSUMERS);
+                let class = if next_query.is_multiple_of(2) {
+                    QueryClass::Light
+                } else {
+                    QueryClass::Heavy
+                };
+                let now = SimTime::from_secs(next_query as f64 * 0.01);
+                let query = Query::single(QueryId::new(next_query), consumer, class, now);
+                next_query = next_query.wrapping_add(1);
+                infos.clear();
+                let consumer_agent = &population.consumers[consumer];
+                for &p in &candidates {
+                    let ci = consumer_agent.intention_for(&query, p, &reputation);
+                    let provider_agent = &mut population.providers[p];
+                    let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
+                    infos.push(
+                        CandidateInfo::new(p)
+                            .with_consumer_intention(ci)
+                            .with_provider_intention(pi)
+                            .with_utilization(utilization),
+                    );
+                }
+                let allocation = mediator.allocate(&query, &infos);
+                black_box(allocation.selected.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// End-to-end allocation throughput per shard count: short captive runs of
 /// the full engine, measured wall-clock, reported as queries/second and
-/// exported as JSON.
+/// recorded into the committed `BENCH_allocation.json` trajectory (the
+/// record label comes from `BENCH_LABEL`, default `"latest"`; committed
+/// history under other labels is preserved).
 fn bench_shard_throughput(c: &mut Criterion) {
-    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-    const RUNS_PER_COUNT: usize = 3;
-    // One set of constants feeds both the simulation runs and the JSON
-    // record, so the recorded configuration can never drift from the one
-    // that produced the numbers.
-    const CONSUMERS: u32 = 32;
-    const PROVIDERS: u32 = 64;
-    const DURATION_SECS: f64 = 400.0;
-    const WORKLOAD: f64 = 0.6;
-    const SEED: u64 = 7;
-    const METHOD: Method = Method::Sqlb;
-
-    let mut rows = Vec::new();
     let mut group = c.benchmark_group("shard_throughput");
     group.measurement_time(Duration::from_millis(400));
-    for &shards in &SHARD_COUNTS {
-        let config = SimulationConfig::scaled(CONSUMERS, PROVIDERS, DURATION_SECS, SEED)
-            .with_workload(WorkloadPattern::Fixed(WORKLOAD))
-            .with_mediator_shards(shards);
-
-        // A dedicated best-of-N wall-clock measurement for the JSON record
-        // (criterion's per-iteration mean is noisier for multi-ms runs).
-        let mut best = Duration::MAX;
-        let mut issued = 0u64;
-        for _ in 0..RUNS_PER_COUNT {
-            let start = Instant::now();
-            let report = run_simulation(config, METHOD).expect("run");
-            let elapsed = start.elapsed();
-            issued = report.issued_queries;
-            best = best.min(elapsed);
-        }
-        let throughput = issued as f64 / best.as_secs_f64();
-        rows.push((shards, issued, best, throughput));
-
+    for &shards in &perf::SHARD_COUNTS {
+        let config = perf::bench_config(shards);
         group.bench_with_input(
             BenchmarkId::new("sqlb_allocations", shards),
             &config,
             |b, &config| {
                 b.iter(|| {
-                    let report = run_simulation(black_box(config), METHOD).expect("run");
+                    let report = run_simulation(black_box(config), perf::METHOD).expect("run");
                     black_box(report.issued_queries)
                 })
             },
@@ -152,24 +191,16 @@ fn bench_shard_throughput(c: &mut Criterion) {
     }
     group.finish();
 
-    // `CARGO_MANIFEST_DIR` is crates/bench; the record lives at the repo
-    // root so successive runs overwrite one well-known file.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allocation.json");
-    let mut json = String::from("{\n  \"benchmark\": \"allocation_throughput\",\n");
-    json.push_str(&format!(
-        "  \"config\": {{\"consumers\": {CONSUMERS}, \"providers\": {PROVIDERS}, \"duration_secs\": {DURATION_SECS}, \"workload\": {WORKLOAD}, \"method\": \"{}\"}},\n",
-        METHOD.name(),
-    ));
-    json.push_str("  \"shards\": [\n");
-    for (i, (shards, issued, best, throughput)) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"mediator_shards\": {shards}, \"issued_queries\": {issued}, \"best_wall_ms\": {:.3}, \"allocations_per_sec\": {throughput:.1}}}{comma}\n",
-            best.as_secs_f64() * 1e3,
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(path, json) {
+    // A dedicated best-of-N wall-clock measurement for the JSON record
+    // (criterion's per-iteration mean is noisier for multi-ms runs).
+    let measured = perf::measure_shard_throughput(3);
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "latest".to_string());
+    let path = perf::trajectory_path();
+    let existing = std::fs::read_to_string(path)
+        .map(|content| perf::parse_trajectory(&content))
+        .unwrap_or_default();
+    let records = perf::upsert_record(existing, &label, measured);
+    if let Err(e) = std::fs::write(path, perf::render_trajectory(&records)) {
         eprintln!("warning: could not write BENCH_allocation.json: {e}");
     }
 }
@@ -178,6 +209,7 @@ criterion_group!(
     benches,
     bench_intentions,
     bench_allocators,
+    bench_isolated_allocate,
     bench_shard_throughput
 );
 criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! CI performance-regression gate.
+//!
+//! Re-measures the end-to-end shard-throughput benchmark (same
+//! configuration as `benches/allocation.rs` and the committed
+//! `BENCH_allocation.json`) and exits non-zero when allocations/s drops
+//! more than the tolerance below the last committed trajectory record
+//! for any shard count.
+//!
+//! ```text
+//! cargo run --release -p sqlb-bench --bin perf_gate
+//! ```
+//!
+//! * The baseline is the last record whose label is not `"latest"`
+//!   (`"latest"` is the scratch label uncommitted `cargo bench` runs
+//!   write) — a dirty working tree cannot silently become the gate.
+//! * A baseline that is missing a swept shard count or carries a
+//!   non-positive throughput (e.g. a corrupted file) is an error
+//!   (exit 2), not a vacuous pass.
+//! * `PERF_GATE_TOLERANCE` (a fraction, e.g. `0.35`) overrides the
+//!   default tolerance for runners whose hardware differs substantially
+//!   from the machine that produced the committed record.
+
+use sqlb_bench::perf::{
+    measure_shard_throughput, merge_best, parse_trajectory, regression_failures, trajectory_path,
+    REGRESSION_TOLERANCE, SHARD_COUNTS,
+};
+
+fn main() {
+    let path = trajectory_path();
+    let content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let records = parse_trajectory(&content);
+    let Some(baseline) = records
+        .iter()
+        .rev()
+        .find(|r| r.label != "latest")
+        .or_else(|| records.last())
+    else {
+        eprintln!("perf_gate: {path} contains no trajectory record");
+        std::process::exit(2);
+    };
+
+    // Validate the baseline before trusting it: a corrupted or truncated
+    // record must fail the gate loudly instead of lowering the floor to 0.
+    for &shards in &SHARD_COUNTS {
+        match baseline.shards.iter().find(|b| b.mediator_shards == shards) {
+            Some(row) if row.allocations_per_sec > 0.0 && row.allocations_per_sec.is_finite() => {}
+            Some(row) => {
+                eprintln!(
+                    "perf_gate: baseline record \"{}\" has an unusable throughput {} for K={shards} \
+                     — {path} is corrupted; regenerate it with \
+                     `BENCH_LABEL=<pr> cargo bench -p sqlb-bench --bench allocation`",
+                    baseline.label, row.allocations_per_sec
+                );
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!(
+                    "perf_gate: baseline record \"{}\" is missing shard count K={shards} — \
+                     {path} is incomplete; regenerate it",
+                    baseline.label
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let tolerance = match std::env::var("PERF_GATE_TOLERANCE") {
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("perf_gate: PERF_GATE_TOLERANCE must be a fraction in [0, 1), got {raw}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => REGRESSION_TOLERANCE,
+    };
+
+    println!(
+        "perf_gate: baseline record \"{}\" ({} shard counts), tolerance {:.0}%",
+        baseline.label,
+        baseline.shards.len(),
+        tolerance * 100.0
+    );
+    let mut measured = measure_shard_throughput(5);
+    if !regression_failures(baseline, &measured, tolerance).is_empty() {
+        // A shard count came in below the floor: take a second best-of-5
+        // pass and keep the best observation per count. Transient runner
+        // contention disappears on the retry; a real regression does not.
+        println!("perf_gate: below floor on first pass, taking a confirmation pass");
+        let second = measure_shard_throughput(5);
+        measured = merge_best(measured, &second);
+    }
+    for row in &measured {
+        let base = baseline
+            .shards
+            .iter()
+            .find(|b| b.mediator_shards == row.mediator_shards);
+        println!(
+            "  K={}: {:>10.1} allocations/s measured ({} queries, best {:.3} ms){}",
+            row.mediator_shards,
+            row.allocations_per_sec,
+            row.issued_queries,
+            row.best_wall_ms,
+            match base {
+                Some(b) => format!(
+                    "  vs committed {:.1} ({:+.1}%)",
+                    b.allocations_per_sec,
+                    (row.allocations_per_sec / b.allocations_per_sec - 1.0) * 100.0
+                ),
+                None => "  (no committed baseline row)".to_string(),
+            }
+        );
+    }
+
+    let failures = regression_failures(baseline, &measured, tolerance);
+    if failures.is_empty() {
+        println!("perf_gate: OK — no shard count regressed past the tolerance");
+        return;
+    }
+    eprintln!("perf_gate: FAILED");
+    for failure in &failures {
+        eprintln!("  {failure}");
+    }
+    std::process::exit(1);
+}

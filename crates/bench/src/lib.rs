@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use sqlb_sim::experiments::ExperimentScale;
 
 /// Parsed common command-line options.

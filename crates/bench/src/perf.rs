@@ -1,0 +1,366 @@
+//! Shard-throughput measurement and the tracked performance trajectory.
+//!
+//! `BENCH_allocation.json` at the repository root is the committed record
+//! of end-to-end allocation throughput over time: one record per PR, each
+//! with a row per mediator shard count. Two consumers share this module:
+//!
+//! * the criterion bench `benches/allocation.rs` re-measures the current
+//!   tree and appends/refreshes a record (label from `BENCH_LABEL`,
+//!   default `"latest"`) while preserving the committed history;
+//! * the CI binary `perf_gate` re-measures and **fails** when throughput
+//!   drops more than [`REGRESSION_TOLERANCE`] below the last committed
+//!   record.
+//!
+//! The workspace vendors no JSON library, so the file is rendered and
+//! parsed here; the format is owned by this module and pinned by
+//! round-trip tests.
+
+use std::time::{Duration, Instant};
+
+use sqlb_sim::engine::run_simulation;
+use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
+
+/// Shard counts the throughput comparison sweeps.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Consumers in the benchmark population.
+pub const CONSUMERS: u32 = 32;
+/// Providers in the benchmark population.
+pub const PROVIDERS: u32 = 64;
+/// Virtual duration of one benchmark run, in seconds.
+pub const DURATION_SECS: f64 = 400.0;
+/// Workload fraction of the benchmark runs.
+pub const WORKLOAD: f64 = 0.6;
+/// Seed of the benchmark runs.
+pub const SEED: u64 = 7;
+/// Allocation method under measurement.
+pub const METHOD: Method = Method::Sqlb;
+/// Allowed throughput drop relative to the committed baseline (20 %).
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// One measured row: end-to-end allocation throughput at a shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMeasurement {
+    /// Number of mediator shards.
+    pub mediator_shards: usize,
+    /// Queries issued by the measured run (identical across repetitions —
+    /// the engine is deterministic per seed).
+    pub issued_queries: u64,
+    /// Best-of-N wall clock for the whole run, in milliseconds.
+    pub best_wall_ms: f64,
+    /// `issued_queries / best_wall` in allocations per second.
+    pub allocations_per_sec: f64,
+}
+
+/// One labelled record of the performance trajectory (one per PR).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRecord {
+    /// Record label (e.g. `"PR-2"`).
+    pub label: String,
+    /// One measurement per entry of [`SHARD_COUNTS`].
+    pub shards: Vec<ShardMeasurement>,
+}
+
+/// The benchmark configuration for a shard count.
+pub fn bench_config(shards: usize) -> SimulationConfig {
+    SimulationConfig::scaled(CONSUMERS, PROVIDERS, DURATION_SECS, SEED)
+        .with_workload(WorkloadPattern::Fixed(WORKLOAD))
+        .with_mediator_shards(shards)
+}
+
+/// Measures allocation throughput for every entry of [`SHARD_COUNTS`],
+/// best-of-`runs_per_count` wall clock per entry.
+pub fn measure_shard_throughput(runs_per_count: usize) -> Vec<ShardMeasurement> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let config = bench_config(shards);
+            // One untimed warmup run per shard count: the first run pays
+            // for page faults and allocator growth that best-of-N timing
+            // should not include.
+            let _ = run_simulation(config, METHOD).expect("warmup run");
+            let mut best = Duration::MAX;
+            let mut issued = 0u64;
+            for _ in 0..runs_per_count.max(1) {
+                let start = Instant::now();
+                let report = run_simulation(config, METHOD).expect("benchmark run");
+                let elapsed = start.elapsed();
+                issued = report.issued_queries;
+                best = best.min(elapsed);
+            }
+            ShardMeasurement {
+                mediator_shards: shards,
+                issued_queries: issued,
+                best_wall_ms: best.as_secs_f64() * 1e3,
+                allocations_per_sec: issued as f64 / best.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the full trajectory file.
+pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"allocation_throughput\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"consumers\": {CONSUMERS}, \"providers\": {PROVIDERS}, \"duration_secs\": {DURATION_SECS}, \"workload\": {WORKLOAD}, \"method\": \"{}\"}},\n",
+        METHOD.name(),
+    ));
+    out.push_str("  \"records\": [\n");
+    for (r, record) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"shards\": [\n",
+            record.label
+        ));
+        for (i, row) in record.shards.iter().enumerate() {
+            let comma = if i + 1 < record.shards.len() { "," } else { "" };
+            out.push_str(&format!(
+                "      {{\"mediator_shards\": {}, \"issued_queries\": {}, \"best_wall_ms\": {:.3}, \"allocations_per_sec\": {:.1}}}{comma}\n",
+                row.mediator_shards, row.issued_queries, row.best_wall_ms, row.allocations_per_sec,
+            ));
+        }
+        let comma = if r + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!("    ]}}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = line[start..].trim_start_matches([':', ' ', '"']);
+    let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Parses a trajectory file produced by [`render_trajectory`] (the
+/// pre-trajectory single-record format is accepted too: its shard rows
+/// are collected under a `"PR-1"` label).
+pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
+    let mut records: Vec<TrajectoryRecord> = Vec::new();
+    for line in content.lines() {
+        if let Some(label) = field(line, "\"label\"") {
+            records.push(TrajectoryRecord {
+                label: label.to_string(),
+                shards: Vec::new(),
+            });
+        }
+        if line.contains("\"mediator_shards\"") {
+            let row = ShardMeasurement {
+                mediator_shards: field(line, "\"mediator_shards\"")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                issued_queries: field(line, "\"issued_queries\"")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                best_wall_ms: field(line, "\"best_wall_ms\"")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
+                allocations_per_sec: field(line, "\"allocations_per_sec\"")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
+            };
+            if records.is_empty() {
+                records.push(TrajectoryRecord {
+                    label: "PR-1".to_string(),
+                    shards: Vec::new(),
+                });
+            }
+            records.last_mut().expect("record exists").shards.push(row);
+        }
+    }
+    records
+}
+
+/// Replaces the record with `label` (or appends it) and returns the new
+/// trajectory.
+pub fn upsert_record(
+    mut records: Vec<TrajectoryRecord>,
+    label: &str,
+    shards: Vec<ShardMeasurement>,
+) -> Vec<TrajectoryRecord> {
+    let record = TrajectoryRecord {
+        label: label.to_string(),
+        shards,
+    };
+    match records.iter_mut().find(|r| r.label == label) {
+        Some(existing) => *existing = record,
+        None => records.push(record),
+    }
+    records
+}
+
+/// Merges two measurement passes, keeping the best (fastest) observation
+/// per shard count. Used by the regression gate to absorb transient
+/// contention on shared CI runners: a genuine regression stays slow on
+/// every pass, noise does not.
+pub fn merge_best(a: Vec<ShardMeasurement>, b: &[ShardMeasurement]) -> Vec<ShardMeasurement> {
+    a.into_iter()
+        .map(
+            |row| match b.iter().find(|m| m.mediator_shards == row.mediator_shards) {
+                Some(other) if other.allocations_per_sec > row.allocations_per_sec => other.clone(),
+                _ => row,
+            },
+        )
+        .collect()
+}
+
+/// Compares a fresh measurement against a baseline record: returns one
+/// human-readable failure per shard count whose throughput dropped more
+/// than `tolerance` below the baseline.
+pub fn regression_failures(
+    baseline: &TrajectoryRecord,
+    measured: &[ShardMeasurement],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.shards {
+        let Some(now) = measured
+            .iter()
+            .find(|m| m.mediator_shards == base.mediator_shards)
+        else {
+            failures.push(format!(
+                "K={}: baseline has a row but nothing was measured",
+                base.mediator_shards
+            ));
+            continue;
+        };
+        let floor = base.allocations_per_sec * (1.0 - tolerance);
+        if now.allocations_per_sec < floor {
+            failures.push(format!(
+                "K={}: {:.1} allocations/s is below the regression floor {:.1} \
+                 ({:.1} committed in record \"{}\", tolerance {:.0}%)",
+                base.mediator_shards,
+                now.allocations_per_sec,
+                floor,
+                base.allocations_per_sec,
+                baseline.label,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    failures
+}
+
+/// Path of the committed trajectory file (repo root).
+pub fn trajectory_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_allocation.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, throughput: f64) -> TrajectoryRecord {
+        TrajectoryRecord {
+            label: label.to_string(),
+            shards: vec![
+                ShardMeasurement {
+                    mediator_shards: 1,
+                    issued_queries: 5753,
+                    best_wall_ms: 40.0,
+                    allocations_per_sec: throughput,
+                },
+                ShardMeasurement {
+                    mediator_shards: 2,
+                    issued_queries: 5753,
+                    best_wall_ms: 20.0,
+                    allocations_per_sec: throughput * 2.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_render_and_parse() {
+        let records = vec![record("PR-1", 99000.0), record("PR-2", 150000.0)];
+        let parsed = parse_trajectory(&render_trajectory(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "PR-1");
+        assert_eq!(parsed[1].label, "PR-2");
+        assert_eq!(parsed[0].shards.len(), 2);
+        assert_eq!(parsed[1].shards[0].mediator_shards, 1);
+        assert_eq!(parsed[1].shards[0].issued_queries, 5753);
+        assert!((parsed[1].shards[0].allocations_per_sec - 150000.0).abs() < 0.1);
+        assert!((parsed[0].shards[1].best_wall_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_accepts_the_legacy_single_record_format() {
+        let legacy = r#"{
+  "benchmark": "allocation_throughput",
+  "config": {"consumers": 32, "providers": 64},
+  "shards": [
+    {"mediator_shards": 1, "issued_queries": 5753, "best_wall_ms": 58.086, "allocations_per_sec": 99043.6},
+    {"mediator_shards": 8, "issued_queries": 5753, "best_wall_ms": 13.339, "allocations_per_sec": 431286.4}
+  ]
+}"#;
+        let parsed = parse_trajectory(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].label, "PR-1");
+        assert_eq!(parsed[0].shards.len(), 2);
+        assert!((parsed[0].shards[0].allocations_per_sec - 99043.6).abs() < 0.1);
+        assert_eq!(parsed[0].shards[1].mediator_shards, 8);
+    }
+
+    #[test]
+    fn upsert_replaces_matching_label_and_appends_new() {
+        let records = vec![record("PR-1", 99000.0)];
+        let records = upsert_record(records, "PR-2", record("PR-2", 150000.0).shards);
+        assert_eq!(records.len(), 2);
+        let records = upsert_record(records, "PR-2", record("PR-2", 160000.0).shards);
+        assert_eq!(records.len(), 2);
+        assert!((records[1].shards[0].allocations_per_sec - 160000.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn merge_best_keeps_the_faster_observation_per_shard_count() {
+        let first = record("a", 90000.0).shards;
+        let mut second = record("b", 100000.0).shards;
+        second[1].allocations_per_sec = 100.0; // second pass slower at K=2
+        let merged = merge_best(first, &second);
+        assert!((merged[0].allocations_per_sec - 100000.0).abs() < 0.1);
+        assert!((merged[1].allocations_per_sec - 180000.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_tolerance() {
+        let baseline = record("PR-2", 100000.0);
+        // 15 % below: fine at 20 % tolerance.
+        let ok = vec![
+            ShardMeasurement {
+                mediator_shards: 1,
+                issued_queries: 5753,
+                best_wall_ms: 47.0,
+                allocations_per_sec: 85000.0,
+            },
+            ShardMeasurement {
+                mediator_shards: 2,
+                issued_queries: 5753,
+                best_wall_ms: 23.0,
+                allocations_per_sec: 170000.0,
+            },
+        ];
+        assert!(regression_failures(&baseline, &ok, REGRESSION_TOLERANCE).is_empty());
+        // 25 % below on one shard count: trips.
+        let bad = vec![
+            ShardMeasurement {
+                mediator_shards: 1,
+                issued_queries: 5753,
+                best_wall_ms: 53.0,
+                allocations_per_sec: 75000.0,
+            },
+            ShardMeasurement {
+                mediator_shards: 2,
+                issued_queries: 5753,
+                best_wall_ms: 23.0,
+                allocations_per_sec: 170000.0,
+            },
+        ];
+        let failures = regression_failures(&baseline, &bad, REGRESSION_TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("K=1"));
+        // A missing shard count is also a failure.
+        let failures = regression_failures(&baseline, &ok[..1], REGRESSION_TOLERANCE);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("K=2"));
+    }
+}

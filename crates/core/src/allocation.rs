@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
 
-use crate::scoring::RankedProvider;
+use crate::scoring::{rank_candidates_in_place, select_top_k, RankedProvider};
 
 /// A provider's bid for a query, used by economic allocation methods
 /// (the Mariposa-like baseline, Section 6.2.2).
@@ -102,6 +102,11 @@ pub struct Allocation {
     /// The complete ranking `R_q` of the candidate set (methods that do not
     /// produce meaningful scores still return the candidates in their
     /// selection order with synthetic scores).
+    ///
+    /// Materializing `R_q` per query is a diagnostic, not something the
+    /// allocation pipeline needs — the engine disables it on its hot path
+    /// via [`AllocationMethod::set_record_ranking`], in which case this
+    /// vector is empty.
     pub ranking: Vec<RankedProvider>,
 }
 
@@ -120,6 +125,49 @@ impl Allocation {
     /// candidate set).
     pub fn is_empty(&self) -> bool {
         self.selected.is_empty()
+    }
+}
+
+/// A reusable, id-sorted index over an allocation's selected providers.
+///
+/// The engine's participant bookkeeping asks "was provider `p` selected?"
+/// once per candidate per query; answering that with
+/// [`Allocation::is_selected`]'s linear scan makes the loop O(C · n). A
+/// `SelectionSet` is rebuilt once per allocation (reusing its buffer, so
+/// steady-state arrivals allocate nothing) and answers membership by
+/// binary search over ids.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionSet {
+    ids: Vec<ProviderId>,
+}
+
+impl SelectionSet {
+    /// Creates an empty selection set.
+    pub fn new() -> Self {
+        SelectionSet::default()
+    }
+
+    /// Reindexes the set over the given allocation's selected providers.
+    pub fn rebuild(&mut self, allocation: &Allocation) {
+        self.ids.clear();
+        self.ids.extend_from_slice(&allocation.selected);
+        self.ids.sort_unstable();
+    }
+
+    /// Whether the provider was selected by the indexed allocation.
+    #[inline]
+    pub fn contains(&self, provider: ProviderId) -> bool {
+        self.ids.binary_search(&provider).is_ok()
+    }
+
+    /// Number of selected providers in the indexed allocation.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the indexed allocation selected no provider.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
     }
 }
 
@@ -167,6 +215,20 @@ pub trait AllocationMethod {
         candidates: &[CandidateInfo],
         view: &dyn MediatorView,
     ) -> Allocation;
+
+    /// Enables or disables materializing the full ranking `R_q` in every
+    /// returned [`Allocation`].
+    ///
+    /// The ranking is a per-query diagnostic: with it enabled (the
+    /// default, so interactive users always get it) every allocation
+    /// fully sorts and clones the candidate vector; with it disabled a
+    /// method only needs a partial top-`min(q.n, N)` selection and
+    /// returns an empty `ranking`. The *selected* providers are identical
+    /// either way. The simulation engine disables it on its hot path.
+    ///
+    /// The default implementation ignores the request (suitable for
+    /// methods that never materialize a ranking).
+    fn set_record_ranking(&mut self, _record: bool) {}
 }
 
 /// Helper shared by allocation methods: keep the `min(q.n, N)` best entries
@@ -178,6 +240,34 @@ pub fn take_best(query: &Query, ranking: Vec<RankedProvider>) -> Allocation {
         query: query.id,
         selected: ranking.iter().take(n).map(|r| r.provider).collect(),
         ranking,
+    }
+}
+
+/// Hot-path variant of [`take_best`] for score-ranked methods: takes the
+/// *unsorted* scored candidates in a reusable buffer, selects the
+/// `min(q.n, N)` best in place (partial selection — identical prefix to a
+/// full sort, see [`select_top_k`]), and only materializes/sorts the full
+/// ranking when `record_ranking` is set. The buffer is left reusable by
+/// the caller for the next query.
+pub fn select_best(
+    query: &Query,
+    scored: &mut [RankedProvider],
+    record_ranking: bool,
+) -> Allocation {
+    let n = (query.n as usize).min(scored.len());
+    if record_ranking {
+        rank_candidates_in_place(scored);
+    } else {
+        select_top_k(scored, n);
+    }
+    Allocation {
+        query: query.id,
+        selected: scored[..n].iter().map(|r| r.provider).collect(),
+        ranking: if record_ranking {
+            scored.to_vec()
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -247,6 +337,64 @@ mod tests {
         // Empty candidate set yields an empty allocation.
         let a = take_best(&query(1), vec![]);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn select_best_matches_take_best_selection() {
+        let scored = vec![
+            RankedProvider {
+                provider: ProviderId::new(2),
+                score: 0.1,
+            },
+            RankedProvider {
+                provider: ProviderId::new(0),
+                score: 0.9,
+            },
+            RankedProvider {
+                provider: ProviderId::new(1),
+                score: 0.5,
+            },
+        ];
+        for n in [1u32, 2, 10] {
+            let reference = take_best(&query(n), crate::scoring::rank_candidates(scored.clone()));
+            let mut buffer = scored.clone();
+            let lean = select_best(&query(n), &mut buffer, false);
+            assert_eq!(lean.selected, reference.selected);
+            assert!(lean.ranking.is_empty(), "lean path skips the ranking");
+            let mut buffer = scored.clone();
+            let full = select_best(&query(n), &mut buffer, true);
+            assert_eq!(full.selected, reference.selected);
+            assert_eq!(full.ranking, reference.ranking);
+        }
+    }
+
+    #[test]
+    fn selection_set_answers_membership() {
+        let allocation = Allocation {
+            query: QueryId::new(1),
+            selected: vec![ProviderId::new(7), ProviderId::new(2), ProviderId::new(5)],
+            ranking: Vec::new(),
+        };
+        let mut set = SelectionSet::new();
+        set.rebuild(&allocation);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        for p in 0..10u32 {
+            assert_eq!(
+                set.contains(ProviderId::new(p)),
+                allocation.is_selected(ProviderId::new(p)),
+                "SelectionSet disagrees with is_selected for p{p}"
+            );
+        }
+        // Rebuilding over another allocation reuses the buffer.
+        let empty = Allocation {
+            query: QueryId::new(2),
+            selected: vec![],
+            ranking: Vec::new(),
+        };
+        set.rebuild(&empty);
+        assert!(set.is_empty());
+        assert!(!set.contains(ProviderId::new(7)));
     }
 
     #[test]

@@ -46,6 +46,31 @@ impl IntentionParams {
     }
 }
 
+/// `base^exp` with powf-free fast paths for the exponents the intention
+/// and scoring trade-offs hit constantly.
+///
+/// The trade-off weights (`υ`, `δs`, `ω`) sit at exactly `0` or `1` in
+/// common configurations — fixed-omega policies, the `υ = 1` evaluation
+/// setting, fully (dis)satisfied participants — and IEEE 754 defines
+/// `x^0 = 1` and `x^1 = x` *exactly*, so those paths are bit-identical to
+/// the general `powf` branch (pinned by tests).
+///
+/// `exp == 0.5` deliberately has **no** `sqrt` fast path: `sqrt` is
+/// correctly rounded but this platform's `pow` is not, and the two differ
+/// by 1 ulp for some bases (e.g. `pow(2.4625, 0.5)`), which would break
+/// the engine's bit-for-bit determinism contract. The pinning tests
+/// encode this finding.
+#[inline]
+pub fn powf_fast(base: f64, exp: f64) -> f64 {
+    if exp == 0.0 {
+        1.0
+    } else if exp == 1.0 {
+        base
+    } else {
+        base.powf(exp)
+    }
+}
+
 /// Consumer intention `ci_c(q, p)` (Definition 7).
 ///
 /// * `preference` — `prf_c(q, p) ∈ [-1, 1]`, the consumer's preference for
@@ -69,9 +94,10 @@ pub fn consumer_intention(
     let upsilon = upsilon.clamp(0.0, 1.0);
     let eps = params.epsilon;
     if preference > 0.0 && reputation > 0.0 {
-        preference.powf(upsilon) * reputation.powf(1.0 - upsilon)
+        powf_fast(preference, upsilon) * powf_fast(reputation, 1.0 - upsilon)
     } else {
-        -((1.0 - preference + eps).powf(upsilon) * (1.0 - reputation + eps).powf(1.0 - upsilon))
+        -(powf_fast(1.0 - preference + eps, upsilon)
+            * powf_fast(1.0 - reputation + eps, 1.0 - upsilon))
     }
 }
 
@@ -106,10 +132,10 @@ pub fn provider_intention(
     let utilization = utilization.max(0.0);
     let eps = params.epsilon;
     if preference > 0.0 && utilization < 1.0 {
-        preference.powf(1.0 - satisfaction) * (1.0 - utilization).powf(satisfaction)
+        powf_fast(preference, 1.0 - satisfaction) * powf_fast(1.0 - utilization, satisfaction)
     } else {
-        -((1.0 - preference + eps).powf(1.0 - satisfaction)
-            * (utilization + eps).powf(satisfaction))
+        -(powf_fast(1.0 - preference + eps, 1.0 - satisfaction)
+            * powf_fast(utilization + eps, satisfaction))
     }
 }
 
@@ -225,6 +251,34 @@ mod tests {
     }
 
     #[test]
+    fn powf_fast_paths_are_bit_identical_to_powf() {
+        // The bases that can reach powf_fast: positive-branch inputs in
+        // (0, 1] and negative-branch inputs in (0, 2 + ε]. Sweep densely
+        // and compare raw bits, not approximate equality.
+        let mut base = 1e-6;
+        while base <= 4.5 {
+            for exp in [0.0, 1.0, 0.5] {
+                assert_eq!(
+                    powf_fast(base, exp).to_bits(),
+                    base.powf(exp).to_bits(),
+                    "powf_fast({base}, {exp}) diverged from powf"
+                );
+            }
+            base += 0.001953125; // 2^-9: exact in binary, no drift
+        }
+        // And the reason 0.5 is NOT shortcut to sqrt: pow is not correctly
+        // rounded on every platform, so sqrt(x) can differ from
+        // pow(x, 0.5) by 1 ulp. If this assertion ever fails the sqrt fast
+        // path would be safe to (re)introduce on this platform.
+        let tricky: f64 = 1.0 - (-0.4624999999999999) + 1.0;
+        assert_ne!(
+            tricky.sqrt().to_bits(),
+            tricky.powf(0.5).to_bits(),
+            "pow became correctly rounded; sqrt fast path is now viable"
+        );
+    }
+
+    #[test]
     fn intention_params_validation() {
         assert_eq!(IntentionParams::default().epsilon, 1.0);
         assert_eq!(IntentionParams::with_epsilon(0.25).epsilon, 0.25);
@@ -234,6 +288,16 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_powf_fast_matches_powf_bitwise(
+            base in 1e-9f64..=4.0,
+            free_exp in 0.0f64..=1.0,
+        ) {
+            for exp in [0.0, 1.0, 0.5, free_exp] {
+                prop_assert_eq!(powf_fast(base, exp).to_bits(), base.powf(exp).to_bits());
+            }
+        }
+
         #[test]
         fn prop_consumer_intention_sign_matches_branches(
             prf in -1.0f64..=1.0,

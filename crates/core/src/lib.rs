@@ -37,10 +37,14 @@ pub mod module;
 pub mod scoring;
 pub mod sqlb;
 
-pub use allocation::{Allocation, AllocationMethod, CandidateInfo, MediatorView};
-pub use intention::{consumer_intention, provider_intention, IntentionParams, DEFAULT_EPSILON};
+pub use allocation::{Allocation, AllocationMethod, CandidateInfo, MediatorView, SelectionSet};
+pub use intention::{
+    consumer_intention, powf_fast, provider_intention, IntentionParams, DEFAULT_EPSILON,
+};
 pub use mediator::{ConsumerDigestEntry, Mediator, SatisfactionDigest};
 pub use mediator_state::MediatorState;
 pub use module::{IntentionSource, QueryAllocationModule};
-pub use scoring::{omega, provider_score, rank_candidates, RankedProvider};
+pub use scoring::{
+    omega, provider_score, rank_candidates, rank_candidates_in_place, select_top_k, RankedProvider,
+};
 pub use sqlb::{OmegaPolicy, SqlbAllocator, SqlbConfig};

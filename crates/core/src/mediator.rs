@@ -87,6 +87,12 @@ impl Mediator {
         &mut self.state
     }
 
+    /// Enables or disables the per-allocation ranking diagnostic of the
+    /// underlying method (see [`AllocationMethod::set_record_ranking`]).
+    pub fn set_record_ranking(&mut self, record: bool) {
+        self.method.set_record_ranking(record);
+    }
+
     /// Runs the allocation decision of Algorithm 1 (lines 6–9) for one
     /// query over the gathered candidate information, and records the
     /// outcome in the mediator's satisfaction state.

@@ -10,7 +10,18 @@ use serde::{Deserialize, Serialize};
 use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
 use sqlb_types::{ConsumerId, Intention, ParticipantTable, ProviderId, Query};
 
-use crate::allocation::{Allocation, CandidateInfo, MediatorView};
+use crate::allocation::{Allocation, CandidateInfo, MediatorView, SelectionSet};
+
+/// Reusable buffers for [`MediatorState::record_allocation`], so recording
+/// an allocation performs no heap allocation in steady state. Scratch
+/// state is transient (rebuilt from scratch on every call), so it is
+/// excluded from serialization and comparisons.
+#[derive(Debug, Clone, Default)]
+struct RecordScratch {
+    intentions: Vec<Intention>,
+    selected_indices: Vec<usize>,
+    selection: SelectionSet,
+}
 
 /// Configuration of the mediator-side trackers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +71,9 @@ pub struct MediatorState {
     /// tracker exactly.
     remote_consumers: ParticipantTable<ConsumerId, RemoteConsumerView>,
     allocations: u64,
+    /// Transient buffers, rebuilt on every recorded allocation (not part
+    /// of the mediator's logical state).
+    scratch: RecordScratch,
 }
 
 impl MediatorState {
@@ -71,6 +85,7 @@ impl MediatorState {
             providers: ParticipantTable::new(),
             remote_consumers: ParticipantTable::new(),
             allocations: 0,
+            scratch: RecordScratch::default(),
         }
     }
 
@@ -90,14 +105,7 @@ impl MediatorState {
 
     /// Registers a provider explicitly.
     pub fn register_provider(&mut self, provider: ProviderId) {
-        let config = self.config;
-        self.providers.or_insert_with(provider, || {
-            ProviderTracker::new(
-                config.provider_proposed_window,
-                config.provider_performed_window,
-                config.initial_satisfaction,
-            )
-        });
+        register_provider_in(&mut self.providers, self.config, provider);
     }
 
     /// Forgets a consumer (e.g. after it departs from the system).
@@ -125,28 +133,35 @@ impl MediatorState {
         allocation: &Allocation,
     ) {
         self.register_consumer(query.consumer);
-        let consumer_intentions: Vec<Intention> = candidates
-            .iter()
-            .map(|c| Intention::new(c.consumer_intention))
-            .collect();
-        let selected_indices: Vec<usize> = candidates
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| allocation.is_selected(c.provider))
-            .map(|(i, _)| i)
-            .collect();
+        let scratch = &mut self.scratch;
+        scratch.selection.rebuild(allocation);
+        scratch.intentions.clear();
+        scratch.intentions.extend(
+            candidates
+                .iter()
+                .map(|c| Intention::new(c.consumer_intention)),
+        );
+        scratch.selected_indices.clear();
+        scratch.selected_indices.extend(
+            candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| scratch.selection.contains(c.provider))
+                .map(|(i, _)| i),
+        );
         if let Some(tracker) = self.consumers.get_mut(query.consumer) {
-            tracker.record_allocation(&consumer_intentions, &selected_indices, query.n);
+            tracker.record_allocation(&scratch.intentions, &scratch.selected_indices, query.n);
         }
 
         for candidate in candidates {
-            self.register_provider(candidate.provider);
-            if let Some(tracker) = self.providers.get_mut(candidate.provider) {
-                tracker.record_proposal(
-                    Intention::new(candidate.provider_intention),
-                    allocation.is_selected(candidate.provider),
-                );
-            }
+            // The free-function registration helper keeps the provider
+            // table borrow disjoint from the scratch borrow.
+            let tracker =
+                register_provider_in(&mut self.providers, self.config, candidate.provider);
+            tracker.record_proposal(
+                Intention::new(candidate.provider_intention),
+                scratch.selection.contains(candidate.provider),
+            );
         }
         self.allocations += 1;
     }
@@ -260,6 +275,24 @@ impl MediatorState {
     pub fn config(&self) -> MediatorStateConfig {
         self.config
     }
+}
+
+/// Ensures a provider tracker exists and returns it. A free function
+/// (rather than a `&mut self` method) so callers holding disjoint borrows
+/// of other `MediatorState` fields can register providers too; this is
+/// the single home of the tracker construction.
+fn register_provider_in(
+    providers: &mut ParticipantTable<ProviderId, ProviderTracker>,
+    config: MediatorStateConfig,
+    provider: ProviderId,
+) -> &mut ProviderTracker {
+    providers.or_insert_with(provider, || {
+        ProviderTracker::new(
+            config.provider_proposed_window,
+            config.provider_performed_window,
+            config.initial_satisfaction,
+        )
+    })
 }
 
 impl Default for MediatorState {

@@ -1,9 +1,11 @@
 //! Scoring and ranking of providers (Section 5.3).
 
+use std::cmp::Ordering;
+
 use serde::{Deserialize, Serialize};
 use sqlb_types::ProviderId;
 
-use crate::intention::IntentionParams;
+use crate::intention::{powf_fast, IntentionParams};
 
 /// A provider together with its score for a given query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,22 +54,69 @@ pub fn provider_score(
     let omega = omega.clamp(0.0, 1.0);
     let eps = params.epsilon;
     if provider_intention > 0.0 && consumer_intention > 0.0 {
-        provider_intention.powf(omega) * consumer_intention.powf(1.0 - omega)
+        powf_fast(provider_intention, omega) * powf_fast(consumer_intention, 1.0 - omega)
     } else {
-        -((1.0 - provider_intention + eps).powf(omega)
-            * (1.0 - consumer_intention + eps).powf(1.0 - omega))
+        -(powf_fast(1.0 - provider_intention + eps, omega)
+            * powf_fast(1.0 - consumer_intention + eps, 1.0 - omega))
     }
+}
+
+/// The deterministic ranking order: descending score, ties broken by
+/// ascending provider identifier. Candidate sets never contain a provider
+/// twice, so this is a *strict* total order — any two distinct entries
+/// compare unequal, which is what makes partial selection provably
+/// identical to a full sort (the top-`k` set is uniquely determined).
+#[inline]
+fn ranking_order(a: &RankedProvider, b: &RankedProvider) -> Ordering {
+    b.score
+        .total_cmp(&a.score)
+        .then_with(|| a.provider.cmp(&b.provider))
+}
+
+/// Sorts a candidate slice into ranking order in place (the vector `R_q`
+/// of Section 5.3), without reallocating.
+pub fn rank_candidates_in_place(candidates: &mut [RankedProvider]) {
+    candidates.sort_unstable_by(ranking_order);
+}
+
+/// Puts the `min(k, len)` best candidates — by the same deterministic
+/// order as [`rank_candidates`] — in ranking order at the front of the
+/// slice. The rest of the slice is left in unspecified order.
+///
+/// Because [`ranking_order`] is a strict total order over distinct
+/// providers, the selected prefix is bit-identical to
+/// `rank_candidates(...)[..k]`; the allocation hot path uses this to
+/// replace the O(N log N) full sort with an O(N) selection for the
+/// paper's `q.n = 1` queries (and O(N + k log k) in general).
+pub fn select_top_k(candidates: &mut [RankedProvider], k: usize) {
+    let len = candidates.len();
+    if k == 0 || len <= 1 {
+        return;
+    }
+    if k >= len {
+        candidates.sort_unstable_by(ranking_order);
+        return;
+    }
+    if k == 1 {
+        // Selection of the single best entry: one scan, no partition.
+        let mut best = 0;
+        for i in 1..len {
+            if ranking_order(&candidates[i], &candidates[best]) == Ordering::Less {
+                best = i;
+            }
+        }
+        candidates.swap(0, best);
+        return;
+    }
+    candidates.select_nth_unstable_by(k - 1, ranking_order);
+    candidates[..k].sort_unstable_by(ranking_order);
 }
 
 /// Ranks candidates from best to worst score (the vector `R_q` of
 /// Section 5.3). Ties are broken by provider identifier so the ranking is
 /// deterministic.
 pub fn rank_candidates(mut candidates: Vec<RankedProvider>) -> Vec<RankedProvider> {
-    candidates.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.provider.cmp(&b.provider))
-    });
+    rank_candidates_in_place(&mut candidates);
     candidates
 }
 
@@ -161,6 +210,68 @@ mod tests {
         assert!(rank_candidates(vec![]).is_empty());
     }
 
+    #[test]
+    fn top_k_prefix_equals_full_sort_on_ties() {
+        // Tied scores exercise the id tie-break through the selection
+        // path.
+        let base = vec![
+            RankedProvider {
+                provider: ProviderId::new(3),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(1),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(2),
+                score: 0.5,
+            },
+            RankedProvider {
+                provider: ProviderId::new(0),
+                score: -0.5,
+            },
+        ];
+        let sorted = rank_candidates(base.clone());
+        for k in 0..=base.len() + 1 {
+            let mut selected = base.clone();
+            select_top_k(&mut selected, k);
+            let prefix = k.min(base.len());
+            assert_eq!(&selected[..prefix], &sorted[..prefix], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn provider_score_fast_omegas_match_general_powf() {
+        // The fast-path contract: ω ∈ {0, 1} (and, through `1 - ω`, their
+        // mirror exponents) plus arbitrary ω = 0.5 must return the same
+        // bits as the bare-powf formulation of Definition 9.
+        let mut pi = -2.4;
+        while pi <= 1.0 {
+            let mut ci = -2.4;
+            while ci <= 1.0 {
+                for w in [0.0, 1.0, 0.5] {
+                    let fast = provider_score(pi, ci, w, P);
+                    let general = {
+                        // Reimplementation of Definition 9 with bare powf.
+                        if pi > 0.0 && ci > 0.0 {
+                            pi.powf(w) * ci.powf(1.0 - w)
+                        } else {
+                            -((1.0 - pi + P.epsilon).powf(w) * (1.0 - ci + P.epsilon).powf(1.0 - w))
+                        }
+                    };
+                    assert_eq!(
+                        fast.to_bits(),
+                        general.to_bits(),
+                        "provider_score({pi}, {ci}, {w}) diverged"
+                    );
+                }
+                ci += 0.0625;
+            }
+            pi += 0.0625;
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_omega_in_unit_interval(c in 0.0f64..=1.0, p in 0.0f64..=1.0) {
@@ -213,6 +324,37 @@ mod tests {
             let expected: Vec<u32> = (0..scores.len() as u32).collect();
             prop_assert_eq!(ids, expected);
             prop_assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
+        }
+
+        #[test]
+        fn prop_select_top_k_prefix_is_bit_identical_to_full_sort(
+            scores in proptest::collection::vec(-2.0f64..=1.0, 0..80),
+            k in 0usize..80,
+        ) {
+            let candidates: Vec<RankedProvider> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &score)| RankedProvider {
+                    provider: ProviderId::new(i as u32),
+                    score,
+                })
+                .collect();
+            let sorted = rank_candidates(candidates.clone());
+            let mut selected = candidates.clone();
+            select_top_k(&mut selected, k);
+            let prefix = k.min(candidates.len());
+            for i in 0..prefix {
+                prop_assert_eq!(selected[i].provider, sorted[i].provider);
+                prop_assert_eq!(selected[i].score.to_bits(), sorted[i].score.to_bits());
+            }
+            // The tail is unordered but must still be a permutation of the
+            // non-selected candidates.
+            let mut tail: Vec<u32> = selected[prefix..].iter().map(|r| r.provider.raw()).collect();
+            tail.sort_unstable();
+            let mut expected_tail: Vec<u32> =
+                sorted[prefix..].iter().map(|r| r.provider.raw()).collect();
+            expected_tail.sort_unstable();
+            prop_assert_eq!(tail, expected_tail);
         }
     }
 }

@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 use sqlb_types::Query;
 
-use crate::allocation::{take_best, Allocation, AllocationMethod, CandidateInfo, MediatorView};
+use crate::allocation::{select_best, Allocation, AllocationMethod, CandidateInfo, MediatorView};
 use crate::intention::IntentionParams;
-use crate::scoring::{omega, provider_score, rank_candidates, RankedProvider};
+use crate::scoring::{omega, provider_score, RankedProvider};
 
 /// How the consumer/provider trade-off weight `ω` is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -42,9 +42,25 @@ pub struct SqlbConfig {
 ///
 /// ranks the candidates by decreasing score and allocates the query to the
 /// `min(q.n, N)` best-ranked providers (Algorithm 1, lines 6–10).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SqlbAllocator {
     config: SqlbConfig,
+    /// Whether allocations carry the full ranking `R_q` (diagnostic; the
+    /// engine turns this off on its hot path).
+    record_ranking: bool,
+    /// Reusable scoring buffer: in steady state `allocate` performs no
+    /// heap allocation beyond the returned selection vector.
+    scratch: Vec<RankedProvider>,
+}
+
+impl Default for SqlbAllocator {
+    fn default() -> Self {
+        SqlbAllocator {
+            config: SqlbConfig::default(),
+            record_ranking: true,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 impl SqlbAllocator {
@@ -56,7 +72,10 @@ impl SqlbAllocator {
 
     /// Creates an allocator with an explicit configuration.
     pub fn with_config(config: SqlbConfig) -> Self {
-        SqlbAllocator { config }
+        SqlbAllocator {
+            config,
+            ..SqlbAllocator::default()
+        }
     }
 
     /// The configuration in use.
@@ -98,14 +117,40 @@ impl AllocationMethod for SqlbAllocator {
         candidates: &[CandidateInfo],
         view: &dyn MediatorView,
     ) -> Allocation {
-        let ranked: Vec<RankedProvider> = candidates
-            .iter()
-            .map(|c| RankedProvider {
+        // The consumer's satisfaction is per query, not per candidate —
+        // hoist the (potentially blended, see MediatorState) lookup out of
+        // the scoring loop.
+        let consumer_satisfaction = match self.config.omega_policy {
+            OmegaPolicy::SatisfactionBalanced => view.consumer_satisfaction(query.consumer),
+            OmegaPolicy::Fixed(_) => 0.0,
+        };
+        let mut scored = std::mem::take(&mut self.scratch);
+        scored.clear();
+        scored.extend(candidates.iter().map(|c| {
+            let w = match self.config.omega_policy {
+                OmegaPolicy::SatisfactionBalanced => omega(
+                    consumer_satisfaction,
+                    view.provider_satisfaction(c.provider),
+                ),
+                OmegaPolicy::Fixed(w) => w.clamp(0.0, 1.0),
+            };
+            RankedProvider {
                 provider: c.provider,
-                score: self.score_candidate(query, c, view),
-            })
-            .collect();
-        take_best(query, rank_candidates(ranked))
+                score: provider_score(
+                    c.provider_intention,
+                    c.consumer_intention,
+                    w,
+                    self.config.params,
+                ),
+            }
+        }));
+        let allocation = select_best(query, &mut scored, self.record_ranking);
+        self.scratch = scored;
+        allocation
+    }
+
+    fn set_record_ranking(&mut self, record: bool) {
+        self.record_ranking = record;
     }
 }
 

@@ -30,9 +30,40 @@ pub fn consumer_query_adequation(intentions_over_pq: &[Intention]) -> Option<f64
 /// is what lets the notion account for consumers that wanted more results
 /// than they received (Section 3.1.2).
 pub fn consumer_query_satisfaction(selected_intentions: &[Intention], n: u32) -> f64 {
-    let n = n.max(1) as f64;
-    let sum: f64 = selected_intentions.iter().map(|i| i.value()).sum();
-    ((sum / n) + 1.0) / 2.0
+    satisfaction_from_sum(selected_intentions.iter().map(|i| i.value()).sum(), n)
+}
+
+/// The tail of Equation 2: maps the sum of the selected intentions and
+/// the desired result count to `[0, 1]`. Single home of the formula so
+/// the slice, iterator and tracker entry points cannot drift apart.
+#[inline]
+fn satisfaction_from_sum(selected_sum: f64, n: u32) -> f64 {
+    ((selected_sum / n.max(1) as f64) + 1.0) / 2.0
+}
+
+/// Equations 1–2 evaluated together over raw shown values, without
+/// materializing `Intention` slices: returns the per-query
+/// `(adequation, satisfaction)` pair, or `None` for an empty candidate
+/// set. `selected` holds indices into `shown`; out-of-range indices are
+/// ignored (a provider that vanished between gathering and recording).
+///
+/// Values are clamped into `[-1, 1]` exactly as [`Intention::new`] does,
+/// and the sums run in slice order — the result is bit-identical to
+/// clamping into a vector first and calling [`consumer_query_adequation`]
+/// and [`consumer_query_satisfaction`], which is pinned by a test. This
+/// is the allocation-free entry point the per-arrival hot path uses.
+pub fn consumer_query_outcome(shown: &[f64], selected: &[usize], n: u32) -> Option<(f64, f64)> {
+    if shown.is_empty() {
+        return None;
+    }
+    let clamped_sum: f64 = shown.iter().map(|&v| Intention::new(v).value()).sum();
+    let adequation = (clamped_sum / shown.len() as f64 + 1.0) / 2.0;
+    let selected_sum: f64 = selected
+        .iter()
+        .filter_map(|&i| shown.get(i))
+        .map(|&v| Intention::new(v).value())
+        .sum();
+    Some((adequation, satisfaction_from_sum(selected_sum, n)))
 }
 
 /// Tracks a consumer's characteristics over its `k` last issued queries
@@ -85,11 +116,14 @@ impl ConsumerTracker {
         n: u32,
     ) -> Option<(f64, f64)> {
         let adequation = consumer_query_adequation(intentions_over_pq)?;
-        let selected_intentions: Vec<Intention> = selected
+        // Sum the selected intentions directly (same order, same f64
+        // additions as collecting them first — no per-query allocation).
+        let sum: f64 = selected
             .iter()
-            .filter_map(|&i| intentions_over_pq.get(i).copied())
-            .collect();
-        let satisfaction = consumer_query_satisfaction(&selected_intentions, n);
+            .filter_map(|&i| intentions_over_pq.get(i))
+            .map(|i| i.value())
+            .sum();
+        let satisfaction = satisfaction_from_sum(sum, n);
         self.adequations.push(adequation);
         self.satisfactions.push(satisfaction);
         self.issued += 1;
@@ -241,6 +275,31 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_query_outcome_is_bit_identical_to_slice_variants(
+            shown in proptest::collection::vec(-2.5f64..=2.5, 0..40),
+            selected in proptest::collection::vec(0usize..48, 0..8),
+            n in 1u32..5,
+        ) {
+            let outcome = consumer_query_outcome(&shown, &selected, n);
+            let ints = intentions(&shown);
+            let reference = consumer_query_adequation(&ints).map(|adequation| {
+                let selected_ints: Vec<Intention> = selected
+                    .iter()
+                    .filter_map(|&i| ints.get(i).copied())
+                    .collect();
+                (adequation, consumer_query_satisfaction(&selected_ints, n))
+            });
+            match (outcome, reference) {
+                (None, None) => {}
+                (Some((a1, s1)), Some((a2, s2))) => {
+                    prop_assert_eq!(a1.to_bits(), a2.to_bits());
+                    prop_assert_eq!(s1.to_bits(), s2.to_bits());
+                }
+                other => prop_assert!(false, "outcome/reference disagree: {:?}", other),
+            }
+        }
+
         #[test]
         fn prop_per_query_values_in_unit_interval(
             ci in proptest::collection::vec(-1.0f64..=1.0, 1..40),

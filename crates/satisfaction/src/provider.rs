@@ -117,16 +117,22 @@ impl ProviderTracker {
         if self.proposed_flags.is_empty() {
             return self.initial;
         }
-        let performed: Vec<f64> = self
-            .proposed_flags
-            .iter()
-            .filter(|(_, p)| *p)
-            .map(|(v, _)| *v)
-            .collect();
-        if performed.is_empty() {
+        // One pass over the window, no intermediate vector: the additions
+        // happen in the same order as a filter-then-sum, so the result is
+        // bit-identical while the (sample- and assessment-path) callers
+        // stop allocating per read.
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &(v, performed) in &self.proposed_flags {
+            if performed {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
             0.0
         } else {
-            performed.iter().sum::<f64>() / performed.len() as f64
+            sum / count as f64
         }
     }
 

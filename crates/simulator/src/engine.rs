@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sqlb_agents::Population;
-use sqlb_core::allocation::CandidateInfo;
+use sqlb_core::allocation::{CandidateInfo, SelectionSet};
 use sqlb_core::mediator_state::MediatorStateConfig;
 use sqlb_metrics::{fairness, mean, Histogram, Summary};
 use sqlb_reputation::ReputationStore;
@@ -40,6 +40,23 @@ use crate::events::{Event, EventQueue};
 use crate::shard::ShardRouter;
 use crate::stats::{ConsumerDepartureRecord, DepartureRecord, MetricSeries, SimulationReport};
 use crate::workload::{arrival_rate, sample_interarrival};
+
+/// Reusable per-simulator buffers for the arrival hot path. Every arrival
+/// used to allocate ~5 fresh vectors before computing a single intention;
+/// with the arena, steady-state arrivals gather intentions, run the
+/// allocation decision and record the outcome without touching the heap
+/// (buffers grow to the candidate-set high-water mark and stay there).
+#[derive(Debug, Default)]
+struct ArrivalScratch {
+    /// Candidate information gathered for the current query (`P_q`).
+    infos: Vec<CandidateInfo>,
+    /// Consumer intentions shown over `P_q`, in candidate order.
+    shown_cis: Vec<f64>,
+    /// Indices into `infos` of the selected providers.
+    selected_indices: Vec<usize>,
+    /// Id-sorted index over the allocation's selected providers.
+    selection: SelectionSet,
+}
 
 /// The simulator for one `(configuration, method)` pair.
 pub struct Simulator {
@@ -75,6 +92,8 @@ pub struct Simulator {
     unallocated: u64,
     provider_departures: Vec<DepartureRecord>,
     consumer_departures: Vec<ConsumerDepartureRecord>,
+    /// Reusable arrival-path buffers (see [`ArrivalScratch`]).
+    scratch: ArrivalScratch,
 }
 
 impl Simulator {
@@ -121,6 +140,7 @@ impl Simulator {
             unallocated: 0,
             provider_departures: Vec::new(),
             consumer_departures: Vec::new(),
+            scratch: ArrivalScratch::default(),
             population,
             config,
         };
@@ -197,22 +217,10 @@ impl Simulator {
             .fraction_at(self.now.as_secs(), self.config.duration_secs)
     }
 
-    fn active_consumers(&self) -> Vec<ConsumerId> {
-        self.population
-            .consumers
-            .iter()
-            .filter(|(_, c)| !c.has_departed())
-            .map(|(id, _)| id)
-            .collect()
-    }
-
     fn next_interarrival(&mut self) -> f64 {
-        let active_consumers = self
-            .population
-            .consumers
-            .values()
-            .filter(|c| !c.has_departed())
-            .count();
+        // The active-consumer count is maintained incrementally by the
+        // population (updated only on departure) — no per-draw scan.
+        let active_consumers = self.population.active_consumer_count();
         let consumer_fraction = if self.initial_consumers == 0 {
             0.0
         } else {
@@ -236,33 +244,20 @@ impl Simulator {
         }
     }
 
-    /// The candidate set for a query routed to `shard`: the active
-    /// providers that shard owns, in ascending id order (with one shard
-    /// this is every active provider, as in the paper).
-    fn shard_candidates(&self, shard: usize) -> Vec<ProviderId> {
-        self.router
-            .providers_of_shard(shard)
-            .filter(|&p| {
-                self.population
-                    .providers
-                    .get(p)
-                    .is_some_and(|agent| !agent.has_departed())
-            })
-            .collect()
-    }
-
     /// The preferred shard if it still has active providers, otherwise the
     /// next shard (in wrap-around order) that does. `None` only when every
     /// provider of the whole system has departed. With one shard this
     /// reduces to "the shard, or nothing" — the mono-mediator behaviour.
-    fn first_shard_with_candidates(&self, preferred: usize) -> Option<(usize, Vec<ProviderId>)> {
+    ///
+    /// The candidate set of a shard is its router-maintained provider
+    /// list: providers are removed from it exactly when they depart, so
+    /// the list always equals "the shard's providers that have not
+    /// departed, ascending" without any per-arrival filtering.
+    fn first_shard_with_candidates(&self, preferred: usize) -> Option<usize> {
         let shard_count = self.router.shard_count();
         (0..shard_count)
             .map(|offset| (preferred + offset) % shard_count)
-            .find_map(|shard| {
-                let candidates = self.shard_candidates(shard);
-                (!candidates.is_empty()).then_some((shard, candidates))
-            })
+            .find(|&shard| !self.router.providers_of_shard(shard).is_empty())
     }
 
     fn handle_arrival(&mut self) {
@@ -270,7 +265,11 @@ impl Simulator {
         // workload pattern and the number of remaining consumers).
         self.schedule_next_arrival();
 
-        let consumers = self.active_consumers();
+        // The active-consumer index presents the surviving consumers in
+        // ascending id order — the same sequence the per-arrival
+        // filter-and-collect used to produce, so the random draw picks the
+        // same consumer for the same seed.
+        let consumers = self.population.active_consumer_ids();
         if consumers.is_empty() {
             return;
         }
@@ -294,24 +293,25 @@ impl Simulator {
         // capacity, in which case the query falls over to the next
         // non-empty shard (deterministically, so runs stay reproducible).
         let preferred = self.router.shard_for_consumer(consumer);
-        let Some((shard, candidates)) = self.first_shard_with_candidates(preferred) else {
+        let Some(shard) = self.first_shard_with_candidates(preferred) else {
             self.unallocated += 1;
             return;
         };
 
-        // Gather intentions (Algorithm 1, lines 2–5). The consumer's
-        // intentions come from its preferences (and provider reputation);
-        // each provider's intention balances its preference for the query
-        // class against its current utilization.
+        // Gather intentions (Algorithm 1, lines 2–5) into the reusable
+        // arena. The consumer's intentions come from its preferences (and
+        // provider reputation); each provider's intention balances its
+        // preference for the query class against its current utilization
+        // (computed once and reused for the mediator's view of `Ut(p)`).
         let uses_bids = self.method_kind.uses_bids();
         let now = self.now;
         let consumer_agent = &self.population.consumers[consumer];
-        let mut infos: Vec<CandidateInfo> = Vec::with_capacity(candidates.len());
-        for &p in &candidates {
+        let infos = &mut self.scratch.infos;
+        infos.clear();
+        for &p in self.router.providers_of_shard(shard) {
             let ci = consumer_agent.intention_for(&query, p, &self.reputation);
             let provider_agent = &mut self.population.providers[p];
-            let pi = provider_agent.intention_for(&query, now);
-            let utilization = provider_agent.utilization(now).value();
+            let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
             let mut info = CandidateInfo::new(p)
                 .with_consumer_intention(ci)
                 .with_provider_intention(pi)
@@ -324,24 +324,33 @@ impl Simulator {
 
         // Allocation decision (Algorithm 1, lines 6–9), recorded in the
         // shard's satisfaction state.
-        let allocation = self.router.allocate(shard, &query, &infos);
+        let allocation = self.router.allocate(shard, &query, &self.scratch.infos);
 
         // Participant-side bookkeeping (the mediation result is sent to all
-        // candidates, line 10).
-        let shown_cis: Vec<f64> = infos.iter().map(|i| i.consumer_intention).collect();
-        let selected_indices: Vec<usize> = infos
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| allocation.is_selected(i.provider))
-            .map(|(idx, _)| idx)
-            .collect();
+        // candidates, line 10), answering "was p selected?" through the
+        // id-sorted selection index instead of a linear scan per candidate.
+        let scratch = &mut self.scratch;
+        scratch.selection.rebuild(&allocation);
+        scratch.shown_cis.clear();
+        scratch
+            .shown_cis
+            .extend(scratch.infos.iter().map(|i| i.consumer_intention));
+        scratch.selected_indices.clear();
+        scratch.selected_indices.extend(
+            scratch
+                .infos
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| scratch.selection.contains(i.provider))
+                .map(|(idx, _)| idx),
+        );
         self.population.consumers[consumer].record_allocation(
-            &shown_cis,
-            &selected_indices,
+            &scratch.shown_cis,
+            &scratch.selected_indices,
             query.n,
         );
-        for info in &infos {
-            let performed = allocation.is_selected(info.provider);
+        for info in &scratch.infos {
+            let performed = scratch.selection.contains(info.provider);
             self.population.providers[info.provider].record_proposal(
                 &query,
                 info.provider_intention,
@@ -491,8 +500,7 @@ impl Simulator {
                             rule.required_consecutive.max(1)
                         };
                         if self.provider_strikes[id] >= required {
-                            let provider = &mut self.population.providers[id];
-                            provider.depart();
+                            self.population.depart_provider(id);
                             self.router.remove_provider(id);
                             let profile = self.population.profiles[id];
                             self.provider_departures.push(DepartureRecord {
@@ -525,7 +533,7 @@ impl Simulator {
                     Some(_) => {
                         self.consumer_strikes[id] += 1;
                         if self.consumer_strikes[id] >= rule.required_consecutive.max(1) {
-                            self.population.consumers[id].depart();
+                            self.population.depart_consumer(id);
                             self.router.remove_consumer(id);
                             self.consumer_departures.push(ConsumerDepartureRecord {
                                 consumer: id,
@@ -537,6 +545,11 @@ impl Simulator {
                 }
             }
         }
+
+        // Departures are the only place the active indices shrink; in
+        // debug builds cross-check them against the departed flags after
+        // every assessment (a no-op in release).
+        self.population.debug_assert_active_indices_consistent();
 
         let next = now.as_secs() + self.config.assessment_interval_secs;
         if next <= self.config.duration_secs {

@@ -27,6 +27,11 @@ pub struct ShardRouter {
     shards: Vec<Mediator>,
     /// Which shard owns each (still-present) provider.
     assignment: ParticipantTable<ProviderId, usize>,
+    /// Per-shard provider lists in ascending id order, maintained on
+    /// removal. The arrival hot path borrows these directly — resolving a
+    /// shard's candidate set is O(1) instead of a filter over the whole
+    /// assignment table (which is O(P) per arrival, not O(P/K)).
+    shard_providers: Vec<Vec<ProviderId>>,
     /// Completed synchronization rounds.
     sync_rounds: u64,
 }
@@ -46,20 +51,33 @@ impl ShardRouter {
         let shard_count = shard_count.max(1);
         let shards = (0..shard_count)
             .map(|i| {
-                Mediator::new(
+                let mut mediator = Mediator::new(
                     MediatorId::new(i as u32),
                     method.build(seed.wrapping_add(i as u64)),
                     state_config,
-                )
+                );
+                // The engine never reads the per-allocation ranking
+                // diagnostic; skipping it keeps the hot path free of the
+                // full sort + clone it would cost. The *selected*
+                // providers are identical either way.
+                mediator.set_record_ranking(false);
+                mediator
             })
             .collect();
-        let assignment = providers
+        let assignment: ParticipantTable<ProviderId, usize> = providers
             .into_iter()
             .map(|p| (p, p.slot() % shard_count))
             .collect();
+        let mut shard_providers = vec![Vec::new(); shard_count];
+        for (p, &shard) in assignment.iter() {
+            // `ParticipantTable::iter` is ascending by id, so each
+            // per-shard list starts sorted.
+            shard_providers[shard].push(p);
+        }
         ShardRouter {
             shards,
             assignment,
+            shard_providers,
             sync_rounds: 0,
         }
     }
@@ -81,12 +99,11 @@ impl ShardRouter {
         self.assignment.get(provider).copied()
     }
 
-    /// The providers a shard owns, in ascending id order.
-    pub fn providers_of_shard(&self, shard: usize) -> impl Iterator<Item = ProviderId> + '_ {
-        self.assignment
-            .iter()
-            .filter(move |(_, s)| **s == shard)
-            .map(|(p, _)| p)
+    /// The providers a shard owns, in ascending id order. Borrows the
+    /// incrementally maintained per-shard list — no per-call scan or
+    /// allocation.
+    pub fn providers_of_shard(&self, shard: usize) -> &[ProviderId] {
+        &self.shard_providers[shard]
     }
 
     /// The mediator of a shard.
@@ -110,10 +127,14 @@ impl ShardRouter {
         self.shards[shard].allocate(query, candidates)
     }
 
-    /// Removes a departed provider from its shard's assignment and
-    /// satisfaction state.
+    /// Removes a departed provider from its shard's assignment, provider
+    /// list and satisfaction state.
     pub fn remove_provider(&mut self, provider: ProviderId) {
         if let Some(shard) = self.assignment.remove(provider) {
+            let list = &mut self.shard_providers[shard];
+            if let Ok(pos) = list.binary_search(&provider) {
+                list.remove(pos);
+            }
             self.shards[shard].state_mut().remove_provider(provider);
         }
     }
@@ -181,7 +202,7 @@ mod tests {
         }
         assert_eq!(r.shard_for_consumer(ConsumerId::new(17)), 0);
         assert_eq!(
-            r.providers_of_shard(0).count(),
+            r.providers_of_shard(0).len(),
             5,
             "shard 0 sees every provider"
         );
@@ -196,8 +217,13 @@ mod tests {
                 Some(p as usize % 4)
             );
         }
-        let total: usize = (0..4).map(|s| r.providers_of_shard(s).count()).sum();
+        let total: usize = (0..4).map(|s| r.providers_of_shard(s).len()).sum();
         assert_eq!(total, 10);
+        // Each per-shard list is ascending by id.
+        for s in 0..4 {
+            let list = r.providers_of_shard(s);
+            assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]
@@ -205,10 +231,13 @@ mod tests {
         let mut r = router(2, 4);
         r.remove_provider(ProviderId::new(2));
         assert_eq!(r.shard_of_provider(ProviderId::new(2)), None);
-        assert!(r.providers_of_shard(0).all(|p| p != ProviderId::new(2)));
+        assert!(r
+            .providers_of_shard(0)
+            .iter()
+            .all(|&p| p != ProviderId::new(2)));
         // Removing again is a no-op.
         r.remove_provider(ProviderId::new(2));
-        assert_eq!(r.providers_of_shard(0).count(), 1);
+        assert_eq!(r.providers_of_shard(0).len(), 1);
     }
 
     #[test]

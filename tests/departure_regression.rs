@@ -11,9 +11,13 @@
 
 use std::collections::HashSet;
 
+use proptest::prelude::*;
 use sqlb::prelude::*;
 use sqlb::sim::engine::run_simulation;
+use sqlb::sim::shard::ShardRouter;
 use sqlb::sim::{Method, SimulationConfig, SimulationReport, WorkloadPattern};
+use sqlb_core::mediator_state::MediatorStateConfig;
+use sqlb_types::{ConsumerId, ProviderId};
 
 fn autonomous_config(seed: u64) -> SimulationConfig {
     SimulationConfig::scaled(24, 48, 900.0, seed)
@@ -125,6 +129,88 @@ fn metrics_stay_finite_past_departures_with_shards() {
         report.shard_allocations.iter().sum::<u64>(),
         report.issued_queries - report.unallocated_queries
     );
+}
+
+// ---------------------------------------------------------------------
+// Incremental-index consistency: the active-participant sets maintained
+// by `Population` and the per-shard provider lists maintained by
+// `ShardRouter` replace per-arrival rescans; these property tests pin
+// them against a from-scratch rebuild across arbitrary departure
+// sequences.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_population_active_indices_match_departed_flags(
+        consumers in 1u32..24,
+        providers in 1u32..48,
+        seed in 0u64..100,
+        departures in proptest::collection::vec((proptest::bool::ANY, 0u32..64), 0..80),
+    ) {
+        let mut population =
+            Population::generate(&PopulationConfig::scaled(consumers, providers, seed)).unwrap();
+        for (is_consumer, raw) in departures {
+            if is_consumer {
+                population.depart_consumer(ConsumerId::new(raw));
+            } else {
+                population.depart_provider(ProviderId::new(raw));
+            }
+            // From-scratch rebuild over the departed flags, ascending id —
+            // the incremental index must match it after every step.
+            let expected_consumers: Vec<ConsumerId> = population
+                .consumers
+                .iter()
+                .filter(|(_, c)| !c.has_departed())
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(population.active_consumer_ids(), expected_consumers.as_slice());
+            prop_assert_eq!(population.active_consumer_count(), expected_consumers.len());
+            let expected_providers: Vec<ProviderId> = population
+                .providers
+                .iter()
+                .filter(|(_, p)| !p.has_departed())
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(population.active_provider_ids(), expected_providers.as_slice());
+            prop_assert_eq!(population.active_provider_count(), expected_providers.len());
+        }
+    }
+
+    #[test]
+    fn prop_shard_provider_lists_match_assignment_rebuild(
+        shards in 1usize..6,
+        providers in 1u32..48,
+        removals in proptest::collection::vec(0u32..64, 0..80),
+    ) {
+        let mut router = ShardRouter::new(
+            shards,
+            Method::Sqlb,
+            7,
+            MediatorStateConfig::default(),
+            (0..providers).map(ProviderId::new),
+        );
+        let mut removed: HashSet<u32> = HashSet::new();
+        for raw in removals {
+            router.remove_provider(ProviderId::new(raw));
+            removed.insert(raw);
+            // From-scratch rebuild: round-robin assignment filtered by the
+            // removals, ascending id per shard.
+            for shard in 0..router.shard_count() {
+                let expected: Vec<ProviderId> = (0..providers)
+                    .filter(|p| (*p as usize) % router.shard_count() == shard)
+                    .filter(|p| !removed.contains(p))
+                    .map(ProviderId::new)
+                    .collect();
+                prop_assert_eq!(router.providers_of_shard(shard), expected.as_slice());
+                // The list agrees with the per-provider assignment lookup.
+                for &p in router.providers_of_shard(shard) {
+                    prop_assert_eq!(router.shard_of_provider(p), Some(shard));
+                }
+            }
+        }
+    }
 }
 
 #[test]
