@@ -47,7 +47,9 @@ pub mod consumer;
 pub mod memory;
 pub mod provider;
 
-pub use consumer::{consumer_query_adequation, consumer_query_satisfaction, ConsumerTracker};
+pub use consumer::{
+    consumer_query_adequation, consumer_query_outcome, consumer_query_satisfaction, ConsumerTracker,
+};
 pub use memory::InteractionMemory;
 pub use provider::ProviderTracker;
 
