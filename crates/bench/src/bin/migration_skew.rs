@@ -1,0 +1,16 @@
+//! Regenerates the cross-shard load-migration comparison: a skewed
+//! workload mediated by K=4 shards with and without least-loaded routing
+//! and provider migration.
+//!
+//! ```text
+//! cargo run --release -p sqlb-bench --bin migration_skew -- --scale default
+//! ```
+
+use sqlb_bench::parse_env_args;
+use sqlb_sim::experiments::migration_skew;
+
+fn main() {
+    let args = parse_env_args();
+    let result = migration_skew(args.scale, 4, 0.7).expect("valid experiment configuration");
+    print!("{}", result.to_text());
+}

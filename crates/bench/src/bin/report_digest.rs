@@ -1,0 +1,97 @@
+//! Prints a bit-exact digest of simulation reports over a fixed
+//! configuration matrix.
+//!
+//! The digest folds the raw IEEE-754 bits of every recorded metric series
+//! (plus the query counters) into an FNV-1a hash, so two builds produce
+//! the same line if and only if their engines are bit-identical for that
+//! configuration. This is the tool behind the "K=1 must stay bit-identical
+//! across PRs" acceptance bar: run it on the previous commit and on the
+//! working tree and diff the output.
+//!
+//! ```text
+//! cargo run --release -p sqlb-bench --bin report_digest
+//! ```
+
+use sqlb_sim::engine::run_simulation;
+use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    fn write_series(&mut self, series: &sqlb_metrics::TimeSeries) {
+        for point in series.points() {
+            self.write_f64(point.time);
+            self.write_f64(point.value);
+        }
+    }
+}
+
+fn digest(report: &sqlb_sim::SimulationReport) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(report.issued_queries);
+    h.write_u64(report.completed_queries);
+    h.write_u64(report.unallocated_queries);
+    h.write_u64(report.provider_departures.len() as u64);
+    h.write_u64(report.consumer_departures.len() as u64);
+    h.write_f64(report.mean_response_time());
+    let s = &report.series;
+    for series in [
+        &s.provider_satisfaction_intention_mean,
+        &s.provider_satisfaction_preference_mean,
+        &s.provider_allocation_satisfaction_preference_mean,
+        &s.provider_allocation_satisfaction_intention_mean,
+        &s.provider_satisfaction_fairness,
+        &s.consumer_allocation_satisfaction_mean,
+        &s.consumer_satisfaction_mean,
+        &s.consumer_satisfaction_fairness,
+        &s.utilization_mean,
+        &s.utilization_fairness,
+        &s.workload_fraction,
+        &s.active_providers,
+        &s.active_consumers,
+    ] {
+        h.write_series(series);
+    }
+    h.0
+}
+
+fn main() {
+    let methods = [
+        Method::Sqlb,
+        Method::CapacityBased,
+        Method::MariposaLike,
+        Method::Random,
+        Method::RoundRobin,
+    ];
+    for method in methods {
+        for (seed, duration, workload) in [
+            (1u64, 300.0, WorkloadPattern::Fixed(0.5)),
+            (9, 300.0, WorkloadPattern::paper_ramp()),
+            (17, 500.0, WorkloadPattern::Fixed(0.8)),
+        ] {
+            let config = SimulationConfig::scaled(16, 32, duration, seed).with_workload(workload);
+            let report = run_simulation(config, method).expect("valid config");
+            println!(
+                "{:<14} seed={seed:<3} duration={duration:<6} digest={:016x}",
+                report.method,
+                digest(&report)
+            );
+        }
+    }
+}

@@ -259,4 +259,63 @@ mod tests {
         m.state_mut().register_consumer(ConsumerId::new(9));
         assert!(m.export_digest().consumers.is_empty());
     }
+
+    #[test]
+    fn stale_digests_cannot_resurrect_departed_consumers() {
+        let mut a = mediator(0);
+        let mut b = mediator(1);
+        for i in 0..10 {
+            a.allocate(&query(i, 0), &candidates(&[(0, 1.0, 1.0)]));
+        }
+        // A exports a digest mentioning consumer 0; the consumer then
+        // departs the whole system (every shard removes it) before the
+        // digest is absorbed — exactly the race a slow synchronization
+        // round can produce.
+        let stale = vec![a.export_digest()];
+        let consumer = ConsumerId::new(0);
+        a.state_mut().remove_consumer(consumer);
+        b.state_mut().remove_consumer(consumer);
+        b.absorb_digests(&stale);
+        assert_eq!(
+            b.state().remote_consumer_view(consumer),
+            None,
+            "a stale digest must not resurrect a departed consumer"
+        );
+        assert_eq!(b.state().consumer_satisfaction(consumer), 0.5);
+        // A consumer that genuinely comes back (re-registers locally) is
+        // trackable again, including through digests.
+        b.state_mut().register_consumer(consumer);
+        b.absorb_digests(&stale);
+        assert!(b.state().remote_consumer_view(consumer).is_some());
+    }
+
+    #[test]
+    fn provider_history_survives_export_absorb_round_trip() {
+        let mut donor = mediator(0);
+        let mut receiver = mediator(1);
+        let provider = ProviderId::new(0);
+        for i in 0..25 {
+            donor.allocate(&query(i, 2), &candidates(&[(0, 0.6, 0.8)]));
+        }
+        let before = donor.state().provider_satisfaction(provider);
+        let proposed = donor
+            .state()
+            .provider_tracker(provider)
+            .unwrap()
+            .proposed_queries();
+        assert!(before > 0.5, "the donor observed the provider");
+
+        let tracker = donor.state_mut().export_provider(provider).unwrap();
+        receiver.state_mut().absorb_provider(provider, tracker);
+
+        assert!(donor.state().provider_tracker(provider).is_none());
+        let migrated = receiver.state().provider_tracker(provider).unwrap();
+        assert_eq!(migrated.proposed_queries(), proposed);
+        assert_eq!(receiver.state().provider_satisfaction(provider), before);
+        // Exporting an unknown provider yields nothing.
+        assert!(donor
+            .state_mut()
+            .export_provider(ProviderId::new(42))
+            .is_none());
+    }
 }

@@ -70,6 +70,14 @@ pub struct MediatorState {
     /// mono-mediator system, so the blended reading reduces to the local
     /// tracker exactly.
     remote_consumers: ParticipantTable<ConsumerId, RemoteConsumerView>,
+    /// Consumers this mediator has removed (departed from the system).
+    /// Peer digests may still carry readings for them — a digest exported
+    /// just before the departure propagated — and absorbing such a reading
+    /// would resurrect the consumer's view after every shard already
+    /// forgot it. [`MediatorState::add_remote_consumer_view`] refuses
+    /// tombstoned consumers; a consumer that genuinely re-registers
+    /// locally clears its tombstone.
+    departed_consumers: ParticipantTable<ConsumerId, ()>,
     allocations: u64,
     /// Transient buffers, rebuilt on every recorded allocation (not part
     /// of the mediator's logical state).
@@ -84,6 +92,7 @@ impl MediatorState {
             consumers: ParticipantTable::new(),
             providers: ParticipantTable::new(),
             remote_consumers: ParticipantTable::new(),
+            departed_consumers: ParticipantTable::new(),
             allocations: 0,
             scratch: RecordScratch::default(),
         }
@@ -98,6 +107,7 @@ impl MediatorState {
     /// lazily on their first allocation).
     pub fn register_consumer(&mut self, consumer: ConsumerId) {
         let config = self.config;
+        self.departed_consumers.remove(consumer);
         self.consumers.or_insert_with(consumer, || {
             ConsumerTracker::new(config.consumer_window, config.initial_satisfaction)
         });
@@ -108,15 +118,39 @@ impl MediatorState {
         register_provider_in(&mut self.providers, self.config, provider);
     }
 
-    /// Forgets a consumer (e.g. after it departs from the system).
+    /// Forgets a consumer (e.g. after it departs from the system). The
+    /// consumer is tombstoned: stale peer digests can no longer resurrect
+    /// its view through [`MediatorState::add_remote_consumer_view`].
     pub fn remove_consumer(&mut self, consumer: ConsumerId) {
         self.consumers.remove(consumer);
         self.remote_consumers.remove(consumer);
+        self.departed_consumers.insert(consumer, ());
     }
 
     /// Forgets a provider.
     pub fn remove_provider(&mut self, provider: ProviderId) {
         self.providers.remove(provider);
+    }
+
+    /// Extracts a provider's full satisfaction history so it can migrate
+    /// to another mediator shard. Returns `None` when the provider was
+    /// never observed here (the receiving shard then starts it fresh).
+    ///
+    /// Unlike [`MediatorState::remove_provider`], which is for departures,
+    /// this is the donor half of cross-shard migration: pair it with
+    /// [`MediatorState::absorb_provider`] on the receiving state and no
+    /// observation is lost in transit.
+    pub fn export_provider(&mut self, provider: ProviderId) -> Option<ProviderTracker> {
+        self.providers.remove(provider)
+    }
+
+    /// Installs a provider's satisfaction history exported from another
+    /// mediator shard (the receiving half of cross-shard migration). Any
+    /// existing local tracker for the provider is replaced — the exported
+    /// history is authoritative, because a provider is owned by exactly
+    /// one shard at a time.
+    pub fn absorb_provider(&mut self, provider: ProviderId, tracker: ProviderTracker) {
+        self.providers.insert(provider, tracker);
     }
 
     /// Records the outcome of one query allocation: updates the issuing
@@ -245,6 +279,13 @@ impl MediatorState {
         weight: u64,
     ) {
         if weight == 0 || !satisfaction.is_finite() {
+            return;
+        }
+        // A consumer removed here has departed the whole system (the
+        // engine removes it from every shard in the same event); a peer
+        // digest that still mentions it is stale and must not bring the
+        // view back from the dead.
+        if self.departed_consumers.contains(consumer) {
             return;
         }
         let view = self

@@ -70,6 +70,24 @@ pub fn fairness(values: &[f64]) -> f64 {
     (sum * sum) / (values.len() as f64 * sum_sq)
 }
 
+/// Range `max(S) − min(S)` of a set of values. Returns `0` for an empty
+/// set. Used by the shard router's rebalancing decision and the per-shard
+/// imbalance series: the spread of per-shard utilizations is the quantity
+/// cross-shard migration tries to shrink.
+pub fn spread(values: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if min > max {
+        0.0
+    } else {
+        max - min
+    }
+}
+
 /// Min–max balance ratio `σ(g, S)` (Equation 5) with the default constant
 /// [`DEFAULT_MIN_MAX_C0`].
 pub fn min_max_ratio(values: &[f64]) -> f64 {
@@ -148,6 +166,14 @@ mod tests {
     #[test]
     fn fairness_of_identical_values_is_one() {
         assert!((fairness(&[0.4, 0.4, 0.4, 0.4]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_is_range_and_zero_when_degenerate() {
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[0.7]), 0.0);
+        assert!((spread(&[0.2, 1.0, 0.6]) - 0.8).abs() < 1e-12);
+        assert!((spread(&[-0.5, 0.5]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

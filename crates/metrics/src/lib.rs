@@ -25,7 +25,9 @@ pub mod histogram;
 pub mod summary;
 pub mod timeseries;
 
-pub use aggregate::{fairness, fairness_with, mean, min_max_ratio, min_max_ratio_with, MetricKind};
+pub use aggregate::{
+    fairness, fairness_with, mean, min_max_ratio, min_max_ratio_with, spread, MetricKind,
+};
 pub use histogram::Histogram;
 pub use summary::Summary;
 pub use timeseries::{SeriesSet, TimePoint, TimeSeries};

@@ -6,6 +6,7 @@ use sqlb_baselines::{CapacityBased, MariposaLike, RandomAllocator, RoundRobinAll
 use sqlb_core::{AllocationMethod, SqlbAllocator};
 use sqlb_types::SqlbError;
 
+use crate::routing::RoutingPolicyKind;
 use crate::workload::WorkloadPattern;
 
 /// The allocation method under test.
@@ -95,6 +96,19 @@ pub struct SimulationConfig {
     /// Interval between satisfaction-view synchronizations across shards,
     /// in seconds. Ignored when `mediator_shards == 1`.
     pub sync_interval_secs: f64,
+    /// How queries are routed to mediator shards. Ignored when
+    /// `mediator_shards == 1` (there is only one place to go).
+    pub routing: RoutingPolicyKind,
+    /// Whether periodic cross-shard load rebalancing (provider migration)
+    /// runs. Ignored when `mediator_shards == 1`.
+    pub migration_enabled: bool,
+    /// Interval between rebalancing rounds, in seconds. Ignored unless
+    /// `migration_enabled` and `mediator_shards > 1`.
+    pub rebalance_interval_secs: f64,
+    /// Minimum spread between the hottest and coldest shard's mean
+    /// provider utilization before a rebalancing round migrates a
+    /// provider. Keeps migration from thrashing on noise.
+    pub migration_min_spread: f64,
 }
 
 impl SimulationConfig {
@@ -117,6 +131,10 @@ impl SimulationConfig {
             departure_warmup_secs: 200.0,
             mediator_shards: 1,
             sync_interval_secs: 100.0,
+            routing: RoutingPolicyKind::Static,
+            migration_enabled: false,
+            rebalance_interval_secs: 100.0,
+            migration_min_spread: 0.1,
         }
     }
 
@@ -160,6 +178,12 @@ impl SimulationConfig {
                 .min(duration_secs / 3.0),
             mediator_shards: 1,
             sync_interval_secs: (duration_secs / 100.0).max(1.0),
+            routing: RoutingPolicyKind::Static,
+            migration_enabled: false,
+            // Slower than view sync: each round needs a window long enough
+            // for per-shard allocation counts to be signal, not noise.
+            rebalance_interval_secs: (duration_secs / 25.0).max(1.0),
+            migration_min_spread: 0.1,
         }
     }
 
@@ -204,6 +228,32 @@ impl SimulationConfig {
         self
     }
 
+    /// Selects the consumer-routing policy (how queries pick their
+    /// mediator shard).
+    pub fn with_routing(mut self, routing: RoutingPolicyKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Enables (or disables) periodic cross-shard provider migration.
+    pub fn with_migration(mut self, enabled: bool) -> Self {
+        self.migration_enabled = enabled;
+        self
+    }
+
+    /// Sets the interval between rebalancing rounds.
+    pub fn with_rebalance_interval(mut self, secs: f64) -> Self {
+        self.rebalance_interval_secs = secs;
+        self
+    }
+
+    /// Sets the minimum per-shard utilization spread that triggers a
+    /// migration.
+    pub fn with_migration_min_spread(mut self, spread: f64) -> Self {
+        self.migration_min_spread = spread;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SqlbError> {
         self.population.validate()?;
@@ -238,6 +288,16 @@ impl SimulationConfig {
         if self.sync_interval_secs <= 0.0 {
             return Err(SqlbError::InvalidConfig {
                 reason: "the shard synchronization interval must be positive".into(),
+            });
+        }
+        if self.rebalance_interval_secs <= 0.0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "the rebalance interval must be positive".into(),
+            });
+        }
+        if !self.migration_min_spread.is_finite() || self.migration_min_spread < 0.0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "the migration spread threshold must be finite and non-negative".into(),
             });
         }
         Ok(())
@@ -279,7 +339,11 @@ mod tests {
             .with_provider_departures(ProviderDepartureRule::default())
             .with_consumer_departures(ConsumerDepartureRule::default())
             .with_mediator_shards(4)
-            .with_sync_interval(25.0);
+            .with_sync_interval(25.0)
+            .with_routing(RoutingPolicyKind::LeastLoaded)
+            .with_migration(true)
+            .with_rebalance_interval(40.0)
+            .with_migration_min_spread(0.2);
         assert_eq!(c.workload, WorkloadPattern::Fixed(0.8));
         assert_eq!(c.seed, 9);
         assert_eq!(c.population.seed, 9);
@@ -287,7 +351,26 @@ mod tests {
         assert!(c.consumers_may_leave);
         assert_eq!(c.mediator_shards, 4);
         assert_eq!(c.sync_interval_secs, 25.0);
+        assert_eq!(c.routing, RoutingPolicyKind::LeastLoaded);
+        assert!(c.migration_enabled);
+        assert_eq!(c.rebalance_interval_secs, 40.0);
+        assert_eq!(c.migration_min_spread, 0.2);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn migration_defaults_are_off_and_static() {
+        // The paper's setup — and the bit-identity contract with earlier
+        // revisions — needs the new knobs to default to no-ops.
+        for c in [
+            SimulationConfig::paper(0),
+            SimulationConfig::scaled(10, 20, 100.0, 0),
+        ] {
+            assert_eq!(c.routing, RoutingPolicyKind::Static);
+            assert!(!c.migration_enabled);
+            assert!(c.rebalance_interval_secs > 0.0);
+            assert!(c.migration_min_spread > 0.0);
+        }
     }
 
     #[test]
@@ -318,6 +401,16 @@ mod tests {
 
         let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
         c.sync_interval_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.rebalance_interval_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.migration_min_spread = -0.1;
+        assert!(c.validate().is_err());
+        c.migration_min_spread = f64::NAN;
         assert!(c.validate().is_err());
     }
 

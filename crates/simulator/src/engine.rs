@@ -29,7 +29,7 @@ use rand::{Rng, SeedableRng};
 use sqlb_agents::Population;
 use sqlb_core::allocation::{CandidateInfo, SelectionSet};
 use sqlb_core::mediator_state::MediatorStateConfig;
-use sqlb_metrics::{fairness, mean, Histogram, Summary};
+use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
 use sqlb_reputation::ReputationStore;
 use sqlb_types::{
     ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError,
@@ -37,8 +37,11 @@ use sqlb_types::{
 
 use crate::config::{Method, SimulationConfig};
 use crate::events::{Event, EventQueue};
+use crate::routing::{RoutingPolicy, ShardLoadView};
 use crate::shard::ShardRouter;
-use crate::stats::{ConsumerDepartureRecord, DepartureRecord, MetricSeries, SimulationReport};
+use crate::stats::{
+    ConsumerDepartureRecord, DepartureRecord, MetricSeries, MigrationRecord, SimulationReport,
+};
 use crate::workload::{arrival_rate, sample_interarrival};
 
 /// Reusable per-simulator buffers for the arrival hot path. Every arrival
@@ -65,6 +68,20 @@ pub struct Simulator {
     /// The mediation layer: one or more mediator shards plus the
     /// provider-to-shard assignment.
     router: ShardRouter,
+    /// How arriving queries pick their preferred mediator shard.
+    routing: Box<dyn RoutingPolicy>,
+    /// Outstanding work (in work units) currently enqueued at providers of
+    /// each shard — the load signal
+    /// [`crate::routing::LeastLoadedRouting`] reads. Migrations and
+    /// departures move a provider's outstanding backlog with it, so the
+    /// totals stay consistent; tiny floating-point residue from the
+    /// differing summation order can still leave a value fractionally
+    /// negative, which readers clamp at zero.
+    shard_backlog: Vec<f64>,
+    /// Total provider capacity per shard (units per second), maintained
+    /// incrementally on departures and migrations so routing never scans
+    /// providers on the arrival path.
+    shard_capacity: Vec<f64>,
     population: Population,
     reputation: ReputationStore,
     rng: StdRng,
@@ -74,6 +91,16 @@ pub struct Simulator {
     busy_until: ParticipantTable<ProviderId, f64>,
     now: SimTime,
     next_query_id: u32,
+    /// Tick counters of the periodic events. Every periodic occurrence is
+    /// scheduled at `tick × interval` rather than `previous + interval`:
+    /// repeated addition accumulates floating-point drift for non-dyadic
+    /// intervals (e.g. 0.1 s), which can change how many samples or sync
+    /// rounds a run performs. For dyadic intervals the two schedules are
+    /// bit-identical, which keeps old seeds reproducible.
+    next_sample_tick: u64,
+    next_assessment_tick: u64,
+    next_sync_tick: u64,
+    next_rebalance_tick: u64,
     total_capacity: f64,
     initial_consumers: usize,
     initial_providers: usize,
@@ -92,6 +119,17 @@ pub struct Simulator {
     unallocated: u64,
     provider_departures: Vec<DepartureRecord>,
     consumer_departures: Vec<ConsumerDepartureRecord>,
+    /// Cross-shard provider migrations, in chronological order.
+    migrations: Vec<MigrationRecord>,
+    /// Rebalancing rounds evaluated (whether or not they migrated).
+    rebalance_rounds: u64,
+    /// Per-shard allocation counters as of the previous rebalancing round,
+    /// so each round sees the mediation load of its own window only.
+    allocations_at_last_rebalance: Vec<u64>,
+    /// Per-provider performed-query counters as of the previous
+    /// rebalancing round: the windowed difference is a provider's observed
+    /// mediation throughput, the quantity the load-adaptive rule moves.
+    performed_at_last_rebalance: ParticipantTable<ProviderId, u64>,
     /// Reusable arrival-path buffers (see [`ArrivalScratch`]).
     scratch: ArrivalScratch,
 }
@@ -119,9 +157,23 @@ impl Simulator {
             population.providers.keys(),
         );
 
+        let routing = config.routing.build();
+        let shard_backlog = vec![0.0f64; router.shard_count()];
+        let shard_capacity: Vec<f64> = (0..router.shard_count())
+            .map(|shard| {
+                router
+                    .providers_of_shard(shard)
+                    .iter()
+                    .map(|&p| population.providers[p].capacity().units_per_sec())
+                    .sum()
+            })
+            .collect();
         let mut sim = Simulator {
             method_kind: method,
             router,
+            routing,
+            shard_backlog,
+            shard_capacity,
             reputation: ReputationStore::neutral(),
             rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17)),
             queue: EventQueue::new(),
@@ -130,6 +182,10 @@ impl Simulator {
             consumer_strikes: ParticipantTable::from_fn(initial_consumers, |_: ConsumerId| 0),
             now: SimTime::ZERO,
             next_query_id: 0,
+            next_sample_tick: 1,
+            next_assessment_tick: 1,
+            next_sync_tick: 1,
+            next_rebalance_tick: 1,
             total_capacity,
             initial_consumers,
             initial_providers,
@@ -140,6 +196,10 @@ impl Simulator {
             unallocated: 0,
             provider_departures: Vec::new(),
             consumer_departures: Vec::new(),
+            migrations: Vec::new(),
+            rebalance_rounds: 0,
+            allocations_at_last_rebalance: Vec::new(),
+            performed_at_last_rebalance: ParticipantTable::new(),
             scratch: ArrivalScratch::default(),
             population,
             config,
@@ -170,6 +230,8 @@ impl Simulator {
             self.queue
                 .schedule(SimTime::from_secs(first_arrival), Event::QueryArrival);
         }
+        // Periodic events are scheduled at `tick × interval` (see the tick
+        // counter fields); the first occurrence is tick 1.
         self.queue.schedule(
             SimTime::from_secs(self.config.sample_interval_secs),
             Event::Sample,
@@ -178,13 +240,38 @@ impl Simulator {
             SimTime::from_secs(self.config.assessment_interval_secs),
             Event::Assessment,
         );
-        // A mono-mediator run schedules no synchronization at all, keeping
-        // its event stream identical to the pre-sharding engine.
+        // A mono-mediator run schedules no synchronization and no
+        // rebalancing at all, keeping its event stream identical to the
+        // pre-sharding engine.
         if self.router.shard_count() > 1 {
             self.queue.schedule(
                 SimTime::from_secs(self.config.sync_interval_secs),
                 Event::SyncViews,
             );
+            if self.config.migration_enabled {
+                self.queue.schedule(
+                    SimTime::from_secs(self.config.rebalance_interval_secs),
+                    Event::Rebalance,
+                );
+            }
+        }
+    }
+
+    /// Schedules the next occurrence of a periodic event from its tick
+    /// counter: occurrence `tick` runs at `tick × interval`, so the
+    /// schedule never accumulates floating-point drift no matter how many
+    /// rounds have passed.
+    fn schedule_periodic(
+        queue: &mut EventQueue,
+        duration_secs: f64,
+        next_tick: &mut u64,
+        interval_secs: f64,
+        event: Event,
+    ) {
+        *next_tick += 1;
+        let at = *next_tick as f64 * interval_secs;
+        if at <= duration_secs {
+            queue.schedule(SimTime::from_secs(at), event);
         }
     }
 
@@ -206,6 +293,7 @@ impl Simulator {
                 Event::Sample => self.handle_sample(),
                 Event::Assessment => self.handle_assessment(),
                 Event::SyncViews => self.handle_sync(),
+                Event::Rebalance => self.handle_rebalance(),
             }
         }
         self.finish()
@@ -285,14 +373,22 @@ impl Simulator {
         self.issued += 1;
 
         // Route the query to its mediator shard; the candidate set is the
-        // providers that shard owns. Routing is deterministic (consumer id
-        // modulo shard count), so a mono-mediator run consumes exactly the
-        // same random stream as the pre-sharding engine. A query is only
-        // unallocated when *no* shard has an active provider left:
-        // departures can empty one shard while the system still has
-        // capacity, in which case the query falls over to the next
-        // non-empty shard (deterministically, so runs stay reproducible).
-        let preferred = self.router.shard_for_consumer(consumer);
+        // providers that shard owns. Routing is deterministic (a pure
+        // function of the consumer id and the observed per-shard load), so
+        // a mono-mediator run consumes exactly the same random stream as
+        // the pre-sharding engine. A query is only unallocated when *no*
+        // shard has an active provider left: departures can empty one
+        // shard while the system still has capacity, in which case the
+        // query falls over to the next non-empty shard (deterministically,
+        // so runs stay reproducible).
+        let preferred = self.routing.route(
+            consumer,
+            &self.router,
+            ShardLoadView {
+                backlog: &self.shard_backlog,
+                capacity: &self.shard_capacity,
+            },
+        );
         let Some(shard) = self.first_shard_with_candidates(preferred) else {
             self.unallocated += 1;
             return;
@@ -359,6 +455,7 @@ impl Simulator {
         }
 
         // Enqueue the query at the selected providers.
+        self.shard_backlog[shard] += query.cost().value() * allocation.selected.len() as f64;
         for &p in &allocation.selected {
             let provider_agent = &mut self.population.providers[p];
             let processing = provider_agent.assign(&query, now);
@@ -384,6 +481,14 @@ impl Simulator {
         work: sqlb_types::WorkUnits,
     ) {
         self.population.providers[provider].complete(work);
+        // Credit the shard that owns the provider *now*: a migration moves
+        // the provider's outstanding backlog to the new owner, which is
+        // where the remaining queue drains. A departed provider has no
+        // shard; its outstanding work was already written off when it
+        // left.
+        if let Some(shard) = self.router.shard_of_provider(provider) {
+            self.shard_backlog[shard] -= work.value();
+        }
         let response_time = (self.now - issued_at).as_secs();
         self.response_times.record(response_time);
         self.completed += 1;
@@ -447,18 +552,307 @@ impl Simulator {
         s.active_consumers
             .push(now, consumer_alloc_sat.len() as f64);
 
-        let next = now.as_secs() + self.config.sample_interval_secs;
-        if next <= self.config.duration_secs {
-            self.queue.schedule(SimTime::from_secs(next), Event::Sample);
+        // Per-shard load and satisfaction: the imbalance the routing
+        // policy and the rebalancer act on, recorded so shard skew is
+        // visible in experiment output and not just in the final
+        // `shard_allocations` totals. Calling `utilization(now)` a second
+        // time for the same instant is free of side effects (the sliding
+        // window expires by time).
+        let shard_count = self.router.shard_count();
+        let series = &mut self.series;
+        if series.shard_utilization.len() != shard_count {
+            series
+                .shard_utilization
+                .resize_with(shard_count, TimeSeries::new);
+            series
+                .shard_satisfaction
+                .resize_with(shard_count, TimeSeries::new);
+            series
+                .shard_allocation_counts
+                .resize_with(shard_count, TimeSeries::new);
         }
+        let mut shard_means = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let providers = self.router.providers_of_shard(shard);
+            let mut utilization_sum = 0.0;
+            let mut satisfaction_sum = 0.0;
+            for &p in providers {
+                let provider = &mut self.population.providers[p];
+                utilization_sum += provider.utilization(now).value();
+                satisfaction_sum += provider.smoothed_satisfaction();
+            }
+            let count = providers.len();
+            let (utilization, satisfaction) = if count == 0 {
+                // An emptied shard carries no load; report it as idle.
+                (0.0, 0.0)
+            } else {
+                (
+                    utilization_sum / count as f64,
+                    satisfaction_sum / count as f64,
+                )
+            };
+            series.shard_utilization[shard].push(now, utilization);
+            series.shard_satisfaction[shard].push(now, satisfaction);
+            series.shard_allocation_counts[shard].push(
+                now,
+                self.router.mediator(shard).state().allocations() as f64,
+            );
+            if count > 0 {
+                shard_means.push(utilization);
+            }
+        }
+        series
+            .shard_utilization_spread
+            .push(now, spread(&shard_means));
+
+        Self::schedule_periodic(
+            &mut self.queue,
+            self.config.duration_secs,
+            &mut self.next_sample_tick,
+            self.config.sample_interval_secs,
+            Event::Sample,
+        );
     }
 
     fn handle_sync(&mut self) {
         self.router.sync_views();
-        let next = self.now.as_secs() + self.config.sync_interval_secs;
-        if next <= self.config.duration_secs {
-            self.queue
-                .schedule(SimTime::from_secs(next), Event::SyncViews);
+        Self::schedule_periodic(
+            &mut self.queue,
+            self.config.duration_secs,
+            &mut self.next_sync_tick,
+            self.config.sync_interval_secs,
+            Event::SyncViews,
+        );
+    }
+
+    /// How much busier (in allocations per rebalancing window) the busiest
+    /// shard must be than the idlest before the mediation-load rule
+    /// migrates a provider.
+    const ALLOCATION_IMBALANCE_TRIGGER: f64 = 1.25;
+    /// Minimum allocations the busiest shard must have mediated in the
+    /// window before its imbalance is considered signal rather than noise.
+    const MIN_ALLOCATION_DELTA: u64 = 8;
+
+    /// One cross-shard rebalancing round. Which imbalance signal drives it
+    /// depends on whether routed demand can follow the migrated capacity
+    /// ([`RoutingPolicy::reacts_to_load`]):
+    ///
+    /// * **Static routing — utilization spread.** Each shard's query
+    ///   volume is pinned by `consumer % K`, so the only actionable lever
+    ///   is capacity: if the gap between the hottest and coldest shard's
+    ///   mean provider utilization exceeds the configured threshold, the
+    ///   coldest shard's least-utilized provider (its most spare capacity)
+    ///   migrates to the hottest shard — capacity follows demand, the hot
+    ///   shard's load spreads over more providers, the spread shrinks.
+    /// * **Load-adaptive routing — mediation load.** Routing already
+    ///   equalizes utilization by construction (arrivals seek the least
+    ///   relative load), but shards still mediate query volumes
+    ///   proportional to their effective drain rate. If the busiest shard
+    ///   mediated ≥ 1.25× the allocations of the idlest over the last
+    ///   window, the throughput gap behind that skew is closed by
+    ///   migrating the provider whose *observed* windowed performed-query
+    ///   count best matches half the gap, busiest → idlest; the routed
+    ///   demand follows the drain rate it brings along. Moves are only
+    ///   made when they strictly shrink the gap, which rules out
+    ///   oscillation. Running the utilization rule here instead would
+    ///   chase sampling noise that routing self-corrects, and the two
+    ///   rules would fight.
+    ///
+    /// One provider per round keeps rebalancing gentle; the interval
+    /// controls how fast it converges. Every input is a deterministic
+    /// function of observed state: shard lists are iterated in ascending
+    /// provider-id order and ties break toward the lowest shard index /
+    /// provider id, so two runs with the same seed perform the identical
+    /// migration sequence.
+    fn handle_rebalance(&mut self) {
+        Self::schedule_periodic(
+            &mut self.queue,
+            self.config.duration_secs,
+            &mut self.next_rebalance_tick,
+            self.config.rebalance_interval_secs,
+            Event::Rebalance,
+        );
+        self.rebalance_rounds += 1;
+
+        // Roll the allocation window: a round judges mediation load by
+        // what happened since the previous round only.
+        let shard_count = self.router.shard_count();
+        let allocations = self.router.allocations_per_shard();
+        self.allocations_at_last_rebalance.resize(shard_count, 0);
+        let window: Vec<u64> = allocations
+            .iter()
+            .zip(&self.allocations_at_last_rebalance)
+            .map(|(current, previous)| current.saturating_sub(*previous))
+            .collect();
+        self.allocations_at_last_rebalance = allocations;
+
+        if self.routing.reacts_to_load() {
+            self.rebalance_mediation_load(&window);
+            // Roll the per-provider throughput window for the next round
+            // (after the rule, which reads the previous round's baseline).
+            for shard in 0..shard_count {
+                for &p in self.router.providers_of_shard(shard) {
+                    let performed = self.population.providers[p].performed_queries();
+                    self.performed_at_last_rebalance.insert(p, performed);
+                }
+            }
+        } else {
+            self.rebalance_utilization();
+        }
+    }
+
+    /// The static-routing rebalancing rule: migrate spare capacity from
+    /// the utilization-coldest shard to the hottest.
+    fn rebalance_utilization(&mut self) {
+        let now = self.now;
+        let shard_count = self.router.shard_count();
+        // Hottest and coldest shard by mean provider utilization; shards
+        // with no providers left carry no load and take no part.
+        let mut hottest: Option<(usize, f64)> = None;
+        let mut coldest: Option<(usize, f64)> = None;
+        for shard in 0..shard_count {
+            let providers = self.router.providers_of_shard(shard);
+            if providers.is_empty() {
+                continue;
+            }
+            let mut sum = 0.0;
+            for &p in providers {
+                sum += self.population.providers[p].utilization(now).value();
+            }
+            let utilization = sum / providers.len() as f64;
+            if hottest.is_none_or(|(_, u)| utilization > u) {
+                hottest = Some((shard, utilization));
+            }
+            if coldest.is_none_or(|(_, u)| utilization < u) {
+                coldest = Some((shard, utilization));
+            }
+        }
+        let (Some((hot, hot_utilization)), Some((cold, cold_utilization))) = (hottest, coldest)
+        else {
+            return;
+        };
+        let imbalance = hot_utilization - cold_utilization;
+        if hot == cold || imbalance < self.config.migration_min_spread {
+            return;
+        }
+        self.migrate_spare_provider(cold, hot, imbalance);
+    }
+
+    /// The load-adaptive rebalancing rule: close the throughput gap behind
+    /// a mediation-load skew. `window` is the per-shard allocation count
+    /// since the previous round.
+    fn rebalance_mediation_load(&mut self, window: &[u64]) {
+        let mut busiest: Option<(usize, u64)> = None;
+        let mut idlest: Option<(usize, u64)> = None;
+        for (shard, &mediated) in window.iter().enumerate() {
+            if self.router.providers_of_shard(shard).is_empty() {
+                continue;
+            }
+            if busiest.is_none_or(|(_, m)| mediated > m) {
+                busiest = Some((shard, mediated));
+            }
+            if idlest.is_none_or(|(_, m)| mediated < m) {
+                idlest = Some((shard, mediated));
+            }
+        }
+        let (Some((busy, busy_count)), Some((idle, idle_count))) = (busiest, idlest) else {
+            return;
+        };
+        if busy == idle || busy_count < Self::MIN_ALLOCATION_DELTA {
+            return;
+        }
+        if (busy_count as f64) < Self::ALLOCATION_IMBALANCE_TRIGGER * idle_count.max(1) as f64 {
+            return;
+        }
+        // The busy shard mediates more because its providers collectively
+        // win more queries (the allocation method concentrates work on
+        // attractive, fast-draining providers — raw capacity is a poor
+        // predictor of this). Move the *observed* throughput instead:
+        // pick the provider whose windowed performed-query count best
+        // matches half the allocation gap, and only if moving it strictly
+        // shrinks the gap — the monotone-convergence guard. Its demand
+        // follows it, because routed arrivals seek the drain rate it
+        // brings to the idle shard.
+        let gap = busy_count - idle_count;
+        let donors = self.router.providers_of_shard(busy);
+        if donors.len() < 2 {
+            return;
+        }
+        let target = gap as f64 / 2.0;
+        let mut pick = None;
+        let mut pick_distance = f64::INFINITY;
+        for &p in donors {
+            let performed = self.population.providers[p].performed_queries();
+            let previous = self
+                .performed_at_last_rebalance
+                .get(p)
+                .copied()
+                .unwrap_or(0);
+            let throughput = performed.saturating_sub(previous);
+            // `0 < throughput < gap` ⇔ the move strictly reduces the gap.
+            if throughput == 0 || throughput >= gap {
+                continue;
+            }
+            let distance = (throughput as f64 - target).abs();
+            if distance < pick_distance {
+                pick_distance = distance;
+                pick = Some(p);
+            }
+        }
+        if let Some(provider) = pick {
+            let spread_before = (busy_count as f64) / idle_count.max(1) as f64;
+            self.migrate_provider_with_record(provider, idle, spread_before);
+        }
+    }
+
+    /// Migrates the least-utilized provider of `from` to `to`, unless
+    /// `from` would be left empty (an emptied shard would bounce every
+    /// routed query to fall-over). Ties break toward the lowest provider
+    /// id (the shard lists are ascending).
+    fn migrate_spare_provider(&mut self, from: usize, to: usize, spread_before: f64) {
+        let now = self.now;
+        let donors = self.router.providers_of_shard(from);
+        if donors.len() < 2 {
+            return;
+        }
+        let mut pick = donors[0];
+        let mut pick_utilization = f64::INFINITY;
+        for &p in donors {
+            let utilization = self.population.providers[p].utilization(now).value();
+            if utilization < pick_utilization {
+                pick_utilization = utilization;
+                pick = p;
+            }
+        }
+        self.migrate_provider_with_record(pick, to, spread_before);
+    }
+
+    /// Performs one recorded migration of `provider` to shard `to`,
+    /// keeping the incremental per-shard capacity totals in step.
+    fn migrate_provider_with_record(
+        &mut self,
+        provider: ProviderId,
+        to: usize,
+        spread_before: f64,
+    ) {
+        if let Some(migration) = self.router.migrate_provider(provider, to) {
+            let agent = &self.population.providers[provider];
+            let capacity = agent.capacity().units_per_sec();
+            self.shard_capacity[migration.from] -= capacity;
+            self.shard_capacity[migration.to] += capacity;
+            // The provider's outstanding work moves with it: completions
+            // will be credited to the receiving shard from now on, so the
+            // backlog must be too, or the donor would carry phantom load.
+            let backlog = agent.backlog().value();
+            self.shard_backlog[migration.from] -= backlog;
+            self.shard_backlog[migration.to] += backlog;
+            self.migrations.push(MigrationRecord {
+                provider: migration.provider,
+                time_secs: self.now.as_secs(),
+                from_shard: migration.from,
+                to_shard: migration.to,
+                spread_before,
+            });
         }
     }
 
@@ -501,6 +895,16 @@ impl Simulator {
                         };
                         if self.provider_strikes[id] >= required {
                             self.population.depart_provider(id);
+                            if let Some(shard) = self.router.shard_of_provider(id) {
+                                let agent = &self.population.providers[id];
+                                self.shard_capacity[shard] -= agent.capacity().units_per_sec();
+                                // Its in-flight completions will no longer
+                                // be credited anywhere (the provider has
+                                // no shard), so take the outstanding work
+                                // off the books now or the shard would
+                                // carry phantom load forever.
+                                self.shard_backlog[shard] -= agent.backlog().value();
+                            }
                             self.router.remove_provider(id);
                             let profile = self.population.profiles[id];
                             self.provider_departures.push(DepartureRecord {
@@ -551,11 +955,13 @@ impl Simulator {
         // every assessment (a no-op in release).
         self.population.debug_assert_active_indices_consistent();
 
-        let next = now.as_secs() + self.config.assessment_interval_secs;
-        if next <= self.config.duration_secs {
-            self.queue
-                .schedule(SimTime::from_secs(next), Event::Assessment);
-        }
+        Self::schedule_periodic(
+            &mut self.queue,
+            self.config.duration_secs,
+            &mut self.next_assessment_tick,
+            self.config.assessment_interval_secs,
+            Event::Assessment,
+        );
     }
 
     fn finish(mut self) -> SimulationReport {
@@ -597,6 +1003,9 @@ impl Simulator {
             mediator_shards: self.router.shard_count(),
             shard_allocations: self.router.allocations_per_shard(),
             sync_rounds: self.router.sync_rounds(),
+            routing_policy: self.routing.name().to_string(),
+            migrations: self.migrations,
+            rebalance_rounds: self.rebalance_rounds,
             final_utilization: Summary::of(&utilizations),
             final_provider_satisfaction: Summary::of(&provider_satisfaction),
             final_consumer_satisfaction: Summary::of(&consumer_satisfaction),
@@ -707,6 +1116,44 @@ mod tests {
             );
             assert!(report.sync_rounds > 0, "sharded runs synchronize views");
             assert!(report.completion_rate() > 0.5);
+        }
+    }
+
+    #[test]
+    fn per_shard_series_are_recorded() {
+        for shards in [1usize, 4] {
+            let report = run_simulation(
+                small_config(300.0, 21)
+                    .with_workload(WorkloadPattern::Fixed(0.5))
+                    .with_mediator_shards(shards),
+                Method::Sqlb,
+            )
+            .unwrap();
+            let series = &report.series;
+            assert_eq!(series.shard_utilization.len(), shards);
+            assert_eq!(series.shard_satisfaction.len(), shards);
+            let samples = series.utilization_mean.len();
+            for shard in 0..shards {
+                assert_eq!(series.shard_utilization[shard].len(), samples);
+                assert_eq!(series.shard_satisfaction[shard].len(), samples);
+                assert!(series.shard_utilization[shard].mean_after(100.0) > 0.0);
+            }
+            assert_eq!(series.shard_utilization_spread.len(), samples);
+            if shards == 1 {
+                // One shard owns everything: its series equals the global
+                // mean and the spread is identically zero.
+                assert_eq!(
+                    series.shard_utilization[0].values(),
+                    series.utilization_mean.values()
+                );
+                assert!(series
+                    .shard_utilization_spread
+                    .values()
+                    .iter()
+                    .all(|&v| v == 0.0));
+            } else {
+                assert!(series.shard_utilization_spread.mean_after(100.0) > 0.0);
+            }
         }
     }
 
@@ -836,6 +1283,53 @@ mod tests {
         // Departed providers are reflected in the active-provider series.
         let last_active = report.series.active_providers.last_value().unwrap();
         assert!(last_active < report.initial_providers as f64);
+    }
+
+    #[test]
+    fn non_dyadic_intervals_do_not_drift() {
+        // Regression: periodic events used to be scheduled at
+        // `previous + interval`, so a non-dyadic interval like 0.1 s
+        // accumulated rounding drift and could change the number of
+        // samples a run records. Tick-based scheduling pins sample `k` at
+        // exactly `k × interval`.
+        let mut config = small_config(100.0, 7).with_workload(WorkloadPattern::Fixed(0.4));
+        config.sample_interval_secs = 0.1;
+        let report = run_simulation(config, Method::Sqlb).unwrap();
+        let points = report.series.utilization_mean.points();
+        assert_eq!(
+            points.len(),
+            1000,
+            "100 s at a 0.1 s cadence is exactly 1000 samples"
+        );
+        for (i, point) in points.iter().enumerate() {
+            let expected = (i + 1) as f64 * 0.1;
+            assert_eq!(
+                point.time.to_bits(),
+                expected.to_bits(),
+                "sample {i} drifted: {} != {expected}",
+                point.time
+            );
+        }
+    }
+
+    #[test]
+    fn tick_scheduling_matches_repeated_addition_for_dyadic_intervals() {
+        // The flip side of the drift fix: for dyadic intervals (every
+        // committed configuration) the tick schedule is bit-identical to
+        // the old one, which is what keeps historical seeds reproducible.
+        let report = run_simulation(
+            small_config(300.0, 1).with_workload(WorkloadPattern::Fixed(0.5)),
+            Method::Sqlb,
+        )
+        .unwrap();
+        let interval = 3.0; // 300 s / 100 samples
+        for (i, point) in report.series.utilization_mean.points().iter().enumerate() {
+            let mut by_addition = 0.0f64;
+            for _ in 0..=i {
+                by_addition += interval;
+            }
+            assert_eq!(point.time.to_bits(), by_addition.to_bits());
+        }
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub enum Event {
     /// Periodic satisfaction-view synchronization between mediator shards
     /// (only scheduled when the engine runs more than one shard).
     SyncViews,
+    /// Periodic cross-shard load rebalancing: per-shard load and
+    /// satisfaction imbalance is measured and providers migrate between
+    /// shards to shrink it (only scheduled when the engine runs more than
+    /// one shard *and* migration is enabled in the configuration).
+    Rebalance,
 }
 
 #[derive(Debug, Clone)]

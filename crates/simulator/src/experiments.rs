@@ -25,6 +25,7 @@ use sqlb_types::SqlbError;
 
 use crate::config::{Method, SimulationConfig};
 use crate::engine::run_simulation;
+use crate::routing::RoutingPolicyKind;
 use crate::stats::SimulationReport;
 use crate::workload::WorkloadPattern;
 
@@ -679,6 +680,149 @@ pub fn table3_departure_breakdown(
 }
 
 // ---------------------------------------------------------------------------
+// Cross-shard load migration: skewed-workload rebalancing comparison.
+// ---------------------------------------------------------------------------
+
+/// Shard-balance measurements of one run of the migration experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBalanceSummary {
+    /// Routing policy of the run.
+    pub routing: String,
+    /// Whether cross-shard provider migration ran.
+    pub migration_enabled: bool,
+    /// Allocations mediated per shard.
+    pub shard_allocations: Vec<u64>,
+    /// `max / min` of the per-shard allocation counts.
+    pub allocation_imbalance: f64,
+    /// Mean per-shard utilization spread over the steady-state tail
+    /// (samples after one third of the run).
+    pub utilization_spread: f64,
+    /// Provider migrations performed.
+    pub migrations: usize,
+}
+
+/// Result of [`migration_skew`]: the same skewed workload mediated four
+/// ways, showing what routing and migration each contribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationSkewResult {
+    /// Mediator shard count of every run.
+    pub shards: usize,
+    /// Consumers in the population (deliberately not a multiple of the
+    /// shard count, so static routing is skewed).
+    pub consumers: u32,
+    /// Static routing, no migration: the skew left alone.
+    pub baseline: ShardBalanceSummary,
+    /// Static routing with migration: capacity follows demand (shrinks
+    /// the utilization spread), mediation stays skewed.
+    pub migrated: ShardBalanceSummary,
+    /// Least-loaded routing, no migration: arrivals follow backlog, but
+    /// allocation counts track each shard's fixed drain rate.
+    pub routed: ShardBalanceSummary,
+    /// Least-loaded routing with migration: provider throughput migrates
+    /// until mediation load balances.
+    pub adaptive: ShardBalanceSummary,
+}
+
+impl MigrationSkewResult {
+    /// Renders the comparison as a text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "# Cross-shard load migration under a skewed workload ({} consumers over {} shards)\n",
+            self.consumers, self.shards
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>26} {:>16} {:>12} {:>11}",
+            "routing",
+            "migration",
+            "allocations/shard",
+            "alloc_imbalance",
+            "util_spread",
+            "migrations"
+        );
+        for s in [&self.baseline, &self.migrated, &self.routed, &self.adaptive] {
+            let allocations = s
+                .shard_allocations
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>26} {:>16.3} {:>12.4} {:>11}",
+                s.routing,
+                if s.migration_enabled { "on" } else { "off" },
+                allocations,
+                s.allocation_imbalance,
+                s.utilization_spread,
+                s.migrations
+            );
+        }
+        out
+    }
+}
+
+fn shard_balance_summary(
+    report: &SimulationReport,
+    migration_enabled: bool,
+    tail_from_secs: f64,
+) -> ShardBalanceSummary {
+    ShardBalanceSummary {
+        routing: report.routing_policy.clone(),
+        migration_enabled,
+        shard_allocations: report.shard_allocations.clone(),
+        allocation_imbalance: report.shard_allocation_imbalance(),
+        utilization_spread: report.mean_shard_utilization_spread_after(tail_from_secs),
+        migrations: report.migrations.len(),
+    }
+}
+
+/// Runs the skewed-workload migration experiment: a deliberately small
+/// consumer population that does not divide evenly across `shards`
+/// mediator shards (static routing therefore overloads the low-index
+/// shards by a ~1.5× demand ratio), mediated by SQLB under a fixed
+/// `workload`, in four configurations — every combination of
+/// static/least-loaded routing and migration off/on.
+///
+/// The skew needs few consumers: with many consumers, `consumer % K`
+/// spreads demand almost evenly and there is nothing to rebalance. The
+/// scale therefore only contributes providers, duration and seed.
+pub fn migration_skew(
+    scale: ExperimentScale,
+    shards: usize,
+    workload: f64,
+) -> Result<MigrationSkewResult, SqlbError> {
+    // `3K + K/2` consumers: the low `K/2` shard indices serve four
+    // consumers each, the rest three.
+    let consumers = 3 * shards as u32 + shards as u32 / 2;
+    let base_config = SimulationConfig::scaled(
+        consumers,
+        scale.providers.max(shards as u32 * 2),
+        scale.duration_secs,
+        scale.seed,
+    )
+    .with_workload(WorkloadPattern::Fixed(workload))
+    .with_mediator_shards(shards);
+    let tail = scale.duration_secs / 3.0;
+
+    let run = |routing: RoutingPolicyKind, migration: bool| -> Result<_, SqlbError> {
+        let report = run_simulation(
+            base_config.with_routing(routing).with_migration(migration),
+            Method::Sqlb,
+        )?;
+        Ok(shard_balance_summary(&report, migration, tail))
+    };
+    Ok(MigrationSkewResult {
+        shards,
+        consumers,
+        baseline: run(RoutingPolicyKind::Static, false)?,
+        migrated: run(RoutingPolicyKind::Static, true)?,
+        routed: run(RoutingPolicyKind::LeastLoaded, false)?,
+        adaptive: run(RoutingPolicyKind::LeastLoaded, true)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Table 2: the simulation parameters.
 // ---------------------------------------------------------------------------
 
@@ -852,6 +996,37 @@ mod tests {
         for row in &result.rows {
             assert!(row.total() >= 0.0 && row.total() <= 100.0 + 1e-9);
         }
+    }
+
+    #[test]
+    fn migration_skew_produces_all_four_runs() {
+        let result = migration_skew(ExperimentScale::quick(), 4, 0.7).unwrap();
+        assert_eq!(result.shards, 4);
+        assert_ne!(
+            result.consumers % 4,
+            0,
+            "the experiment must actually skew static routing"
+        );
+        assert_eq!(result.baseline.routing, "static");
+        assert!(!result.baseline.migration_enabled);
+        assert_eq!(result.baseline.migrations, 0);
+        assert_eq!(result.migrated.routing, "static");
+        assert!(result.migrated.migration_enabled);
+        assert_eq!(result.routed.routing, "least-loaded");
+        assert_eq!(result.routed.migrations, 0);
+        assert_eq!(result.adaptive.routing, "least-loaded");
+        for s in [
+            &result.baseline,
+            &result.migrated,
+            &result.routed,
+            &result.adaptive,
+        ] {
+            assert_eq!(s.shard_allocations.len(), 4);
+            assert!(s.allocation_imbalance >= 1.0);
+        }
+        let text = result.to_text();
+        assert!(text.contains("least-loaded"));
+        assert!(text.contains("alloc_imbalance"));
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! * [`workload`] — workload patterns (fixed or ramping fraction of the
 //!   total system capacity) and the Poisson arrival process;
 //! * [`events`] — the event queue of the discrete-event engine;
-//! * [`shard`] — the mediator shard router and its satisfaction-view
-//!   synchronization;
+//! * [`routing`] — consumer-routing policies (static `consumer % K` or
+//!   least-loaded) selecting the mediator shard of each query;
+//! * [`shard`] — the mediator shard router, its satisfaction-view
+//!   synchronization and cross-shard provider migration;
 //! * [`stats`] — measurement collection: per-sample metric snapshots,
 //!   response times, departure records and the final [`stats::SimulationReport`];
 //! * [`engine`] — the simulator itself;
@@ -33,12 +35,16 @@ pub mod config;
 pub mod engine;
 pub mod events;
 pub mod experiments;
+pub mod routing;
 pub mod shard;
 pub mod stats;
 pub mod workload;
 
 pub use config::{Method, SimulationConfig};
 pub use engine::Simulator;
+pub use routing::{
+    LeastLoadedRouting, RoutingPolicy, RoutingPolicyKind, ShardLoadView, StaticRouting,
+};
 pub use shard::ShardRouter;
-pub use stats::{DepartureRecord, SimulationReport};
+pub use stats::{DepartureRecord, MigrationRecord, SimulationReport};
 pub use workload::WorkloadPattern;

@@ -36,10 +36,42 @@ pub struct ShardRouter {
     sync_rounds: u64,
 }
 
+/// Derives the method seed of shard `i` from the run seed.
+///
+/// Shard 0 keeps the raw seed so a mono-mediator router consumes exactly
+/// the random stream of the pre-sharding engine (the bit-identity pin).
+/// Higher shards mix the seed through splitmix64's finalizer instead of
+/// the old `seed + i`: plain addition collides with every other component
+/// seeded at `seed + constant` (the engine's arrival RNG, repetition `i`
+/// of an experiment at `seed + i`, ...), correlating streams that must be
+/// independent.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        return seed;
+    }
+    // splitmix64: advance the state by `shard` golden-gamma steps, then
+    // apply the output mix.
+    let mut z = seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One provider re-assignment performed by [`ShardRouter::migrate_provider`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The provider that moved.
+    pub provider: ProviderId,
+    /// The shard that owned it.
+    pub from: usize,
+    /// The shard that owns it now.
+    pub to: usize,
+}
+
 impl ShardRouter {
     /// Builds `shard_count` mediators running `method` and partitions the
     /// given providers across them round-robin by id. Each shard's method
-    /// instance is seeded with `seed + shard index`, so shard 0 of a
+    /// instance is seeded via [`shard_seed`], so shard 0 of a
     /// mono-mediator router behaves exactly like the pre-sharding engine.
     pub fn new(
         shard_count: usize,
@@ -53,7 +85,7 @@ impl ShardRouter {
             .map(|i| {
                 let mut mediator = Mediator::new(
                     MediatorId::new(i as u32),
-                    method.build(seed.wrapping_add(i as u64)),
+                    method.build(shard_seed(seed, i)),
                     state_config,
                 );
                 // The engine never reads the per-allocation ranking
@@ -144,6 +176,38 @@ impl ShardRouter {
         for shard in &mut self.shards {
             shard.state_mut().remove_consumer(consumer);
         }
+    }
+
+    /// Re-assigns a provider to the shard `to`, carrying its full
+    /// satisfaction history across via
+    /// [`sqlb_core::mediator_state::MediatorState::export_provider`] /
+    /// [`absorb_provider`](sqlb_core::mediator_state::MediatorState::absorb_provider),
+    /// so the move loses no observations. Returns the performed
+    /// [`Migration`], or `None` when the provider has departed, `to` is
+    /// out of range, or the provider already lives on `to`.
+    pub fn migrate_provider(&mut self, provider: ProviderId, to: usize) -> Option<Migration> {
+        let from = *self.assignment.get(provider)?;
+        if to >= self.shards.len() || from == to {
+            return None;
+        }
+        let source = &mut self.shard_providers[from];
+        if let Ok(pos) = source.binary_search(&provider) {
+            source.remove(pos);
+        }
+        let destination = &mut self.shard_providers[to];
+        if let Err(pos) = destination.binary_search(&provider) {
+            destination.insert(pos, provider);
+        }
+        *self.assignment.get_mut(provider)? = to;
+        match self.shards[from].state_mut().export_provider(provider) {
+            Some(tracker) => self.shards[to]
+                .state_mut()
+                .absorb_provider(provider, tracker),
+            // Never observed on the donor shard: start fresh on the
+            // receiver, as a first allocation there would.
+            None => self.shards[to].state_mut().register_provider(provider),
+        }
+        Some(Migration { provider, from, to })
     }
 
     /// One all-to-all satisfaction-view synchronization round.
@@ -267,6 +331,87 @@ mod tests {
         let mut r = router(1, 2);
         r.sync_views();
         assert_eq!(r.sync_rounds(), 0);
+    }
+
+    #[test]
+    fn shard_zero_keeps_the_raw_seed() {
+        // The K=1 bit-identity contract: shard 0's method must consume
+        // exactly the stream the pre-sharding engine did.
+        assert_eq!(shard_seed(42, 0), 42);
+        assert_eq!(shard_seed(u64::MAX, 0), u64::MAX);
+    }
+
+    #[test]
+    fn shard_seeds_do_not_collide_with_additive_seeding() {
+        // The old scheme was `seed + i`, which collided with any component
+        // seeded at `seed + constant` (e.g. experiment repetition `i`).
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            for i in 1..16usize {
+                let mixed = shard_seed(seed, i);
+                assert_ne!(mixed, seed.wrapping_add(i as u64), "seed {seed}, shard {i}");
+                // And distinct shards get distinct seeds.
+                for j in 1..i {
+                    assert_ne!(mixed, shard_seed(seed, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_ownership_and_history() {
+        let mut r = router(2, 4);
+        let provider = ProviderId::new(0); // shard 0
+        let q = Query::single(
+            QueryId::new(0),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        );
+        for _ in 0..8 {
+            let infos = vec![CandidateInfo::new(provider)
+                .with_consumer_intention(1.0)
+                .with_provider_intention(1.0)];
+            r.allocate(0, &q, &infos);
+        }
+        let history = r.mediator(0).state().provider_satisfaction(provider);
+        assert!(history > 0.9);
+
+        let migration = r.migrate_provider(provider, 1).unwrap();
+        assert_eq!(
+            migration,
+            Migration {
+                provider,
+                from: 0,
+                to: 1
+            }
+        );
+        assert_eq!(r.shard_of_provider(provider), Some(1));
+        assert!(r.providers_of_shard(0).binary_search(&provider).is_err());
+        assert!(r.providers_of_shard(1).binary_search(&provider).is_ok());
+        // The per-shard lists stay sorted after the insertion.
+        assert!(r.providers_of_shard(1).windows(2).all(|w| w[0] < w[1]));
+        // The satisfaction history moved with the provider.
+        assert_eq!(
+            r.mediator(1).state().provider_satisfaction(provider),
+            history
+        );
+        assert!(r.mediator(0).state().provider_tracker(provider).is_none());
+
+        // Degenerate moves are rejected.
+        assert_eq!(r.migrate_provider(provider, 1), None, "already there");
+        assert_eq!(r.migrate_provider(provider, 9), None, "out of range");
+        r.remove_provider(provider);
+        assert_eq!(r.migrate_provider(provider, 0), None, "departed");
+    }
+
+    #[test]
+    fn migrating_an_unobserved_provider_registers_it_fresh() {
+        let mut r = router(2, 4);
+        let provider = ProviderId::new(2); // shard 0, never allocated to
+        r.migrate_provider(provider, 1).unwrap();
+        assert_eq!(r.shard_of_provider(provider), Some(1));
+        assert!(r.mediator(1).state().provider_tracker(provider).is_some());
+        assert_eq!(r.mediator(1).state().provider_satisfaction(provider), 0.5);
     }
 
     #[test]

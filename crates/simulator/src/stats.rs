@@ -41,6 +41,20 @@ pub struct MetricSeries {
     pub active_providers: TimeSeries,
     /// Number of consumers still in the system.
     pub active_consumers: TimeSeries,
+    /// Per-shard mean provider utilization, one series per mediator shard
+    /// (index = shard). This is the load signal cross-shard migration acts
+    /// on; its spread is what rebalancing shrinks.
+    pub shard_utilization: Vec<TimeSeries>,
+    /// Per-shard mean provider satisfaction (smoothed, intention-agnostic
+    /// reading), one series per mediator shard.
+    pub shard_satisfaction: Vec<TimeSeries>,
+    /// Per-shard *cumulative* allocation counts over time, one series per
+    /// mediator shard. Differencing two samples gives the mediation load
+    /// of any window, free of start-up transients.
+    pub shard_allocation_counts: Vec<TimeSeries>,
+    /// Spread (max − min) of the per-shard mean utilizations at each
+    /// sample: the imbalance rebalancing is judged on.
+    pub shard_utilization_spread: TimeSeries,
 }
 
 /// A provider departure.
@@ -54,6 +68,24 @@ pub struct DepartureRecord {
     pub reason: DepartureReason,
     /// Its class profile (used by Table 3's breakdown).
     pub profile: ProviderProfile,
+}
+
+/// One cross-shard provider migration performed by a rebalancing round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The provider that moved.
+    pub provider: ProviderId,
+    /// When it moved (seconds of virtual time).
+    pub time_secs: f64,
+    /// The shard that owned it before the move.
+    pub from_shard: usize,
+    /// The shard that owns it after the move.
+    pub to_shard: usize,
+    /// Imbalance observed by the rebalancing round that decided the move,
+    /// before the move took effect: the per-shard mean-utilization spread
+    /// under static routing, or the busiest/idlest allocation ratio under
+    /// load-adaptive routing.
+    pub spread_before: f64,
 }
 
 /// A consumer departure (always by dissatisfaction in the paper's model).
@@ -97,6 +129,14 @@ pub struct SimulationReport {
     pub shard_allocations: Vec<u64>,
     /// Satisfaction-view synchronization rounds completed between shards.
     pub sync_rounds: u64,
+    /// Consumer-routing policy name the run used (`"static"` in the
+    /// paper's setup).
+    pub routing_policy: String,
+    /// Cross-shard provider migrations, in chronological order. Empty when
+    /// migration is disabled or `mediator_shards == 1`.
+    pub migrations: Vec<MigrationRecord>,
+    /// Rebalancing rounds evaluated (a round may decide not to migrate).
+    pub rebalance_rounds: u64,
     /// Summary of provider utilization at the end of the run.
     pub final_utilization: Summary,
     /// Summary of provider (intention-based) satisfaction at the end of the
@@ -146,6 +186,64 @@ impl SimulationReport {
             .filter(|d| d.reason == reason)
             .count()
     }
+
+    /// Ratio between the busiest and the idlest shard's allocation count
+    /// (`max / min`). `1` means perfectly balanced mediation load;
+    /// `infinity` means at least one shard mediated nothing. Reports `1`
+    /// for a mono-mediator run.
+    pub fn shard_allocation_imbalance(&self) -> f64 {
+        let max = self.shard_allocations.iter().copied().max().unwrap_or(0);
+        let min = self.shard_allocations.iter().copied().min().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Mean per-shard utilization spread over the samples taken at or
+    /// after `from_secs` — the steady-state imbalance rebalancing is
+    /// judged on.
+    pub fn mean_shard_utilization_spread_after(&self, from_secs: f64) -> f64 {
+        self.series.shard_utilization_spread.mean_after(from_secs)
+    }
+
+    /// `max / min` of the per-shard allocations mediated *after*
+    /// `from_secs` (from the cumulative per-shard counts, differenced at
+    /// the first sample at or after `from_secs`). This is the steady-state
+    /// variant of [`SimulationReport::shard_allocation_imbalance`], free
+    /// of the start-up transient a run needs before routing and migration
+    /// converge. Falls back to the whole-run ratio when the series are
+    /// missing or the window contains no allocation at all (including
+    /// `from_secs` at or past the final sample, where every window is
+    /// empty by construction).
+    pub fn shard_allocation_imbalance_after(&self, from_secs: f64) -> f64 {
+        let counts = &self.series.shard_allocation_counts;
+        if counts.is_empty() {
+            return self.shard_allocation_imbalance();
+        }
+        let mut max = 0.0f64;
+        let mut min = f64::INFINITY;
+        for series in counts {
+            let start = series.value_at(from_secs).unwrap_or(0.0);
+            let end = series.last_value().unwrap_or(0.0);
+            let window = (end - start).max(0.0);
+            max = max.max(window);
+            min = min.min(window);
+        }
+        if max == 0.0 {
+            // Nothing was mediated in the window — there is no tail
+            // imbalance to report, so answer with the whole-run ratio
+            // rather than claiming perfect balance.
+            self.shard_allocation_imbalance()
+        } else if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +275,9 @@ mod tests {
             mediator_shards: 1,
             shard_allocations: Vec::new(),
             sync_rounds: 0,
+            routing_policy: "static".into(),
+            migrations: Vec::new(),
+            rebalance_rounds: 0,
             final_utilization: Summary::of(&[]),
             final_provider_satisfaction: Summary::of(&[]),
             final_consumer_satisfaction: Summary::of(&[]),
@@ -231,5 +332,49 @@ mod tests {
         r.response_times.record(2.0);
         r.response_times.record(4.0);
         assert!((r.mean_response_time() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_allocation_imbalance_is_max_over_min() {
+        let mut r = empty_report();
+        assert_eq!(r.shard_allocation_imbalance(), 1.0, "no shards: neutral");
+        r.shard_allocations = vec![100, 50, 200, 100];
+        assert!((r.shard_allocation_imbalance() - 4.0).abs() < 1e-12);
+        r.shard_allocations = vec![80, 80];
+        assert!((r.shard_allocation_imbalance() - 1.0).abs() < 1e-12);
+        r.shard_allocations = vec![80, 0];
+        assert!(r.shard_allocation_imbalance().is_infinite());
+    }
+
+    #[test]
+    fn tail_imbalance_windows_the_cumulative_counts() {
+        let mut r = empty_report();
+        r.shard_allocations = vec![300, 100];
+        // Cumulative counts: shard 0 mediates 200 then 100 more; shard 1
+        // mediates 50 then 50 more.
+        let mut s0 = TimeSeries::new();
+        s0.push_raw(100.0, 200.0);
+        s0.push_raw(200.0, 300.0);
+        let mut s1 = TimeSeries::new();
+        s1.push_raw(100.0, 50.0);
+        s1.push_raw(200.0, 100.0);
+        r.series.shard_allocation_counts = vec![s0, s1];
+        // Tail from t=100: windows are 100 and 50 → ratio 2.
+        assert!((r.shard_allocation_imbalance_after(100.0) - 2.0).abs() < 1e-12);
+        // A window past the final sample holds no allocations: fall back
+        // to the whole-run ratio (3.0), never report perfect balance.
+        assert!((r.shard_allocation_imbalance_after(500.0) - 3.0).abs() < 1e-12);
+        // No series at all: whole-run ratio too.
+        r.series.shard_allocation_counts.clear();
+        assert!((r.shard_allocation_imbalance_after(100.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_spread_summary_reads_the_series() {
+        let mut r = empty_report();
+        r.series.shard_utilization_spread.push_raw(50.0, 0.4);
+        r.series.shard_utilization_spread.push_raw(150.0, 0.2);
+        r.series.shard_utilization_spread.push_raw(250.0, 0.1);
+        assert!((r.mean_shard_utilization_spread_after(100.0) - 0.15).abs() < 1e-12);
     }
 }
