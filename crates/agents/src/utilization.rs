@@ -1,7 +1,7 @@
 //! Sliding-window utilization tracking.
 //!
 //! The paper defines `Ut(p)` as "how much [a provider] is loaded w.r.t. its
-//! capacity" and assumes providers "work out their utilization as in [16]".
+//! capacity" and assumes providers "work out their utilization as in \[16\]".
 //! The property the evaluation relies on is that a provider receiving its
 //! fair share of an `x %` workload has utilization ≈ `x/100` ("With a
 //! workload of 80 % of the total system capacity, the optimal utilization

@@ -1,77 +1,29 @@
 //! Prints a bit-exact digest of simulation reports over a fixed
-//! configuration matrix.
+//! configuration matrix, optionally across all mediation backends.
 //!
-//! The digest folds the raw IEEE-754 bits of every recorded metric series
-//! (plus the query counters) into an FNV-1a hash, so two builds produce
-//! the same line if and only if their engines are bit-identical for that
-//! configuration. This is the tool behind the "K=1 must stay bit-identical
-//! across PRs" acceptance bar: run it on the previous commit and on the
-//! working tree and diff the output.
+//! The digest ([`sqlb_sim::SimulationReport::digest`]) folds the raw
+//! IEEE-754 bits of every recorded metric series (plus the query
+//! counters) into an FNV-1a hash, so two builds produce the same line if
+//! and only if their engines are bit-identical for that configuration.
+//! This is the tool behind two acceptance bars:
+//!
+//! * **"K=1 must stay bit-identical across PRs"** — run it on the
+//!   previous commit and on the working tree and diff the output;
+//! * **"all mediation backends must agree"** — run it with `--backends`:
+//!   every configuration of the matrix is executed on the inline path,
+//!   the legacy threaded runtime and the asynchronous reactor, and the
+//!   process exits non-zero if any digest disagrees.
 //!
 //! ```text
 //! cargo run --release -p sqlb-bench --bin report_digest
+//! cargo run --release -p sqlb-bench --bin report_digest -- --backends
 //! ```
 
 use sqlb_sim::engine::run_simulation;
-use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
-
-/// FNV-1a, 64-bit.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write_u64(&mut self, value: u64) {
-        for byte in value.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_f64(&mut self, value: f64) {
-        self.write_u64(value.to_bits());
-    }
-
-    fn write_series(&mut self, series: &sqlb_metrics::TimeSeries) {
-        for point in series.points() {
-            self.write_f64(point.time);
-            self.write_f64(point.value);
-        }
-    }
-}
-
-fn digest(report: &sqlb_sim::SimulationReport) -> u64 {
-    let mut h = Fnv::new();
-    h.write_u64(report.issued_queries);
-    h.write_u64(report.completed_queries);
-    h.write_u64(report.unallocated_queries);
-    h.write_u64(report.provider_departures.len() as u64);
-    h.write_u64(report.consumer_departures.len() as u64);
-    h.write_f64(report.mean_response_time());
-    let s = &report.series;
-    for series in [
-        &s.provider_satisfaction_intention_mean,
-        &s.provider_satisfaction_preference_mean,
-        &s.provider_allocation_satisfaction_preference_mean,
-        &s.provider_allocation_satisfaction_intention_mean,
-        &s.provider_satisfaction_fairness,
-        &s.consumer_allocation_satisfaction_mean,
-        &s.consumer_satisfaction_mean,
-        &s.consumer_satisfaction_fairness,
-        &s.utilization_mean,
-        &s.utilization_fairness,
-        &s.workload_fraction,
-        &s.active_providers,
-        &s.active_consumers,
-    ] {
-        h.write_series(series);
-    }
-    h.0
-}
+use sqlb_sim::{MediationMode, Method, SimulationConfig, WorkloadPattern};
 
 fn main() {
+    let compare_backends = std::env::args().any(|arg| arg == "--backends");
     let methods = [
         Method::Sqlb,
         Method::CapacityBased,
@@ -79,6 +31,7 @@ fn main() {
         Method::Random,
         Method::RoundRobin,
     ];
+    let mut mismatches = 0u32;
     for method in methods {
         for (seed, duration, workload) in [
             (1u64, 300.0, WorkloadPattern::Fixed(0.5)),
@@ -87,11 +40,34 @@ fn main() {
         ] {
             let config = SimulationConfig::scaled(16, 32, duration, seed).with_workload(workload);
             let report = run_simulation(config, method).expect("valid config");
+            let digest = report.digest();
             println!(
-                "{:<14} seed={seed:<3} duration={duration:<6} digest={:016x}",
-                report.method,
-                digest(&report)
+                "{:<14} seed={seed:<3} duration={duration:<6} digest={digest:016x}",
+                report.method
             );
+            if !compare_backends {
+                continue;
+            }
+            for mode in [MediationMode::Threaded, MediationMode::Reactor] {
+                let mediated = run_simulation(config.with_mediation(mode), method)
+                    .expect("valid config")
+                    .digest();
+                let verdict = if mediated == digest { "ok" } else { "MISMATCH" };
+                println!(
+                    "    {:<10} seed={seed:<3} duration={duration:<6} digest={mediated:016x} {verdict}",
+                    mode.name()
+                );
+                if mediated != digest {
+                    mismatches += 1;
+                }
+            }
         }
+    }
+    if compare_backends {
+        if mismatches > 0 {
+            eprintln!("{mismatches} backend digest(s) diverged from the inline engine");
+            std::process::exit(1);
+        }
+        println!("all backends bit-identical across the matrix");
     }
 }

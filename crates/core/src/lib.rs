@@ -27,7 +27,7 @@
 //! mediator-side bookkeeping of intention-based participant satisfaction
 //! that Equation 6 relies on.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod allocation;
 pub mod intention;

@@ -83,7 +83,7 @@ pub fn rank_candidates_in_place(candidates: &mut [RankedProvider]) {
 /// order as [`rank_candidates`] — in ranking order at the front of the
 /// slice. The rest of the slice is left in unspecified order.
 ///
-/// Because [`ranking_order`] is a strict total order over distinct
+/// Because the ranking order is a strict total order over distinct
 /// providers, the selected prefix is bit-identical to
 /// `rank_candidates(...)[..k]`; the allocation hot path uses this to
 /// replace the O(N log N) full sort with an O(N) selection for the

@@ -12,16 +12,31 @@
 //!
 //! * [`protocol`] — the message types exchanged between the mediator and
 //!   the participants (intention requests/replies, bid requests, allocation
-//!   notices);
-//! * [`runtime`] — a thread-per-participant runtime built on crossbeam
-//!   channels: the mediator broadcasts requests, gathers replies until the
-//!   deadline, treats missing replies as indifference, and notifies every
-//!   candidate of the mediation result.
+//!   notices) and their length-prefixed wire framing;
+//! * [`reactor`] — the asynchronous mediation reactor: participant
+//!   endpoints as polled state machines driven by a single event loop with
+//!   a readiness queue, a timer heap and per-endpoint deadline tracking,
+//!   scaling one host to tens of thousands of endpoints. Its batched
+//!   [`AsyncMediator::gather_batch`] / [`AsyncMediator::mediate_batch`]
+//!   are the native entry points;
+//! * [`runtime`] — the legacy thread-per-participant runtime built on
+//!   crossbeam channels, kept as the comparison backend: the mediator
+//!   broadcasts requests, gathers replies until the deadline, treats
+//!   missing replies as indifference, and notifies every candidate of the
+//!   mediation result.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod protocol;
+pub mod reactor;
 pub mod runtime;
 
-pub use protocol::{MediatorMessage, ParticipantReply};
+pub use protocol::{
+    decode_mediator_message, decode_participant_reply, encode_mediator_message,
+    encode_participant_reply, FrameError, MediatorMessage, ParticipantReply,
+};
+pub use reactor::{
+    run_wave_threaded, AsyncMediator, IntentionWave, Latency, ProviderAnswer, Reactor, RoundStats,
+    WaveReplies,
+};
 pub use runtime::{ConsumerEndpoint, MediationRuntime, ProviderEndpoint, RuntimeConfig};

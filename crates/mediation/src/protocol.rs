@@ -1,4 +1,5 @@
-//! The message protocol between the mediator and the participants.
+//! The message protocol between the mediator and the participants, and
+//! its wire framing.
 //!
 //! The protocol mirrors the steps of Algorithm 1 and the mediation
 //! architecture of Lamarre et al. \[10\] that the paper builds on: the
@@ -7,6 +8,36 @@
 //! (and, for economic methods, its bid), and finally "sends the mediation
 //! result to the `P_q \ \hat{P}_q` providers", i.e. also tells the
 //! candidates that were *not* selected.
+//!
+//! Two request shapes exist side by side:
+//!
+//! * the **single-query** requests of the original runtime (one message
+//!   per query per participant);
+//! * the **wave** requests the reactor natively speaks
+//!   ([`MediatorMessage::ConsumerWaveRequest`] /
+//!   [`MediatorMessage::ProviderWaveRequest`]): one message per
+//!   participant covering every query of a mediation batch, answered in
+//!   one reply. Waves are numbered so a reply that arrives after its
+//!   wave's deadline can be recognized as stale and discarded.
+//!
+//! # Framing
+//!
+//! In-process backends pass these values directly, but a networked
+//! deployment puts them on a byte stream. [`encode_mediator_message`] /
+//! [`decode_mediator_message`] (and the `participant_reply` pair) define
+//! that wire contract: each message is one *frame* —
+//!
+//! ```text
+//! [u32 LE: payload length] [u8: variant tag] [payload…]
+//! ```
+//!
+//! — with all integers little-endian, `f64`s as their IEEE-754 bits,
+//! vectors as a `u32` count followed by the elements, and options as a
+//! `0`/`1` presence byte. Decoding never panics on malformed input: a
+//! short buffer yields [`FrameError::Truncated`], an unknown tag
+//! [`FrameError::UnknownTag`], and a frame whose payload disagrees with
+//! its declared length [`FrameError::TrailingBytes`]. Frames are
+//! self-delimiting, so a stream of them can be decoded back-to-back.
 
 use serde::{Deserialize, Serialize};
 use sqlb_core::allocation::Bid;
@@ -31,6 +62,25 @@ pub enum MediatorMessage {
         /// Whether the provider should also return a bid (economic
         /// methods).
         request_bid: bool,
+    },
+    /// Ask the consumer for its intentions for *every* query of one
+    /// mediation wave, in one round-trip (the reactor's native shape).
+    ConsumerWaveRequest {
+        /// Identifier of the wave the replies belong to.
+        wave: u64,
+        /// One entry per query of the consumer's in this wave: the query
+        /// and its candidate set.
+        requests: Vec<(QueryId, Vec<ProviderId>)>,
+    },
+    /// Ask a provider for its intention (and optionally bid) for every
+    /// query of one mediation wave that lists it as a candidate.
+    ProviderWaveRequest {
+        /// Identifier of the wave the replies belong to.
+        wave: u64,
+        /// The queries the provider is a candidate for.
+        queries: Vec<QueryId>,
+        /// Whether the provider should also return bids.
+        request_bids: bool,
     },
     /// Notify a candidate provider of the mediation result
     /// (Algorithm 1, lines 9–10).
@@ -75,37 +125,666 @@ pub enum ParticipantReply {
         /// The provider's bid, when requested.
         bid: Option<Bid>,
     },
+    /// A consumer's answer to a [`MediatorMessage::ConsumerWaveRequest`].
+    ConsumerWaveReply {
+        /// The wave this reply answers.
+        wave: u64,
+        /// The consumer that answered.
+        consumer: ConsumerId,
+        /// Per query of the wave, one `(provider, intention)` pair per
+        /// candidate.
+        intentions: Vec<(QueryId, Vec<(ProviderId, f64)>)>,
+    },
+    /// A provider's answer to a [`MediatorMessage::ProviderWaveRequest`].
+    ProviderWaveReply {
+        /// The wave this reply answers.
+        wave: u64,
+        /// The provider that answered.
+        provider: ProviderId,
+        /// The provider's current utilization `Ut(p)`, shown to the
+        /// mediator alongside its intentions (utilization-aware methods
+        /// such as the Capacity-based baseline rank by it).
+        utilization: f64,
+        /// One `(query, intention, bid)` triple per query of the wave.
+        intentions: Vec<(QueryId, f64, Option<Bid>)>,
+    },
 }
 
 impl ParticipantReply {
-    /// The query this reply is about.
-    pub fn query(&self) -> QueryId {
+    /// The query a single-query reply is about; `None` for wave replies,
+    /// which cover several queries at once.
+    pub fn query(&self) -> Option<QueryId> {
         match self {
-            ParticipantReply::ConsumerIntentions { query, .. } => *query,
-            ParticipantReply::ProviderIntention { query, .. } => *query,
+            ParticipantReply::ConsumerIntentions { query, .. } => Some(*query),
+            ParticipantReply::ProviderIntention { query, .. } => Some(*query),
+            ParticipantReply::ConsumerWaveReply { .. } => None,
+            ParticipantReply::ProviderWaveReply { .. } => None,
         }
     }
+
+    /// The wave a wave reply answers; `None` for single-query replies.
+    pub fn wave(&self) -> Option<u64> {
+        match self {
+            ParticipantReply::ConsumerWaveReply { wave, .. } => Some(*wave),
+            ParticipantReply::ProviderWaveReply { wave, .. } => Some(*wave),
+            _ => None,
+        }
+    }
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The frame's variant tag is not part of the protocol.
+    UnknownTag(u8),
+    /// The frame's content disagrees with its declared length: either a
+    /// field ran past the end of the declared payload, or decoding
+    /// finished with undeclared bytes left over. Both mean the frame
+    /// lied about its size.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::UnknownTag(tag) => write!(f, "unknown frame tag {tag}"),
+            FrameError::TrailingBytes => {
+                write!(f, "frame content disagrees with its declared length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ---- encoding ----------------------------------------------------------
+
+struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    fn new(tag: u8) -> Self {
+        // Length placeholder first; patched in finish().
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        buf.push(tag);
+        FrameWriter { buf }
+    }
+
+    fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    fn bool(&mut self, value: bool) {
+        self.buf.push(value as u8);
+    }
+
+    fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    fn bid(&mut self, bid: &Option<Bid>) {
+        match bid {
+            None => self.u8(0),
+            Some(bid) => {
+                self.u8(1);
+                self.f64(bid.price);
+                self.f64(bid.delay);
+            }
+        }
+    }
+
+    fn count(&mut self, len: usize) {
+        self.u32(u32::try_from(len).expect("protocol vectors fit in u32"));
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let payload = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&payload.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Encodes a mediator message as one self-delimiting frame.
+pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
+    match message {
+        MediatorMessage::ConsumerIntentionRequest { query, candidates } => {
+            let mut w = FrameWriter::new(1);
+            w.u32(query.raw());
+            w.count(candidates.len());
+            for p in candidates {
+                w.u32(p.raw());
+            }
+            w.finish()
+        }
+        MediatorMessage::ProviderIntentionRequest { query, request_bid } => {
+            let mut w = FrameWriter::new(2);
+            w.u32(query.raw());
+            w.bool(*request_bid);
+            w.finish()
+        }
+        MediatorMessage::ConsumerWaveRequest { wave, requests } => {
+            let mut w = FrameWriter::new(3);
+            w.u64(*wave);
+            w.count(requests.len());
+            for (query, candidates) in requests {
+                w.u32(query.raw());
+                w.count(candidates.len());
+                for p in candidates {
+                    w.u32(p.raw());
+                }
+            }
+            w.finish()
+        }
+        MediatorMessage::ProviderWaveRequest {
+            wave,
+            queries,
+            request_bids,
+        } => {
+            let mut w = FrameWriter::new(4);
+            w.u64(*wave);
+            w.count(queries.len());
+            for query in queries {
+                w.u32(query.raw());
+            }
+            w.bool(*request_bids);
+            w.finish()
+        }
+        MediatorMessage::AllocationNotice { query, selected } => {
+            let mut w = FrameWriter::new(5);
+            w.u32(query.raw());
+            w.bool(*selected);
+            w.finish()
+        }
+        MediatorMessage::AllocationResult { query, providers } => {
+            let mut w = FrameWriter::new(6);
+            w.u32(query.raw());
+            w.count(providers.len());
+            for p in providers {
+                w.u32(p.raw());
+            }
+            w.finish()
+        }
+        MediatorMessage::Shutdown => FrameWriter::new(7).finish(),
+    }
+}
+
+/// Encodes a participant reply as one self-delimiting frame.
+pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
+    match reply {
+        ParticipantReply::ConsumerIntentions {
+            query,
+            consumer,
+            intentions,
+        } => {
+            let mut w = FrameWriter::new(1);
+            w.u32(query.raw());
+            w.u32(consumer.raw());
+            w.count(intentions.len());
+            for (p, intention) in intentions {
+                w.u32(p.raw());
+                w.f64(*intention);
+            }
+            w.finish()
+        }
+        ParticipantReply::ProviderIntention {
+            query,
+            provider,
+            intention,
+            bid,
+        } => {
+            let mut w = FrameWriter::new(2);
+            w.u32(query.raw());
+            w.u32(provider.raw());
+            w.f64(*intention);
+            w.bid(bid);
+            w.finish()
+        }
+        ParticipantReply::ConsumerWaveReply {
+            wave,
+            consumer,
+            intentions,
+        } => {
+            let mut w = FrameWriter::new(3);
+            w.u64(*wave);
+            w.u32(consumer.raw());
+            w.count(intentions.len());
+            for (query, per_provider) in intentions {
+                w.u32(query.raw());
+                w.count(per_provider.len());
+                for (p, intention) in per_provider {
+                    w.u32(p.raw());
+                    w.f64(*intention);
+                }
+            }
+            w.finish()
+        }
+        ParticipantReply::ProviderWaveReply {
+            wave,
+            provider,
+            utilization,
+            intentions,
+        } => {
+            let mut w = FrameWriter::new(4);
+            w.u64(*wave);
+            w.u32(provider.raw());
+            w.f64(*utilization);
+            w.count(intentions.len());
+            for (query, intention, bid) in intentions {
+                w.u32(query.raw());
+                w.f64(*intention);
+                w.bid(bid);
+            }
+            w.finish()
+        }
+    }
+}
+
+// ---- decoding ----------------------------------------------------------
+
+struct FrameReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    end: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Opens the frame at the start of `bytes`: reads the length prefix
+    /// and bounds the reader to the declared payload.
+    fn open(bytes: &'a [u8]) -> Result<Self, FrameError> {
+        if bytes.len() < 4 {
+            return Err(FrameError::Truncated);
+        }
+        let payload = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let end = 4usize.checked_add(payload).ok_or(FrameError::Truncated)?;
+        if bytes.len() < end {
+            return Err(FrameError::Truncated);
+        }
+        Ok(FrameReader { bytes, at: 4, end })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let next = self.at.checked_add(n).ok_or(FrameError::TrailingBytes)?;
+        if next > self.end {
+            return Err(FrameError::TrailingBytes);
+        }
+        let slice = &self.bytes[self.at..next];
+        self.at = next;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bid(&mut self) -> Result<Option<Bid>, FrameError> {
+        if self.bool()? {
+            Ok(Some(Bid::new(self.f64()?, self.f64()?)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A vector count, sanity-bounded by the bytes remaining in the frame
+    /// (every element occupies at least one byte), so a corrupted count
+    /// cannot drive a huge allocation.
+    fn count(&mut self) -> Result<usize, FrameError> {
+        let count = self.u32()? as usize;
+        if count > self.end - self.at {
+            return Err(FrameError::TrailingBytes);
+        }
+        Ok(count)
+    }
+
+    /// Total frame length, once fully consumed.
+    fn close(self) -> Result<usize, FrameError> {
+        if self.at != self.end {
+            return Err(FrameError::TrailingBytes);
+        }
+        Ok(self.end)
+    }
+}
+
+/// Decodes the mediator-message frame at the start of `bytes`, returning
+/// the message and the number of bytes the frame occupied (so frames can
+/// be decoded back-to-back from one stream).
+pub fn decode_mediator_message(bytes: &[u8]) -> Result<(MediatorMessage, usize), FrameError> {
+    let mut r = FrameReader::open(bytes)?;
+    let tag = r.u8()?;
+    let message = match tag {
+        1 => {
+            let query = QueryId::new(r.u32()?);
+            let n = r.count()?;
+            let mut candidates = Vec::with_capacity(n);
+            for _ in 0..n {
+                candidates.push(ProviderId::new(r.u32()?));
+            }
+            MediatorMessage::ConsumerIntentionRequest { query, candidates }
+        }
+        2 => MediatorMessage::ProviderIntentionRequest {
+            query: QueryId::new(r.u32()?),
+            request_bid: r.bool()?,
+        },
+        3 => {
+            let wave = r.u64()?;
+            let n = r.count()?;
+            let mut requests = Vec::with_capacity(n);
+            for _ in 0..n {
+                let query = QueryId::new(r.u32()?);
+                let c = r.count()?;
+                let mut candidates = Vec::with_capacity(c);
+                for _ in 0..c {
+                    candidates.push(ProviderId::new(r.u32()?));
+                }
+                requests.push((query, candidates));
+            }
+            MediatorMessage::ConsumerWaveRequest { wave, requests }
+        }
+        4 => {
+            let wave = r.u64()?;
+            let n = r.count()?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(QueryId::new(r.u32()?));
+            }
+            MediatorMessage::ProviderWaveRequest {
+                wave,
+                queries,
+                request_bids: r.bool()?,
+            }
+        }
+        5 => MediatorMessage::AllocationNotice {
+            query: QueryId::new(r.u32()?),
+            selected: r.bool()?,
+        },
+        6 => {
+            let query = QueryId::new(r.u32()?);
+            let n = r.count()?;
+            let mut providers = Vec::with_capacity(n);
+            for _ in 0..n {
+                providers.push(ProviderId::new(r.u32()?));
+            }
+            MediatorMessage::AllocationResult { query, providers }
+        }
+        7 => MediatorMessage::Shutdown,
+        tag => return Err(FrameError::UnknownTag(tag)),
+    };
+    Ok((message, r.close()?))
+}
+
+/// Decodes the participant-reply frame at the start of `bytes`, returning
+/// the reply and the number of bytes the frame occupied.
+pub fn decode_participant_reply(bytes: &[u8]) -> Result<(ParticipantReply, usize), FrameError> {
+    let mut r = FrameReader::open(bytes)?;
+    let tag = r.u8()?;
+    let reply = match tag {
+        1 => {
+            let query = QueryId::new(r.u32()?);
+            let consumer = ConsumerId::new(r.u32()?);
+            let n = r.count()?;
+            let mut intentions = Vec::with_capacity(n);
+            for _ in 0..n {
+                intentions.push((ProviderId::new(r.u32()?), r.f64()?));
+            }
+            ParticipantReply::ConsumerIntentions {
+                query,
+                consumer,
+                intentions,
+            }
+        }
+        2 => ParticipantReply::ProviderIntention {
+            query: QueryId::new(r.u32()?),
+            provider: ProviderId::new(r.u32()?),
+            intention: r.f64()?,
+            bid: r.bid()?,
+        },
+        3 => {
+            let wave = r.u64()?;
+            let consumer = ConsumerId::new(r.u32()?);
+            let n = r.count()?;
+            let mut intentions = Vec::with_capacity(n);
+            for _ in 0..n {
+                let query = QueryId::new(r.u32()?);
+                let c = r.count()?;
+                let mut per_provider = Vec::with_capacity(c);
+                for _ in 0..c {
+                    per_provider.push((ProviderId::new(r.u32()?), r.f64()?));
+                }
+                intentions.push((query, per_provider));
+            }
+            ParticipantReply::ConsumerWaveReply {
+                wave,
+                consumer,
+                intentions,
+            }
+        }
+        4 => {
+            let wave = r.u64()?;
+            let provider = ProviderId::new(r.u32()?);
+            let utilization = r.f64()?;
+            let n = r.count()?;
+            let mut intentions = Vec::with_capacity(n);
+            for _ in 0..n {
+                intentions.push((QueryId::new(r.u32()?), r.f64()?, r.bid()?));
+            }
+            ParticipantReply::ProviderWaveReply {
+                wave,
+                provider,
+                utilization,
+                intentions,
+            }
+        }
+        tag => return Err(FrameError::UnknownTag(tag)),
+    };
+    Ok((reply, r.close()?))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn all_messages() -> Vec<MediatorMessage> {
+        vec![
+            MediatorMessage::ConsumerIntentionRequest {
+                query: QueryId::new(3),
+                candidates: vec![ProviderId::new(0), ProviderId::new(7)],
+            },
+            MediatorMessage::ProviderIntentionRequest {
+                query: QueryId::new(1),
+                request_bid: true,
+            },
+            MediatorMessage::ConsumerWaveRequest {
+                wave: 42,
+                requests: vec![
+                    (QueryId::new(1), vec![ProviderId::new(2)]),
+                    (
+                        QueryId::new(2),
+                        vec![ProviderId::new(3), ProviderId::new(4)],
+                    ),
+                ],
+            },
+            MediatorMessage::ProviderWaveRequest {
+                wave: 42,
+                queries: vec![QueryId::new(1), QueryId::new(2)],
+                request_bids: false,
+            },
+            MediatorMessage::AllocationNotice {
+                query: QueryId::new(9),
+                selected: false,
+            },
+            MediatorMessage::AllocationResult {
+                query: QueryId::new(9),
+                providers: vec![ProviderId::new(5)],
+            },
+            MediatorMessage::Shutdown,
+        ]
+    }
+
+    fn all_replies() -> Vec<ParticipantReply> {
+        vec![
+            ParticipantReply::ConsumerIntentions {
+                query: QueryId::new(3),
+                consumer: ConsumerId::new(1),
+                intentions: vec![(ProviderId::new(0), 0.5), (ProviderId::new(7), -0.25)],
+            },
+            ParticipantReply::ProviderIntention {
+                query: QueryId::new(9),
+                provider: ProviderId::new(2),
+                intention: -0.25,
+                bid: Some(Bid::new(10.0, 1.0)),
+            },
+            ParticipantReply::ConsumerWaveReply {
+                wave: 42,
+                consumer: ConsumerId::new(1),
+                intentions: vec![
+                    (QueryId::new(1), vec![(ProviderId::new(2), 0.75)]),
+                    (QueryId::new(2), vec![]),
+                ],
+            },
+            ParticipantReply::ProviderWaveReply {
+                wave: 42,
+                provider: ProviderId::new(2),
+                utilization: 0.625,
+                intentions: vec![
+                    (QueryId::new(1), 0.5, None),
+                    (QueryId::new(2), -1.0, Some(Bid::new(7.5, 2.0))),
+                ],
+            },
+        ]
+    }
+
     #[test]
-    fn replies_expose_their_query() {
-        let r = ParticipantReply::ConsumerIntentions {
+    fn every_message_round_trips_through_its_frame() {
+        for message in all_messages() {
+            let frame = encode_mediator_message(&message);
+            let (decoded, consumed) = decode_mediator_message(&frame).unwrap();
+            assert_eq!(decoded, message);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips_through_its_frame() {
+        for reply in all_replies() {
+            let frame = encode_participant_reply(&reply);
+            let (decoded, consumed) = decode_participant_reply(&frame).unwrap();
+            assert_eq!(decoded, reply);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn frames_decode_back_to_back_from_one_stream() {
+        let mut stream = Vec::new();
+        for message in all_messages() {
+            stream.extend_from_slice(&encode_mediator_message(&message));
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < stream.len() {
+            let (message, consumed) = decode_mediator_message(&stream[at..]).unwrap();
+            decoded.push(message);
+            at += consumed;
+        }
+        assert_eq!(decoded, all_messages());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked_on() {
+        for message in all_messages() {
+            let frame = encode_mediator_message(&message);
+            for cut in 0..frame.len() {
+                let err = decode_mediator_message(&frame[..cut]).unwrap_err();
+                assert!(
+                    matches!(err, FrameError::Truncated | FrameError::TrailingBytes),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+        for reply in all_replies() {
+            let frame = encode_participant_reply(&reply);
+            for cut in 0..frame.len() {
+                assert!(decode_participant_reply(&frame[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let frame = vec![1, 0, 0, 0, 200];
+        assert_eq!(
+            decode_mediator_message(&frame).unwrap_err(),
+            FrameError::UnknownTag(200)
+        );
+        assert_eq!(
+            decode_participant_reply(&frame).unwrap_err(),
+            FrameError::UnknownTag(200)
+        );
+    }
+
+    #[test]
+    fn corrupted_counts_cannot_drive_huge_allocations() {
+        // A ConsumerIntentionRequest whose candidate count claims u32::MAX
+        // with no bytes behind it must fail cleanly.
+        let mut frame = FrameWriter::new(1);
+        frame.u32(1);
+        frame.u32(u32::MAX);
+        let bytes = frame.finish();
+        assert_eq!(
+            decode_mediator_message(&bytes).unwrap_err(),
+            FrameError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn replies_expose_their_query_or_wave() {
+        let single = ParticipantReply::ConsumerIntentions {
             query: QueryId::new(3),
             consumer: ConsumerId::new(1),
             intentions: vec![(ProviderId::new(0), 0.5)],
         };
-        assert_eq!(r.query(), QueryId::new(3));
-        let r = ParticipantReply::ProviderIntention {
-            query: QueryId::new(9),
+        assert_eq!(single.query(), Some(QueryId::new(3)));
+        assert_eq!(single.wave(), None);
+        let wave = ParticipantReply::ProviderWaveReply {
+            wave: 9,
             provider: ProviderId::new(2),
-            intention: -0.25,
-            bid: Some(Bid::new(10.0, 1.0)),
+            utilization: 0.0,
+            intentions: vec![],
         };
-        assert_eq!(r.query(), QueryId::new(9));
+        assert_eq!(wave.query(), None);
+        assert_eq!(wave.wave(), Some(9));
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub trait ConsumerEndpoint: Send + 'static {
     /// Notification of the final allocation of one of the consumer's
     /// queries.
     fn allocation_result(&mut self, _query: QueryId, _providers: &[ProviderId]) {}
+
+    /// When this endpoint's replies become available, as modelled by the
+    /// asynchronous reactor ([`crate::reactor`]). The threaded runtime
+    /// ignores this hook — its endpoints model latency by actually
+    /// blocking on their own thread — while the reactor uses it to park
+    /// the endpoint's state machine on its timer heap instead of
+    /// sleeping. Queried once per wave the endpoint takes part in.
+    fn latency(&mut self) -> crate::reactor::Latency {
+        crate::reactor::Latency::Immediate
+    }
 }
 
 /// Behaviour of a provider participant reachable through the runtime.
@@ -74,6 +84,23 @@ pub trait ProviderEndpoint: Send + 'static {
 
     /// Notification of the mediation result (selected or not).
     fn allocation_notice(&mut self, _query: QueryId, _selected: bool) {}
+
+    /// When this endpoint's replies become available, as modelled by the
+    /// asynchronous reactor ([`crate::reactor`]). Ignored by the threaded
+    /// runtime (see [`ConsumerEndpoint::latency`]).
+    fn latency(&mut self) -> crate::reactor::Latency {
+        crate::reactor::Latency::Immediate
+    }
+
+    /// The provider's current utilization `Ut(p)`, shown to the mediator
+    /// alongside its intentions. Methods that do not read utilization
+    /// (SQLB proper) ignore it, but the Capacity-based baseline ranks by
+    /// it — endpoints serving such a method should override the `0.0`
+    /// (idle) default. Queried once per wave by the reactor facade;
+    /// the legacy threaded runtime does not gather utilization at all.
+    fn utilization(&mut self) -> f64 {
+        0.0
+    }
 }
 
 /// Runtime configuration.

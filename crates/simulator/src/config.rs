@@ -60,6 +60,55 @@ impl Method {
     }
 }
 
+/// Which mediation backend the engine gathers intentions through.
+///
+/// All three backends ask the *same* agents the *same* questions in the
+/// same per-participant order, so a run's report is bit-identical across
+/// them for a given seed — pinned by the cross-backend digest tests and
+/// the `report_digest` binary. What changes is the machinery:
+///
+/// ```
+/// use sqlb_sim::{MediationMode, Method, SimulationConfig};
+/// use sqlb_sim::engine::run_simulation;
+///
+/// let config = SimulationConfig::scaled(8, 16, 60.0, 7);
+/// let inline = run_simulation(config, Method::Sqlb).unwrap();
+/// let reactor = run_simulation(
+///     config.with_mediation(MediationMode::Reactor),
+///     Method::Sqlb,
+/// )
+/// .unwrap();
+/// assert_eq!(inline.digest(), reactor.digest());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MediationMode {
+    /// Intentions are computed by direct in-process calls on the arrival
+    /// hot path — no mediation layer at all. The fastest backend and the
+    /// default (the paper's evaluation substrate).
+    #[default]
+    Inline,
+    /// Every arrival forks one OS thread per participant request and
+    /// waits for the replies until a real deadline — the legacy
+    /// thread-per-participant model, kept as the comparison backend.
+    Threaded,
+    /// Every arrival runs as one wave of the asynchronous mediation
+    /// reactor: participant endpoints are polled state machines on a
+    /// single event loop with per-endpoint deadline tracking
+    /// (`sqlb-mediation::reactor`).
+    Reactor,
+}
+
+impl MediationMode {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MediationMode::Inline => "inline",
+            MediationMode::Threaded => "threaded",
+            MediationMode::Reactor => "reactor",
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -109,6 +158,10 @@ pub struct SimulationConfig {
     /// provider utilization before a rebalancing round migrates a
     /// provider. Keeps migration from thrashing on noise.
     pub migration_min_spread: f64,
+    /// Which mediation backend gathers intentions (inline calls, the
+    /// legacy threaded runtime, or the asynchronous reactor). Reports are
+    /// bit-identical across backends for a given seed.
+    pub mediation: MediationMode,
 }
 
 impl SimulationConfig {
@@ -135,6 +188,7 @@ impl SimulationConfig {
             migration_enabled: false,
             rebalance_interval_secs: 100.0,
             migration_min_spread: 0.1,
+            mediation: MediationMode::Inline,
         }
     }
 
@@ -184,6 +238,7 @@ impl SimulationConfig {
             // for per-shard allocation counts to be signal, not noise.
             rebalance_interval_secs: (duration_secs / 25.0).max(1.0),
             migration_min_spread: 0.1,
+            mediation: MediationMode::Inline,
         }
     }
 
@@ -251,6 +306,12 @@ impl SimulationConfig {
     /// migration.
     pub fn with_migration_min_spread(mut self, spread: f64) -> Self {
         self.migration_min_spread = spread;
+        self
+    }
+
+    /// Selects the mediation backend intentions are gathered through.
+    pub fn with_mediation(mut self, mediation: MediationMode) -> Self {
+        self.mediation = mediation;
         self
     }
 
@@ -370,7 +431,19 @@ mod tests {
             assert!(!c.migration_enabled);
             assert!(c.rebalance_interval_secs > 0.0);
             assert!(c.migration_min_spread > 0.0);
+            assert_eq!(c.mediation, MediationMode::Inline);
         }
+    }
+
+    #[test]
+    fn mediation_modes_are_selectable_and_named() {
+        let c = SimulationConfig::scaled(10, 20, 100.0, 0).with_mediation(MediationMode::Reactor);
+        assert_eq!(c.mediation, MediationMode::Reactor);
+        assert!(c.validate().is_ok());
+        assert_eq!(MediationMode::Inline.name(), "inline");
+        assert_eq!(MediationMode::Threaded.name(), "threaded");
+        assert_eq!(MediationMode::Reactor.name(), "reactor");
+        assert_eq!(MediationMode::default(), MediationMode::Inline);
     }
 
     #[test]

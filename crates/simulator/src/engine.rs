@@ -23,19 +23,24 @@
 //! indexed by a participant's initial position: a departure can therefore
 //! never redirect state updates to the wrong survivor.
 
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sqlb_agents::Population;
 use sqlb_core::allocation::{CandidateInfo, SelectionSet};
 use sqlb_core::mediator_state::MediatorStateConfig;
+use sqlb_mediation::{
+    run_wave_threaded, IntentionWave, Latency, ProviderAnswer, Reactor, RuntimeConfig,
+};
 use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
 use sqlb_reputation::ReputationStore;
 use sqlb_types::{
     ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError,
 };
 
-use crate::config::{Method, SimulationConfig};
+use crate::config::{MediationMode, Method, SimulationConfig};
 use crate::events::{Event, EventQueue};
 use crate::routing::{RoutingPolicy, ShardLoadView};
 use crate::shard::ShardRouter;
@@ -59,6 +64,32 @@ struct ArrivalScratch {
     selected_indices: Vec<usize>,
     /// Id-sorted index over the allocation's selected providers.
     selection: SelectionSet,
+}
+
+/// Deadline of one mediated intention wave: real time for the threaded
+/// backend, virtual time for the reactor. Simulated participants are
+/// in-process and answer as soon as they are polled, so the deadline is
+/// only a guard — generous enough that scheduler hiccups on a loaded
+/// machine can never time a reply out and perturb a run's determinism.
+/// (The timeout-to-indifference path itself is exercised by the
+/// `sqlb-mediation` tests, with endpoints that model real latency.)
+const MEDIATED_WAVE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The mediation backend the engine gathers intentions through — the
+/// runtime realization of [`MediationMode`]. All three backends ask the
+/// same agents the same questions in the same per-participant order, so
+/// reports are bit-identical across them for a given seed.
+enum MediationDriver {
+    /// Direct in-process calls on the arrival hot path (the default).
+    Inline,
+    /// One scoped OS thread per participant request, per arrival — the
+    /// legacy thread-per-participant model, kept as the comparison
+    /// backend.
+    Threaded,
+    /// The asynchronous reactor: the engine registers every participant
+    /// as a polled endpoint at start-up, deregisters it on departure, and
+    /// runs each arrival's gather as one reactor wave.
+    Reactor(Box<Reactor>),
 }
 
 /// The simulator for one `(configuration, method)` pair.
@@ -132,6 +163,8 @@ pub struct Simulator {
     performed_at_last_rebalance: ParticipantTable<ProviderId, u64>,
     /// Reusable arrival-path buffers (see [`ArrivalScratch`]).
     scratch: ArrivalScratch,
+    /// The mediation backend intentions are gathered through.
+    mediation: MediationDriver,
 }
 
 impl Simulator {
@@ -156,6 +189,27 @@ impl Simulator {
             state_config,
             population.providers.keys(),
         );
+
+        let mediation = match config.mediation {
+            MediationMode::Inline => MediationDriver::Inline,
+            MediationMode::Threaded => MediationDriver::Threaded,
+            MediationMode::Reactor => {
+                // The engine drives the reactor: every participant is
+                // registered as a polled endpoint up front (a lightweight
+                // profile, not a thread) and deregistered on departure.
+                let mut reactor = Reactor::new(RuntimeConfig {
+                    timeout: MEDIATED_WAVE_TIMEOUT,
+                    request_bids: method.uses_bids(),
+                });
+                for id in population.consumers.keys() {
+                    reactor.register_consumer(id, Latency::Immediate);
+                }
+                for id in population.providers.keys() {
+                    reactor.register_provider(id, Latency::Immediate);
+                }
+                MediationDriver::Reactor(Box::new(reactor))
+            }
+        };
 
         let routing = config.routing.build();
         let shard_backlog = vec![0.0f64; router.shard_count()];
@@ -201,6 +255,7 @@ impl Simulator {
             allocations_at_last_rebalance: Vec::new(),
             performed_at_last_rebalance: ParticipantTable::new(),
             scratch: ArrivalScratch::default(),
+            mediation,
             population,
             config,
         };
@@ -399,23 +454,82 @@ impl Simulator {
         // provider reputation); each provider's intention balances its
         // preference for the query class against its current utilization
         // (computed once and reused for the mediator's view of `Ut(p)`).
+        // The mediated backends run the exact same per-participant
+        // computations, only multiplexed through a mediation wave instead
+        // of direct calls — which is why reports are bit-identical across
+        // backends for a given seed.
         let uses_bids = self.method_kind.uses_bids();
         let now = self.now;
-        let consumer_agent = &self.population.consumers[consumer];
-        let infos = &mut self.scratch.infos;
-        infos.clear();
-        for &p in self.router.providers_of_shard(shard) {
-            let ci = consumer_agent.intention_for(&query, p, &self.reputation);
-            let provider_agent = &mut self.population.providers[p];
-            let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
-            let mut info = CandidateInfo::new(p)
-                .with_consumer_intention(ci)
-                .with_provider_intention(pi)
-                .with_utilization(utilization);
-            if uses_bids {
-                info = info.with_bid(provider_agent.bid_for(&query, now));
+        match &mut self.mediation {
+            MediationDriver::Inline => {
+                let consumer_agent = &self.population.consumers[consumer];
+                let infos = &mut self.scratch.infos;
+                infos.clear();
+                for &p in self.router.providers_of_shard(shard) {
+                    let ci = consumer_agent.intention_for(&query, p, &self.reputation);
+                    let provider_agent = &mut self.population.providers[p];
+                    let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
+                    let mut info = CandidateInfo::new(p)
+                        .with_consumer_intention(ci)
+                        .with_provider_intention(pi)
+                        .with_utilization(utilization);
+                    if uses_bids {
+                        info = info.with_bid(provider_agent.bid_for(&query, now));
+                    }
+                    infos.push(info);
+                }
             }
-            infos.push(info);
+            driver => {
+                // One wave: a batched intention request to the issuing
+                // consumer (covering all candidates) and one request per
+                // candidate provider, with per-endpoint deadline tracking.
+                let candidates = self.router.providers_of_shard(shard);
+                let consumer_agent = &self.population.consumers[consumer];
+                let reputation = &self.reputation;
+                let query_ref = &query;
+                let mut wave = IntentionWave::new();
+                wave.consumer(consumer, None, move || {
+                    vec![(
+                        query_ref.id,
+                        candidates
+                            .iter()
+                            .map(|&p| (p, consumer_agent.intention_for(query_ref, p, reputation)))
+                            .collect(),
+                    )]
+                });
+                // The shard's candidate list is ascending, so the table
+                // hands out one disjoint `&mut` per candidate agent in
+                // O(candidates) — the wave never walks the rest of the
+                // population.
+                for (p, agent) in self.population.providers.iter_mut_of(candidates) {
+                    wave.provider(p, None, move || {
+                        let (intention, utilization) =
+                            agent.intention_and_utilization(query_ref, now);
+                        vec![ProviderAnswer {
+                            query: query_ref.id,
+                            intention,
+                            utilization,
+                            bid: uses_bids.then(|| agent.bid_for(query_ref, now)),
+                        }]
+                    });
+                }
+
+                let replies = match driver {
+                    MediationDriver::Threaded => run_wave_threaded(wave, MEDIATED_WAVE_TIMEOUT),
+                    MediationDriver::Reactor(reactor) => reactor.run_wave(wave),
+                    MediationDriver::Inline => unreachable!("inline is handled above"),
+                };
+
+                // Assemble the wave's replies through the shared helper
+                // (replies keyed by (query, provider), indifference filled
+                // in for anything that missed the deadline), so the
+                // timeout semantics live in exactly one place.
+                let requests = [(query.clone(), candidates.to_vec())];
+                let gathered = replies.into_candidate_infos(&requests);
+                let infos = &mut self.scratch.infos;
+                infos.clear();
+                infos.extend(gathered.into_iter().flatten());
+            }
         }
 
         // Allocation decision (Algorithm 1, lines 6–9), recorded in the
@@ -906,6 +1020,9 @@ impl Simulator {
                                 self.shard_backlog[shard] -= agent.backlog().value();
                             }
                             self.router.remove_provider(id);
+                            if let MediationDriver::Reactor(reactor) = &mut self.mediation {
+                                reactor.deregister_provider(id);
+                            }
                             let profile = self.population.profiles[id];
                             self.provider_departures.push(DepartureRecord {
                                 provider: id,
@@ -939,6 +1056,9 @@ impl Simulator {
                         if self.consumer_strikes[id] >= rule.required_consecutive.max(1) {
                             self.population.depart_consumer(id);
                             self.router.remove_consumer(id);
+                            if let MediationDriver::Reactor(reactor) = &mut self.mediation {
+                                reactor.deregister_consumer(id);
+                            }
                             self.consumer_departures.push(ConsumerDepartureRecord {
                                 consumer: id,
                                 time_secs: now.as_secs(),
@@ -1330,6 +1450,49 @@ mod tests {
             }
             assert_eq!(point.time.to_bits(), by_addition.to_bits());
         }
+    }
+
+    #[test]
+    fn every_mediation_backend_reproduces_the_same_run_bit_for_bit() {
+        // The acceptance bar for the reactor rewrite: routing the gather
+        // step through the threaded runtime or the asynchronous reactor
+        // must not change a single bit of the report — the backends ask
+        // the same agents the same questions in the same order.
+        let config = small_config(150.0, 9).with_workload(WorkloadPattern::Fixed(0.6));
+        let inline = run_simulation(config, Method::Sqlb).unwrap();
+        let threaded = run_simulation(
+            config.with_mediation(crate::MediationMode::Threaded),
+            Method::Sqlb,
+        )
+        .unwrap();
+        let reactor = run_simulation(
+            config.with_mediation(crate::MediationMode::Reactor),
+            Method::Sqlb,
+        )
+        .unwrap();
+        assert_eq!(inline.digest(), threaded.digest());
+        assert_eq!(inline.digest(), reactor.digest());
+        assert_eq!(
+            inline.series.utilization_mean.values(),
+            reactor.series.utilization_mean.values()
+        );
+    }
+
+    #[test]
+    fn the_reactor_backend_supports_bids_and_shards() {
+        // The economic method gathers bids through the wave, and K>1 runs
+        // mediate per-shard candidate sets through it.
+        let config = small_config(150.0, 5)
+            .with_workload(WorkloadPattern::Fixed(0.6))
+            .with_mediator_shards(2);
+        let inline = run_simulation(config, Method::MariposaLike).unwrap();
+        let reactor = run_simulation(
+            config.with_mediation(crate::MediationMode::Reactor),
+            Method::MariposaLike,
+        )
+        .unwrap();
+        assert_eq!(inline.digest(), reactor.digest());
+        assert_eq!(inline.shard_allocations, reactor.shard_allocations);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! paper's mono-mediator results bit-for-bit.
 //!
 //! * [`config`] — simulation configuration (Table 2 defaults plus scaled
-//!   variants) and the [`config::Method`] selector for the allocation
-//!   method under test;
+//!   variants), the [`config::Method`] selector for the allocation method
+//!   under test and the [`config::MediationMode`] selector for the
+//!   mediation backend intentions are gathered through (inline calls, the
+//!   legacy threaded runtime, or the asynchronous reactor — bit-identical
+//!   reports either way);
 //! * [`workload`] — workload patterns (fixed or ramping fraction of the
 //!   total system capacity) and the Poisson arrival process;
 //! * [`events`] — the event queue of the discrete-event engine;
@@ -29,7 +32,7 @@
 //! * [`experiments`] — one driver per paper figure/table (Figures 2–6,
 //!   Tables 2–3), returning printable results.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod engine;
@@ -40,7 +43,7 @@ pub mod shard;
 pub mod stats;
 pub mod workload;
 
-pub use config::{Method, SimulationConfig};
+pub use config::{MediationMode, Method, SimulationConfig};
 pub use engine::Simulator;
 pub use routing::{
     LeastLoadedRouting, RoutingPolicy, RoutingPolicyKind, ShardLoadView, StaticRouting,

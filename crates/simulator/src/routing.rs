@@ -141,6 +141,20 @@ impl RoutingPolicy for LeastLoadedRouting {
 
 /// Configuration-level selector for the routing policy (the trait objects
 /// themselves are not serializable).
+///
+/// Select a policy on the simulation configuration and the engine builds
+/// it for the run:
+///
+/// ```
+/// use sqlb_sim::engine::run_simulation;
+/// use sqlb_sim::{Method, RoutingPolicyKind, SimulationConfig};
+///
+/// let config = SimulationConfig::scaled(8, 16, 60.0, 7)
+///     .with_mediator_shards(2)
+///     .with_routing(RoutingPolicyKind::LeastLoaded);
+/// let report = run_simulation(config, Method::Sqlb).unwrap();
+/// assert_eq!(report.routing_policy, "least-loaded");
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RoutingPolicyKind {
     /// [`StaticRouting`]: `consumer % K`.

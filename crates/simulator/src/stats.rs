@@ -146,10 +146,73 @@ pub struct SimulationReport {
     pub final_consumer_satisfaction: Summary,
 }
 
+/// FNV-1a, 64-bit — the fold behind [`SimulationReport::digest`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    fn write_series(&mut self, series: &TimeSeries) {
+        for point in series.points() {
+            self.write_f64(point.time);
+            self.write_f64(point.value);
+        }
+    }
+}
+
 impl SimulationReport {
     /// Mean response time of completed queries, in seconds.
     pub fn mean_response_time(&self) -> f64 {
         self.response_times.mean()
+    }
+
+    /// A bit-exact digest of the report: the raw IEEE-754 bits of every
+    /// primary metric series (plus the query counters) folded into an
+    /// FNV-1a hash. Two runs produce the same digest if and only if their
+    /// engines were bit-identical for that configuration — this is the
+    /// value behind the "K=1 must stay bit-identical across PRs" and "all
+    /// mediation backends must agree" acceptance bars (the `report_digest`
+    /// binary prints it over a fixed configuration matrix).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.issued_queries);
+        h.write_u64(self.completed_queries);
+        h.write_u64(self.unallocated_queries);
+        h.write_u64(self.provider_departures.len() as u64);
+        h.write_u64(self.consumer_departures.len() as u64);
+        h.write_f64(self.mean_response_time());
+        let s = &self.series;
+        for series in [
+            &s.provider_satisfaction_intention_mean,
+            &s.provider_satisfaction_preference_mean,
+            &s.provider_allocation_satisfaction_preference_mean,
+            &s.provider_allocation_satisfaction_intention_mean,
+            &s.provider_satisfaction_fairness,
+            &s.consumer_allocation_satisfaction_mean,
+            &s.consumer_satisfaction_mean,
+            &s.consumer_satisfaction_fairness,
+            &s.utilization_mean,
+            &s.utilization_fairness,
+            &s.workload_fraction,
+            &s.active_providers,
+            &s.active_consumers,
+        ] {
+            h.write_series(series);
+        }
+        h.0
     }
 
     /// Fraction of providers that departed during the run.

@@ -16,7 +16,7 @@ pub enum WorkloadPattern {
     /// A constant fraction of the total system capacity.
     Fixed(f64),
     /// A fraction that increases linearly from `from` to `to` over the run
-    /// ("each [experiment] starts with a workload of 30 % that uniformly
+    /// ("each \[experiment\] starts with a workload of 30 % that uniformly
     /// increases up to 100 % of the total system capacity").
     Ramp {
         /// Fraction at the start of the run.

@@ -107,6 +107,38 @@ impl<K: StableId, V> ParticipantTable<K, V> {
         self.slots.get_mut(key.slot()).and_then(Option::as_mut)
     }
 
+    /// Disjoint mutable access to the entries of `keys`, which must be in
+    /// strictly ascending id order (the order candidate lists are kept
+    /// in). Yields one `(key, &mut value)` pair per *present* key — absent
+    /// keys are skipped — in O(len(keys)), without walking the rest of the
+    /// table. The borrows are simultaneous (each yielded reference splits
+    /// the remaining slots), which is what lets a caller hand out one
+    /// `&mut` participant per task of a batch.
+    pub fn iter_mut_of<'a>(
+        &'a mut self,
+        keys: &'a [K],
+    ) -> impl Iterator<Item = (K, &'a mut V)> + 'a {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0].slot() < w[1].slot()),
+            "iter_mut_of requires strictly ascending keys"
+        );
+        let mut rest: &'a mut [Option<V>] = &mut self.slots;
+        let mut consumed = 0usize;
+        keys.iter().filter_map(move |&key| {
+            // Out-of-order (or duplicate) keys would alias; they are
+            // rejected by the debug assertion above and skipped here.
+            let offset = key.slot().checked_sub(consumed)?;
+            if offset >= rest.len() {
+                return None;
+            }
+            let taken = std::mem::take(&mut rest);
+            let (head, tail) = taken.split_at_mut(offset + 1);
+            rest = tail;
+            consumed = key.slot() + 1;
+            head[offset].as_mut().map(|value| (key, value))
+        })
+    }
+
     /// Inserts an entry, returning the previous value for `key` if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let slot = key.slot();
@@ -258,6 +290,30 @@ mod tests {
         assert_eq!(table.len(), 3);
         assert_eq!(table.remove(p(1)), None);
         assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn iter_mut_of_hands_out_disjoint_borrows_for_ascending_keys() {
+        let mut table: ParticipantTable<ProviderId, u32> =
+            ParticipantTable::from_values([10, 11, 12, 13, 14]);
+        table.remove(p(2));
+
+        // Simultaneous &mut to a selection of entries (the absent key is
+        // skipped), collected to prove the borrows coexist.
+        let keys = [p(0), p(2), p(3)];
+        let selected: Vec<(ProviderId, &mut u32)> = table.iter_mut_of(&keys).collect();
+        assert_eq!(selected.len(), 2, "the removed key is skipped");
+        for (key, value) in selected {
+            *value += key.raw();
+        }
+        assert_eq!(table.get(p(0)), Some(&10));
+        assert_eq!(table.get(p(3)), Some(&16));
+        assert_eq!(table.get(p(1)), Some(&11), "unselected entries untouched");
+
+        // Keys past the end of the table are skipped, not panicked on.
+        assert_eq!(table.iter_mut_of(&[p(99)]).count(), 0);
+        // An empty selection is an empty iterator.
+        assert_eq!(table.iter_mut_of(&[]).count(), 0);
     }
 
     #[test]

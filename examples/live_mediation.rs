@@ -1,17 +1,22 @@
-//! Live mediation: Algorithm 1 running over real threads.
+//! Live mediation: Algorithm 1 over real threads, then over the reactor.
 //!
 //! The simulator drives agents synchronously for reproducibility, but the
-//! framework also ships a concurrent mediation runtime
-//! (`sqlb-mediation`) in which every consumer and provider runs on its own
-//! thread and the mediator *forks* intention requests, *waits until* the
-//! answers arrive *or a timeout* elapses, and then allocates and notifies
-//! everyone — exactly the structure of Algorithm 1.
+//! framework also ships two concurrent mediation backends
+//! (`sqlb-mediation`): the legacy thread-per-participant runtime, in
+//! which every consumer and provider runs on its own thread and the
+//! mediator *forks* intention requests, *waits until* the answers arrive
+//! *or a timeout* elapses — exactly the structure of Algorithm 1 — and
+//! the asynchronous reactor, which drives the same endpoints as polled
+//! state machines on one event loop over a virtual clock, scaling one
+//! host to tens of thousands of endpoints.
 //!
 //! Run with: `cargo run --example live_mediation`
 
 use std::time::Duration;
 
-use sqlb::mediation::{ConsumerEndpoint, MediationRuntime, ProviderEndpoint, RuntimeConfig};
+use sqlb::mediation::{
+    AsyncMediator, ConsumerEndpoint, Latency, MediationRuntime, ProviderEndpoint, RuntimeConfig,
+};
 use sqlb::prelude::*;
 
 /// A consumer that likes providers with an even identifier.
@@ -109,4 +114,65 @@ fn main() {
 
     println!("\np4 never wins despite being eager: its answers miss the 100 ms deadline,");
     println!("so the mediator treats it as indifferent — Algorithm 1's timeout at work.");
+
+    // The same protocol on the asynchronous reactor: endpoints declare
+    // their latency instead of sleeping, the event loop advances a
+    // virtual clock, and the whole round costs microseconds of wall time
+    // no matter the timeout.
+    let mut reactor = AsyncMediator::new(RuntimeConfig {
+        timeout: Duration::from_millis(100),
+        request_bids: false,
+    });
+    reactor.register_consumer(ConsumerId::new(0), ParityConsumer);
+    for id in 0..5u32 {
+        reactor.register_provider(
+            ProviderId::new(id),
+            ModelledProvider {
+                id,
+                latency: if id == 4 {
+                    Latency::Never // partitioned: degrades at the deadline
+                } else {
+                    Latency::After(Duration::from_millis(5))
+                },
+            },
+        );
+    }
+    println!("\n== The same mediation on the reactor (virtual time) ==");
+    let query = Query::single(
+        QueryId::new(100),
+        ConsumerId::new(0),
+        QueryClass::Light,
+        SimTime::ZERO,
+    );
+    let allocation = reactor.mediate(&query, &candidates, &mut method, &mut state);
+    let round = reactor.reactor().last_round();
+    println!(
+        "mediator: query {} -> {} ({} answered, {} timed out, virtual round {:?})",
+        query.id, allocation.selected[0], round.answered, round.timed_out, round.virtual_elapsed,
+    );
+    println!("p4's silence was detected at exactly the 100 ms virtual deadline,");
+    println!("without any thread ever sleeping.");
+}
+
+/// A provider whose eagerness decreases with its identifier and whose
+/// reply latency is *modelled* (reactor) rather than slept (threads).
+struct ModelledProvider {
+    id: u32,
+    latency: Latency,
+}
+
+impl ProviderEndpoint for ModelledProvider {
+    fn intention(&mut self, _query: &Query) -> f64 {
+        1.0 - self.id as f64 * 0.2
+    }
+
+    fn latency(&mut self) -> Latency {
+        self.latency
+    }
+
+    fn allocation_notice(&mut self, query: QueryId, selected: bool) {
+        if selected {
+            println!("  provider p{}: I will perform query {query}", self.id);
+        }
+    }
 }
