@@ -1,0 +1,188 @@
+//! Endpoint-count scaling of the *socket* mediation transport.
+//!
+//! The reactor bench (`reactor_scaling`) answers "what does an
+//! in-process wave cost at tens of thousands of endpoints?"; this bench
+//! answers the networked version: one mediation wave in which every
+//! provider endpoint is the candidate of exactly one query, fanned out
+//! as framed bytes over loopback TCP to a handful of participant-host
+//! processes-worth of endpoints (one socket per host, not per
+//! endpoint), replies decoded and reassembled on the way back.
+//!
+//! The 10k-endpoint round is the PR's acceptance measurement: its
+//! best-of-N wall clock is recorded into `BENCH_allocation.json` as the
+//! record's `transport` row (label from `BENCH_LABEL`, default
+//! `"latest"`).
+//!
+//! Run with: `cargo bench -p sqlb-bench --bench transport_scaling`
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlb_bench::perf;
+use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
+use sqlb_transport::{ParticipantHost, ServerConfig, WaveServer};
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+
+/// Candidates per query; 16 keeps candidate sets realistic while letting
+/// a batch cover every provider endpoint exactly once.
+const CANDIDATES_PER_QUERY: u32 = 16;
+/// Consumers issuing the batch (queries are spread over them).
+const CONSUMERS: u32 = 64;
+/// Participant-host connections the endpoints are multiplexed over.
+const HOSTS: u32 = 8;
+/// The acceptance-scale endpoint count (providers; consumers ride along).
+const ACCEPTANCE_PROVIDERS: u32 = 10_240;
+
+struct FlatConsumer;
+
+impl ConsumerEndpoint for FlatConsumer {
+    fn intentions(&mut self, _q: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
+        candidates
+            .iter()
+            .map(|&p| (p, 0.25 + 0.5 / (1.0 + p.index() as f64)))
+            .collect()
+    }
+}
+
+struct FlatProvider(f64);
+
+impl ProviderEndpoint for FlatProvider {
+    fn intention(&mut self, _q: &Query) -> f64 {
+        self.0
+    }
+    fn utilization(&mut self) -> f64 {
+        self.0.abs() / 2.0
+    }
+}
+
+/// One query per `CANDIDATES_PER_QUERY` providers: the batch that
+/// touches every provider endpoint exactly once.
+fn full_coverage_batch(providers: u32) -> Vec<(Query, Vec<ProviderId>)> {
+    (0..providers / CANDIDATES_PER_QUERY)
+        .map(|i| {
+            let query = Query::single(
+                QueryId::new(i),
+                ConsumerId::new(i % CONSUMERS),
+                QueryClass::Light,
+                SimTime::ZERO,
+            );
+            let first = i * CANDIDATES_PER_QUERY;
+            let candidates = (first..first + CANDIDATES_PER_QUERY)
+                .map(ProviderId::new)
+                .collect();
+            (query, candidates)
+        })
+        .collect()
+}
+
+/// A server with `providers` + [`CONSUMERS`] endpoints multiplexed over
+/// [`HOSTS`] participant-host threads, plus the join handles.
+fn topology(
+    providers: u32,
+) -> (
+    WaveServer,
+    Vec<std::thread::JoinHandle<std::io::Result<sqlb_transport::HostReport>>>,
+) {
+    let mut server = WaveServer::new(ServerConfig {
+        timeout: Duration::from_secs(30),
+        request_bids: false,
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("loopback bind");
+    let mut handles = Vec::new();
+    for h in 0..HOSTS {
+        handles.push(std::thread::spawn(move || {
+            let mut host = ParticipantHost::connect_tcp(addr)?;
+            for c in (h..CONSUMERS).step_by(HOSTS as usize) {
+                host.add_consumer(ConsumerId::new(c), FlatConsumer);
+            }
+            for p in (h..providers).step_by(HOSTS as usize) {
+                host.add_provider(
+                    ProviderId::new(p),
+                    FlatProvider(1.0 - (p % 7) as f64 * 0.25),
+                );
+            }
+            host.announce()?;
+            host.serve()
+        }));
+    }
+    server
+        .accept_hosts(HOSTS as usize, Duration::from_secs(30))
+        .expect("hosts connect");
+    assert_eq!(server.provider_count(), providers as usize);
+    assert_eq!(server.consumer_count(), CONSUMERS as usize);
+    (server, handles)
+}
+
+fn bench_socket_wave(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("socket_wave");
+    group.measurement_time(Duration::from_secs(4));
+    for &providers in &[1_024u32, ACCEPTANCE_PROVIDERS] {
+        let (mut server, handles) = topology(providers);
+        let batch = full_coverage_batch(providers);
+        group.bench_function(BenchmarkId::from_parameter(providers), |b| {
+            b.iter(|| {
+                let infos = server.gather(&batch);
+                assert_eq!(infos.len(), batch.len());
+                infos
+            })
+        });
+        // The acceptance check behind the bench: the wave multiplexes
+        // the full endpoint population over HOSTS connections, answers
+        // everything, and times nothing out.
+        let round = server.last_round();
+        assert_eq!(round.delivered, (CONSUMERS + providers) as usize);
+        assert_eq!(round.timed_out, 0);
+        assert_eq!(server.connection_count(), HOSTS as usize);
+        server.shutdown();
+        for handle in handles {
+            assert!(handle.join().unwrap().expect("host io").clean_shutdown);
+        }
+    }
+    group.finish();
+
+    // A dedicated best-of-N measurement of the acceptance-scale round
+    // for the committed record (criterion's per-iteration mean is
+    // noisier for multi-ms rounds).
+    let (mut server, handles) = topology(ACCEPTANCE_PROVIDERS);
+    let batch = full_coverage_batch(ACCEPTANCE_PROVIDERS);
+    let _ = server.gather(&batch); // warmup
+    let mut best = Duration::MAX;
+    for _ in 0..5 {
+        let started = Instant::now();
+        let infos = server.gather(&batch);
+        let elapsed = started.elapsed();
+        assert_eq!(infos.len(), batch.len());
+        assert_eq!(server.last_round().timed_out, 0);
+        best = best.min(elapsed);
+    }
+    let endpoints = (ACCEPTANCE_PROVIDERS + CONSUMERS) as usize;
+    println!(
+        "socket_wave: {endpoints} endpoints over {HOSTS} hosts: best round {:.3} ms",
+        best.as_secs_f64() * 1e3
+    );
+    server.shutdown();
+    for handle in handles {
+        handle.join().unwrap().expect("host io");
+    }
+
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "latest".to_string());
+    let path = perf::trajectory_path();
+    let existing = std::fs::read_to_string(path)
+        .map(|content| perf::parse_trajectory(&content))
+        .unwrap_or_default();
+    let records = perf::upsert_transport(
+        existing,
+        &label,
+        perf::TransportMeasurement {
+            endpoints,
+            hosts: HOSTS as usize,
+            round_ms: best.as_secs_f64() * 1e3,
+        },
+    );
+    if let Err(e) = std::fs::write(path, perf::render_trajectory(&records)) {
+        eprintln!("warning: could not write BENCH_allocation.json: {e}");
+    }
+}
+
+criterion_group!(benches, bench_socket_wave);
+criterion_main!(benches);

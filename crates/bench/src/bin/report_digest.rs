@@ -1,5 +1,6 @@
 //! Prints a bit-exact digest of simulation reports over a fixed
-//! configuration matrix, optionally across all mediation backends.
+//! configuration matrix, optionally across all mediation backends
+//! (threaded, reactor, and the loopback socket transport).
 //!
 //! The digest ([`sqlb_sim::SimulationReport::digest`]) folds the raw
 //! IEEE-754 bits of every recorded metric series (plus the query
@@ -48,7 +49,11 @@ fn main() {
             if !compare_backends {
                 continue;
             }
-            for mode in [MediationMode::Threaded, MediationMode::Reactor] {
+            for mode in [
+                MediationMode::Threaded,
+                MediationMode::Reactor,
+                MediationMode::Socket,
+            ] {
                 let mediated = run_simulation(config.with_mediation(mode), method)
                     .expect("valid config")
                     .digest();

@@ -51,6 +51,19 @@ pub struct ShardMeasurement {
     pub allocations_per_sec: f64,
 }
 
+/// One measured socket-transport wave round (the `transport_scaling`
+/// bench): how long one mediation wave touching every endpoint takes
+/// over loopback sockets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportMeasurement {
+    /// Participant endpoints touched by the wave.
+    pub endpoints: usize,
+    /// Participant-host connections the endpoints were multiplexed over.
+    pub hosts: usize,
+    /// Best-of-N wall clock of one full wave round, in milliseconds.
+    pub round_ms: f64,
+}
+
 /// One labelled record of the performance trajectory (one per PR).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryRecord {
@@ -58,6 +71,8 @@ pub struct TrajectoryRecord {
     pub label: String,
     /// One measurement per entry of [`SHARD_COUNTS`].
     pub shards: Vec<ShardMeasurement>,
+    /// The socket-transport round measurement, for records from PR-5 on.
+    pub transport: Option<TransportMeasurement>,
 }
 
 /// The benchmark configuration for a shard count.
@@ -118,7 +133,13 @@ pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
             ));
         }
         let comma = if r + 1 < records.len() { "," } else { "" };
-        out.push_str(&format!("    ]}}{comma}\n"));
+        match &record.transport {
+            Some(transport) => out.push_str(&format!(
+                "    ], \"transport\": {{\"endpoints\": {}, \"hosts\": {}, \"round_ms\": {:.3}}}}}{comma}\n",
+                transport.endpoints, transport.hosts, transport.round_ms,
+            )),
+            None => out.push_str(&format!("    ]}}{comma}\n")),
+        }
     }
     out.push_str("  ]\n}\n");
     out
@@ -141,7 +162,23 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
             records.push(TrajectoryRecord {
                 label: label.to_string(),
                 shards: Vec::new(),
+                transport: None,
             });
+        }
+        if line.contains("\"transport\"") {
+            if let Some(record) = records.last_mut() {
+                record.transport = Some(TransportMeasurement {
+                    endpoints: field(line, "\"endpoints\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    hosts: field(line, "\"hosts\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    round_ms: field(line, "\"round_ms\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                });
+            }
         }
         if line.contains("\"mediator_shards\"") {
             let row = ShardMeasurement {
@@ -162,6 +199,7 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                 records.push(TrajectoryRecord {
                     label: "PR-1".to_string(),
                     shards: Vec::new(),
+                    transport: None,
                 });
             }
             records.last_mut().expect("record exists").shards.push(row);
@@ -171,19 +209,38 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
 }
 
 /// Replaces the record with `label` (or appends it) and returns the new
-/// trajectory.
+/// trajectory. A transport measurement already attached to the record is
+/// preserved (the shard and transport benches write independently).
 pub fn upsert_record(
     mut records: Vec<TrajectoryRecord>,
     label: &str,
     shards: Vec<ShardMeasurement>,
 ) -> Vec<TrajectoryRecord> {
-    let record = TrajectoryRecord {
-        label: label.to_string(),
-        shards,
-    };
     match records.iter_mut().find(|r| r.label == label) {
-        Some(existing) => *existing = record,
-        None => records.push(record),
+        Some(existing) => existing.shards = shards,
+        None => records.push(TrajectoryRecord {
+            label: label.to_string(),
+            shards,
+            transport: None,
+        }),
+    }
+    records
+}
+
+/// Attaches a transport round measurement to the record with `label`
+/// (creating the record, with no shard rows yet, if needed).
+pub fn upsert_transport(
+    mut records: Vec<TrajectoryRecord>,
+    label: &str,
+    transport: TransportMeasurement,
+) -> Vec<TrajectoryRecord> {
+    match records.iter_mut().find(|r| r.label == label) {
+        Some(existing) => existing.transport = Some(transport),
+        None => records.push(TrajectoryRecord {
+            label: label.to_string(),
+            shards: Vec::new(),
+            transport: Some(transport),
+        }),
     }
     records
 }
@@ -252,6 +309,7 @@ mod tests {
     fn record(label: &str, throughput: f64) -> TrajectoryRecord {
         TrajectoryRecord {
             label: label.to_string(),
+            transport: None,
             shards: vec![
                 ShardMeasurement {
                     mediator_shards: 1,
@@ -299,6 +357,42 @@ mod tests {
         assert_eq!(parsed[0].shards.len(), 2);
         assert!((parsed[0].shards[0].allocations_per_sec - 99043.6).abs() < 0.1);
         assert_eq!(parsed[0].shards[1].mediator_shards, 8);
+    }
+
+    #[test]
+    fn transport_measurements_round_trip_and_survive_shard_upserts() {
+        let mut with_transport = record("PR-5", 180000.0);
+        with_transport.transport = Some(TransportMeasurement {
+            endpoints: 10_304,
+            hosts: 8,
+            round_ms: 41.5,
+        });
+        let records = vec![record("PR-4", 170000.0), with_transport.clone()];
+        let parsed = parse_trajectory(&render_trajectory(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].transport, None, "older records carry none");
+        let transport = parsed[1].transport.as_ref().unwrap();
+        assert_eq!(transport.endpoints, 10_304);
+        assert_eq!(transport.hosts, 8);
+        assert!((transport.round_ms - 41.5).abs() < 1e-9);
+
+        // Re-measuring the shard rows must not drop the transport row.
+        let records = upsert_record(parsed, "PR-5", record("PR-5", 190000.0).shards);
+        assert!(records[1].transport.is_some());
+        // And the transport row can be written first, creating the record.
+        let records = upsert_transport(
+            Vec::new(),
+            "PR-6",
+            TransportMeasurement {
+                endpoints: 1,
+                hosts: 1,
+                round_ms: 0.5,
+            },
+        );
+        assert_eq!(records[0].label, "PR-6");
+        assert!(records[0].shards.is_empty());
+        let reparsed = parse_trajectory(&render_trajectory(&records));
+        assert_eq!(reparsed[0].transport.as_ref().unwrap().endpoints, 1);
     }
 
     #[test]

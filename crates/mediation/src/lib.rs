@@ -12,7 +12,10 @@
 //!
 //! * [`protocol`] — the message types exchanged between the mediator and
 //!   the participants (intention requests/replies, bid requests, allocation
-//!   notices) and their length-prefixed wire framing;
+//!   notices, connection hello/goodbye), their length-prefixed wire framing
+//!   (hardened against hostile length prefixes) and the [`FrameAssembler`]
+//!   that reassembles frames from stream chunk boundaries — the contract
+//!   the socket transport (`sqlb-transport`) speaks on real connections;
 //! * [`reactor`] — the asynchronous mediation reactor: participant
 //!   endpoints as polled state machines driven by a single event loop with
 //!   a readiness queue, a timer heap and per-endpoint deadline tracking,
@@ -33,7 +36,8 @@ pub mod runtime;
 
 pub use protocol::{
     decode_mediator_message, decode_participant_reply, encode_mediator_message,
-    encode_participant_reply, FrameError, MediatorMessage, ParticipantReply,
+    encode_participant_reply, FrameAssembler, FrameError, MediatorMessage, ParticipantReply,
+    MAX_FRAME_PAYLOAD,
 };
 pub use reactor::{
     run_wave_threaded, AsyncMediator, IntentionWave, Latency, ProviderAnswer, Reactor, RoundStats,

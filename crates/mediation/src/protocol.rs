@@ -13,12 +13,37 @@
 //!
 //! * the **single-query** requests of the original runtime (one message
 //!   per query per participant);
-//! * the **wave** requests the reactor natively speaks
-//!   ([`MediatorMessage::ConsumerWaveRequest`] /
+//! * the **wave** requests the reactor and the socket transport natively
+//!   speak ([`MediatorMessage::ConsumerWaveRequest`] /
 //!   [`MediatorMessage::ProviderWaveRequest`]): one message per
 //!   participant covering every query of a mediation batch, answered in
 //!   one reply. Waves are numbered so a reply that arrives after its
 //!   wave's deadline can be recognized as stale and discarded.
+//!
+//! # Multiplexed connections
+//!
+//! A networked deployment runs one socket per *participant host*, not per
+//! endpoint (`sqlb-transport`): a single connection carries the traffic
+//! of every consumer and provider that host serves. Three protocol
+//! features exist for that topology:
+//!
+//! * wave requests and result notices carry their **addressee** (the
+//!   `consumer` / `provider` field), so the host can dispatch them to the
+//!   right endpoint;
+//! * a connection opens with [`ParticipantReply::Hello`] declaring the
+//!   endpoints the host serves, and closes with
+//!   [`ParticipantReply::Goodbye`] (or a mediator-initiated
+//!   [`MediatorMessage::Shutdown`]);
+//! * [`MediatorMessage::WaveEnd`] brackets a wave on each connection: the
+//!   host buffers requests until it sees the marker, then answers them
+//!   all — which also keeps both sides' socket buffers drained (neither
+//!   end ever blocks writing while the other is blocked writing too).
+//!
+//! Wave requests carry the **full query** `q = <c, d, n>` (not just its
+//! id): a remote endpoint needs the class, description and cost to
+//! compute its Definition 7/8 intention, and the engine's determinism
+//! contract relies on the decoded query being bit-identical to the
+//! encoded one (`f64`s travel as raw IEEE-754 bits).
 //!
 //! # Framing
 //!
@@ -32,16 +57,31 @@
 //! ```
 //!
 //! — with all integers little-endian, `f64`s as their IEEE-754 bits,
-//! vectors as a `u32` count followed by the elements, and options as a
-//! `0`/`1` presence byte. Decoding never panics on malformed input: a
-//! short buffer yields [`FrameError::Truncated`], an unknown tag
-//! [`FrameError::UnknownTag`], and a frame whose payload disagrees with
-//! its declared length [`FrameError::TrailingBytes`]. Frames are
-//! self-delimiting, so a stream of them can be decoded back-to-back.
+//! strings as a `u32` byte count followed by UTF-8 bytes, vectors as a
+//! `u32` count followed by the elements, and options as a `0`/`1`
+//! presence byte. Decoding never panics on malformed input: a short
+//! buffer yields [`FrameError::Truncated`], an unknown tag
+//! [`FrameError::UnknownTag`], a frame whose payload disagrees with its
+//! declared length [`FrameError::TrailingBytes`], and a declared payload
+//! beyond [`MAX_FRAME_PAYLOAD`] is rejected as [`FrameError::Oversized`]
+//! *before* any allocation happens — a hostile 4 GiB length prefix
+//! cannot OOM the mediator. Frames are self-delimiting, so a stream of
+//! them can be decoded back-to-back; [`FrameAssembler`] reassembles them
+//! from the arbitrary chunk boundaries a stream transport delivers.
 
 use serde::{Deserialize, Serialize};
 use sqlb_core::allocation::Bid;
-use sqlb_types::{ConsumerId, ProviderId, QueryId};
+use sqlb_types::{
+    ConsumerId, ProviderId, Query, QueryClass, QueryDescription, QueryId, SimTime, WorkUnits,
+};
+
+/// Upper bound on a frame's declared payload length (16 MiB).
+///
+/// Real frames are a few hundred bytes; even a full 50 000-endpoint wave
+/// reply stays well under a megabyte. The cap exists so a corrupted or
+/// hostile length prefix is rejected with [`FrameError::Oversized`]
+/// before the decoder (or a [`FrameAssembler`]) commits any memory to it.
+pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
 
 /// Messages sent by the mediator to participants.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,21 +104,27 @@ pub enum MediatorMessage {
         request_bid: bool,
     },
     /// Ask the consumer for its intentions for *every* query of one
-    /// mediation wave, in one round-trip (the reactor's native shape).
+    /// mediation wave, in one round-trip (the shape the reactor and the
+    /// socket transport natively speak).
     ConsumerWaveRequest {
         /// Identifier of the wave the replies belong to.
         wave: u64,
-        /// One entry per query of the consumer's in this wave: the query
-        /// and its candidate set.
-        requests: Vec<(QueryId, Vec<ProviderId>)>,
+        /// The consumer this request is addressed to (a multiplexed host
+        /// connection carries requests for many endpoints).
+        consumer: ConsumerId,
+        /// One entry per query of the consumer's in this wave: the full
+        /// query and its candidate set.
+        requests: Vec<(Query, Vec<ProviderId>)>,
     },
     /// Ask a provider for its intention (and optionally bid) for every
     /// query of one mediation wave that lists it as a candidate.
     ProviderWaveRequest {
         /// Identifier of the wave the replies belong to.
         wave: u64,
-        /// The queries the provider is a candidate for.
-        queries: Vec<QueryId>,
+        /// The provider this request is addressed to.
+        provider: ProviderId,
+        /// The full queries the provider is a candidate for.
+        queries: Vec<Query>,
         /// Whether the provider should also return bids.
         request_bids: bool,
     },
@@ -87,6 +133,8 @@ pub enum MediatorMessage {
     AllocationNotice {
         /// The query that was allocated.
         query: QueryId,
+        /// The candidate provider this notice is addressed to.
+        provider: ProviderId,
         /// Whether this provider was selected to perform the query.
         selected: bool,
     },
@@ -94,12 +142,21 @@ pub enum MediatorMessage {
     AllocationResult {
         /// The query that was allocated.
         query: QueryId,
+        /// The consumer this result is addressed to.
+        consumer: ConsumerId,
         /// The providers the query was allocated to.
         providers: Vec<ProviderId>,
     },
-    /// Ask the participant to shut down (used when tearing the runtime
-    /// down).
+    /// Ask the participant (host) to shut down (used when tearing the
+    /// runtime or a transport connection down).
     Shutdown,
+    /// Marks the end of a wave's requests on one connection: every
+    /// request of `wave` addressed to this host has been sent, and the
+    /// host should now compute and send its replies.
+    WaveEnd {
+        /// The wave whose requests are complete.
+        wave: u64,
+    },
 }
 
 /// Replies sent by participants to the mediator.
@@ -148,21 +205,35 @@ pub enum ParticipantReply {
         /// One `(query, intention, bid)` triple per query of the wave.
         intentions: Vec<(QueryId, f64, Option<Bid>)>,
     },
+    /// Opens a host connection: declares the consumer and provider
+    /// endpoints this host serves, so the mediator can route their wave
+    /// requests over this connection.
+    Hello {
+        /// The consumer endpoints the host multiplexes.
+        consumers: Vec<ConsumerId>,
+        /// The provider endpoints the host multiplexes.
+        providers: Vec<ProviderId>,
+    },
+    /// Closes a host connection cleanly (sent by the host, either
+    /// spontaneously on departure or in response to
+    /// [`MediatorMessage::Shutdown`]).
+    Goodbye,
 }
 
 impl ParticipantReply {
     /// The query a single-query reply is about; `None` for wave replies,
-    /// which cover several queries at once.
+    /// which cover several queries at once, and for connection-lifecycle
+    /// messages.
     pub fn query(&self) -> Option<QueryId> {
         match self {
             ParticipantReply::ConsumerIntentions { query, .. } => Some(*query),
             ParticipantReply::ProviderIntention { query, .. } => Some(*query),
-            ParticipantReply::ConsumerWaveReply { .. } => None,
-            ParticipantReply::ProviderWaveReply { .. } => None,
+            _ => None,
         }
     }
 
-    /// The wave a wave reply answers; `None` for single-query replies.
+    /// The wave a wave reply answers; `None` for single-query replies and
+    /// connection-lifecycle messages.
     pub fn wave(&self) -> Option<u64> {
         match self {
             ParticipantReply::ConsumerWaveReply { wave, .. } => Some(*wave),
@@ -184,6 +255,12 @@ pub enum FrameError {
     /// finished with undeclared bytes left over. Both mean the frame
     /// lied about its size.
     TrailingBytes,
+    /// The frame declared a payload longer than [`MAX_FRAME_PAYLOAD`].
+    /// Rejected before any allocation is made for it, so a hostile
+    /// length prefix cannot drive an out-of-memory condition.
+    Oversized(u32),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
 }
 
 impl std::fmt::Display for FrameError {
@@ -194,6 +271,11 @@ impl std::fmt::Display for FrameError {
             FrameError::TrailingBytes => {
                 write!(f, "frame content disagrees with its declared length")
             }
+            FrameError::Oversized(len) => write!(
+                f,
+                "frame declares a {len}-byte payload, over the {MAX_FRAME_PAYLOAD}-byte cap"
+            ),
+            FrameError::InvalidUtf8 => write!(f, "frame string is not valid UTF-8"),
         }
     }
 }
@@ -223,6 +305,10 @@ impl FrameWriter {
         self.buf.push(value as u8);
     }
 
+    fn u16(&mut self, value: u16) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
     fn u32(&mut self, value: u32) {
         self.buf.extend_from_slice(&value.to_le_bytes());
     }
@@ -235,6 +321,11 @@ impl FrameWriter {
         self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
     }
 
+    fn str(&mut self, value: &str) {
+        self.count(value.len());
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
     fn bid(&mut self, bid: &Option<Bid>) {
         match bid {
             None => self.u8(0),
@@ -244,6 +335,30 @@ impl FrameWriter {
                 self.f64(bid.delay);
             }
         }
+    }
+
+    /// The full query `q = <c, d, n>` plus id and issue time. Wave
+    /// requests carry it so a remote endpoint can compute its intention;
+    /// `f64`s travel as raw bits, so the decoded query is bit-identical.
+    fn query(&mut self, query: &Query) {
+        self.u32(query.id.raw());
+        self.u32(query.consumer.raw());
+        self.str(&query.description.topic);
+        self.count(query.description.attributes.len());
+        for attribute in &query.description.attributes {
+            self.str(attribute);
+        }
+        match query.description.class {
+            QueryClass::Light => self.u8(0),
+            QueryClass::Heavy => self.u8(1),
+            QueryClass::Custom(tag) => {
+                self.u8(2);
+                self.u16(tag);
+            }
+        }
+        self.f64(query.description.cost.value());
+        self.u32(query.n);
+        self.f64(query.issued_at.as_secs());
     }
 
     fn count(&mut self, len: usize) {
@@ -275,12 +390,17 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             w.bool(*request_bid);
             w.finish()
         }
-        MediatorMessage::ConsumerWaveRequest { wave, requests } => {
+        MediatorMessage::ConsumerWaveRequest {
+            wave,
+            consumer,
+            requests,
+        } => {
             let mut w = FrameWriter::new(3);
             w.u64(*wave);
+            w.u32(consumer.raw());
             w.count(requests.len());
             for (query, candidates) in requests {
-                w.u32(query.raw());
+                w.query(query);
                 w.count(candidates.len());
                 for p in candidates {
                     w.u32(p.raw());
@@ -290,27 +410,39 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
         }
         MediatorMessage::ProviderWaveRequest {
             wave,
+            provider,
             queries,
             request_bids,
         } => {
             let mut w = FrameWriter::new(4);
             w.u64(*wave);
+            w.u32(provider.raw());
             w.count(queries.len());
             for query in queries {
-                w.u32(query.raw());
+                w.query(query);
             }
             w.bool(*request_bids);
             w.finish()
         }
-        MediatorMessage::AllocationNotice { query, selected } => {
+        MediatorMessage::AllocationNotice {
+            query,
+            provider,
+            selected,
+        } => {
             let mut w = FrameWriter::new(5);
             w.u32(query.raw());
+            w.u32(provider.raw());
             w.bool(*selected);
             w.finish()
         }
-        MediatorMessage::AllocationResult { query, providers } => {
+        MediatorMessage::AllocationResult {
+            query,
+            consumer,
+            providers,
+        } => {
             let mut w = FrameWriter::new(6);
             w.u32(query.raw());
+            w.u32(consumer.raw());
             w.count(providers.len());
             for p in providers {
                 w.u32(p.raw());
@@ -318,6 +450,11 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             w.finish()
         }
         MediatorMessage::Shutdown => FrameWriter::new(7).finish(),
+        MediatorMessage::WaveEnd { wave } => {
+            let mut w = FrameWriter::new(8);
+            w.u64(*wave);
+            w.finish()
+        }
     }
 }
 
@@ -389,6 +526,22 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             }
             w.finish()
         }
+        ParticipantReply::Hello {
+            consumers,
+            providers,
+        } => {
+            let mut w = FrameWriter::new(5);
+            w.count(consumers.len());
+            for c in consumers {
+                w.u32(c.raw());
+            }
+            w.count(providers.len());
+            for p in providers {
+                w.u32(p.raw());
+            }
+            w.finish()
+        }
+        ParticipantReply::Goodbye => FrameWriter::new(6).finish(),
     }
 }
 
@@ -402,13 +555,18 @@ struct FrameReader<'a> {
 
 impl<'a> FrameReader<'a> {
     /// Opens the frame at the start of `bytes`: reads the length prefix
-    /// and bounds the reader to the declared payload.
+    /// and bounds the reader to the declared payload. A declared payload
+    /// over [`MAX_FRAME_PAYLOAD`] is rejected before anything else.
     fn open(bytes: &'a [u8]) -> Result<Self, FrameError> {
         if bytes.len() < 4 {
             return Err(FrameError::Truncated);
         }
-        let payload = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-        let end = 4usize.checked_add(payload).ok_or(FrameError::Truncated)?;
+        let declared = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let payload = declared as usize;
+        if payload > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversized(declared));
+        }
+        let end = 4 + payload;
         if bytes.len() < end {
             return Err(FrameError::Truncated);
         }
@@ -433,6 +591,11 @@ impl<'a> FrameReader<'a> {
         Ok(self.u8()? != 0)
     }
 
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
     fn u32(&mut self) -> Result<u32, FrameError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
@@ -449,12 +612,53 @@ impl<'a> FrameReader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.count()?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| FrameError::InvalidUtf8)
+    }
+
     fn bid(&mut self) -> Result<Option<Bid>, FrameError> {
         if self.bool()? {
             Ok(Some(Bid::new(self.f64()?, self.f64()?)))
         } else {
             Ok(None)
         }
+    }
+
+    /// Mirror of [`FrameWriter::query`].
+    fn query(&mut self) -> Result<Query, FrameError> {
+        let id = QueryId::new(self.u32()?);
+        let consumer = ConsumerId::new(self.u32()?);
+        let topic = self.str()?;
+        let attribute_count = self.count()?;
+        let mut attributes = Vec::with_capacity(attribute_count);
+        for _ in 0..attribute_count {
+            attributes.push(self.str()?);
+        }
+        let class = match self.u8()? {
+            0 => QueryClass::Light,
+            1 => QueryClass::Heavy,
+            2 => QueryClass::Custom(self.u16()?),
+            _ => return Err(FrameError::TrailingBytes),
+        };
+        let cost = WorkUnits::new(self.f64()?);
+        let n = self.u32()?;
+        let issued_at = SimTime::from_secs(self.f64()?);
+        Ok(Query {
+            id,
+            consumer,
+            description: QueryDescription {
+                topic,
+                attributes,
+                class,
+                cost,
+            },
+            n,
+            issued_at,
+        })
     }
 
     /// A vector count, sanity-bounded by the bytes remaining in the frame
@@ -499,10 +703,11 @@ pub fn decode_mediator_message(bytes: &[u8]) -> Result<(MediatorMessage, usize),
         },
         3 => {
             let wave = r.u64()?;
+            let consumer = ConsumerId::new(r.u32()?);
             let n = r.count()?;
             let mut requests = Vec::with_capacity(n);
             for _ in 0..n {
-                let query = QueryId::new(r.u32()?);
+                let query = r.query()?;
                 let c = r.count()?;
                 let mut candidates = Vec::with_capacity(c);
                 for _ in 0..c {
@@ -510,35 +715,48 @@ pub fn decode_mediator_message(bytes: &[u8]) -> Result<(MediatorMessage, usize),
                 }
                 requests.push((query, candidates));
             }
-            MediatorMessage::ConsumerWaveRequest { wave, requests }
+            MediatorMessage::ConsumerWaveRequest {
+                wave,
+                consumer,
+                requests,
+            }
         }
         4 => {
             let wave = r.u64()?;
+            let provider = ProviderId::new(r.u32()?);
             let n = r.count()?;
             let mut queries = Vec::with_capacity(n);
             for _ in 0..n {
-                queries.push(QueryId::new(r.u32()?));
+                queries.push(r.query()?);
             }
             MediatorMessage::ProviderWaveRequest {
                 wave,
+                provider,
                 queries,
                 request_bids: r.bool()?,
             }
         }
         5 => MediatorMessage::AllocationNotice {
             query: QueryId::new(r.u32()?),
+            provider: ProviderId::new(r.u32()?),
             selected: r.bool()?,
         },
         6 => {
             let query = QueryId::new(r.u32()?);
+            let consumer = ConsumerId::new(r.u32()?);
             let n = r.count()?;
             let mut providers = Vec::with_capacity(n);
             for _ in 0..n {
                 providers.push(ProviderId::new(r.u32()?));
             }
-            MediatorMessage::AllocationResult { query, providers }
+            MediatorMessage::AllocationResult {
+                query,
+                consumer,
+                providers,
+            }
         }
         7 => MediatorMessage::Shutdown,
+        8 => MediatorMessage::WaveEnd { wave: r.u64()? },
         tag => return Err(FrameError::UnknownTag(tag)),
     };
     Ok((message, r.close()?))
@@ -606,14 +824,155 @@ pub fn decode_participant_reply(bytes: &[u8]) -> Result<(ParticipantReply, usize
                 intentions,
             }
         }
+        5 => {
+            let n = r.count()?;
+            let mut consumers = Vec::with_capacity(n);
+            for _ in 0..n {
+                consumers.push(ConsumerId::new(r.u32()?));
+            }
+            let n = r.count()?;
+            let mut providers = Vec::with_capacity(n);
+            for _ in 0..n {
+                providers.push(ProviderId::new(r.u32()?));
+            }
+            ParticipantReply::Hello {
+                consumers,
+                providers,
+            }
+        }
+        6 => ParticipantReply::Goodbye,
         tag => return Err(FrameError::UnknownTag(tag)),
     };
     Ok((reply, r.close()?))
 }
 
+// ---- stream reassembly -------------------------------------------------
+
+/// Reassembles self-delimiting frames from the arbitrary chunk boundaries
+/// a stream transport delivers.
+///
+/// A TCP or Unix-domain read can return any byte count: half a length
+/// prefix, one and a half frames, three frames at once. The assembler
+/// buffers whatever arrives ([`FrameAssembler::extend`]) and hands back
+/// complete messages one at a time
+/// ([`FrameAssembler::next_mediator_message`] /
+/// [`FrameAssembler::next_participant_reply`]).
+///
+/// Hardening: the assembler never sizes an allocation from a declared
+/// length — it only stores bytes actually received — and a length prefix
+/// over [`MAX_FRAME_PAYLOAD`] fails with [`FrameError::Oversized`] as
+/// soon as the four prefix bytes are in, so a hostile peer cannot make
+/// it buffer without bound. After an error the stream offset is poisoned
+/// (frame boundaries are lost); callers should drop the connection.
+///
+/// ```
+/// use sqlb_mediation::{encode_mediator_message, FrameAssembler, MediatorMessage};
+///
+/// let frame = encode_mediator_message(&MediatorMessage::Shutdown);
+/// let mut assembler = FrameAssembler::new();
+/// // Feed the frame one byte at a time, as a slow socket might.
+/// for &byte in &frame {
+///     assembler.extend(&[byte]);
+/// }
+/// let decoded = assembler.next_mediator_message().unwrap().unwrap();
+/// assert_eq!(decoded, MediatorMessage::Shutdown);
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Buffers bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact consumed bytes away before growing, so the buffer's
+        // footprint tracks the unconsumed tail, not the stream history.
+        if self.at > 0 && (self.at == self.buf.len() || self.at >= 4096) {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// The complete frame at the head of the buffer, if one has fully
+    /// arrived. `Ok(None)` means "keep reading".
+    fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let available = &self.buf[self.at..];
+        if available.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([available[0], available[1], available[2], available[3]]);
+        let payload = declared as usize;
+        if payload > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::Oversized(declared));
+        }
+        let frame_len = 4 + payload;
+        if available.len() < frame_len {
+            return Ok(None);
+        }
+        let start = self.at;
+        self.at += frame_len;
+        Ok(Some(&self.buf[start..start + frame_len]))
+    }
+
+    /// Pops the next complete mediator message, or `Ok(None)` when more
+    /// bytes are needed.
+    pub fn next_mediator_message(&mut self) -> Result<Option<MediatorMessage>, FrameError> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(frame) => decode_mediator_message(frame).map(|(message, _)| Some(message)),
+        }
+    }
+
+    /// Pops the next complete participant reply, or `Ok(None)` when more
+    /// bytes are needed.
+    pub fn next_participant_reply(&mut self) -> Result<Option<ParticipantReply>, FrameError> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(frame) => decode_participant_reply(frame).map(|(reply, _)| Some(reply)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sqlb_types::QueryClass;
+
+    fn wave_query(id: u32) -> Query {
+        let mut query = Query::single(
+            QueryId::new(id),
+            ConsumerId::new(1),
+            QueryClass::Heavy,
+            SimTime::from_secs(12.625),
+        );
+        query.n = 2;
+        query
+    }
+
+    fn rich_query() -> Query {
+        Query {
+            id: QueryId::new(77),
+            consumer: ConsumerId::new(3),
+            description: QueryDescription::with_topic("shipping/international", QueryClass::Light)
+                .attribute("origin:FR")
+                .attribute("destination:US")
+                .with_cost(WorkUnits::new(137.5)),
+            n: 3,
+            issued_at: SimTime::from_secs(0.1),
+        }
+    }
 
     fn all_messages() -> Vec<MediatorMessage> {
         vec![
@@ -627,28 +986,30 @@ mod tests {
             },
             MediatorMessage::ConsumerWaveRequest {
                 wave: 42,
+                consumer: ConsumerId::new(1),
                 requests: vec![
-                    (QueryId::new(1), vec![ProviderId::new(2)]),
-                    (
-                        QueryId::new(2),
-                        vec![ProviderId::new(3), ProviderId::new(4)],
-                    ),
+                    (wave_query(1), vec![ProviderId::new(2)]),
+                    (rich_query(), vec![ProviderId::new(3), ProviderId::new(4)]),
                 ],
             },
             MediatorMessage::ProviderWaveRequest {
                 wave: 42,
-                queries: vec![QueryId::new(1), QueryId::new(2)],
+                provider: ProviderId::new(9),
+                queries: vec![wave_query(1), rich_query()],
                 request_bids: false,
             },
             MediatorMessage::AllocationNotice {
                 query: QueryId::new(9),
+                provider: ProviderId::new(4),
                 selected: false,
             },
             MediatorMessage::AllocationResult {
                 query: QueryId::new(9),
+                consumer: ConsumerId::new(2),
                 providers: vec![ProviderId::new(5)],
             },
             MediatorMessage::Shutdown,
+            MediatorMessage::WaveEnd { wave: 42 },
         ]
     }
 
@@ -682,6 +1043,11 @@ mod tests {
                     (QueryId::new(2), -1.0, Some(Bid::new(7.5, 2.0))),
                 ],
             },
+            ParticipantReply::Hello {
+                consumers: vec![ConsumerId::new(0), ConsumerId::new(2)],
+                providers: vec![ProviderId::new(1)],
+            },
+            ParticipantReply::Goodbye,
         ]
     }
 
@@ -703,6 +1069,33 @@ mod tests {
             assert_eq!(decoded, reply);
             assert_eq!(consumed, frame.len());
         }
+    }
+
+    #[test]
+    fn queries_round_trip_bit_identically() {
+        // The socket backend's determinism contract: the decoded query
+        // must be *bit*-identical to the encoded one, f64s included.
+        let message = MediatorMessage::ProviderWaveRequest {
+            wave: 1,
+            provider: ProviderId::new(0),
+            queries: vec![rich_query()],
+            request_bids: true,
+        };
+        let frame = encode_mediator_message(&message);
+        let (decoded, _) = decode_mediator_message(&frame).unwrap();
+        let MediatorMessage::ProviderWaveRequest { queries, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        let original = rich_query();
+        assert_eq!(queries[0], original);
+        assert_eq!(
+            queries[0].issued_at.as_secs().to_bits(),
+            original.issued_at.as_secs().to_bits()
+        );
+        assert_eq!(
+            queries[0].cost().value().to_bits(),
+            original.cost().value().to_bits()
+        );
     }
 
     #[test]
@@ -769,6 +1162,160 @@ mod tests {
     }
 
     #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation() {
+        // A hostile peer declaring a ~4 GiB payload must be refused from
+        // the four prefix bytes alone — by the slice decoder and by the
+        // stream assembler — without any buffer being sized to it.
+        let hostile = u32::MAX.to_le_bytes();
+        assert_eq!(
+            decode_mediator_message(&hostile).unwrap_err(),
+            FrameError::Oversized(u32::MAX)
+        );
+        assert_eq!(
+            decode_participant_reply(&hostile).unwrap_err(),
+            FrameError::Oversized(u32::MAX)
+        );
+
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&hostile);
+        assert_eq!(
+            assembler.next_mediator_message().unwrap_err(),
+            FrameError::Oversized(u32::MAX)
+        );
+        assert_eq!(
+            assembler.pending_bytes(),
+            4,
+            "the assembler must not have buffered anything for the declared length"
+        );
+
+        // One byte past the cap also trips; the cap itself would not.
+        let declared = (MAX_FRAME_PAYLOAD as u32) + 1;
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&declared.to_le_bytes());
+        assert_eq!(
+            assembler.next_participant_reply().unwrap_err(),
+            FrameError::Oversized(declared)
+        );
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_boundary() {
+        // The exact failure mode a stream transport introduces: reads
+        // that split a frame anywhere, including inside the length
+        // prefix. Feed the whole message stream in two chunks cut at
+        // every possible position and require the identical sequence out.
+        let mut stream = Vec::new();
+        for message in all_messages() {
+            stream.extend_from_slice(&encode_mediator_message(&message));
+        }
+        for cut in 0..=stream.len() {
+            let mut assembler = FrameAssembler::new();
+            let mut decoded = Vec::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                assembler.extend(chunk);
+                while let Some(message) = assembler.next_mediator_message().unwrap() {
+                    decoded.push(message);
+                }
+            }
+            assert_eq!(decoded, all_messages(), "cut at {cut}");
+            assert_eq!(assembler.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_survives_byte_at_a_time_delivery() {
+        let mut stream = Vec::new();
+        for reply in all_replies() {
+            stream.extend_from_slice(&encode_participant_reply(&reply));
+        }
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for &byte in &stream {
+            assembler.extend(&[byte]);
+            while let Some(reply) = assembler.next_participant_reply().unwrap() {
+                decoded.push(reply);
+            }
+        }
+        assert_eq!(decoded, all_replies());
+    }
+
+    #[test]
+    fn assembler_pops_concatenated_frames_from_one_chunk() {
+        let mut stream = Vec::new();
+        for message in all_messages() {
+            stream.extend_from_slice(&encode_mediator_message(&message));
+        }
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&stream);
+        let mut decoded = Vec::new();
+        while let Some(message) = assembler.next_mediator_message().unwrap() {
+            decoded.push(message);
+        }
+        assert_eq!(decoded, all_messages());
+    }
+
+    #[test]
+    fn assembler_waits_on_truncated_length_prefixes() {
+        let frame = encode_mediator_message(&MediatorMessage::WaveEnd { wave: 7 });
+        let mut assembler = FrameAssembler::new();
+        for cut in 1..4 {
+            assembler.extend(&frame[..cut]);
+            assert!(
+                assembler.next_mediator_message().unwrap().is_none(),
+                "a {cut}-byte prefix is not an error, just incomplete"
+            );
+            assembler = FrameAssembler::new();
+        }
+        // Completing the prefix and payload later succeeds.
+        assembler.extend(&frame[..2]);
+        assert!(assembler.next_mediator_message().unwrap().is_none());
+        assembler.extend(&frame[2..]);
+        assert_eq!(
+            assembler.next_mediator_message().unwrap().unwrap(),
+            MediatorMessage::WaveEnd { wave: 7 }
+        );
+    }
+
+    #[test]
+    fn assembler_compacts_consumed_bytes() {
+        // Long-lived connections must not accumulate the stream history.
+        let frame = encode_participant_reply(&ParticipantReply::Goodbye);
+        let mut assembler = FrameAssembler::new();
+        for _ in 0..10_000 {
+            assembler.extend(&frame);
+            assembler.next_participant_reply().unwrap().unwrap();
+        }
+        assert_eq!(assembler.pending_bytes(), 0);
+        assert!(
+            assembler.buf.len() < 8192,
+            "buffer should stay near the unconsumed tail, got {}",
+            assembler.buf.len()
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_in_strings_is_rejected() {
+        let mut message = encode_mediator_message(&MediatorMessage::ProviderWaveRequest {
+            wave: 1,
+            provider: ProviderId::new(0),
+            queries: vec![Query {
+                description: QueryDescription::with_topic("ab", QueryClass::Light),
+                ..wave_query(1)
+            }],
+            request_bids: false,
+        });
+        // The topic's two bytes sit right after the fixed prefix:
+        // frame(4) + tag(1) + wave(8) + provider(4) + count(4) + id(4) +
+        // consumer(4) + topic length(4) = offset 33.
+        message[33] = 0xFF;
+        message[34] = 0xFE;
+        assert_eq!(
+            decode_mediator_message(&message).unwrap_err(),
+            FrameError::InvalidUtf8
+        );
+    }
+
+    #[test]
     fn replies_expose_their_query_or_wave() {
         let single = ParticipantReply::ConsumerIntentions {
             query: QueryId::new(3),
@@ -785,6 +1332,8 @@ mod tests {
         };
         assert_eq!(wave.query(), None);
         assert_eq!(wave.wave(), Some(9));
+        assert_eq!(ParticipantReply::Goodbye.query(), None);
+        assert_eq!(ParticipantReply::Goodbye.wave(), None);
     }
 
     #[test]
@@ -796,6 +1345,7 @@ mod tests {
         assert_eq!(m.clone(), m);
         let n = MediatorMessage::AllocationNotice {
             query: QueryId::new(1),
+            provider: ProviderId::new(0),
             selected: false,
         };
         assert_ne!(m, n);

@@ -62,7 +62,7 @@ impl Method {
 
 /// Which mediation backend the engine gathers intentions through.
 ///
-/// All three backends ask the *same* agents the *same* questions in the
+/// All four backends ask the *same* agents the *same* questions in the
 /// same per-participant order, so a run's report is bit-identical across
 /// them for a given seed — pinned by the cross-backend digest tests and
 /// the `report_digest` binary. What changes is the machinery:
@@ -96,6 +96,13 @@ pub enum MediationMode {
     /// single event loop with per-endpoint deadline tracking
     /// (`sqlb-mediation::reactor`).
     Reactor,
+    /// Every arrival runs as one wave over real loopback TCP sockets
+    /// (`sqlb-transport`): the engine hosts a mediator-side wave server
+    /// and multiplexes its participants over
+    /// [`SimulationConfig::socket_hosts`] participant-host connections;
+    /// requests and replies travel as framed bytes, and late or missing
+    /// replies degrade to indifference at the wave deadline.
+    Socket,
 }
 
 impl MediationMode {
@@ -105,6 +112,7 @@ impl MediationMode {
             MediationMode::Inline => "inline",
             MediationMode::Threaded => "threaded",
             MediationMode::Reactor => "reactor",
+            MediationMode::Socket => "socket",
         }
     }
 }
@@ -159,9 +167,23 @@ pub struct SimulationConfig {
     /// provider. Keeps migration from thrashing on noise.
     pub migration_min_spread: f64,
     /// Which mediation backend gathers intentions (inline calls, the
-    /// legacy threaded runtime, or the asynchronous reactor). Reports are
-    /// bit-identical across backends for a given seed.
+    /// legacy threaded runtime, the asynchronous reactor, or the socket
+    /// transport). Reports are bit-identical across backends for a given
+    /// seed.
     pub mediation: MediationMode,
+    /// Number of loopback participant-host connections the socket
+    /// backend multiplexes the participants over (one socket per host,
+    /// not per endpoint). Ignored unless `mediation` is
+    /// [`MediationMode::Socket`].
+    pub socket_hosts: usize,
+    /// Whether the candidate set `P_q` is produced by capability
+    /// matchmaking (`sqlb-matchmaking`) instead of "every provider of
+    /// the shard". Defaults to `false` — the paper's all-providers
+    /// behaviour, which keeps K=1 digests unchanged. When enabled,
+    /// queries are tagged with their class topic and only providers
+    /// whose declared capabilities cover it are candidates (with a
+    /// fall-back to the whole shard if no capable provider remains).
+    pub capability_matchmaking: bool,
 }
 
 impl SimulationConfig {
@@ -189,6 +211,8 @@ impl SimulationConfig {
             rebalance_interval_secs: 100.0,
             migration_min_spread: 0.1,
             mediation: MediationMode::Inline,
+            socket_hosts: 2,
+            capability_matchmaking: false,
         }
     }
 
@@ -239,6 +263,8 @@ impl SimulationConfig {
             rebalance_interval_secs: (duration_secs / 25.0).max(1.0),
             migration_min_spread: 0.1,
             mediation: MediationMode::Inline,
+            socket_hosts: 2,
+            capability_matchmaking: false,
         }
     }
 
@@ -315,6 +341,20 @@ impl SimulationConfig {
         self
     }
 
+    /// Sets the number of loopback participant hosts of the socket
+    /// backend (ignored by the other backends).
+    pub fn with_socket_hosts(mut self, hosts: usize) -> Self {
+        self.socket_hosts = hosts;
+        self
+    }
+
+    /// Enables (or disables) capability matchmaking for the candidate
+    /// set `P_q`.
+    pub fn with_capability_matchmaking(mut self, enabled: bool) -> Self {
+        self.capability_matchmaking = enabled;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SqlbError> {
         self.population.validate()?;
@@ -359,6 +399,11 @@ impl SimulationConfig {
         if !self.migration_min_spread.is_finite() || self.migration_min_spread < 0.0 {
             return Err(SqlbError::InvalidConfig {
                 reason: "the migration spread threshold must be finite and non-negative".into(),
+            });
+        }
+        if self.mediation == MediationMode::Socket && self.socket_hosts == 0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "the socket backend needs at least one participant host".into(),
             });
         }
         Ok(())
@@ -432,6 +477,11 @@ mod tests {
             assert!(c.rebalance_interval_secs > 0.0);
             assert!(c.migration_min_spread > 0.0);
             assert_eq!(c.mediation, MediationMode::Inline);
+            assert!(
+                !c.capability_matchmaking,
+                "the paper's all-providers candidate set is the default"
+            );
+            assert!(c.socket_hosts >= 1);
         }
     }
 
@@ -443,7 +493,24 @@ mod tests {
         assert_eq!(MediationMode::Inline.name(), "inline");
         assert_eq!(MediationMode::Threaded.name(), "threaded");
         assert_eq!(MediationMode::Reactor.name(), "reactor");
+        assert_eq!(MediationMode::Socket.name(), "socket");
         assert_eq!(MediationMode::default(), MediationMode::Inline);
+
+        let c = SimulationConfig::scaled(10, 20, 100.0, 0)
+            .with_mediation(MediationMode::Socket)
+            .with_socket_hosts(4)
+            .with_capability_matchmaking(true);
+        assert_eq!(c.mediation, MediationMode::Socket);
+        assert_eq!(c.socket_hosts, 4);
+        assert!(c.capability_matchmaking);
+        assert!(c.validate().is_ok());
+
+        let mut c =
+            SimulationConfig::scaled(10, 20, 100.0, 0).with_mediation(MediationMode::Socket);
+        c.socket_hosts = 0;
+        assert!(c.validate().is_err(), "socket mode needs at least one host");
+        c.mediation = MediationMode::Inline;
+        assert!(c.validate().is_ok(), "other backends ignore socket_hosts");
     }
 
     #[test]

@@ -36,12 +36,14 @@ use sqlb_mediation::{
 };
 use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
 use sqlb_reputation::ReputationStore;
+use sqlb_transport::{ServerConfig, SocketMediator, WaveJobs};
 use sqlb_types::{
     ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError,
 };
 
 use crate::config::{MediationMode, Method, SimulationConfig};
 use crate::events::{Event, EventQueue};
+use crate::matchmaking::{class_topic, intersect_sorted, ClassMatchmaker};
 use crate::routing::{RoutingPolicy, ShardLoadView};
 use crate::shard::ShardRouter;
 use crate::stats::{
@@ -56,6 +58,8 @@ use crate::workload::{arrival_rate, sample_interarrival};
 /// (buffers grow to the candidate-set high-water mark and stay there).
 #[derive(Debug, Default)]
 struct ArrivalScratch {
+    /// The filtered candidate set, when capability matchmaking is on.
+    candidates: Vec<ProviderId>,
     /// Candidate information gathered for the current query (`P_q`).
     infos: Vec<CandidateInfo>,
     /// Consumer intentions shown over `P_q`, in candidate order.
@@ -76,7 +80,7 @@ struct ArrivalScratch {
 const MEDIATED_WAVE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The mediation backend the engine gathers intentions through — the
-/// runtime realization of [`MediationMode`]. All three backends ask the
+/// runtime realization of [`MediationMode`]. All four backends ask the
 /// same agents the same questions in the same per-participant order, so
 /// reports are bit-identical across them for a given seed.
 enum MediationDriver {
@@ -90,6 +94,12 @@ enum MediationDriver {
     /// as a polled endpoint at start-up, deregisters it on departure, and
     /// runs each arrival's gather as one reactor wave.
     Reactor(Box<Reactor>),
+    /// The socket transport: a loopback wave server plus participant-host
+    /// connections (`sqlb-transport`). Every arrival's gather crosses
+    /// real TCP sockets as framed bytes; endpoints are announced at
+    /// start-up and deregistered on departure, and a host whose last
+    /// endpoint departs has its connection closed.
+    Socket(Box<SocketMediator>),
 }
 
 /// The simulator for one `(configuration, method)` pair.
@@ -165,6 +175,10 @@ pub struct Simulator {
     scratch: ArrivalScratch,
     /// The mediation backend intentions are gathered through.
     mediation: MediationDriver,
+    /// The capability matchmaker (registry + cached per-class matching
+    /// lists), when capability matchmaking is enabled (`None` reproduces
+    /// the paper's all-providers candidate sets).
+    matchmaker: Option<ClassMatchmaker>,
 }
 
 impl Simulator {
@@ -209,7 +223,33 @@ impl Simulator {
                 }
                 MediationDriver::Reactor(Box::new(reactor))
             }
+            MediationMode::Socket => {
+                // The engine hosts the whole loopback topology: a wave
+                // server on 127.0.0.1 and `socket_hosts` participant-host
+                // connections announcing the population's endpoints.
+                let mediator = SocketMediator::loopback(
+                    config.socket_hosts,
+                    ServerConfig {
+                        timeout: MEDIATED_WAVE_TIMEOUT,
+                        request_bids: method.uses_bids(),
+                    },
+                    population.consumers.keys(),
+                    population.providers.keys(),
+                )
+                .map_err(|e| SqlbError::InvalidConfig {
+                    reason: format!("socket mediation bring-up failed: {e}"),
+                })?;
+                MediationDriver::Socket(Box::new(mediator))
+            }
         };
+
+        // Capability matchmaking (opt-in): derive the provider
+        // capability registry and the per-class matching lists once;
+        // candidate sets then intersect each shard's provider list with
+        // the cached class list — no per-arrival registry scan.
+        let matchmaker = config
+            .capability_matchmaking
+            .then(|| ClassMatchmaker::new(&population));
 
         let routing = config.routing.build();
         let shard_backlog = vec![0.0f64; router.shard_count()];
@@ -256,6 +296,7 @@ impl Simulator {
             performed_at_last_rebalance: ParticipantTable::new(),
             scratch: ArrivalScratch::default(),
             mediation,
+            matchmaker,
             population,
             config,
         };
@@ -424,6 +465,12 @@ impl Simulator {
         };
         let mut query = Query::single(QueryId::new(self.next_query_id), consumer, class, self.now);
         query.n = self.config.query_n;
+        if self.matchmaker.is_some() {
+            // Capability matchmaking matches on the description topic;
+            // tag the query with its class topic so providers' declared
+            // class capabilities can cover it.
+            query.description.topic = class_topic(class);
+        }
         self.next_query_id = self.next_query_id.wrapping_add(1);
         self.issued += 1;
 
@@ -458,6 +505,26 @@ impl Simulator {
         // computations, only multiplexed through a mediation wave instead
         // of direct calls — which is why reports are bit-identical across
         // backends for a given seed.
+        // The candidate set `P_q`: the shard's provider list, optionally
+        // narrowed by capability matchmaking to the providers whose
+        // declared capabilities cover the query's description. An empty
+        // filtered set falls back to the whole shard — a query must not
+        // be dropped while capable-ish providers remain (documented
+        // fall-back of the opt-in mode).
+        let shard_providers = self.router.providers_of_shard(shard);
+        let candidates: &[ProviderId] = match &self.matchmaker {
+            None => shard_providers,
+            Some(matchmaker) => {
+                let matching = matchmaker.matching(query.class());
+                intersect_sorted(shard_providers, matching, &mut self.scratch.candidates);
+                if self.scratch.candidates.is_empty() {
+                    shard_providers
+                } else {
+                    &self.scratch.candidates
+                }
+            }
+        };
+
         let uses_bids = self.method_kind.uses_bids();
         let now = self.now;
         match &mut self.mediation {
@@ -465,7 +532,7 @@ impl Simulator {
                 let consumer_agent = &self.population.consumers[consumer];
                 let infos = &mut self.scratch.infos;
                 infos.clear();
-                for &p in self.router.providers_of_shard(shard) {
+                for &p in candidates {
                     let ci = consumer_agent.intention_for(&query, p, &self.reputation);
                     let provider_agent = &mut self.population.providers[p];
                     let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
@@ -479,11 +546,57 @@ impl Simulator {
                     infos.push(info);
                 }
             }
+            MediationDriver::Socket(socket) => {
+                // One wave over real loopback sockets: the request is
+                // framed, fanned out by the wave server, decoded by the
+                // participant-host threads, and answered by jobs that
+                // compute the same Definition 7/8 values as the other
+                // backends — on the *decoded* queries, so the reply
+                // derives from the bytes that actually travelled.
+                let consumer_agent = &self.population.consumers[consumer];
+                let reputation = &self.reputation;
+                let mut jobs = WaveJobs::new();
+                jobs.consumer(consumer, move |decoded| {
+                    decoded
+                        .iter()
+                        .map(|(q, cands)| {
+                            (
+                                q.id,
+                                cands
+                                    .iter()
+                                    .map(|&p| (p, consumer_agent.intention_for(q, p, reputation)))
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                });
+                for (p, agent) in self.population.providers.iter_mut_of(candidates) {
+                    jobs.provider(p, move |decoded, request_bids| {
+                        decoded
+                            .iter()
+                            .map(|q| {
+                                let (intention, utilization) =
+                                    agent.intention_and_utilization(q, now);
+                                ProviderAnswer {
+                                    query: q.id,
+                                    intention,
+                                    utilization,
+                                    bid: request_bids.then(|| agent.bid_for(q, now)),
+                                }
+                            })
+                            .collect()
+                    });
+                }
+                let requests = [(query.clone(), candidates.to_vec())];
+                let gathered = socket.gather(&requests, jobs);
+                let infos = &mut self.scratch.infos;
+                infos.clear();
+                infos.extend(gathered.into_iter().flatten());
+            }
             driver => {
                 // One wave: a batched intention request to the issuing
                 // consumer (covering all candidates) and one request per
                 // candidate provider, with per-endpoint deadline tracking.
-                let candidates = self.router.providers_of_shard(shard);
                 let consumer_agent = &self.population.consumers[consumer];
                 let reputation = &self.reputation;
                 let query_ref = &query;
@@ -517,7 +630,9 @@ impl Simulator {
                 let replies = match driver {
                     MediationDriver::Threaded => run_wave_threaded(wave, MEDIATED_WAVE_TIMEOUT),
                     MediationDriver::Reactor(reactor) => reactor.run_wave(wave),
-                    MediationDriver::Inline => unreachable!("inline is handled above"),
+                    MediationDriver::Inline | MediationDriver::Socket(_) => {
+                        unreachable!("inline and socket are handled above")
+                    }
                 };
 
                 // Assemble the wave's replies through the shared helper
@@ -1020,8 +1135,15 @@ impl Simulator {
                                 self.shard_backlog[shard] -= agent.backlog().value();
                             }
                             self.router.remove_provider(id);
-                            if let MediationDriver::Reactor(reactor) = &mut self.mediation {
-                                reactor.deregister_provider(id);
+                            match &mut self.mediation {
+                                MediationDriver::Reactor(reactor) => {
+                                    reactor.deregister_provider(id)
+                                }
+                                MediationDriver::Socket(socket) => socket.deregister_provider(id),
+                                _ => {}
+                            }
+                            if let Some(matchmaker) = &mut self.matchmaker {
+                                matchmaker.deregister(id);
                             }
                             let profile = self.population.profiles[id];
                             self.provider_departures.push(DepartureRecord {
@@ -1056,8 +1178,12 @@ impl Simulator {
                         if self.consumer_strikes[id] >= rule.required_consecutive.max(1) {
                             self.population.depart_consumer(id);
                             self.router.remove_consumer(id);
-                            if let MediationDriver::Reactor(reactor) = &mut self.mediation {
-                                reactor.deregister_consumer(id);
+                            match &mut self.mediation {
+                                MediationDriver::Reactor(reactor) => {
+                                    reactor.deregister_consumer(id)
+                                }
+                                MediationDriver::Socket(socket) => socket.deregister_consumer(id),
+                                _ => {}
                             }
                             self.consumer_departures.push(ConsumerDepartureRecord {
                                 consumer: id,
@@ -1500,5 +1626,117 @@ mod tests {
         let mut config = small_config(100.0, 0);
         config.duration_secs = -1.0;
         assert!(Simulator::new(config, Method::Sqlb).is_err());
+    }
+
+    #[test]
+    fn the_socket_backend_reproduces_the_run_bit_for_bit() {
+        // The acceptance bar for the transport: gathering over real
+        // loopback TCP sockets (frames out, frames back, replies
+        // computed from the decoded wire content) must not change a
+        // single bit of the report relative to the in-process backends.
+        let config = small_config(150.0, 9).with_workload(WorkloadPattern::Fixed(0.6));
+        let inline = run_simulation(config, Method::Sqlb).unwrap();
+        let socket = run_simulation(
+            config.with_mediation(crate::MediationMode::Socket),
+            Method::Sqlb,
+        )
+        .unwrap();
+        let reactor = run_simulation(
+            config.with_mediation(crate::MediationMode::Reactor),
+            Method::Sqlb,
+        )
+        .unwrap();
+        assert_eq!(socket.digest(), inline.digest());
+        assert_eq!(socket.digest(), reactor.digest());
+        assert_eq!(
+            socket.series.utilization_mean.values(),
+            inline.series.utilization_mean.values()
+        );
+    }
+
+    #[test]
+    fn the_socket_backend_supports_bids_shards_and_many_hosts() {
+        let config = small_config(150.0, 5)
+            .with_workload(WorkloadPattern::Fixed(0.6))
+            .with_mediator_shards(2);
+        let inline = run_simulation(config, Method::MariposaLike).unwrap();
+        for hosts in [1usize, 4] {
+            let socket = run_simulation(
+                config
+                    .with_mediation(crate::MediationMode::Socket)
+                    .with_socket_hosts(hosts),
+                Method::MariposaLike,
+            )
+            .unwrap();
+            assert_eq!(socket.digest(), inline.digest(), "hosts={hosts}");
+            assert_eq!(socket.shard_allocations, inline.shard_allocations);
+        }
+    }
+
+    #[test]
+    fn the_socket_backend_survives_departures() {
+        // Departures deregister endpoints from the wave server and close
+        // emptied host connections; the run must stay bit-identical to
+        // the inline engine throughout.
+        let config = small_config(600.0, 17)
+            .with_workload(WorkloadPattern::Fixed(0.8))
+            .with_provider_departures(ProviderDepartureRule::with_enabled(EnabledReasons::ALL));
+        let inline = run_simulation(config, Method::MariposaLike).unwrap();
+        assert!(!inline.provider_departures.is_empty());
+        let socket = run_simulation(
+            config.with_mediation(crate::MediationMode::Socket),
+            Method::MariposaLike,
+        )
+        .unwrap();
+        assert_eq!(socket.digest(), inline.digest());
+        assert_eq!(
+            socket.provider_departures.len(),
+            inline.provider_departures.len()
+        );
+    }
+
+    #[test]
+    fn capability_matchmaking_is_off_by_default_and_changes_candidates_when_on() {
+        let config = small_config(300.0, 21).with_workload(WorkloadPattern::Fixed(0.5));
+        let default_run = run_simulation(config, Method::Sqlb).unwrap();
+        let filtered =
+            run_simulation(config.with_capability_matchmaking(true), Method::Sqlb).unwrap();
+        // The filtered run completes every query (the class-capable
+        // subset is never empty at this scale) and is deterministic.
+        assert_eq!(filtered.unallocated_queries, 0);
+        assert_eq!(filtered.issued_queries, default_run.issued_queries);
+        let filtered_again =
+            run_simulation(config.with_capability_matchmaking(true), Method::Sqlb).unwrap();
+        assert_eq!(filtered.digest(), filtered_again.digest());
+        // And it genuinely narrows candidate sets: the allocation
+        // outcomes differ from the all-providers run.
+        assert_ne!(
+            filtered.digest(),
+            default_run.digest(),
+            "capability filtering should exclude class-averse providers"
+        );
+    }
+
+    #[test]
+    fn capability_matchmaking_agrees_across_mediation_backends() {
+        // The filtered candidate set feeds every backend identically —
+        // including over sockets, where the class topic travels in the
+        // query description.
+        let config = small_config(150.0, 13)
+            .with_workload(WorkloadPattern::Fixed(0.6))
+            .with_capability_matchmaking(true);
+        let inline = run_simulation(config, Method::Sqlb).unwrap();
+        let socket = run_simulation(
+            config.with_mediation(crate::MediationMode::Socket),
+            Method::Sqlb,
+        )
+        .unwrap();
+        let reactor = run_simulation(
+            config.with_mediation(crate::MediationMode::Reactor),
+            Method::Sqlb,
+        )
+        .unwrap();
+        assert_eq!(inline.digest(), socket.digest());
+        assert_eq!(inline.digest(), reactor.digest());
     }
 }

@@ -17,11 +17,13 @@
 //!   variants), the [`config::Method`] selector for the allocation method
 //!   under test and the [`config::MediationMode`] selector for the
 //!   mediation backend intentions are gathered through (inline calls, the
-//!   legacy threaded runtime, or the asynchronous reactor — bit-identical
-//!   reports either way);
+//!   legacy threaded runtime, the asynchronous reactor, or the loopback
+//!   socket transport — bit-identical reports either way);
 //! * [`workload`] — workload patterns (fixed or ramping fraction of the
 //!   total system capacity) and the Poisson arrival process;
 //! * [`events`] — the event queue of the discrete-event engine;
+//! * [`matchmaking`] — opt-in capability matchmaking for the candidate
+//!   set `P_q` (the default remains the paper's all-providers behaviour);
 //! * [`routing`] — consumer-routing policies (static `consumer % K` or
 //!   least-loaded) selecting the mediator shard of each query;
 //! * [`shard`] — the mediator shard router, its satisfaction-view
@@ -38,6 +40,7 @@ pub mod config;
 pub mod engine;
 pub mod events;
 pub mod experiments;
+pub mod matchmaking;
 pub mod routing;
 pub mod shard;
 pub mod stats;

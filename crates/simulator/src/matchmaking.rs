@@ -1,0 +1,253 @@
+//! Capability matchmaking for the engine's candidate set `P_q`.
+//!
+//! The paper's evaluation makes every provider of the mediator a
+//! candidate for every query (its matchmaking step is the identity);
+//! that remains the engine's default. This module wires
+//! `sqlb-matchmaking` in as the opt-in alternative
+//! ([`crate::SimulationConfig::capability_matchmaking`]): providers
+//! declare class-topic capabilities derived from their private class
+//! preferences, arriving queries are tagged with their class topic, and
+//! the candidate set becomes *the shard's providers whose capabilities
+//! cover the query* — Section 2's "providers able to treat the query",
+//! made literal.
+//!
+//! The derivation rule: a provider declares a capability for every query
+//! class it has a non-negative preference for; a provider that dislikes
+//! every class still declares its least-disliked one (a provider with no
+//! capability at all could never be allocated anything and would starve
+//! by construction, which is a departure-rule concern, not a matchmaking
+//! one). Every input is fixed at population generation, so the declared
+//! capabilities — and with them the candidate sets — are a deterministic
+//! function of the seed.
+
+use sqlb_agents::Population;
+use sqlb_matchmaking::{Capability, CapabilityRegistry};
+use sqlb_types::{ProviderId, QueryClass, QueryDescription};
+
+/// The classes the workload generator draws from (the paper's two).
+const WORKLOAD_CLASSES: [QueryClass; 2] = [QueryClass::Light, QueryClass::Heavy];
+
+/// The capability/description topic of a query class (`class/light`,
+/// `class/heavy`, ...).
+pub fn class_topic(class: QueryClass) -> String {
+    format!("class/{class}")
+}
+
+/// Builds the mediator-side capability registry from a population:
+/// every provider declares the class topics it prefers (see the module
+/// docs for the derivation rule).
+pub fn registry_for(population: &Population) -> CapabilityRegistry {
+    let mut registry = CapabilityRegistry::new();
+    for provider in population.providers.values() {
+        let mut declared_any = false;
+        let mut best = (WORKLOAD_CLASSES[0], f64::NEG_INFINITY);
+        for class in WORKLOAD_CLASSES {
+            let preference = provider.preference_for(class).value();
+            if preference > best.1 {
+                best = (class, preference);
+            }
+            if preference >= 0.0 {
+                registry.register(provider.id(), Capability::new(class_topic(class)));
+                declared_any = true;
+            }
+        }
+        if !declared_any {
+            registry.register(provider.id(), Capability::new(class_topic(best.0)));
+        }
+    }
+    registry
+}
+
+/// The engine's matchmaking cache: the capability registry plus the
+/// precomputed matching provider list per workload class.
+///
+/// `matching_providers` walks the whole registry with topic prefix
+/// matching — fine once, wrong per arrival. The matching set is a pure
+/// function of the query class (there are two) and only shrinks on
+/// provider departure, so the engine resolves each arrival's matching
+/// list from this cache in O(1) with no allocation, and departures
+/// update it incrementally.
+#[derive(Debug)]
+pub struct ClassMatchmaker {
+    registry: CapabilityRegistry,
+    /// Matching providers (ascending) per entry of [`WORKLOAD_CLASSES`].
+    by_class: [Vec<ProviderId>; 2],
+}
+
+impl ClassMatchmaker {
+    /// Derives the registry from the population (see [`registry_for`])
+    /// and precomputes the per-class matching lists.
+    pub fn new(population: &Population) -> Self {
+        let registry = registry_for(population);
+        let by_class = WORKLOAD_CLASSES.map(|class| {
+            registry.matching_providers(&QueryDescription::with_topic(class_topic(class), class))
+        });
+        ClassMatchmaker { registry, by_class }
+    }
+
+    /// The providers whose capabilities cover queries of `class`, in
+    /// ascending id order. Classes outside the workload's two return an
+    /// empty list (the engine then falls back to the whole shard).
+    pub fn matching(&self, class: QueryClass) -> &[ProviderId] {
+        match class {
+            QueryClass::Light => &self.by_class[0],
+            QueryClass::Heavy => &self.by_class[1],
+            QueryClass::Custom(_) => &[],
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &CapabilityRegistry {
+        &self.registry
+    }
+
+    /// Removes a departed provider from the registry and from every
+    /// per-class matching list.
+    pub fn deregister(&mut self, provider: ProviderId) {
+        if self.registry.deregister(provider) {
+            for list in self.by_class.iter_mut() {
+                if let Ok(at) = list.binary_search(&provider) {
+                    list.remove(at);
+                }
+            }
+        }
+    }
+}
+
+/// Intersects the shard's (ascending) provider list with the
+/// (ascending) matchmaking result into `out`. Both inputs are sorted by
+/// construction, so this is a linear merge — no per-arrival set
+/// allocation beyond the reused buffer.
+pub fn intersect_sorted(shard: &[ProviderId], matching: &[ProviderId], out: &mut Vec<ProviderId>) {
+    out.clear();
+    let mut m = matching.iter().peekable();
+    for &p in shard {
+        while let Some(&&candidate) = m.peek() {
+            if candidate < p {
+                m.next();
+            } else {
+                break;
+            }
+        }
+        if m.peek() == Some(&&p) {
+            out.push(p);
+            m.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_agents::PopulationConfig;
+    use sqlb_types::QueryDescription;
+
+    #[test]
+    fn class_topics_are_distinct_per_class() {
+        assert_eq!(class_topic(QueryClass::Light), "class/light");
+        assert_eq!(class_topic(QueryClass::Heavy), "class/heavy");
+        assert_ne!(
+            class_topic(QueryClass::Custom(3)),
+            class_topic(QueryClass::Custom(4))
+        );
+    }
+
+    #[test]
+    fn every_provider_declares_at_least_one_capability() {
+        let population = Population::generate(&PopulationConfig::scaled(16, 64, 11)).unwrap();
+        let registry = registry_for(&population);
+        assert_eq!(registry.len(), 64);
+        for provider in population.providers.values() {
+            assert!(
+                !registry.capabilities_of(provider.id()).is_empty(),
+                "{} declared nothing",
+                provider.id()
+            );
+        }
+    }
+
+    #[test]
+    fn declared_capabilities_follow_the_preference_sign() {
+        let population = Population::generate(&PopulationConfig::scaled(16, 64, 11)).unwrap();
+        let registry = registry_for(&population);
+        let mut excluded_somewhere = 0;
+        for class in WORKLOAD_CLASSES {
+            let description = QueryDescription::with_topic(class_topic(class), class);
+            let matching = registry.matching_providers(&description);
+            for provider in population.providers.values() {
+                let covered = matching.binary_search(&provider.id()).is_ok();
+                let preference = provider.preference_for(class).value();
+                if preference >= 0.0 {
+                    assert!(
+                        covered,
+                        "{} likes {class} but is not matched",
+                        provider.id()
+                    );
+                }
+                if !covered {
+                    assert!(preference < 0.0);
+                    excluded_somewhere += 1;
+                }
+            }
+        }
+        assert!(
+            excluded_somewhere > 0,
+            "a 64-provider population should contain at least one class-averse provider"
+        );
+    }
+
+    #[test]
+    fn registry_derivation_is_deterministic_per_seed() {
+        let build = || {
+            let population = Population::generate(&PopulationConfig::scaled(8, 32, 7)).unwrap();
+            let registry = registry_for(&population);
+            WORKLOAD_CLASSES.map(|class| {
+                registry
+                    .matching_providers(&QueryDescription::with_topic(class_topic(class), class))
+            })
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn class_matchmaker_caches_exactly_the_registry_answers() {
+        let population = Population::generate(&PopulationConfig::scaled(8, 32, 7)).unwrap();
+        let mut matchmaker = ClassMatchmaker::new(&population);
+        for class in WORKLOAD_CLASSES {
+            let direct = matchmaker
+                .registry()
+                .matching_providers(&QueryDescription::with_topic(class_topic(class), class));
+            assert_eq!(matchmaker.matching(class), direct.as_slice());
+        }
+        assert!(matchmaker.matching(QueryClass::Custom(0)).is_empty());
+
+        // Departure shrinks both the registry and the cached lists.
+        let departed = matchmaker.matching(QueryClass::Light)[0];
+        matchmaker.deregister(departed);
+        for class in WORKLOAD_CLASSES {
+            assert!(matchmaker.matching(class).binary_search(&departed).is_err());
+            let direct = matchmaker
+                .registry()
+                .matching_providers(&QueryDescription::with_topic(class_topic(class), class));
+            assert_eq!(matchmaker.matching(class), direct.as_slice());
+        }
+        // Deregistering again is a no-op.
+        matchmaker.deregister(departed);
+    }
+
+    #[test]
+    fn sorted_intersection_matches_naive_filtering() {
+        let shard: Vec<ProviderId> = [1u32, 4, 5, 9, 12].map(ProviderId::new).into();
+        let matching: Vec<ProviderId> = [0u32, 4, 6, 9, 10, 12, 20].map(ProviderId::new).into();
+        let mut out = Vec::new();
+        intersect_sorted(&shard, &matching, &mut out);
+        assert_eq!(out, [4u32, 9, 12].map(ProviderId::new).to_vec());
+
+        intersect_sorted(&shard, &[], &mut out);
+        assert!(out.is_empty());
+        intersect_sorted(&[], &matching, &mut out);
+        assert!(out.is_empty());
+        intersect_sorted(&shard, &shard, &mut out);
+        assert_eq!(out, shard);
+    }
+}

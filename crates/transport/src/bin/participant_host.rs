@@ -1,0 +1,129 @@
+//! Standalone participant host: multiplexes a range of demo endpoints
+//! over one connection to a wave server and serves mediation waves
+//! until the mediator shuts it down.
+//!
+//! ```text
+//! participant_host (--tcp ADDR | --uds PATH)
+//!                  [--consumers A..B] [--providers A..B] [--label NAME]
+//! ```
+//!
+//! Endpoint ranges are half-open raw-id ranges (`0..8`). The endpoints
+//! answer with the deterministic `sqlb_transport::demo` formulas, so the
+//! server side can verify every reply it receives.
+
+use std::process::ExitCode;
+
+use sqlb_transport::demo::{DemoConsumer, DemoProvider};
+use sqlb_transport::ParticipantHost;
+use sqlb_types::{ConsumerId, ProviderId};
+
+struct Args {
+    tcp: Option<String>,
+    uds: Option<String>,
+    consumers: std::ops::Range<u32>,
+    providers: std::ops::Range<u32>,
+    label: String,
+}
+
+fn parse_range(value: &str) -> Option<std::ops::Range<u32>> {
+    let (start, end) = value.split_once("..")?;
+    Some(start.parse().ok()?..end.parse().ok()?)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        uds: None,
+        consumers: 0..0,
+        providers: 0..0,
+        label: "host".to_string(),
+    };
+    let mut raw = std::env::args().skip(1);
+    while let Some(flag) = raw.next() {
+        let mut value = |name: &str| raw.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--uds" => args.uds = Some(value("--uds")?),
+            "--consumers" => {
+                args.consumers = parse_range(&value("--consumers")?)
+                    .ok_or("--consumers wants a range like 0..8")?
+            }
+            "--providers" => {
+                args.providers = parse_range(&value("--providers")?)
+                    .ok_or("--providers wants a range like 0..64")?
+            }
+            "--label" => args.label = value("--label")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.tcp.is_none() == args.uds.is_none() {
+        return Err("exactly one of --tcp ADDR or --uds PATH is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("participant_host: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let connected = if let Some(addr) = &args.tcp {
+        ParticipantHost::connect_tcp(addr.as_str())
+    } else {
+        #[cfg(unix)]
+        {
+            ParticipantHost::connect_uds(args.uds.as_deref().expect("checked by parse_args"))
+        }
+        #[cfg(not(unix))]
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix-domain sockets are unavailable on this platform",
+            ))
+        }
+    };
+    let mut host = match connected {
+        Ok(host) => host,
+        Err(e) => {
+            eprintln!("participant_host[{}]: connect failed: {e}", args.label);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for c in args.consumers.clone() {
+        host.add_consumer(ConsumerId::new(c), DemoConsumer(ConsumerId::new(c)));
+    }
+    for p in args.providers.clone() {
+        host.add_provider(ProviderId::new(p), DemoProvider(ProviderId::new(p)));
+    }
+    if let Err(e) = host.announce() {
+        eprintln!("participant_host[{}]: hello failed: {e}", args.label);
+        return ExitCode::FAILURE;
+    }
+
+    match host.serve() {
+        Ok(report) => {
+            println!(
+                "participant_host[{}]: served {} waves, {} replies, {} notices, clean={}",
+                args.label,
+                report.waves_served,
+                report.replies_sent,
+                report.notices_received,
+                report.clean_shutdown,
+            );
+            if report.clean_shutdown {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("participant_host[{}]: serve failed: {e}", args.label);
+            ExitCode::FAILURE
+        }
+    }
+}

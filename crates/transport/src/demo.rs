@@ -1,0 +1,97 @@
+//! Deterministic demo endpoints shared by the `participant_host` and
+//! `wave_server_demo` binaries (and the loopback smoke test in CI).
+//!
+//! Both processes derive every intention from the endpoint ids alone,
+//! so the server side can recompute what each reply *must* contain and
+//! verify the full encode → socket → decode → compute → socket → decode
+//! path end to end, without any side channel.
+
+use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
+use sqlb_types::{ConsumerId, ProviderId, Query};
+
+/// The intention a demo provider reports for any query.
+pub fn provider_intention(p: ProviderId) -> f64 {
+    ((p.raw().wrapping_mul(37).wrapping_add(11)) % 101) as f64 / 101.0 * 1.6 - 0.6
+}
+
+/// The utilization a demo provider reports.
+pub fn provider_utilization(p: ProviderId) -> f64 {
+    ((p.raw().wrapping_mul(13)) % 17) as f64 / 17.0
+}
+
+/// The intention a demo consumer reports towards a provider.
+pub fn consumer_intention(c: ConsumerId, p: ProviderId) -> f64 {
+    let mixed = c
+        .raw()
+        .wrapping_mul(31)
+        .wrapping_add(p.raw().wrapping_mul(7))
+        % 89;
+    mixed as f64 / 89.0 * 2.0 - 1.0
+}
+
+/// The contiguous id range host `h` of `hosts` serves out of `total`
+/// endpoints (used by both binaries so they agree on the partition).
+pub fn host_range(total: u32, hosts: u32, h: u32) -> std::ops::Range<u32> {
+    let start = total * h / hosts;
+    let end = total * (h + 1) / hosts;
+    start..end
+}
+
+/// A demo consumer endpoint answering with [`consumer_intention`].
+pub struct DemoConsumer(pub ConsumerId);
+
+impl ConsumerEndpoint for DemoConsumer {
+    fn intentions(&mut self, _q: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
+        candidates
+            .iter()
+            .map(|&p| (p, consumer_intention(self.0, p)))
+            .collect()
+    }
+}
+
+/// A demo provider endpoint answering with [`provider_intention`] /
+/// [`provider_utilization`].
+pub struct DemoProvider(pub ProviderId);
+
+impl ProviderEndpoint for DemoProvider {
+    fn intention(&mut self, _q: &Query) -> f64 {
+        provider_intention(self.0)
+    }
+
+    fn utilization(&mut self) -> f64 {
+        provider_utilization(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_ranges_partition_exactly() {
+        for (total, hosts) in [(64u32, 2u32), (10, 3), (7, 4), (1, 1)] {
+            let mut covered = Vec::new();
+            for h in 0..hosts {
+                covered.extend(host_range(total, hosts, h));
+            }
+            assert_eq!(covered, (0..total).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn demo_intentions_are_bounded_and_deterministic() {
+        for p in 0..256u32 {
+            let v = provider_intention(ProviderId::new(p));
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, provider_intention(ProviderId::new(p)));
+            let u = provider_utilization(ProviderId::new(p));
+            assert!((0.0..=1.0).contains(&u));
+        }
+        for c in 0..16u32 {
+            for p in 0..16u32 {
+                let v = consumer_intention(ConsumerId::new(c), ProviderId::new(p));
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The participant-host client: many endpoints, one socket.
+//!
+//! [`ParticipantHost`] is the client-side library a deployment links
+//! into each participant process. It multiplexes any number of consumer
+//! and provider endpoints (the same [`ConsumerEndpoint`] /
+//! [`ProviderEndpoint`] traits the in-process runtimes use) over a
+//! single TCP or Unix-domain connection to a [`crate::WaveServer`]:
+//! one socket per host, not per endpoint, which is what lets a handful
+//! of connections carry tens of thousands of endpoints.
+//!
+//! The host announces its endpoints with a `Hello`, then serves waves:
+//! it buffers each wave's requests until the `WaveEnd` marker, computes
+//! every reply, and writes them in one burst. (Buffering until the
+//! marker is also a flow-control contract: the host keeps reading while
+//! the server keeps writing, so neither side can block the other into a
+//! deadlock on full socket buffers.) Endpoint latency hooks are
+//! honoured the way the threaded runtime models them: `After` sleeps
+//! before the reply, `Never` sends none — the server reads the silence
+//! as indifference when the wave deadline passes.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::ToSocketAddrs;
+
+#[cfg(unix)]
+use std::path::Path;
+
+use sqlb_mediation::{
+    encode_participant_reply, FrameAssembler, Latency, MediatorMessage, ParticipantReply,
+};
+use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
+use sqlb_types::{ConsumerId, ProviderId, Query};
+
+use crate::net::Stream;
+
+/// A buffered consumer wave request: `(wave, addressee, decoded
+/// requests)`, held until the wave-end marker arrives.
+type BufferedConsumerRequest = (u64, ConsumerId, Vec<(Query, Vec<ProviderId>)>);
+/// A buffered provider wave request: `(wave, addressee, decoded
+/// queries, request_bids)`.
+type BufferedProviderRequest = (u64, ProviderId, Vec<Query>, bool);
+
+/// Summary of one host's service, returned when the connection ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostReport {
+    /// Waves this host answered.
+    pub waves_served: u64,
+    /// Individual endpoint replies written.
+    pub replies_sent: u64,
+    /// Allocation notices/results delivered to endpoints.
+    pub notices_received: u64,
+    /// Whether the connection ended with a mediator `Shutdown` (`true`)
+    /// or an EOF (`false`).
+    pub clean_shutdown: bool,
+}
+
+/// A participant host: endpoints multiplexed over one connection.
+pub struct ParticipantHost {
+    stream: Stream,
+    assembler: FrameAssembler,
+    consumers: BTreeMap<ConsumerId, Box<dyn ConsumerEndpoint>>,
+    providers: BTreeMap<ProviderId, Box<dyn ProviderEndpoint>>,
+    report: HostReport,
+}
+
+impl ParticipantHost {
+    /// Connects to a wave server over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Self::over(Stream::connect_tcp(addr)?))
+    }
+
+    /// Connects to a wave server over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::over(Stream::connect_uds(path)?))
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn over(stream: Stream) -> Self {
+        ParticipantHost {
+            stream,
+            assembler: FrameAssembler::new(),
+            consumers: BTreeMap::new(),
+            providers: BTreeMap::new(),
+            report: HostReport::default(),
+        }
+    }
+
+    /// Registers a consumer endpoint on this host (before
+    /// [`ParticipantHost::announce`]).
+    pub fn add_consumer(&mut self, id: ConsumerId, endpoint: impl ConsumerEndpoint) {
+        self.consumers.insert(id, Box::new(endpoint));
+    }
+
+    /// Registers a provider endpoint on this host.
+    pub fn add_provider(&mut self, id: ProviderId, endpoint: impl ProviderEndpoint) {
+        self.providers.insert(id, Box::new(endpoint));
+    }
+
+    /// Number of endpoints this host multiplexes.
+    pub fn endpoint_count(&self) -> usize {
+        self.consumers.len() + self.providers.len()
+    }
+
+    /// Sends the `Hello` declaring this host's endpoints; the server
+    /// routes their wave requests over this connection from then on.
+    pub fn announce(&mut self) -> io::Result<()> {
+        let hello = ParticipantReply::Hello {
+            consumers: self.consumers.keys().copied().collect(),
+            providers: self.providers.keys().copied().collect(),
+        };
+        self.stream.write_all(&encode_participant_reply(&hello))?;
+        self.stream.flush()
+    }
+
+    /// Serves waves until the mediator sends `Shutdown` (answered with a
+    /// `Goodbye`) or the connection closes. Returns the service summary.
+    pub fn serve(&mut self) -> io::Result<HostReport> {
+        // Requests of the wave being assembled, in arrival order.
+        let mut consumer_requests: Vec<BufferedConsumerRequest> = Vec::new();
+        let mut provider_requests: Vec<BufferedProviderRequest> = Vec::new();
+        let mut chunk = [0u8; 65536];
+        loop {
+            while let Some(message) = self
+                .assembler
+                .next_mediator_message()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            {
+                match message {
+                    MediatorMessage::ConsumerWaveRequest {
+                        wave,
+                        consumer,
+                        requests,
+                    } => consumer_requests.push((wave, consumer, requests)),
+                    MediatorMessage::ProviderWaveRequest {
+                        wave,
+                        provider,
+                        queries,
+                        request_bids,
+                    } => provider_requests.push((wave, provider, queries, request_bids)),
+                    MediatorMessage::WaveEnd { wave } => {
+                        self.answer_wave(wave, &mut consumer_requests, &mut provider_requests)?;
+                    }
+                    MediatorMessage::AllocationNotice {
+                        query,
+                        provider,
+                        selected,
+                    } => {
+                        if let Some(endpoint) = self.providers.get_mut(&provider) {
+                            endpoint.allocation_notice(query, selected);
+                        }
+                        self.report.notices_received += 1;
+                    }
+                    MediatorMessage::AllocationResult {
+                        query,
+                        consumer,
+                        providers,
+                    } => {
+                        if let Some(endpoint) = self.consumers.get_mut(&consumer) {
+                            endpoint.allocation_result(query, &providers);
+                        }
+                        self.report.notices_received += 1;
+                    }
+                    MediatorMessage::Shutdown => {
+                        let goodbye = encode_participant_reply(&ParticipantReply::Goodbye);
+                        let _ = self.stream.write_all(&goodbye);
+                        let _ = self.stream.flush();
+                        self.report.clean_shutdown = true;
+                        return Ok(self.report);
+                    }
+                    // The legacy single-query request shapes carry no
+                    // addressee and cannot be dispatched on a multiplexed
+                    // connection; hosts ignore them.
+                    MediatorMessage::ConsumerIntentionRequest { .. }
+                    | MediatorMessage::ProviderIntentionRequest { .. } => {}
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(self.report),
+                Ok(n) => self.assembler.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Computes and writes every buffered reply of `wave`, in request
+    /// arrival order, honouring the endpoints' latency hooks.
+    fn answer_wave(
+        &mut self,
+        wave: u64,
+        consumer_requests: &mut Vec<BufferedConsumerRequest>,
+        provider_requests: &mut Vec<BufferedProviderRequest>,
+    ) -> io::Result<()> {
+        let mut out = Vec::new();
+        for (requested_wave, consumer, requests) in consumer_requests.drain(..) {
+            if requested_wave != wave {
+                continue; // a stale buffered request of an aborted wave
+            }
+            let Some(endpoint) = self.consumers.get_mut(&consumer) else {
+                // Addressed to an endpoint this host no longer serves:
+                // an explicit empty reply keeps the server from waiting
+                // out the deadline for it.
+                out.extend(encode_participant_reply(
+                    &ParticipantReply::ConsumerWaveReply {
+                        wave,
+                        consumer,
+                        intentions: Vec::new(),
+                    },
+                ));
+                self.report.replies_sent += 1;
+                continue;
+            };
+            match endpoint.latency() {
+                Latency::Never => continue,
+                Latency::After(delay) => {
+                    // Replies computed so far must not be held hostage by
+                    // this endpoint's latency: flush, then sleep.
+                    flush_pending(&mut self.stream, &mut out)?;
+                    std::thread::sleep(delay);
+                }
+                Latency::Immediate => {}
+            }
+            let intentions = endpoint.intentions_batch(&requests);
+            out.extend(encode_participant_reply(
+                &ParticipantReply::ConsumerWaveReply {
+                    wave,
+                    consumer,
+                    intentions,
+                },
+            ));
+            self.report.replies_sent += 1;
+        }
+        for (requested_wave, provider, queries, request_bids) in provider_requests.drain(..) {
+            if requested_wave != wave {
+                continue;
+            }
+            let Some(endpoint) = self.providers.get_mut(&provider) else {
+                out.extend(encode_participant_reply(
+                    &ParticipantReply::ProviderWaveReply {
+                        wave,
+                        provider,
+                        utilization: 0.0,
+                        intentions: Vec::new(),
+                    },
+                ));
+                self.report.replies_sent += 1;
+                continue;
+            };
+            match endpoint.latency() {
+                Latency::Never => continue,
+                Latency::After(delay) => {
+                    flush_pending(&mut self.stream, &mut out)?;
+                    std::thread::sleep(delay);
+                }
+                Latency::Immediate => {}
+            }
+            let utilization = endpoint.utilization();
+            let intentions = endpoint.intention_batch(&queries, request_bids);
+            out.extend(encode_participant_reply(
+                &ParticipantReply::ProviderWaveReply {
+                    wave,
+                    provider,
+                    utilization,
+                    intentions,
+                },
+            ));
+            self.report.replies_sent += 1;
+        }
+        self.report.waves_served += 1;
+        flush_pending(&mut self.stream, &mut out)
+    }
+}
+
+/// Writes and clears the pending reply bytes, if any.
+fn flush_pending(stream: &mut Stream, out: &mut Vec<u8>) -> io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(out)?;
+    stream.flush()?;
+    out.clear();
+    Ok(())
+}
+
+impl std::fmt::Debug for ParticipantHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParticipantHost")
+            .field("peer", &self.stream.peer_label())
+            .field("consumers", &self.consumers.len())
+            .field("providers", &self.providers.len())
+            .field("waves_served", &self.report.waves_served)
+            .finish()
+    }
+}

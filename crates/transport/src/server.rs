@@ -1,0 +1,705 @@
+//! The mediator-side wave server.
+//!
+//! [`WaveServer`] is the socket realization of Algorithm 1's fork /
+//! waituntil / timeout loop: it accepts participant-host connections over
+//! TCP and Unix-domain sockets, fans each mediation wave out as framed
+//! [`MediatorMessage`]s to the hosts that own the addressed endpoints,
+//! and collects the framed replies until every request is answered or
+//! the wave deadline passes — at which point everything still missing
+//! degrades to indifference, exactly like the in-process backends
+//! (the assembly goes through the same
+//! [`WaveReplies::into_candidate_infos`] helper, so the timeout
+//! semantics live in one place).
+//!
+//! One connection carries *many* endpoints: a host opens with
+//! [`ParticipantReply::Hello`] declaring the consumers and providers it
+//! serves, and the server routes each endpoint's requests over that
+//! host's connection. That is what makes tens of thousands of endpoints
+//! practical — the socket count scales with hosts, not participants.
+//!
+//! Replies are correlated by wave id; a reply for an older wave (a
+//! straggler that missed its deadline) is recognized as stale and
+//! discarded, never mixed into the current wave.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+#[cfg(unix)]
+use std::path::PathBuf;
+
+use sqlb_core::allocation::{Allocation, CandidateInfo};
+use sqlb_mediation::reactor::{ConsumerBatchAnswer, ProviderBatchAnswer};
+use sqlb_mediation::{
+    encode_mediator_message, FrameAssembler, MediatorMessage, ParticipantReply, ProviderAnswer,
+    WaveReplies,
+};
+use sqlb_types::{ConsumerId, ProviderId, Query};
+
+use crate::net::{is_timeout, Stream};
+
+/// Wave-server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long a wave waits for replies before everything still missing
+    /// degrades to indifference (Algorithm 1, line 5).
+    pub timeout: Duration,
+    /// Whether provider wave requests also ask for bids (economic
+    /// methods).
+    pub request_bids: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            timeout: Duration::from_millis(200),
+            request_bids: false,
+        }
+    }
+}
+
+/// What happened during one socket wave.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SocketRoundStats {
+    /// Identifier of the wave (1-based, monotonically increasing).
+    pub wave: u64,
+    /// Endpoint requests written to host connections.
+    pub delivered: usize,
+    /// Replies that arrived before the deadline.
+    pub answered: usize,
+    /// Requests still outstanding when the deadline passed; their values
+    /// were read as indifference.
+    pub timed_out: usize,
+    /// Wall-clock time the wave took (write-out to last reply or
+    /// deadline).
+    pub elapsed: Duration,
+}
+
+/// One connected participant host.
+struct HostConnection {
+    stream: Stream,
+    assembler: FrameAssembler,
+    consumers: Vec<ConsumerId>,
+    providers: Vec<ProviderId>,
+}
+
+/// The mediator-side socket server: accepts host connections and drives
+/// mediation waves over them.
+pub struct WaveServer {
+    config: ServerConfig,
+    tcp: Option<TcpListener>,
+    #[cfg(unix)]
+    uds: Option<UnixListener>,
+    #[cfg(unix)]
+    uds_path: Option<PathBuf>,
+    /// Slots are stable across closures (`None` = closed) so endpoint
+    /// home indices never dangle.
+    connections: Vec<Option<HostConnection>>,
+    consumer_home: BTreeMap<ConsumerId, usize>,
+    provider_home: BTreeMap<ProviderId, usize>,
+    next_wave: u64,
+    waves: u64,
+    last_round: SocketRoundStats,
+}
+
+impl WaveServer {
+    /// Creates a server with no listener yet; call
+    /// [`WaveServer::listen_tcp`] and/or [`WaveServer::listen_uds`].
+    pub fn new(config: ServerConfig) -> Self {
+        WaveServer {
+            config,
+            tcp: None,
+            #[cfg(unix)]
+            uds: None,
+            #[cfg(unix)]
+            uds_path: None,
+            connections: Vec::new(),
+            consumer_home: BTreeMap::new(),
+            provider_home: BTreeMap::new(),
+            next_wave: 1,
+            waves: 0,
+            last_round: SocketRoundStats::default(),
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Starts listening on a TCP address (use port 0 for an ephemeral
+    /// port) and returns the bound address.
+    pub fn listen_tcp(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        // Accepts are polled (see accept_host), never allowed to block
+        // the mediator indefinitely.
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        self.tcp = Some(listener);
+        Ok(bound)
+    }
+
+    /// The bound TCP address, when listening on TCP.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Starts listening on a Unix-domain socket path. An existing socket
+    /// file at the path is removed first (a stale file from a previous
+    /// run would otherwise block the bind).
+    #[cfg(unix)]
+    pub fn listen_uds(&mut self, path: impl Into<PathBuf>) -> io::Result<()> {
+        let path = path.into();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        self.uds = Some(listener);
+        self.uds_path = Some(path);
+        Ok(())
+    }
+
+    /// The Unix-domain socket path, when listening on one.
+    #[cfg(unix)]
+    pub fn uds_path(&self) -> Option<&std::path::Path> {
+        self.uds_path.as_deref()
+    }
+
+    /// Accepts one host connection (from either listener) and reads its
+    /// [`ParticipantReply::Hello`], registering the declared endpoints.
+    /// Returns the connection's slot index. Fails with
+    /// [`io::ErrorKind::TimedOut`] when no host shows up in time.
+    pub fn accept_host(&mut self, timeout: Duration) -> io::Result<usize> {
+        let deadline = Instant::now() + timeout;
+        let stream = loop {
+            if let Some(listener) = &self.tcp {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true)?;
+                        stream.set_nonblocking(false)?;
+                        break Stream::Tcp(stream);
+                    }
+                    Err(e) if is_timeout(&e) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            #[cfg(unix)]
+            if let Some(listener) = &self.uds {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        break Stream::Unix(stream);
+                    }
+                    Err(e) if is_timeout(&e) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no participant host connected before the deadline",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+
+        // Writes to this host must make progress or fail — a connected
+        // host that stops reading would otherwise block the mediator's
+        // wave fan-out forever, and the wave deadline only bounds reads.
+        stream.set_write_timeout(Some(self.config.timeout.max(Duration::from_millis(100))))?;
+
+        // The hello must arrive promptly; a connection that never
+        // identifies itself cannot be routed to.
+        let mut connection = HostConnection {
+            stream,
+            assembler: FrameAssembler::new(),
+            consumers: Vec::new(),
+            providers: Vec::new(),
+        };
+        let hello = loop {
+            if let Some(reply) = connection
+                .assembler
+                .next_participant_reply()
+                .map_err(frame_error)?
+            {
+                break reply;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "host connected but sent no hello before the deadline",
+                ));
+            }
+            connection.stream.set_read_timeout(Some(remaining))?;
+            let mut chunk = [0u8; 4096];
+            match connection.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "host closed the connection before its hello",
+                    ))
+                }
+                Ok(n) => connection.assembler.extend(&chunk[..n]),
+                Err(e) if is_timeout(&e) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let ParticipantReply::Hello {
+            consumers,
+            providers,
+        } = hello
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "host's first frame was not a hello",
+            ));
+        };
+
+        let slot = self.connections.len();
+        for &c in &consumers {
+            self.consumer_home.insert(c, slot);
+        }
+        for &p in &providers {
+            self.provider_home.insert(p, slot);
+        }
+        connection.consumers = consumers;
+        connection.providers = providers;
+        self.connections.push(Some(connection));
+        Ok(slot)
+    }
+
+    /// Accepts `hosts` connections (see [`WaveServer::accept_host`]);
+    /// `timeout` bounds the whole accept phase.
+    pub fn accept_hosts(&mut self, hosts: usize, timeout: Duration) -> io::Result<Vec<usize>> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = Vec::with_capacity(hosts);
+        for _ in 0..hosts {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            slots.push(self.accept_host(remaining)?);
+        }
+        Ok(slots)
+    }
+
+    /// Number of live host connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of registered consumer endpoints.
+    pub fn consumer_count(&self) -> usize {
+        self.consumer_home.len()
+    }
+
+    /// Number of registered provider endpoints.
+    pub fn provider_count(&self) -> usize {
+        self.provider_home.len()
+    }
+
+    /// Waves the server has run.
+    pub fn waves(&self) -> u64 {
+        self.waves
+    }
+
+    /// Statistics of the most recent wave.
+    pub fn last_round(&self) -> SocketRoundStats {
+        self.last_round
+    }
+
+    /// Runs one mediation wave over the connected hosts: one batched
+    /// request per distinct participant of the batch, multiplexed over
+    /// the owning host connections, answered until the configured
+    /// deadline. Returns the raw replies; missing answers (unregistered
+    /// endpoints, dead connections, replies past the deadline) are `None`
+    /// and degrade to indifference in
+    /// [`WaveReplies::into_candidate_infos`].
+    pub fn run_wave(&mut self, requests: &[(Query, Vec<ProviderId>)]) -> WaveReplies {
+        let wave = self.next_wave;
+        self.next_wave += 1;
+        self.waves += 1;
+        let started = Instant::now();
+
+        // One request per distinct participant (BTreeMaps keep the fan-out
+        // order deterministic).
+        let mut by_consumer: BTreeMap<ConsumerId, Vec<(Query, Vec<ProviderId>)>> = BTreeMap::new();
+        let mut by_provider: BTreeMap<ProviderId, Vec<Query>> = BTreeMap::new();
+        for (query, candidates) in requests {
+            by_consumer
+                .entry(query.consumer)
+                .or_default()
+                .push((query.clone(), candidates.clone()));
+            for provider in candidates {
+                by_provider
+                    .entry(*provider)
+                    .or_default()
+                    .push(query.clone());
+            }
+        }
+
+        // Frame the wave per connection. Requests to endpoints with no
+        // live home connection are skipped — their answers degrade to
+        // indifference, the same contract the in-process backends apply
+        // to unregistered endpoints.
+        let mut outbox: Vec<Vec<u8>> = vec![Vec::new(); self.connections.len()];
+        let mut expected: Vec<usize> = vec![0; self.connections.len()];
+        let mut consumer_replies: Vec<(ConsumerId, Option<ConsumerBatchAnswer>)> = Vec::new();
+        let mut consumer_slot: BTreeMap<ConsumerId, usize> = BTreeMap::new();
+        let mut provider_replies: Vec<(ProviderId, Option<ProviderBatchAnswer>)> = Vec::new();
+        let mut provider_slot: BTreeMap<ProviderId, usize> = BTreeMap::new();
+        for (consumer, consumer_requests) in by_consumer {
+            let Some(&home) = self.consumer_home.get(&consumer) else {
+                continue;
+            };
+            if self.connections[home].is_none() {
+                continue;
+            }
+            outbox[home].extend(encode_mediator_message(
+                &MediatorMessage::ConsumerWaveRequest {
+                    wave,
+                    consumer,
+                    requests: consumer_requests,
+                },
+            ));
+            expected[home] += 1;
+            consumer_slot.insert(consumer, consumer_replies.len());
+            consumer_replies.push((consumer, None));
+        }
+        for (provider, queries) in by_provider {
+            let Some(&home) = self.provider_home.get(&provider) else {
+                continue;
+            };
+            if self.connections[home].is_none() {
+                continue;
+            }
+            outbox[home].extend(encode_mediator_message(
+                &MediatorMessage::ProviderWaveRequest {
+                    wave,
+                    provider,
+                    queries,
+                    request_bids: self.config.request_bids,
+                },
+            ));
+            expected[home] += 1;
+            provider_slot.insert(provider, provider_replies.len());
+            provider_replies.push((provider, None));
+        }
+
+        // Write each connection's requests in one burst, bracketed by the
+        // wave-end marker (hosts buffer until they see it, then answer —
+        // which is what keeps both directions draining).
+        let delivered: usize = expected.iter().sum();
+        for (slot, bytes) in outbox.iter_mut().enumerate() {
+            if expected[slot] == 0 {
+                continue;
+            }
+            bytes.extend(encode_mediator_message(&MediatorMessage::WaveEnd { wave }));
+            let Some(connection) = self.connections[slot].as_mut() else {
+                continue;
+            };
+            if connection.stream.write_all(bytes).is_err() || connection.stream.flush().is_err() {
+                // A dead connection: its endpoints' replies stay missing
+                // and degrade to indifference.
+                self.close_slot(slot);
+            }
+        }
+
+        // Collect replies per connection until the shared deadline. The
+        // first pass works the connections in slot order, each allowed
+        // to block until the deadline — so one stalled host can consume
+        // the whole budget. A second, drain-only pass then harvests the
+        // replies the *other* hosts delivered in time: those frames are
+        // already sitting in this process's socket buffers and must not
+        // be miscounted as timeouts just because an earlier slot was
+        // slow.
+        let deadline = started + self.config.timeout;
+        let mut pending = expected.clone();
+        let mut chunk = [0u8; 65536];
+        for drain_only in [false, true] {
+            // An index loop on purpose: the body needs `pending[slot]`
+            // mutable while `self.connections[slot]` is re-borrowed per
+            // iteration (close_slot takes `&mut self`).
+            #[allow(clippy::needless_range_loop)]
+            for slot in 0..self.connections.len() {
+                if pending[slot] == 0 {
+                    continue;
+                }
+                let mut dead = false;
+                while pending[slot] > 0 && !dead {
+                    let Some(connection) = self.connections[slot].as_mut() else {
+                        break;
+                    };
+                    // Drain whatever is already assembled before reading.
+                    match connection.assembler.next_participant_reply() {
+                        Err(_) => {
+                            // Garbage on the stream: frame boundaries
+                            // are lost, the connection is unusable.
+                            dead = true;
+                            continue;
+                        }
+                        Ok(Some(reply)) => {
+                            match apply_reply(
+                                wave,
+                                reply,
+                                &consumer_slot,
+                                &provider_slot,
+                                &mut consumer_replies,
+                                &mut provider_replies,
+                            ) {
+                                Applied::Counted => pending[slot] -= 1,
+                                // The host is leaving mid-wave; whatever
+                                // it has not answered degrades.
+                                Applied::Goodbye => dead = true,
+                                Applied::Ignored => {}
+                            }
+                            continue;
+                        }
+                        Ok(None) => {}
+                    }
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let timeout = if drain_only {
+                        // Harvest only what has (essentially) already
+                        // arrived; don't wait for anything new.
+                        Duration::from_millis(1)
+                    } else if remaining.is_zero() {
+                        break;
+                    } else {
+                        remaining
+                    };
+                    if connection.stream.set_read_timeout(Some(timeout)).is_err() {
+                        dead = true;
+                        continue;
+                    }
+                    match connection.stream.read(&mut chunk) {
+                        Ok(0) => dead = true,
+                        Ok(n) => connection.assembler.extend(&chunk[..n]),
+                        Err(e) if is_timeout(&e) => {
+                            if drain_only {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => dead = true,
+                    }
+                }
+                if dead {
+                    self.close_slot(slot);
+                }
+            }
+        }
+        let answered = delivered - pending.iter().sum::<usize>();
+
+        self.last_round = SocketRoundStats {
+            wave,
+            delivered,
+            answered,
+            timed_out: delivered - answered,
+            elapsed: started.elapsed(),
+        };
+        WaveReplies {
+            consumers: consumer_replies,
+            providers: provider_replies,
+        }
+    }
+
+    /// Gathers the candidate information for a batch of queries in one
+    /// socket wave — the transport counterpart of the reactor's
+    /// `gather_batch`: one candidate-info vector per input query, in
+    /// input order, indifference filled in for every missing answer.
+    pub fn gather(&mut self, requests: &[(Query, Vec<ProviderId>)]) -> Vec<Vec<CandidateInfo>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        self.run_wave(requests).into_candidate_infos(requests)
+    }
+
+    /// Notifies every candidate of the mediation result and the consumer
+    /// of its allocation (Algorithm 1, lines 9–10), as framed one-way
+    /// messages over the owning connections.
+    pub fn notify(&mut self, query: &Query, candidates: &[ProviderId], allocation: &Allocation) {
+        let mut outbox: Vec<Vec<u8>> = vec![Vec::new(); self.connections.len()];
+        for &provider in candidates {
+            if let Some(&home) = self.provider_home.get(&provider) {
+                outbox[home].extend(encode_mediator_message(
+                    &MediatorMessage::AllocationNotice {
+                        query: query.id,
+                        provider,
+                        selected: allocation.is_selected(provider),
+                    },
+                ));
+            }
+        }
+        if let Some(&home) = self.consumer_home.get(&query.consumer) {
+            outbox[home].extend(encode_mediator_message(
+                &MediatorMessage::AllocationResult {
+                    query: query.id,
+                    consumer: query.consumer,
+                    providers: allocation.selected.clone(),
+                },
+            ));
+        }
+        for (slot, bytes) in outbox.iter().enumerate() {
+            if bytes.is_empty() {
+                continue;
+            }
+            if let Some(connection) = self.connections[slot].as_mut() {
+                if connection.stream.write_all(bytes).is_err() {
+                    self.close_slot(slot);
+                }
+            }
+        }
+    }
+
+    /// Removes a consumer endpoint (e.g. on departure). When this leaves
+    /// its host connection with no endpoints at all, the connection is
+    /// shut down and dropped; returns `true` in that case.
+    pub fn deregister_consumer(&mut self, id: ConsumerId) -> bool {
+        let Some(slot) = self.consumer_home.remove(&id) else {
+            return false;
+        };
+        if let Some(connection) = self.connections[slot].as_mut() {
+            connection.consumers.retain(|&c| c != id);
+            if connection.consumers.is_empty() && connection.providers.is_empty() {
+                self.shutdown_slot(slot);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes a provider endpoint (see
+    /// [`WaveServer::deregister_consumer`]).
+    pub fn deregister_provider(&mut self, id: ProviderId) -> bool {
+        let Some(slot) = self.provider_home.remove(&id) else {
+            return false;
+        };
+        if let Some(connection) = self.connections[slot].as_mut() {
+            connection.providers.retain(|&p| p != id);
+            if connection.consumers.is_empty() && connection.providers.is_empty() {
+                self.shutdown_slot(slot);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sends `Shutdown` to every live host and drops the connections.
+    /// The Unix-domain socket file, if any, is removed.
+    pub fn shutdown(&mut self) {
+        for slot in 0..self.connections.len() {
+            if self.connections[slot].is_some() {
+                self.shutdown_slot(slot);
+            }
+        }
+        #[cfg(unix)]
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Sends `Shutdown` on one connection and drops it.
+    fn shutdown_slot(&mut self, slot: usize) {
+        if let Some(connection) = self.connections[slot].as_mut() {
+            let frame = encode_mediator_message(&MediatorMessage::Shutdown);
+            let _ = connection.stream.write_all(&frame);
+            let _ = connection.stream.flush();
+        }
+        self.close_slot(slot);
+    }
+
+    /// Drops a connection without ceremony (I/O already failed).
+    fn close_slot(&mut self, slot: usize) {
+        if let Some(connection) = self.connections[slot].take() {
+            connection.stream.shutdown();
+        }
+    }
+}
+
+impl Drop for WaveServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for WaveServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaveServer")
+            .field("connections", &self.connection_count())
+            .field("consumers", &self.consumer_home.len())
+            .field("providers", &self.provider_home.len())
+            .field("waves", &self.waves)
+            .finish()
+    }
+}
+
+fn frame_error(error: sqlb_mediation::FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, error)
+}
+
+/// What a popped reply meant to the wave being collected.
+enum Applied {
+    /// A fresh answer of this wave: one fewer pending request.
+    Counted,
+    /// The host announced it is leaving.
+    Goodbye,
+    /// A stale-wave straggler, a duplicate, or a legacy single-query
+    /// reply: discarded.
+    Ignored,
+}
+
+/// Applies one participant reply to the wave's reply slots (wave-id
+/// correlated: anything not addressed to `wave` is ignored).
+fn apply_reply(
+    wave: u64,
+    reply: ParticipantReply,
+    consumer_slot: &BTreeMap<ConsumerId, usize>,
+    provider_slot: &BTreeMap<ProviderId, usize>,
+    consumer_replies: &mut [(ConsumerId, Option<ConsumerBatchAnswer>)],
+    provider_replies: &mut [(ProviderId, Option<ProviderBatchAnswer>)],
+) -> Applied {
+    match reply {
+        ParticipantReply::ConsumerWaveReply {
+            wave: replied,
+            consumer,
+            intentions,
+        } if replied == wave => {
+            if let Some(&i) = consumer_slot.get(&consumer) {
+                if consumer_replies[i].1.is_none() {
+                    consumer_replies[i].1 = Some(intentions);
+                    return Applied::Counted;
+                }
+            }
+            Applied::Ignored
+        }
+        ParticipantReply::ProviderWaveReply {
+            wave: replied,
+            provider,
+            utilization,
+            intentions,
+        } if replied == wave => {
+            if let Some(&i) = provider_slot.get(&provider) {
+                if provider_replies[i].1.is_none() {
+                    provider_replies[i].1 = Some(
+                        intentions
+                            .into_iter()
+                            .map(|(query, intention, bid)| ProviderAnswer {
+                                query,
+                                intention,
+                                utilization,
+                                bid,
+                            })
+                            .collect(),
+                    );
+                    return Applied::Counted;
+                }
+            }
+            Applied::Ignored
+        }
+        ParticipantReply::Goodbye => Applied::Goodbye,
+        _ => Applied::Ignored,
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`baselines`] | Capacity based, Mariposa-like, Random, Round-robin |
 //! | [`agents`] | consumer/provider agents, utilization, departures, populations |
 //! | [`mediation`] | concurrent mediation runtime (fork / waituntil / timeout) |
+//! | [`transport`] | socket-backed mediation: TCP/UDS wave server and participant hosts |
 //! | [`sim`] | discrete-event simulator and per-figure experiment drivers |
 //!
 //! ## Quick start
@@ -75,6 +76,7 @@ pub use sqlb_metrics as metrics;
 pub use sqlb_reputation as reputation;
 pub use sqlb_satisfaction as satisfaction;
 pub use sqlb_sim as sim;
+pub use sqlb_transport as transport;
 pub use sqlb_types as types;
 
 /// The most commonly used items, re-exported for convenience.

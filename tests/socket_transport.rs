@@ -1,0 +1,156 @@
+//! The socket transport's cross-boundary contract, exercised through the
+//! facade crate.
+//!
+//! Pins the PR's acceptance criterion: `MediationMode::Socket` over
+//! loopback produces the same allocation decisions as
+//! `MediationMode::Reactor` for the same seed when endpoint latencies
+//! are deterministic — plus the networked building blocks underneath
+//! (a TCP *and* a UDS wave, the one-socket-per-host multiplexing, and
+//! timeout-to-indifference over a real socket).
+
+use std::time::Duration;
+
+use sqlb::mediation::{ConsumerEndpoint, Latency, ProviderEndpoint};
+use sqlb::sim::engine::run_simulation;
+use sqlb::sim::{MediationMode, Method, SimulationConfig, WorkloadPattern};
+use sqlb::transport::{ParticipantHost, ServerConfig, WaveServer};
+use sqlb::types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+
+#[test]
+fn socket_and_reactor_backends_make_identical_allocation_decisions() {
+    // Three seeds, three methods: the socket backend's reports must be
+    // bit-identical to the reactor's (and therefore to the inline
+    // engine's) every time.
+    for (seed, method) in [
+        (9u64, Method::Sqlb),
+        (13, Method::CapacityBased),
+        (21, Method::MariposaLike),
+    ] {
+        let config = SimulationConfig::scaled(16, 32, 150.0, seed)
+            .with_workload(WorkloadPattern::Fixed(0.6));
+        let reactor =
+            run_simulation(config.with_mediation(MediationMode::Reactor), method).unwrap();
+        let socket = run_simulation(config.with_mediation(MediationMode::Socket), method).unwrap();
+        assert_eq!(
+            socket.digest(),
+            reactor.digest(),
+            "seed {seed}, {method:?}: socket and reactor runs diverged"
+        );
+        assert_eq!(socket.issued_queries, reactor.issued_queries);
+        assert_eq!(socket.completed_queries, reactor.completed_queries);
+        assert_eq!(
+            socket.series.consumer_allocation_satisfaction_mean.values(),
+            reactor
+                .series
+                .consumer_allocation_satisfaction_mean
+                .values()
+        );
+    }
+}
+
+struct Flat(f64);
+
+impl ConsumerEndpoint for Flat {
+    fn intentions(&mut self, _q: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
+        candidates.iter().map(|&p| (p, self.0)).collect()
+    }
+}
+
+impl ProviderEndpoint for Flat {
+    fn intention(&mut self, _q: &Query) -> f64 {
+        self.0
+    }
+}
+
+struct Silent;
+
+impl ProviderEndpoint for Silent {
+    fn intention(&mut self, _q: &Query) -> f64 {
+        1.0
+    }
+    fn latency(&mut self) -> Latency {
+        Latency::Never
+    }
+}
+
+#[test]
+fn a_tcp_wave_multiplexes_hosts_and_degrades_timeouts_to_indifference() {
+    let mut server = WaveServer::new(ServerConfig {
+        timeout: Duration::from_millis(400),
+        request_bids: false,
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    // Host A: the consumer and two healthy providers. Host B: a provider
+    // that never answers. Two sockets, four endpoints.
+    let a = std::thread::spawn(move || {
+        let mut host = ParticipantHost::connect_tcp(addr).unwrap();
+        host.add_consumer(ConsumerId::new(0), Flat(0.5));
+        host.add_provider(ProviderId::new(0), Flat(0.9));
+        host.add_provider(ProviderId::new(1), Flat(0.2));
+        host.announce().unwrap();
+        host.serve().unwrap()
+    });
+    let b = std::thread::spawn(move || {
+        let mut host = ParticipantHost::connect_tcp(addr).unwrap();
+        host.add_provider(ProviderId::new(2), Silent);
+        host.announce().unwrap();
+        host.serve().unwrap()
+    });
+    server.accept_hosts(2, Duration::from_secs(10)).unwrap();
+
+    let query = Query::single(
+        QueryId::new(1),
+        ConsumerId::new(0),
+        QueryClass::Light,
+        SimTime::ZERO,
+    );
+    let candidates: Vec<ProviderId> = (0..3).map(ProviderId::new).collect();
+    let infos = server.gather(&[(query, candidates)]);
+    assert_eq!(infos[0][0].provider_intention, 0.9);
+    assert_eq!(infos[0][1].provider_intention, 0.2);
+    assert_eq!(
+        infos[0][2].provider_intention, 0.0,
+        "the silent host's provider degrades to indifference at the deadline"
+    );
+    assert_eq!(infos[0][0].consumer_intention, 0.5);
+    let round = server.last_round();
+    assert_eq!(round.delivered, 4);
+    assert_eq!(round.answered, 3);
+    assert_eq!(round.timed_out, 1);
+
+    server.shutdown();
+    assert!(a.join().unwrap().clean_shutdown);
+    assert!(b.join().unwrap().clean_shutdown);
+}
+
+#[cfg(unix)]
+#[test]
+fn a_unix_domain_wave_works_like_the_tcp_one() {
+    let path = std::env::temp_dir().join(format!("sqlb-facade-{}.sock", std::process::id()));
+    let mut server = WaveServer::new(ServerConfig {
+        timeout: Duration::from_secs(5),
+        request_bids: false,
+    });
+    server.listen_uds(&path).unwrap();
+    let uds = path.clone();
+    let handle = std::thread::spawn(move || {
+        let mut host = ParticipantHost::connect_uds(&uds).unwrap();
+        host.add_consumer(ConsumerId::new(0), Flat(0.25));
+        host.add_provider(ProviderId::new(0), Flat(0.75));
+        host.announce().unwrap();
+        host.serve().unwrap()
+    });
+    server.accept_hosts(1, Duration::from_secs(10)).unwrap();
+    let query = Query::single(
+        QueryId::new(2),
+        ConsumerId::new(0),
+        QueryClass::Heavy,
+        SimTime::ZERO,
+    );
+    let infos = server.gather(&[(query, vec![ProviderId::new(0)])]);
+    assert_eq!(infos[0][0].provider_intention, 0.75);
+    assert_eq!(infos[0][0].consumer_intention, 0.25);
+    server.shutdown();
+    assert!(handle.join().unwrap().clean_shutdown);
+}
