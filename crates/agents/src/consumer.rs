@@ -1,5 +1,7 @@
 //! The consumer agent.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use sqlb_core::intention::{consumer_intention, IntentionParams};
 use sqlb_reputation::ReputationStore;
@@ -33,6 +35,29 @@ impl Default for ConsumerConfig {
     }
 }
 
+/// How a consumer's per-provider preference table is stored.
+///
+/// The materialized form is the paper's model verbatim; the procedural
+/// form exists for million-participant populations, where `C × P`
+/// materialized values (hundreds of gigabytes) are the scaling wall. A
+/// procedural preference is a pure function of `(seed, consumer,
+/// provider)` hashed through splitmix64 into the provider's
+/// interest-class range, so it is stable across reads and deterministic
+/// per seed while costing O(1) memory per consumer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum PreferenceTable {
+    /// Materialized values, one per provider
+    /// (`values[p.index()] = prf_c(·, p)`).
+    Dense(Vec<f64>),
+    /// Hash-derived values, uniform in the provider's interest-class
+    /// preference range. The range column is shared by every consumer of
+    /// the population (one `(lo, hi)` pair per provider, total O(P)).
+    Procedural {
+        seed: u64,
+        ranges: Arc<[(f64, f64)]>,
+    },
+}
+
 /// An autonomous consumer.
 ///
 /// The agent owns its (private) preference table over providers, derives
@@ -45,7 +70,7 @@ pub struct ConsumerAgent {
     id: ConsumerId,
     config: ConsumerConfig,
     /// Preference towards each provider, indexed by provider id.
-    preferences: Vec<f64>,
+    preferences: PreferenceTable,
     tracker: ConsumerTracker,
     departed: bool,
 }
@@ -57,7 +82,26 @@ impl ConsumerAgent {
         ConsumerAgent {
             id,
             config,
-            preferences: preferences.iter().map(|p| p.value()).collect(),
+            preferences: PreferenceTable::Dense(preferences.iter().map(|p| p.value()).collect()),
+            tracker: ConsumerTracker::new(config.memory, config.initial_satisfaction),
+            departed: false,
+        }
+    }
+
+    /// Creates a consumer whose preferences are derived on demand from
+    /// `seed` and the shared per-provider interest-class range column,
+    /// instead of being materialized — O(1) memory per consumer at any
+    /// provider count.
+    pub fn procedural(
+        id: ConsumerId,
+        seed: u64,
+        ranges: Arc<[(f64, f64)]>,
+        config: ConsumerConfig,
+    ) -> Self {
+        ConsumerAgent {
+            id,
+            config,
+            preferences: PreferenceTable::Procedural { seed, ranges },
             tracker: ConsumerTracker::new(config.memory, config.initial_satisfaction),
             departed: false,
         }
@@ -78,12 +122,14 @@ impl ConsumerAgent {
     /// per-query preferences). Providers outside the table get a neutral
     /// preference.
     pub fn preference_for(&self, provider: ProviderId) -> Preference {
-        Preference::new(
-            self.preferences
-                .get(provider.index())
-                .copied()
-                .unwrap_or(0.0),
-        )
+        let value = match &self.preferences {
+            PreferenceTable::Dense(values) => values.get(provider.index()).copied().unwrap_or(0.0),
+            PreferenceTable::Procedural { seed, ranges } => match ranges.get(provider.index()) {
+                Some(&(lo, hi)) => lo + preference_unit(*seed, self.id, provider) * (hi - lo),
+                None => 0.0,
+            },
+        };
+        Preference::new(value)
     }
 
     /// The consumer's intention `ci_c(q, p)` for allocating `query` to
@@ -152,6 +198,26 @@ impl ConsumerAgent {
     pub fn depart(&mut self) {
         self.departed = true;
     }
+}
+
+/// A uniform draw in `[0, 1)` that is a pure function of `(seed, consumer,
+/// provider)`: the pair is packed into one word, stirred together with the
+/// seed, and finalized with splitmix64. 53 mantissa bits of the output make
+/// the float, so every representable step in `[0, 1)` is reachable.
+fn preference_unit(seed: u64, consumer: ConsumerId, provider: ProviderId) -> f64 {
+    let pair = ((consumer.raw() as u64) << 32) | provider.raw() as u64;
+    let z = splitmix64(seed ^ pair.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The splitmix64 finalizer (Steele, Lea & Flood): a cheap, well-mixed
+/// 64-bit permutation — adjacent inputs land far apart, which is exactly
+/// what adjacent `(consumer, provider)` pairs need.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -244,5 +310,58 @@ mod tests {
         assert!(!c.has_departed());
         c.depart();
         assert!(c.has_departed());
+    }
+
+    #[test]
+    fn procedural_preferences_are_stable_in_range_and_seeded() {
+        let ranges: Arc<[(f64, f64)]> = vec![(0.34, 1.0), (-1.0, -0.54), (-0.54, 0.34)].into();
+        let a = ConsumerAgent::procedural(
+            ConsumerId::new(3),
+            7,
+            Arc::clone(&ranges),
+            ConsumerConfig::default(),
+        );
+        for p in 0..3u32 {
+            let (lo, hi) = ranges[p as usize];
+            let v = a.preference_for(ProviderId::new(p)).value();
+            assert!(v >= lo && v < hi, "preference {v} outside [{lo}, {hi})");
+            // Pure function of (seed, consumer, provider): stable across
+            // reads.
+            assert_eq!(
+                v.to_bits(),
+                a.preference_for(ProviderId::new(p)).value().to_bits()
+            );
+        }
+        // Out-of-table providers are neutral, like the dense form.
+        assert_eq!(a.preference_for(ProviderId::new(99)).value(), 0.0);
+
+        // Same seed → same table; different seed or consumer → different
+        // draws (with overwhelming probability for this fixed case).
+        let b = ConsumerAgent::procedural(
+            ConsumerId::new(3),
+            7,
+            Arc::clone(&ranges),
+            ConsumerConfig::default(),
+        );
+        let c = ConsumerAgent::procedural(
+            ConsumerId::new(3),
+            8,
+            Arc::clone(&ranges),
+            ConsumerConfig::default(),
+        );
+        let d = ConsumerAgent::procedural(ConsumerId::new(4), 7, ranges, ConsumerConfig::default());
+        let p0 = ProviderId::new(0);
+        assert_eq!(
+            a.preference_for(p0).value().to_bits(),
+            b.preference_for(p0).value().to_bits()
+        );
+        assert_ne!(
+            a.preference_for(p0).value().to_bits(),
+            c.preference_for(p0).value().to_bits()
+        );
+        assert_ne!(
+            a.preference_for(p0).value().to_bits(),
+            d.preference_for(p0).value().to_bits()
+        );
     }
 }

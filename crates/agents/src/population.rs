@@ -161,6 +161,15 @@ pub struct PopulationConfig {
     pub consumer_config: ConsumerConfig,
     /// Per-provider agent configuration.
     pub provider_config: ProviderConfig,
+    /// Derive consumer preferences on demand from a hash of
+    /// `(seed, consumer, provider)` instead of materializing `C × P`
+    /// values. Off by default (the paper-faithful dense form); required in
+    /// practice beyond ~10^4 participants, where the dense table is the
+    /// memory wall. The procedural draw uses a different stream than the
+    /// dense one, so the two modes produce different (but each internally
+    /// deterministic) populations for the same seed.
+    #[serde(default)]
+    pub procedural_preferences: bool,
 }
 
 impl PopulationConfig {
@@ -175,6 +184,7 @@ impl PopulationConfig {
             capacity_fractions: [0.3, 0.6, 0.1],
             consumer_config: ConsumerConfig::default(),
             provider_config: ProviderConfig::default(),
+            procedural_preferences: false,
         }
     }
 
@@ -307,18 +317,37 @@ impl Population {
             })
             .collect();
 
-        let consumers: Vec<ConsumerAgent> = (0..config.consumers)
-            .map(|c| {
-                let preferences: Vec<Preference> = profiles
-                    .iter()
-                    .map(|profile| {
-                        let (lo, hi) = profile.interest.preference_range();
-                        Preference::new(rng.random_range(lo..=hi))
-                    })
-                    .collect();
-                ConsumerAgent::new(ConsumerId::new(c), preferences, config.consumer_config)
-            })
-            .collect();
+        let consumers: Vec<ConsumerAgent> = if config.procedural_preferences {
+            // One shared range column for the whole population; every
+            // consumer derives each preference on demand.
+            let ranges: std::sync::Arc<[(f64, f64)]> = profiles
+                .iter()
+                .map(|profile| profile.interest.preference_range())
+                .collect();
+            (0..config.consumers)
+                .map(|c| {
+                    ConsumerAgent::procedural(
+                        ConsumerId::new(c),
+                        config.seed,
+                        std::sync::Arc::clone(&ranges),
+                        config.consumer_config,
+                    )
+                })
+                .collect()
+        } else {
+            (0..config.consumers)
+                .map(|c| {
+                    let preferences: Vec<Preference> = profiles
+                        .iter()
+                        .map(|profile| {
+                            let (lo, hi) = profile.interest.preference_range();
+                            Preference::new(rng.random_range(lo..=hi))
+                        })
+                        .collect();
+                    ConsumerAgent::new(ConsumerId::new(c), preferences, config.consumer_config)
+                })
+                .collect()
+        };
 
         Ok(Population {
             active_consumers: (0..config.consumers).map(ConsumerId::new).collect(),
@@ -370,10 +399,22 @@ impl Population {
     }
 
     /// Debug-checks that the incremental active indices agree with a
-    /// from-scratch rebuild over the agents' departed flags. Compiled to a
-    /// no-op in release builds; the engine calls it after every
-    /// departure assessment.
+    /// from-scratch rebuild over the agents' departed flags. The engine
+    /// calls it after every departure assessment, but the O(n) rebuild
+    /// only compiles in under the `strict-invariants` feature (and, as a
+    /// `debug_assert`, only fires with debug assertions on): at 10^5+
+    /// participants an unconditional per-assessment sweep dominates
+    /// debug-profile test time.
     pub fn debug_assert_active_indices_consistent(&self) {
+        #[cfg(feature = "strict-invariants")]
+        self.assert_active_indices_consistent();
+    }
+
+    /// The unconditional form of the audit, used by the
+    /// `strict-invariants` gate above and by tests that want the check
+    /// regardless of features.
+    #[cfg_attr(not(feature = "strict-invariants"), allow(dead_code))]
+    fn assert_active_indices_consistent(&self) {
         debug_assert!(
             self.active_consumers.ids().iter().copied().eq(self
                 .consumers
@@ -522,6 +563,37 @@ mod tests {
                 assert!(pref >= lo - 1e-9 && pref <= hi + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn procedural_preferences_respect_class_ranges_and_are_deterministic() {
+        let mut config = PopulationConfig::scaled(20, 50, 7);
+        config.procedural_preferences = true;
+        let pop = Population::generate(&config).unwrap();
+        for consumer in pop.consumers.values() {
+            for (id, profile) in pop.profiles.iter() {
+                let pref = consumer.preference_for(id).value();
+                let (lo, hi) = profile.interest.preference_range();
+                assert!(
+                    pref >= lo && pref <= hi,
+                    "procedural preference {pref} outside [{lo}, {hi}]"
+                );
+            }
+        }
+        // Same seed reproduces the same table, bit for bit; another seed
+        // diverges.
+        let again = Population::generate(&config).unwrap();
+        let mut other = config;
+        other.seed = 8;
+        let other = Population::generate(&other).unwrap();
+        let (c, p) = (ConsumerId::new(3), ProviderId::new(11));
+        let read = |pop: &Population| pop.consumers[c].preference_for(p).value().to_bits();
+        assert_eq!(read(&pop), read(&again));
+        assert_ne!(read(&pop), read(&other));
+        // Provider-side state is independent of the consumer preference
+        // mode: both modes share the provider rng stream.
+        let dense = Population::generate(&PopulationConfig::scaled(20, 50, 7)).unwrap();
+        assert_eq!(pop.profiles, dense.profiles);
     }
 
     #[test]

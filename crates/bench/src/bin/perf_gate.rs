@@ -4,7 +4,12 @@
 //! configuration as `benches/allocation.rs` and the committed
 //! `BENCH_allocation.json`) and exits non-zero when allocations/s drops
 //! more than the tolerance below the last committed trajectory record
-//! for any shard count.
+//! for any shard count. When the baseline record also carries a
+//! `transport` row (socket-transport wave round, PR-5 on) or `scale`
+//! rows (`scale_1m` large-population points, PR-6 on), those are
+//! re-measured and gated too — the transport row by its endpoints/ms
+//! rate, the scale rows by allocations/s at each matching participant
+//! count.
 //!
 //! ```text
 //! cargo run --release -p sqlb-bench --bin perf_gate
@@ -15,14 +20,19 @@
 //!   write) — a dirty working tree cannot silently become the gate.
 //! * A baseline that is missing a swept shard count or carries a
 //!   non-positive throughput (e.g. a corrupted file) is an error
-//!   (exit 2), not a vacuous pass.
+//!   (exit 2), not a vacuous pass. Transport and scale rows are gated
+//!   only when the baseline has them (older records predate them).
+//! * Only the cheapest committed scale point is re-measured by default
+//!   (a CI-budget smoke of the scale path); set `PERF_GATE_SCALE_FULL=1`
+//!   to sweep every committed point, million-participant run included.
 //! * `PERF_GATE_TOLERANCE` (a fraction, e.g. `0.35`) overrides the
 //!   default tolerance for runners whose hardware differs substantially
 //!   from the machine that produced the committed record.
 
 use sqlb_bench::perf::{
-    measure_shard_throughput, merge_best, parse_trajectory, regression_failures, trajectory_path,
-    REGRESSION_TOLERANCE, SHARD_COUNTS,
+    measure_scale, measure_shard_throughput, measure_transport_round, merge_best, parse_trajectory,
+    regression_failures, scale_regression_failures, trajectory_path, transport_regression_failure,
+    REGRESSION_TOLERANCE, SHARD_COUNTS, TRANSPORT_CONSUMERS,
 };
 
 fn main() {
@@ -118,9 +128,89 @@ fn main() {
         );
     }
 
-    let failures = regression_failures(baseline, &measured, tolerance);
+    let mut failures = regression_failures(baseline, &measured, tolerance);
+
+    // Transport gate: the committed socket-transport wave round, compared
+    // by endpoints/ms rate. Only for baselines that carry the row.
+    match &baseline.transport {
+        Some(base) if base.round_ms > 0.0 && base.round_ms.is_finite() => {
+            let provider_endpoints = base.endpoints.saturating_sub(TRANSPORT_CONSUMERS as usize);
+            let mut now = measure_transport_round(provider_endpoints as u32, 3);
+            if transport_regression_failure(base, &now, tolerance).is_some() {
+                println!("perf_gate: transport below floor on first pass, confirming");
+                let second = measure_transport_round(provider_endpoints as u32, 3);
+                if second.round_ms < now.round_ms {
+                    now = second;
+                }
+            }
+            println!(
+                "  transport: {} endpoints in {:.3} ms measured  vs committed {:.3} ms ({:+.1}%)",
+                now.endpoints,
+                now.round_ms,
+                base.round_ms,
+                (base.round_ms / now.round_ms - 1.0) * 100.0
+            );
+            failures.extend(transport_regression_failure(base, &now, tolerance));
+        }
+        Some(base) => {
+            eprintln!(
+                "perf_gate: baseline record \"{}\" has an unusable transport round {} ms — \
+                 {path} is corrupted; regenerate it with \
+                 `BENCH_LABEL=<pr> cargo bench -p sqlb-bench --bench transport_scaling`",
+                baseline.label, base.round_ms
+            );
+            std::process::exit(2);
+        }
+        None => println!("  transport: no committed baseline row — skipped"),
+    }
+
+    // Scale gate: the committed scale_1m points. Re-measuring the million-
+    // participant point on every CI run is too slow, so by default only
+    // the cheapest committed point runs; the rest are gated only under
+    // PERF_GATE_SCALE_FULL=1 (scale_regression_failures ignores baseline
+    // points with no fresh measurement).
+    if baseline.scale.is_empty() {
+        println!("  scale: no committed baseline rows — skipped");
+    } else {
+        let full = std::env::var("PERF_GATE_SCALE_FULL").is_ok_and(|v| v == "1");
+        let mut points: Vec<u64> = baseline.scale.iter().map(|s| s.participants).collect();
+        points.sort_unstable();
+        if !full {
+            points.truncate(1);
+        }
+        let mut scale_measured = Vec::new();
+        for participants in points {
+            let row = measure_scale(participants);
+            let base = baseline
+                .scale
+                .iter()
+                .find(|b| b.participants == participants);
+            println!(
+                "  scale {}: {:>10.1} allocations/s measured ({} queries, {:.1} bytes/participant){}",
+                row.participants,
+                row.allocations_per_sec,
+                row.issued_queries,
+                row.bytes_per_participant,
+                match base {
+                    Some(b) => format!(
+                        "  vs committed {:.1} ({:+.1}%)",
+                        b.allocations_per_sec,
+                        (row.allocations_per_sec / b.allocations_per_sec - 1.0) * 100.0
+                    ),
+                    None => "  (no committed baseline row)".to_string(),
+                }
+            );
+            scale_measured.push(row);
+        }
+        failures.extend(scale_regression_failures(
+            &baseline.scale,
+            &scale_measured,
+            tolerance,
+        ));
+    }
+
     if failures.is_empty() {
-        println!("perf_gate: OK — no shard count regressed past the tolerance");
+        println!("perf_gate: OK — no gated row regressed past the tolerance");
         return;
     }
     eprintln!("perf_gate: FAILED");

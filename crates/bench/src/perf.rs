@@ -17,7 +17,7 @@
 
 use std::time::{Duration, Instant};
 
-use sqlb_sim::engine::run_simulation;
+use sqlb_sim::engine::{run_simulation, Simulator};
 use sqlb_sim::{Method, SimulationConfig, WorkloadPattern};
 
 /// Shard counts the throughput comparison sweeps.
@@ -36,6 +36,24 @@ pub const SEED: u64 = 7;
 pub const METHOD: Method = Method::Sqlb;
 /// Allowed throughput drop relative to the committed baseline (20 %).
 pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Participant counts of the committed scale record (the `scale_1m`
+/// benchmark): the paper-extrapolation point and the million-participant
+/// point.
+pub const SCALE_POINTS: [u64; 2] = [100_000, 1_000_000];
+/// Seed of the scale runs.
+pub const SCALE_SEED: u64 = 11;
+/// Virtual duration of one scale run, in seconds. Short on purpose: at
+/// 10^6 participants the arrival rate is hundreds of thousands of queries
+/// per virtual second, so two seconds already allocate a six-figure query
+/// count.
+pub const SCALE_DURATION_SECS: f64 = 2.0;
+/// Workload fraction of the scale runs.
+pub const SCALE_WORKLOAD: f64 = 0.3;
+/// Target providers per mediator shard at scale — the candidate set each
+/// arrival scores, kept near the paper's 64-provider system so per-query
+/// work stays paper-like while the population grows.
+pub const SCALE_SHARD_FANOUT: usize = 96;
 
 /// One measured row: end-to-end allocation throughput at a shard count.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +82,31 @@ pub struct TransportMeasurement {
     pub round_ms: f64,
 }
 
+/// One measured scale point of the `scale_1m` benchmark: a full
+/// simulation run at a large participant count, plus the memory footprint
+/// the participant state costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleMeasurement {
+    /// Total participants (consumers + providers).
+    pub participants: u64,
+    /// Consumers in the population.
+    pub consumers: u32,
+    /// Providers in the population.
+    pub providers: u32,
+    /// Mediator shards the providers were partitioned across.
+    pub mediator_shards: usize,
+    /// Queries issued (and allocated) by the run.
+    pub issued_queries: u64,
+    /// Wall clock of the measured run, in milliseconds (single run — a
+    /// million-participant run is too slow for best-of-N).
+    pub wall_ms: f64,
+    /// `issued_queries / wall` in allocations per second.
+    pub allocations_per_sec: f64,
+    /// Resident-set growth of constructing the simulator (population,
+    /// shards, engine state), divided by the participant count.
+    pub bytes_per_participant: f64,
+}
+
 /// One labelled record of the performance trajectory (one per PR).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryRecord {
@@ -73,6 +116,9 @@ pub struct TrajectoryRecord {
     pub shards: Vec<ShardMeasurement>,
     /// The socket-transport round measurement, for records from PR-5 on.
     pub transport: Option<TransportMeasurement>,
+    /// Scale-point measurements ([`SCALE_POINTS`]), for records from
+    /// PR-6 on.
+    pub scale: Vec<ScaleMeasurement>,
 }
 
 /// The benchmark configuration for a shard count.
@@ -112,6 +158,175 @@ pub fn measure_shard_throughput(runs_per_count: usize) -> Vec<ShardMeasurement> 
         .collect()
 }
 
+/// The configuration of one scale point: participants split 1:2 between
+/// consumers and providers (the paper's 200:400 ratio), providers
+/// partitioned into shards of roughly [`SCALE_SHARD_FANOUT`], and
+/// hash-derived (procedural) consumer preferences — the dense `C × P`
+/// table is the memory wall this configuration exists to avoid.
+pub fn scale_config(participants: u64, seed: u64) -> SimulationConfig {
+    let consumers = (participants / 3).max(1) as u32;
+    let providers = participants.saturating_sub(consumers as u64).max(1) as u32;
+    let shards = (providers as usize).div_ceil(SCALE_SHARD_FANOUT).max(1);
+    let mut config = SimulationConfig::scaled(consumers, providers, SCALE_DURATION_SECS, seed)
+        .with_workload(WorkloadPattern::Fixed(SCALE_WORKLOAD))
+        .with_mediator_shards(shards)
+        // No sync round inside the measured window: the all-to-all digest
+        // exchange is O(shards × consumers) by design, so at hundreds of
+        // shards it would swamp the per-allocation cost this row exists
+        // to measure (the transport and reactor benchmark rows cover
+        // synchronization scaling separately).
+        .with_sync_interval(SCALE_DURATION_SECS * 8.0);
+    config.population.procedural_preferences = true;
+    // Keep the paper's *absolute* window sizes: the population-scaled
+    // window heuristic is calibrated for small test populations and would
+    // ask for million-entry windows here.
+    config.population.consumer_config.memory = 200;
+    config.population.provider_config.proposed_memory = 500;
+    config.population.provider_config.performed_memory = 500;
+    config
+}
+
+/// Consumers of a transport gate round (matches `transport_scaling`).
+pub const TRANSPORT_CONSUMERS: u32 = 64;
+/// Participant-host connections of a transport gate round.
+pub const TRANSPORT_HOSTS: u32 = 8;
+/// Candidates per query of a transport gate round.
+pub const TRANSPORT_CANDIDATES_PER_QUERY: u32 = 16;
+
+/// Re-measures one socket-transport wave round at `providers` provider
+/// endpoints (plus [`TRANSPORT_CONSUMERS`] consumers) multiplexed over
+/// [`TRANSPORT_HOSTS`] loopback connections — the same topology, flat
+/// endpoints and full-coverage batch as the `transport_scaling` bench that
+/// produced the committed `transport` row, so the gate compares like with
+/// like. Best-of-`runs` wall clock.
+pub fn measure_transport_round(providers: u32, runs: usize) -> TransportMeasurement {
+    use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
+    use sqlb_transport::{ParticipantHost, ServerConfig, WaveServer};
+    use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+
+    struct FlatConsumer;
+    impl ConsumerEndpoint for FlatConsumer {
+        fn intentions(&mut self, _q: &Query, candidates: &[ProviderId]) -> Vec<(ProviderId, f64)> {
+            candidates
+                .iter()
+                .map(|&p| (p, 0.25 + 0.5 / (1.0 + p.index() as f64)))
+                .collect()
+        }
+    }
+    struct FlatProvider(f64);
+    impl ProviderEndpoint for FlatProvider {
+        fn intention(&mut self, _q: &Query) -> f64 {
+            self.0
+        }
+        fn utilization(&mut self) -> f64 {
+            self.0.abs() / 2.0
+        }
+    }
+
+    let mut server = WaveServer::new(ServerConfig {
+        timeout: Duration::from_secs(30),
+        request_bids: false,
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").expect("loopback bind");
+    let mut handles = Vec::new();
+    for h in 0..TRANSPORT_HOSTS {
+        handles.push(std::thread::spawn(move || {
+            let mut host = ParticipantHost::connect_tcp(addr)?;
+            for c in (h..TRANSPORT_CONSUMERS).step_by(TRANSPORT_HOSTS as usize) {
+                host.add_consumer(ConsumerId::new(c), FlatConsumer);
+            }
+            for p in (h..providers).step_by(TRANSPORT_HOSTS as usize) {
+                host.add_provider(
+                    ProviderId::new(p),
+                    FlatProvider(1.0 - (p % 7) as f64 * 0.25),
+                );
+            }
+            host.announce()?;
+            host.serve()
+        }));
+    }
+    server
+        .accept_hosts(TRANSPORT_HOSTS as usize, Duration::from_secs(30))
+        .expect("hosts connect");
+
+    let batch: Vec<(Query, Vec<ProviderId>)> = (0..providers / TRANSPORT_CANDIDATES_PER_QUERY)
+        .map(|i| {
+            let query = Query::single(
+                QueryId::new(i),
+                ConsumerId::new(i % TRANSPORT_CONSUMERS),
+                QueryClass::Light,
+                SimTime::ZERO,
+            );
+            let first = i * TRANSPORT_CANDIDATES_PER_QUERY;
+            let candidates = (first..first + TRANSPORT_CANDIDATES_PER_QUERY)
+                .map(ProviderId::new)
+                .collect();
+            (query, candidates)
+        })
+        .collect();
+
+    let _ = server.gather(&batch); // warmup
+    let mut best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let started = Instant::now();
+        let infos = server.gather(&batch);
+        let elapsed = started.elapsed();
+        assert_eq!(infos.len(), batch.len());
+        assert_eq!(server.last_round().timed_out, 0);
+        best = best.min(elapsed);
+    }
+    server.shutdown();
+    for handle in handles {
+        handle.join().expect("host thread").expect("host io");
+    }
+    TransportMeasurement {
+        endpoints: (providers + TRANSPORT_CONSUMERS) as usize,
+        hosts: TRANSPORT_HOSTS as usize,
+        round_ms: best.as_secs_f64() * 1e3,
+    }
+}
+
+/// Resident-set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+fn resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Runs one scale point: constructs the simulator (measuring the
+/// resident-set growth that the participant state costs) and runs it once,
+/// timed.
+pub fn measure_scale(participants: u64) -> ScaleMeasurement {
+    let config = scale_config(participants, SCALE_SEED);
+    let consumers = config.population.consumers;
+    let providers = config.population.providers;
+    let mediator_shards = config.mediator_shards;
+    let rss_before = resident_bytes();
+    let simulator = Simulator::new(config, METHOD).expect("scale configuration is valid");
+    let rss_after = resident_bytes();
+    let bytes_per_participant = match (rss_before, rss_after) {
+        (Some(before), Some(after)) => {
+            after.saturating_sub(before) as f64 / participants.max(1) as f64
+        }
+        _ => 0.0,
+    };
+    let start = Instant::now();
+    let report = simulator.run();
+    let elapsed = start.elapsed();
+    ScaleMeasurement {
+        participants,
+        consumers,
+        providers,
+        mediator_shards,
+        issued_queries: report.issued_queries,
+        wall_ms: elapsed.as_secs_f64() * 1e3,
+        allocations_per_sec: report.issued_queries as f64 / elapsed.as_secs_f64(),
+        bytes_per_participant,
+    }
+}
+
 /// Renders the full trajectory file.
 pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"allocation_throughput\",\n");
@@ -133,13 +348,27 @@ pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
             ));
         }
         let comma = if r + 1 < records.len() { "," } else { "" };
-        match &record.transport {
-            Some(transport) => out.push_str(&format!(
-                "    ], \"transport\": {{\"endpoints\": {}, \"hosts\": {}, \"round_ms\": {:.3}}}}}{comma}\n",
+        out.push_str("    ]");
+        if let Some(transport) = &record.transport {
+            out.push_str(&format!(
+                ", \"transport\": {{\"endpoints\": {}, \"hosts\": {}, \"round_ms\": {:.3}}}",
                 transport.endpoints, transport.hosts, transport.round_ms,
-            )),
-            None => out.push_str(&format!("    ]}}{comma}\n")),
+            ));
         }
+        if !record.scale.is_empty() {
+            out.push_str(", \"scale\": [\n");
+            for (i, row) in record.scale.iter().enumerate() {
+                let scale_comma = if i + 1 < record.scale.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "      {{\"participants\": {}, \"consumers\": {}, \"providers\": {}, \"mediator_shards\": {}, \"issued_queries\": {}, \"wall_ms\": {:.3}, \"allocations_per_sec\": {:.1}, \"bytes_per_participant\": {:.1}}}{scale_comma}\n",
+                    row.participants, row.consumers, row.providers, row.mediator_shards,
+                    row.issued_queries, row.wall_ms, row.allocations_per_sec,
+                    row.bytes_per_participant,
+                ));
+            }
+            out.push_str("    ]");
+        }
+        out.push_str(&format!("}}{comma}\n"));
     }
     out.push_str("  ]\n}\n");
     out
@@ -163,6 +392,7 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                 label: label.to_string(),
                 shards: Vec::new(),
                 transport: None,
+                scale: Vec::new(),
             });
         }
         if line.contains("\"transport\"") {
@@ -179,6 +409,39 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                         .unwrap_or(0.0),
                 });
             }
+        }
+        if line.contains("\"participants\"") {
+            // A scale row also carries "mediator_shards"; it must be
+            // recognized before the shard-row branch below.
+            if let Some(record) = records.last_mut() {
+                record.scale.push(ScaleMeasurement {
+                    participants: field(line, "\"participants\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    consumers: field(line, "\"consumers\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    providers: field(line, "\"providers\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    mediator_shards: field(line, "\"mediator_shards\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    issued_queries: field(line, "\"issued_queries\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    wall_ms: field(line, "\"wall_ms\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                    allocations_per_sec: field(line, "\"allocations_per_sec\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                    bytes_per_participant: field(line, "\"bytes_per_participant\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                });
+            }
+            continue;
         }
         if line.contains("\"mediator_shards\"") {
             let row = ShardMeasurement {
@@ -200,6 +463,7 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                     label: "PR-1".to_string(),
                     shards: Vec::new(),
                     transport: None,
+                    scale: Vec::new(),
                 });
             }
             records.last_mut().expect("record exists").shards.push(row);
@@ -222,6 +486,7 @@ pub fn upsert_record(
             label: label.to_string(),
             shards,
             transport: None,
+            scale: Vec::new(),
         }),
     }
     records
@@ -240,9 +505,87 @@ pub fn upsert_transport(
             label: label.to_string(),
             shards: Vec::new(),
             transport: Some(transport),
+            scale: Vec::new(),
         }),
     }
     records
+}
+
+/// Replaces the scale rows of the record with `label` (creating the
+/// record if needed). Shard and transport rows already attached are
+/// preserved — the three benches write independently.
+pub fn upsert_scale(
+    mut records: Vec<TrajectoryRecord>,
+    label: &str,
+    scale: Vec<ScaleMeasurement>,
+) -> Vec<TrajectoryRecord> {
+    match records.iter_mut().find(|r| r.label == label) {
+        Some(existing) => existing.scale = scale,
+        None => records.push(TrajectoryRecord {
+            label: label.to_string(),
+            shards: Vec::new(),
+            transport: None,
+            scale,
+        }),
+    }
+    records
+}
+
+/// Gates the socket-transport round against a committed baseline row: a
+/// failure when the measured wave moves endpoints more than `tolerance`
+/// slower than the baseline did. Comparing endpoint rates (endpoints per
+/// millisecond) keeps the check meaningful even if the swept endpoint
+/// count changes between records.
+pub fn transport_regression_failure(
+    baseline: &TransportMeasurement,
+    measured: &TransportMeasurement,
+    tolerance: f64,
+) -> Option<String> {
+    let base_rate = baseline.endpoints as f64 / baseline.round_ms;
+    let measured_rate = measured.endpoints as f64 / measured.round_ms;
+    let floor = base_rate * (1.0 - tolerance);
+    (measured_rate < floor).then(|| {
+        format!(
+            "transport: {:.1} endpoints/ms ({} endpoints in {:.3} ms) is below the \
+             regression floor {:.1} ({:.1} committed, tolerance {:.0}%)",
+            measured_rate,
+            measured.endpoints,
+            measured.round_ms,
+            floor,
+            base_rate,
+            tolerance * 100.0,
+        )
+    })
+}
+
+/// Gates the scale rows against a committed baseline: one failure per
+/// measured participant count whose throughput dropped more than
+/// `tolerance` below the committed row. Baseline rows with no fresh
+/// measurement are ignored (the CI gate only re-runs the cheap points).
+pub fn scale_regression_failures(
+    baseline: &[ScaleMeasurement],
+    measured: &[ScaleMeasurement],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for now in measured {
+        let Some(base) = baseline.iter().find(|b| b.participants == now.participants) else {
+            continue;
+        };
+        let floor = base.allocations_per_sec * (1.0 - tolerance);
+        if now.allocations_per_sec < floor {
+            failures.push(format!(
+                "scale {}: {:.1} allocations/s is below the regression floor {:.1} \
+                 ({:.1} committed, tolerance {:.0}%)",
+                now.participants,
+                now.allocations_per_sec,
+                floor,
+                base.allocations_per_sec,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    failures
 }
 
 /// Merges two measurement passes, keeping the best (fastest) observation
@@ -310,6 +653,7 @@ mod tests {
         TrajectoryRecord {
             label: label.to_string(),
             transport: None,
+            scale: Vec::new(),
             shards: vec![
                 ShardMeasurement {
                     mediator_shards: 1,
@@ -393,6 +737,123 @@ mod tests {
         assert!(records[0].shards.is_empty());
         let reparsed = parse_trajectory(&render_trajectory(&records));
         assert_eq!(reparsed[0].transport.as_ref().unwrap().endpoints, 1);
+    }
+
+    fn scale_row(participants: u64, throughput: f64) -> ScaleMeasurement {
+        ScaleMeasurement {
+            participants,
+            consumers: (participants / 3) as u32,
+            providers: (participants - participants / 3) as u32,
+            mediator_shards: 1024,
+            issued_queries: 140_000,
+            wall_ms: 950.0,
+            allocations_per_sec: throughput,
+            bytes_per_participant: 412.5,
+        }
+    }
+
+    #[test]
+    fn scale_rows_round_trip_and_survive_other_upserts() {
+        let mut with_scale = record("PR-6", 240000.0);
+        with_scale.scale = vec![scale_row(100_000, 150000.0), scale_row(1_000_000, 120000.0)];
+        let records = vec![record("PR-5", 180000.0), with_scale];
+        let parsed = parse_trajectory(&render_trajectory(&records));
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].scale.is_empty(), "older records carry none");
+        assert_eq!(parsed[1].scale.len(), 2);
+        let row = &parsed[1].scale[1];
+        assert_eq!(row.participants, 1_000_000);
+        assert_eq!(row.consumers, 333_333);
+        assert_eq!(row.providers, 666_667);
+        assert_eq!(row.mediator_shards, 1024);
+        assert_eq!(row.issued_queries, 140_000);
+        assert!((row.wall_ms - 950.0).abs() < 1e-9);
+        assert!((row.allocations_per_sec - 120000.0).abs() < 0.1);
+        assert!((row.bytes_per_participant - 412.5).abs() < 1e-9);
+        // Scale rows must not be swallowed by the shard-row parser even
+        // though they also carry a "mediator_shards" key.
+        assert_eq!(parsed[1].shards.len(), 2);
+
+        // Re-upserting shard rows keeps the scale rows, and vice versa.
+        let records = upsert_record(parsed, "PR-6", record("PR-6", 250000.0).shards);
+        assert_eq!(records[1].scale.len(), 2);
+        let records = upsert_scale(records, "PR-6", vec![scale_row(100_000, 160000.0)]);
+        assert_eq!(records[1].scale.len(), 1);
+        assert_eq!(records[1].shards.len(), 2);
+        // And upsert_scale creates a fresh record when the label is new.
+        let records = upsert_scale(Vec::new(), "PR-7", vec![scale_row(100_000, 1.0)]);
+        assert_eq!(records[0].label, "PR-7");
+        assert!(records[0].shards.is_empty());
+    }
+
+    #[test]
+    fn transport_gate_compares_endpoint_rates() {
+        let base = TransportMeasurement {
+            endpoints: 10_304,
+            hosts: 8,
+            round_ms: 10.0,
+        };
+        // Same rate: fine.
+        assert!(transport_regression_failure(&base, &base, 0.2).is_none());
+        // 10% slower: within a 20% tolerance.
+        let slower = TransportMeasurement {
+            round_ms: 11.0,
+            ..base
+        };
+        assert!(transport_regression_failure(&base, &slower, 0.2).is_none());
+        // 2x slower: trips.
+        let slow = TransportMeasurement {
+            round_ms: 20.0,
+            ..base
+        };
+        let failure = transport_regression_failure(&base, &slow, 0.2).unwrap();
+        assert!(failure.contains("transport"));
+        // A different endpoint count still compares fairly (per-ms rate):
+        // half the endpoints in half the time is the same rate.
+        let half = TransportMeasurement {
+            endpoints: 5_152,
+            hosts: 8,
+            round_ms: 5.0,
+        };
+        assert!(transport_regression_failure(&base, &half, 0.2).is_none());
+    }
+
+    #[test]
+    fn scale_gate_trips_only_on_matching_regressed_points() {
+        let baseline = vec![scale_row(100_000, 100000.0), scale_row(1_000_000, 80000.0)];
+        // Only the cheap point measured, within tolerance: fine.
+        let ok = vec![scale_row(100_000, 85000.0)];
+        assert!(scale_regression_failures(&baseline, &ok, 0.2).is_empty());
+        // Regressed past tolerance: trips, naming the participant count.
+        let bad = vec![scale_row(100_000, 70000.0)];
+        let failures = scale_regression_failures(&baseline, &bad, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("100000"));
+        // A measured point with no committed row is not a failure.
+        let unknown = vec![scale_row(50_000, 1.0)];
+        assert!(scale_regression_failures(&baseline, &unknown, 0.2).is_empty());
+    }
+
+    #[test]
+    fn scale_config_is_valid_and_procedural_at_both_points() {
+        for &participants in &SCALE_POINTS {
+            let config = scale_config(participants, SCALE_SEED);
+            assert!(config.validate().is_ok());
+            assert!(config.population.procedural_preferences);
+            assert_eq!(
+                config.population.consumers as u64 + config.population.providers as u64,
+                participants
+            );
+            // Paper-absolute windows, not population-scaled ones.
+            assert_eq!(config.population.provider_config.proposed_memory, 500);
+            assert_eq!(config.population.consumer_config.memory, 200);
+            // Shards keep the candidate set near the paper's size.
+            let per_shard = config.population.providers as usize / config.mediator_shards;
+            assert!(
+                (SCALE_SHARD_FANOUT / 2..=SCALE_SHARD_FANOUT).contains(&per_shard),
+                "providers per shard {per_shard} strays from the fan-out target"
+            );
+        }
     }
 
     #[test]

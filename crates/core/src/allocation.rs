@@ -181,6 +181,19 @@ pub trait MediatorView {
     /// Intention-based satisfaction `δs(p)` of a provider, as observed by
     /// the mediator. Unknown providers report the initial value.
     fn provider_satisfaction(&self, provider: ProviderId) -> f64;
+
+    /// Batch gather for the scoring kernel: appends one provider
+    /// satisfaction per candidate (in candidate order) to `out`. The
+    /// default is the scalar loop; views that keep a dense satisfaction
+    /// column (see `MediatorState`) override this to stream the column
+    /// directly instead of paying a per-candidate virtual lookup.
+    fn provider_satisfactions_into(&self, candidates: &[CandidateInfo], out: &mut Vec<f64>) {
+        out.extend(
+            candidates
+                .iter()
+                .map(|c| self.provider_satisfaction(c.provider)),
+        );
+    }
 }
 
 /// A neutral view reporting the same satisfaction for everyone. Useful for
@@ -229,6 +242,15 @@ pub trait AllocationMethod {
     /// The default implementation ignores the request (suitable for
     /// methods that never materialize a ranking).
     fn set_record_ranking(&mut self, _record: bool) {}
+
+    /// Sets how many worker threads the method may score one candidate
+    /// set with. Implementations that parallelize (see `SqlbAllocator`)
+    /// must keep the outcome bit-identical to sequential scoring at any
+    /// thread count — scoring is pure per candidate and the reduction is
+    /// a deterministic index-ordered merge, so this is a throughput knob,
+    /// never a semantics knob. The default ignores the request (suitable
+    /// for methods whose decision is not a per-candidate kernel).
+    fn set_scoring_threads(&mut self, _threads: usize) {}
 }
 
 /// Helper shared by allocation methods: keep the `min(q.n, N)` best entries

@@ -60,10 +60,26 @@ impl Mediator {
         method: Box<dyn AllocationMethod>,
         config: MediatorStateConfig,
     ) -> Self {
+        Mediator::with_slot_stride(id, method, config, 0, 1)
+    }
+
+    /// Creates a mediator whose satisfaction tables are compacted for the
+    /// residue class `raw id ≡ offset (mod stride)` (see
+    /// [`MediatorState::with_slot_stride`]). The shard router passes its
+    /// round-robin partition parameters here so shard `i` of `K` stores
+    /// `O(P / K)` state instead of growing dense tables over the whole id
+    /// space.
+    pub fn with_slot_stride(
+        id: MediatorId,
+        method: Box<dyn AllocationMethod>,
+        config: MediatorStateConfig,
+        offset: usize,
+        stride: usize,
+    ) -> Self {
         Mediator {
             id,
             method,
-            state: MediatorState::new(config),
+            state: MediatorState::with_slot_stride(config, offset, stride),
         }
     }
 
@@ -91,6 +107,13 @@ impl Mediator {
     /// underlying method (see [`AllocationMethod::set_record_ranking`]).
     pub fn set_record_ranking(&mut self, record: bool) {
         self.method.set_record_ranking(record);
+    }
+
+    /// Sets the scoring-kernel thread count of the underlying method (see
+    /// [`AllocationMethod::set_scoring_threads`]). A no-op for methods
+    /// without a batch kernel.
+    pub fn set_scoring_threads(&mut self, threads: usize) {
+        self.method.set_scoring_threads(threads);
     }
 
     /// Runs the allocation decision of Algorithm 1 (lines 6–9) for one

@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
-use sqlb_types::{ConsumerId, Intention, ParticipantTable, ProviderId, Query};
+use sqlb_types::{ConsumerId, Intention, ProviderId, Query, StridedColumn, StridedTable};
 
 use crate::allocation::{Allocation, CandidateInfo, MediatorView, SelectionSet};
 
@@ -64,12 +64,12 @@ pub struct RemoteConsumerView {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MediatorState {
     config: MediatorStateConfig,
-    consumers: ParticipantTable<ConsumerId, ConsumerTracker>,
-    providers: ParticipantTable<ProviderId, ProviderTracker>,
+    consumers: StridedTable<ConsumerId, ConsumerTracker>,
+    providers: StridedTable<ProviderId, ProviderTracker>,
     /// Consumer satisfaction absorbed from peer mediators. Empty in a
     /// mono-mediator system, so the blended reading reduces to the local
     /// tracker exactly.
-    remote_consumers: ParticipantTable<ConsumerId, RemoteConsumerView>,
+    remote_consumers: StridedTable<ConsumerId, RemoteConsumerView>,
     /// Consumers this mediator has removed (departed from the system).
     /// Peer digests may still carry readings for them — a digest exported
     /// just before the departure propagated — and absorbing such a reading
@@ -77,8 +77,18 @@ pub struct MediatorState {
     /// forgot it. [`MediatorState::add_remote_consumer_view`] refuses
     /// tombstoned consumers; a consumer that genuinely re-registers
     /// locally clears its tombstone.
-    departed_consumers: ParticipantTable<ConsumerId, ()>,
+    departed_consumers: StridedTable<ConsumerId, ()>,
     allocations: u64,
+    /// Dense satisfaction column (struct-of-arrays). Invariant:
+    /// `provider_satisfactions[p]` holds the exact bits of
+    /// `providers[p].satisfaction()` for every registered provider, and
+    /// the initial satisfaction (the column's fill value) for every
+    /// absent slot — so the Equation 6 hot path streams contiguous
+    /// `f64`s instead of chasing tracker entries through the table.
+    /// Refreshed at every point a tracker's performed window can change:
+    /// proposal recording, registration, removal, and migration
+    /// export/absorb.
+    provider_satisfactions: StridedColumn<ProviderId, f64>,
     /// Transient buffers, rebuilt on every recorded allocation (not part
     /// of the mediator's logical state).
     scratch: RecordScratch,
@@ -87,13 +97,35 @@ pub struct MediatorState {
 impl MediatorState {
     /// Creates a state with the given tracker configuration.
     pub fn new(config: MediatorStateConfig) -> Self {
+        MediatorState::with_slot_stride(config, 0, 1)
+    }
+
+    /// Creates a state whose participant tables are compacted for the
+    /// residue class `raw id ≡ offset (mod stride)`.
+    ///
+    /// The shard router partitions providers *and* routes consumers
+    /// round-robin by raw id, so shard `i` of `K` only ever registers
+    /// participants with `id ≡ i (mod K)` through its own allocations.
+    /// Passing `(i, K)` here keeps every per-shard table `O(P / K)`
+    /// instead of `O(P)` — the difference between linear and quadratic
+    /// total state as the shard count grows with the population.
+    /// Participants outside the class (migrated-in providers, absorbed
+    /// peer views) spill to a small sorted overflow, so behavior is
+    /// identical at any stride; `(0, 1)` is the dense mono-mediator
+    /// layout.
+    pub fn with_slot_stride(config: MediatorStateConfig, offset: usize, stride: usize) -> Self {
         MediatorState {
             config,
-            consumers: ParticipantTable::new(),
-            providers: ParticipantTable::new(),
-            remote_consumers: ParticipantTable::new(),
-            departed_consumers: ParticipantTable::new(),
+            consumers: StridedTable::with_stride(offset, stride),
+            providers: StridedTable::with_stride(offset, stride),
+            remote_consumers: StridedTable::with_stride(offset, stride),
+            departed_consumers: StridedTable::with_stride(offset, stride),
             allocations: 0,
+            provider_satisfactions: StridedColumn::with_stride(
+                config.initial_satisfaction,
+                offset,
+                stride,
+            ),
             scratch: RecordScratch::default(),
         }
     }
@@ -115,7 +147,9 @@ impl MediatorState {
 
     /// Registers a provider explicitly.
     pub fn register_provider(&mut self, provider: ProviderId) {
-        register_provider_in(&mut self.providers, self.config, provider);
+        let tracker = register_provider_in(&mut self.providers, self.config, provider);
+        let satisfaction = tracker.satisfaction();
+        self.provider_satisfactions.set(provider, satisfaction);
     }
 
     /// Forgets a consumer (e.g. after it departs from the system). The
@@ -130,6 +164,7 @@ impl MediatorState {
     /// Forgets a provider.
     pub fn remove_provider(&mut self, provider: ProviderId) {
         self.providers.remove(provider);
+        self.provider_satisfactions.reset(provider);
     }
 
     /// Extracts a provider's full satisfaction history so it can migrate
@@ -141,6 +176,7 @@ impl MediatorState {
     /// [`MediatorState::absorb_provider`] on the receiving state and no
     /// observation is lost in transit.
     pub fn export_provider(&mut self, provider: ProviderId) -> Option<ProviderTracker> {
+        self.provider_satisfactions.reset(provider);
         self.providers.remove(provider)
     }
 
@@ -150,6 +186,8 @@ impl MediatorState {
     /// history is authoritative, because a provider is owned by exactly
     /// one shard at a time.
     pub fn absorb_provider(&mut self, provider: ProviderId, tracker: ProviderTracker) {
+        self.provider_satisfactions
+            .set(provider, tracker.satisfaction());
         self.providers.insert(provider, tracker);
     }
 
@@ -170,19 +208,15 @@ impl MediatorState {
         let scratch = &mut self.scratch;
         scratch.selection.rebuild(allocation);
         scratch.intentions.clear();
-        scratch.intentions.extend(
-            candidates
-                .iter()
-                .map(|c| Intention::new(c.consumer_intention)),
-        );
         scratch.selected_indices.clear();
-        scratch.selected_indices.extend(
-            candidates
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| scratch.selection.contains(c.provider))
-                .map(|(i, _)| i),
-        );
+        for (i, c) in candidates.iter().enumerate() {
+            scratch
+                .intentions
+                .push(Intention::new(c.consumer_intention));
+            if scratch.selection.contains(c.provider) {
+                scratch.selected_indices.push(i);
+            }
+        }
         if let Some(tracker) = self.consumers.get_mut(query.consumer) {
             tracker.record_allocation(&scratch.intentions, &scratch.selected_indices, query.n);
         }
@@ -192,10 +226,16 @@ impl MediatorState {
             // table borrow disjoint from the scratch borrow.
             let tracker =
                 register_provider_in(&mut self.providers, self.config, candidate.provider);
-            tracker.record_proposal(
-                Intention::new(candidate.provider_intention),
-                scratch.selection.contains(candidate.provider),
-            );
+            let performed = scratch.selection.contains(candidate.provider);
+            tracker.record_proposal(Intention::new(candidate.provider_intention), performed);
+            // Satisfaction is a function of the performed window alone, so
+            // a rejected proposal cannot move it — only selected candidates
+            // need their dense-column entry refreshed.
+            if performed {
+                let satisfaction = tracker.satisfaction();
+                self.provider_satisfactions
+                    .set(candidate.provider, satisfaction);
+            }
         }
         self.allocations += 1;
     }
@@ -323,7 +363,7 @@ impl MediatorState {
 /// of other `MediatorState` fields can register providers too; this is
 /// the single home of the tracker construction.
 fn register_provider_in(
-    providers: &mut ParticipantTable<ProviderId, ProviderTracker>,
+    providers: &mut StridedTable<ProviderId, ProviderTracker>,
     config: MediatorStateConfig,
     provider: ProviderId,
 ) -> &mut ProviderTracker {
@@ -372,11 +412,21 @@ impl MediatorView for MediatorState {
         // letting a single empty sampling window swing `ω` to an extreme
         // that would override the consumer's intentions entirely.
         // Providers are owned by exactly one mediator shard, so no remote
-        // blending is needed on this side.
-        self.providers
-            .get(provider)
-            .map(|t| t.satisfaction())
-            .unwrap_or(self.config.initial_satisfaction)
+        // blending is needed on this side. Served from the dense column
+        // (bit-identical to `tracker.satisfaction()` by invariant) so the
+        // scoring hot path does one indexed load per candidate.
+        self.provider_satisfactions.get(provider)
+    }
+
+    fn provider_satisfactions_into(&self, candidates: &[CandidateInfo], out: &mut Vec<f64>) {
+        // Columnar gather: one bounds-checked load per candidate, no
+        // table probe. Slots past the column (providers never observed
+        // here) read the fill — the initial satisfaction.
+        out.extend(
+            candidates
+                .iter()
+                .map(|c| self.provider_satisfactions.get(c.provider)),
+        );
     }
 }
 
@@ -492,6 +542,95 @@ mod tests {
         assert_eq!(state.consumer_satisfaction(q.consumer), 0.5);
         assert!(state.provider_tracker(ProviderId::new(0)).is_none());
         assert!(state.consumer_tracker(q.consumer).is_none());
+    }
+
+    /// The dense column must agree, bit for bit, with a from-scratch
+    /// tracker recompute over every slot a test touches.
+    fn assert_column_matches_trackers(state: &MediatorState, slots: u32) {
+        for slot in 0..slots {
+            let probe = ProviderId::new(slot);
+            let expected = state
+                .provider_tracker(probe)
+                .map(|t| t.satisfaction())
+                .unwrap_or(state.config().initial_satisfaction);
+            assert_eq!(
+                state.provider_satisfaction(probe).to_bits(),
+                expected.to_bits(),
+                "column diverged from tracker at slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfaction_column_tracks_migration_export_and_absorb() {
+        let mut donor = MediatorState::paper_default();
+        let mut receiver = MediatorState::paper_default();
+        let q = query();
+        let cands = candidates(&[(0, 0.8, 0.9), (1, -0.5, 0.2)]);
+        donor.record_allocation(&q, &cands, &allocation_to(q.id, 0));
+        assert_column_matches_trackers(&donor, 4);
+
+        let tracker = donor.export_provider(ProviderId::new(0)).unwrap();
+        assert_column_matches_trackers(&donor, 4);
+        receiver.absorb_provider(ProviderId::new(0), tracker);
+        assert_column_matches_trackers(&receiver, 4);
+        assert!(receiver.provider_satisfaction(ProviderId::new(0)) > 0.9);
+        assert_eq!(donor.provider_satisfaction(ProviderId::new(0)), 0.5);
+    }
+
+    proptest::proptest! {
+        /// Property pin for the struct-of-arrays invariant: after any
+        /// sequence of registrations, departures, migrations, and recorded
+        /// allocations, the dense satisfaction column is bit-identical to
+        /// recomputing `satisfaction()` from each provider's tracker.
+        #[test]
+        fn prop_satisfaction_column_matches_recompute_after_any_sequence(
+            ops in proptest::collection::vec(
+                (0u8..4, 0u32..10, -1.0f64..=1.0, -1.0f64..=1.0),
+                1..50,
+            )
+        ) {
+            let mut state = MediatorState::paper_default();
+            let mut in_transit: Vec<(ProviderId, ProviderTracker)> = Vec::new();
+            for (round, (op, id, ci, pi)) in ops.into_iter().enumerate() {
+                let p = ProviderId::new(id);
+                match op {
+                    0 => state.register_provider(p),
+                    1 => state.remove_provider(p),
+                    2 => {
+                        // One migration leg per step: export if the
+                        // provider is here, otherwise land whatever is in
+                        // transit back into this state.
+                        if let Some(t) = state.export_provider(p) {
+                            in_transit.push((p, t));
+                        } else if let Some((p2, t2)) = in_transit.pop() {
+                            state.absorb_provider(p2, t2);
+                        }
+                    }
+                    _ => {
+                        let q = Query::single(
+                            QueryId::new(round as u32),
+                            ConsumerId::new(0),
+                            QueryClass::Light,
+                            SimTime::ZERO,
+                        );
+                        let cands = candidates(&[(id, ci, pi)]);
+                        state.record_allocation(&q, &cands, &allocation_to(q.id, id));
+                    }
+                }
+                for slot in 0..10u32 {
+                    let probe = ProviderId::new(slot);
+                    let expected = state
+                        .provider_tracker(probe)
+                        .map(|t| t.satisfaction())
+                        .unwrap_or(0.5);
+                    proptest::prop_assert_eq!(
+                        state.provider_satisfaction(probe).to_bits(),
+                        expected.to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Scoring and ranking of providers (Section 5.3).
+//!
+//! Besides the scalar Definition 9 evaluation ([`provider_score`]), this
+//! module owns the *batch* scoring kernel the allocation hot path runs
+//! over a shard's candidate slice: [`score_batch`] streams the columnar
+//! `(PI, CI, ω)` inputs into a reusable score buffer, and
+//! [`best_candidate_lazy`] answers the paper's `q.n = 1` argmax with a
+//! certified-upper-bound evaluation that skips the `powf`-heavy exact
+//! score for provably losing candidates while staying bit-identical to
+//! scoring everything.
 
 use std::cmp::Ordering;
 
 use serde::{Deserialize, Serialize};
 use sqlb_types::ProviderId;
 
+use crate::allocation::CandidateInfo;
 use crate::intention::{powf_fast, IntentionParams};
 
 /// A provider together with its score for a given query.
@@ -59,6 +69,154 @@ pub fn provider_score(
         -(powf_fast(1.0 - provider_intention + eps, omega)
             * powf_fast(1.0 - consumer_intention + eps, 1.0 - omega))
     }
+}
+
+/// Relative safety margin applied to [`score_upper_bound`] so floating-
+/// point rounding of the bound arithmetic can never place the bound below
+/// the exact score. The analytic inequalities hold over the reals; the
+/// computed bound and the computed score each carry only a few ulp
+/// (≲ 1e-15 relative) of rounding, so a 1e-9 margin dominates by six
+/// orders of magnitude.
+const UB_SAFETY: f64 = 1e-9;
+
+/// A certified upper bound on [`provider_score`]: cheap to evaluate (no
+/// `powf`) and never below the exact score for the same inputs.
+///
+/// * Positive branch (`PI > 0 ∧ CI > 0`): the score is the `ω`-weighted
+///   geometric mean of `PI` and `CI`, which the weighted AM–GM inequality
+///   bounds by the `ω`-weighted arithmetic mean `ω·PI + (1-ω)·CI`.
+/// * Negative branch: the score is `-(A^ω · B^(1-ω))` with
+///   `A = 1 - PI + ε` and `B = 1 - CI + ε`, and for positive `A`, `B` the
+///   weighted geometric mean is at least `min(A, B)` — so the score is at
+///   most `-min(A, B)`. Non-positive `A` or `B` (impossible for genuine
+///   Definition 7/8 intentions, whose positive parts never exceed 1)
+///   yields `+∞`, i.e. "no pruning, evaluate exactly".
+///
+/// Both bounds are inflated by a relative safety margin (`UB_SAFETY`,
+/// 1e-9 — six orders of magnitude above the few-ulp rounding of the
+/// bound arithmetic) to absorb rounding, so
+/// `score_upper_bound(...) ≥ provider_score(...)` holds for every input
+/// the pruning in [`best_candidate_lazy`] relies on.
+pub fn score_upper_bound(
+    provider_intention: f64,
+    consumer_intention: f64,
+    omega: f64,
+    params: IntentionParams,
+) -> f64 {
+    let w = omega.clamp(0.0, 1.0);
+    if provider_intention > 0.0 && consumer_intention > 0.0 {
+        (w * provider_intention + (1.0 - w) * consumer_intention) * (1.0 + UB_SAFETY)
+    } else {
+        let a = 1.0 - provider_intention + params.epsilon;
+        let b = 1.0 - consumer_intention + params.epsilon;
+        let m = a.min(b);
+        if m <= 0.0 {
+            return f64::INFINITY;
+        }
+        -(m * (1.0 - UB_SAFETY))
+    }
+}
+
+/// The batch Definition 9 kernel: scores every candidate of a slice
+/// against the parallel `ω` column, appending one [`RankedProvider`] per
+/// candidate to `out` (in candidate order). This is the full-evaluation
+/// path of the allocation kernel — [`best_candidate_lazy`] is the pruned
+/// `q.n = 1` variant with identical selection semantics.
+///
+/// `omegas` must hold exactly one weight per candidate.
+pub fn score_batch(
+    candidates: &[CandidateInfo],
+    omegas: &[f64],
+    params: IntentionParams,
+    out: &mut Vec<RankedProvider>,
+) {
+    debug_assert_eq!(candidates.len(), omegas.len());
+    out.extend(
+        candidates
+            .iter()
+            .zip(omegas.iter())
+            .map(|(c, &w)| RankedProvider {
+                provider: c.provider,
+                score: provider_score(c.provider_intention, c.consumer_intention, w, params),
+            }),
+    );
+}
+
+/// The `q.n = 1` argmax of the scoring kernel, evaluated lazily: the
+/// exact (two-`powf`) score is only computed for candidates whose
+/// certified upper bound could still beat the best exact score seen, so
+/// the typical arrival pays a handful of `powf` calls instead of two per
+/// candidate.
+///
+/// Returns exactly the entry a full [`score_batch`] followed by
+/// [`select_top_k`]`(.., 1)` would put first — same provider, same score
+/// bits: a candidate is only skipped when its bound is *strictly* below
+/// the running best score, which rules out both wins and score ties (and
+/// ties are the only place the ascending-id tie-break could matter).
+///
+/// `ub_scratch` is a reusable buffer for the bound column.
+pub fn best_candidate_lazy(
+    candidates: &[CandidateInfo],
+    omegas: &[f64],
+    params: IntentionParams,
+    ub_scratch: &mut Vec<f64>,
+) -> Option<RankedProvider> {
+    debug_assert_eq!(candidates.len(), omegas.len());
+    if candidates.is_empty() {
+        return None;
+    }
+    // Pass 1: the bound column, and the most promising candidate (highest
+    // bound, ties by lowest index so the scan order is deterministic).
+    ub_scratch.clear();
+    let mut lead = 0usize;
+    let mut lead_ub = f64::NEG_INFINITY;
+    for (i, c) in candidates.iter().enumerate() {
+        let ub = score_upper_bound(
+            c.provider_intention,
+            c.consumer_intention,
+            omegas[i],
+            params,
+        );
+        ub_scratch.push(ub);
+        if ub > lead_ub {
+            lead_ub = ub;
+            lead = i;
+        }
+    }
+    // Seed the running best with the exact score of the leader — starting
+    // from the highest bound maximizes how much of the column pass 2 can
+    // prune.
+    let c = &candidates[lead];
+    let mut best = RankedProvider {
+        provider: c.provider,
+        score: provider_score(
+            c.provider_intention,
+            c.consumer_intention,
+            omegas[lead],
+            params,
+        ),
+    };
+    // Pass 2: only candidates whose certified bound reaches the running
+    // best score are evaluated exactly; the best score never decreases, so
+    // every skipped candidate provably loses to the final winner.
+    for (i, c) in candidates.iter().enumerate() {
+        if i == lead || ub_scratch[i] < best.score {
+            continue;
+        }
+        let entry = RankedProvider {
+            provider: c.provider,
+            score: provider_score(
+                c.provider_intention,
+                c.consumer_intention,
+                omegas[i],
+                params,
+            ),
+        };
+        if ranking_order(&entry, &best) == Ordering::Less {
+            best = entry;
+        }
+    }
+    Some(best)
 }
 
 /// The deterministic ranking order: descending score, ties broken by
@@ -272,7 +430,77 @@ mod tests {
         }
     }
 
+    fn kernel_candidates(pis: &[f64], cis: &[f64]) -> Vec<CandidateInfo> {
+        pis.iter()
+            .zip(cis.iter())
+            .enumerate()
+            .map(|(i, (&pi, &ci))| {
+                CandidateInfo::new(ProviderId::new(i as u32))
+                    .with_provider_intention(pi)
+                    .with_consumer_intention(ci)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lazy_argmax_handles_empty_and_singleton_sets() {
+        let mut scratch = Vec::new();
+        assert_eq!(best_candidate_lazy(&[], &[], P, &mut scratch), None);
+        let cands = kernel_candidates(&[0.4], &[0.6]);
+        let best = best_candidate_lazy(&cands, &[0.5], P, &mut scratch).unwrap();
+        assert_eq!(best.provider, ProviderId::new(0));
+        assert_eq!(
+            best.score.to_bits(),
+            provider_score(0.4, 0.6, 0.5, P).to_bits()
+        );
+    }
+
     proptest! {
+        #[test]
+        fn prop_upper_bound_certifies_the_exact_score(
+            pi in -2.5f64..=1.0,
+            ci in -2.5f64..=1.0,
+            w in 0.0f64..=1.0,
+        ) {
+            let exact = provider_score(pi, ci, w, P);
+            let bound = score_upper_bound(pi, ci, w, P);
+            prop_assert!(
+                bound >= exact,
+                "bound {bound} below exact score {exact} for ({pi}, {ci}, {w})"
+            );
+        }
+
+        #[test]
+        fn prop_lazy_argmax_is_bit_identical_to_full_scoring(
+            inputs in proptest::collection::vec(
+                (-2.5f64..=1.0, -2.5f64..=1.0, 0.0f64..=1.0),
+                1..80,
+            ),
+            duplicate_scores in proptest::bool::ANY,
+        ) {
+            let mut pis: Vec<f64> = inputs.iter().map(|(pi, _, _)| *pi).collect();
+            let mut cis: Vec<f64> = inputs.iter().map(|(_, ci, _)| *ci).collect();
+            let mut omegas: Vec<f64> = inputs.iter().map(|(_, _, w)| *w).collect();
+            if duplicate_scores {
+                // Force exact score ties so the ascending-id tie-break is
+                // exercised through the pruned path.
+                for i in 1..cis.len() {
+                    pis[i] = pis[0];
+                    cis[i] = cis[0];
+                    omegas[i] = omegas[0];
+                }
+            }
+            let candidates = kernel_candidates(&pis, &cis);
+            let mut full = Vec::new();
+            score_batch(&candidates, &omegas, P, &mut full);
+            prop_assert_eq!(full.len(), candidates.len());
+            select_top_k(&mut full, 1);
+            let mut scratch = Vec::new();
+            let lazy = best_candidate_lazy(&candidates, &omegas, P, &mut scratch).unwrap();
+            prop_assert_eq!(lazy.provider, full[0].provider);
+            prop_assert_eq!(lazy.score.to_bits(), full[0].score.to_bits());
+        }
+
         #[test]
         fn prop_omega_in_unit_interval(c in 0.0f64..=1.0, p in 0.0f64..=1.0) {
             let w = omega(c, p);

@@ -5,7 +5,7 @@ use sqlb_types::Query;
 
 use crate::allocation::{select_best, Allocation, AllocationMethod, CandidateInfo, MediatorView};
 use crate::intention::IntentionParams;
-use crate::scoring::{omega, provider_score, RankedProvider};
+use crate::scoring::{best_candidate_lazy, omega, provider_score, score_batch, RankedProvider};
 
 /// How the consumer/provider trade-off weight `ω` is obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -48,9 +48,19 @@ pub struct SqlbAllocator {
     /// Whether allocations carry the full ranking `R_q` (diagnostic; the
     /// engine turns this off on its hot path).
     record_ranking: bool,
+    /// Worker threads the full-evaluation kernel may score one candidate
+    /// set with (1 = sequential). Bit-identical at any count.
+    scoring_threads: usize,
     /// Reusable scoring buffer: in steady state `allocate` performs no
     /// heap allocation beyond the returned selection vector.
     scratch: Vec<RankedProvider>,
+    /// Reusable column of per-candidate provider satisfactions (the
+    /// mediator view's dense column, gathered once per query).
+    sat_scratch: Vec<f64>,
+    /// Reusable column of per-candidate `ω` weights (Equation 6).
+    omega_scratch: Vec<f64>,
+    /// Reusable column of certified score upper bounds (lazy argmax).
+    ub_scratch: Vec<f64>,
 }
 
 impl Default for SqlbAllocator {
@@ -58,7 +68,11 @@ impl Default for SqlbAllocator {
         SqlbAllocator {
             config: SqlbConfig::default(),
             record_ranking: true,
+            scoring_threads: 1,
             scratch: Vec::new(),
+            sat_scratch: Vec::new(),
+            omega_scratch: Vec::new(),
+            ub_scratch: Vec::new(),
         }
     }
 }
@@ -117,33 +131,66 @@ impl AllocationMethod for SqlbAllocator {
         candidates: &[CandidateInfo],
         view: &dyn MediatorView,
     ) -> Allocation {
-        // The consumer's satisfaction is per query, not per candidate —
-        // hoist the (potentially blended, see MediatorState) lookup out of
-        // the scoring loop.
-        let consumer_satisfaction = match self.config.omega_policy {
-            OmegaPolicy::SatisfactionBalanced => view.consumer_satisfaction(query.consumer),
-            OmegaPolicy::Fixed(_) => 0.0,
-        };
+        // Stage 1 — gather the `ω` column. The consumer's satisfaction is
+        // per query, not per candidate, so it is hoisted; the provider
+        // satisfactions are gathered in one batch call so views backed by
+        // a dense column (MediatorState) stream it without a per-candidate
+        // virtual dispatch.
+        self.omega_scratch.clear();
+        match self.config.omega_policy {
+            OmegaPolicy::SatisfactionBalanced => {
+                let consumer_satisfaction = view.consumer_satisfaction(query.consumer);
+                self.sat_scratch.clear();
+                view.provider_satisfactions_into(candidates, &mut self.sat_scratch);
+                self.omega_scratch.extend(
+                    self.sat_scratch
+                        .iter()
+                        .map(|&ps| omega(consumer_satisfaction, ps)),
+                );
+            }
+            OmegaPolicy::Fixed(w) => {
+                let w = w.clamp(0.0, 1.0);
+                self.omega_scratch
+                    .extend(std::iter::repeat_n(w, candidates.len()));
+            }
+        }
+
+        // Stage 2 — the scoring kernel. The engine's hot path (`q.n = 1`,
+        // ranking off) takes the certified-upper-bound lazy argmax, which
+        // is bit-identical to full evaluation; everything else scores the
+        // whole column (in parallel when configured — also bit-identical,
+        // the kernel is pure per candidate and merged in index order).
+        if !self.record_ranking && query.n == 1 && self.scoring_threads <= 1 {
+            let selected = best_candidate_lazy(
+                candidates,
+                &self.omega_scratch,
+                self.config.params,
+                &mut self.ub_scratch,
+            );
+            return Allocation {
+                query: query.id,
+                selected: selected.into_iter().map(|r| r.provider).collect(),
+                ranking: Vec::new(),
+            };
+        }
         let mut scored = std::mem::take(&mut self.scratch);
         scored.clear();
-        scored.extend(candidates.iter().map(|c| {
-            let w = match self.config.omega_policy {
-                OmegaPolicy::SatisfactionBalanced => omega(
-                    consumer_satisfaction,
-                    view.provider_satisfaction(c.provider),
-                ),
-                OmegaPolicy::Fixed(w) => w.clamp(0.0, 1.0),
-            };
-            RankedProvider {
-                provider: c.provider,
-                score: provider_score(
-                    c.provider_intention,
-                    c.consumer_intention,
-                    w,
-                    self.config.params,
-                ),
-            }
-        }));
+        if self.scoring_threads > 1 && candidates.len() >= PARALLEL_KERNEL_MIN_CANDIDATES {
+            score_batch_parallel(
+                candidates,
+                &self.omega_scratch,
+                self.config.params,
+                self.scoring_threads,
+                &mut scored,
+            );
+        } else {
+            score_batch(
+                candidates,
+                &self.omega_scratch,
+                self.config.params,
+                &mut scored,
+            );
+        }
         let allocation = select_best(query, &mut scored, self.record_ranking);
         self.scratch = scored;
         allocation
@@ -152,6 +199,63 @@ impl AllocationMethod for SqlbAllocator {
     fn set_record_ranking(&mut self, record: bool) {
         self.record_ranking = record;
     }
+
+    fn set_scoring_threads(&mut self, threads: usize) {
+        self.scoring_threads = threads.max(1);
+    }
+}
+
+/// Below this candidate count a parallel kernel cannot pay for its thread
+/// coordination; smaller sets always score sequentially (same bits either
+/// way).
+const PARALLEL_KERNEL_MIN_CANDIDATES: usize = 32;
+
+/// Deterministic intra-shard parallel scoring: the candidate slice is cut
+/// into `threads` fixed, contiguous chunks (a pure function of the slice
+/// length and thread count), every chunk is scored independently into its
+/// disjoint region of the output column, and the regions concatenate back
+/// in index order. Each element's score is computed by the same pure
+/// [`provider_score`] call sequential scoring would make, so the output
+/// vector — and every selection derived from it, lowest-id tie-breaks
+/// included — is bit-identical at any thread count.
+fn score_batch_parallel(
+    candidates: &[CandidateInfo],
+    omegas: &[f64],
+    params: IntentionParams,
+    threads: usize,
+    out: &mut Vec<RankedProvider>,
+) {
+    let n = candidates.len();
+    debug_assert_eq!(n, omegas.len());
+    out.resize(
+        n,
+        RankedProvider {
+            provider: sqlb_types::ProviderId::new(0),
+            score: 0.0,
+        },
+    );
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for ((cands, ws), outs) in candidates
+            .chunks(chunk)
+            .zip(omegas.chunks(chunk))
+            .zip(out.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for ((c, &w), slot) in cands.iter().zip(ws.iter()).zip(outs.iter_mut()) {
+                    *slot = RankedProvider {
+                        provider: c.provider,
+                        score: provider_score(
+                            c.provider_intention,
+                            c.consumer_intention,
+                            w,
+                            params,
+                        ),
+                    };
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]

@@ -24,11 +24,17 @@ pub struct InteractionMemory {
 impl InteractionMemory {
     /// Creates a memory remembering at most `capacity` observations.
     /// Panics if `capacity` is zero.
+    ///
+    /// The backing deque starts unallocated and grows with the actual
+    /// fill: at 10⁶ participants, eagerly reserving every window (500
+    /// slots × 8 bytes per provider, Table 2) would cost gigabytes before
+    /// a single query flows. Eviction keys on `capacity`, not the deque's
+    /// allocation, so behaviour is unchanged.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "interaction memory capacity must be positive");
         InteractionMemory {
             capacity,
-            values: VecDeque::with_capacity(capacity),
+            values: VecDeque::new(),
             sum: 0.0,
         }
     }

@@ -27,13 +27,28 @@ use crate::memory::InteractionMemory;
 /// against utilization).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProviderTracker {
-    /// Shown values for every proposed query (performed or not).
-    proposed: InteractionMemory,
+    /// Shown values with a performed flag for every proposed query
+    /// (performed or not), bounded by the proposed window. One ring
+    /// buffer backs both Definition 4 (adequation, through the running
+    /// `proposed_sum`) and the strict Definition 5 variant — recording a
+    /// proposal used to maintain a second, value-only window with the
+    /// same contents, which doubled the deque traffic on the allocation
+    /// hot path (three tracker updates per candidate per query). Once
+    /// full the vector becomes a ring: `proposed_head` is the oldest
+    /// entry, and eviction overwrites in place.
+    proposed_flags: Vec<(f64, bool)>,
+    /// Index of the oldest entry once `proposed_flags` is at capacity
+    /// (0 while still filling, so insertion order equals slice order).
+    proposed_head: usize,
+    /// Window bound of `proposed_flags` (eviction keys on this, not on
+    /// the vector's allocation, which grows lazily with the fill).
+    proposed_capacity: usize,
+    /// Running sum of the values in `proposed_flags`, maintained with the
+    /// same subtract-then-add order the dedicated memory used, so
+    /// adequation stays bit-identical.
+    proposed_sum: f64,
     /// Shown values for performed queries only (Table 2 semantics).
     performed: InteractionMemory,
-    /// Shown values with a performed flag, bounded by the proposed window,
-    /// backing the strict Definition 5 variant.
-    proposed_flags: std::collections::VecDeque<(f64, bool)>,
     initial: f64,
     proposed_total: u64,
     performed_total: u64,
@@ -44,10 +59,16 @@ impl ProviderTracker {
     /// `k_performed`-query satisfaction window, reporting `initial` until
     /// observations exist.
     pub fn new(k_proposed: usize, k_performed: usize, initial: f64) -> Self {
+        assert!(k_proposed > 0, "proposed window capacity must be positive");
         ProviderTracker {
-            proposed: InteractionMemory::new(k_proposed),
+            // Grows with the actual fill, like the interaction memory:
+            // eviction keys on `proposed_capacity`, so starting
+            // unallocated changes nothing but the idle footprint.
+            proposed_flags: Vec::new(),
+            proposed_head: 0,
+            proposed_capacity: k_proposed,
+            proposed_sum: 0.0,
             performed: InteractionMemory::new(k_performed),
-            proposed_flags: std::collections::VecDeque::with_capacity(k_proposed),
             initial,
             proposed_total: 0,
             performed_total: 0,
@@ -77,11 +98,21 @@ impl ProviderTracker {
     /// tracking).
     pub fn record_mapped(&mut self, mapped: f64, performed: bool) {
         let mapped = mapped.clamp(0.0, 1.0);
-        self.proposed.push(mapped);
-        if self.proposed_flags.len() == self.proposed.capacity() {
-            self.proposed_flags.pop_front();
+        if self.proposed_flags.len() == self.proposed_capacity {
+            // Steady state: overwrite the oldest entry in place. Same
+            // subtract-then-add order as the evict-and-push it replaces,
+            // so adequation stays bit-identical.
+            let slot = &mut self.proposed_flags[self.proposed_head];
+            self.proposed_sum -= slot.0;
+            *slot = (mapped, performed);
+            self.proposed_head += 1;
+            if self.proposed_head == self.proposed_capacity {
+                self.proposed_head = 0;
+            }
+        } else {
+            self.proposed_flags.push((mapped, performed));
         }
-        self.proposed_flags.push_back((mapped, performed));
+        self.proposed_sum += mapped;
         self.proposed_total += 1;
         if performed {
             self.performed.push(mapped);
@@ -93,7 +124,11 @@ impl ProviderTracker {
     /// initial value until the provider has been proposed at least one
     /// query.
     pub fn adequation(&self) -> f64 {
-        self.proposed.mean_or(self.initial)
+        if self.proposed_flags.is_empty() {
+            self.initial
+        } else {
+            self.proposed_sum / self.proposed_flags.len() as f64
+        }
     }
 
     /// Provider satisfaction `δs(p)` over the last `k_performed` performed
@@ -118,12 +153,14 @@ impl ProviderTracker {
             return self.initial;
         }
         // One pass over the window, no intermediate vector: the additions
-        // happen in the same order as a filter-then-sum, so the result is
-        // bit-identical while the (sample- and assessment-path) callers
-        // stop allocating per read.
+        // happen oldest-first ([head..] then [..head], which is insertion
+        // order while filling since head stays 0), the same order as a
+        // filter-then-sum, so the result is bit-identical while the
+        // (sample- and assessment-path) callers stop allocating per read.
+        let (wrapped, oldest) = self.proposed_flags.split_at(self.proposed_head);
         let mut sum = 0.0;
         let mut count = 0usize;
-        for &(v, performed) in &self.proposed_flags {
+        for &(v, performed) in oldest.iter().chain(wrapped) {
             if performed {
                 sum += v;
                 count += 1;
@@ -154,7 +191,7 @@ impl ProviderTracker {
 
     /// Number of proposals currently remembered.
     pub fn proposal_window_len(&self) -> usize {
-        self.proposed.len()
+        self.proposed_flags.len()
     }
 
     /// Number of performed queries currently remembered.

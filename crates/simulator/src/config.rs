@@ -184,6 +184,23 @@ pub struct SimulationConfig {
     /// whose declared capabilities cover it are candidates (with a
     /// fall-back to the whole shard if no capable provider remains).
     pub capability_matchmaking: bool,
+    /// Number of threads the Definition 7/8 scoring kernel fans a shard's
+    /// candidate batch over. `1` (the default) scores inline, which also
+    /// enables the lazy-argmax K=1 fast path. Any value produces
+    /// bit-identical same-seed reports: chunking is a pure function of
+    /// the batch length, each chunk writes a disjoint region of the score
+    /// column, and ties still break on the lowest provider id.
+    #[serde(default = "default_scoring_threads")]
+    pub scoring_threads: usize,
+}
+
+/// Serde default for [`SimulationConfig::scoring_threads`], so configs
+/// serialized before the knob existed deserialize to the sequential
+/// scorer. (The vendored serde stub ignores the attribute; this matters
+/// only under the real crate, so outside tests the function is unused.)
+#[allow(dead_code)]
+fn default_scoring_threads() -> usize {
+    1
 }
 
 impl SimulationConfig {
@@ -213,6 +230,7 @@ impl SimulationConfig {
             mediation: MediationMode::Inline,
             socket_hosts: 2,
             capability_matchmaking: false,
+            scoring_threads: 1,
         }
     }
 
@@ -265,6 +283,7 @@ impl SimulationConfig {
             mediation: MediationMode::Inline,
             socket_hosts: 2,
             capability_matchmaking: false,
+            scoring_threads: 1,
         }
     }
 
@@ -355,6 +374,13 @@ impl SimulationConfig {
         self
     }
 
+    /// Sets the number of scoring-kernel threads (deterministic at any
+    /// value; `1` keeps the sequential lazy-argmax fast path).
+    pub fn with_scoring_threads(mut self, threads: usize) -> Self {
+        self.scoring_threads = threads;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SqlbError> {
         self.population.validate()?;
@@ -404,6 +430,11 @@ impl SimulationConfig {
         if self.mediation == MediationMode::Socket && self.socket_hosts == 0 {
             return Err(SqlbError::InvalidConfig {
                 reason: "the socket backend needs at least one participant host".into(),
+            });
+        }
+        if self.scoring_threads == 0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "at least one scoring thread is required".into(),
             });
         }
         Ok(())
@@ -482,7 +513,20 @@ mod tests {
                 "the paper's all-providers candidate set is the default"
             );
             assert!(c.socket_hosts >= 1);
+            assert_eq!(c.scoring_threads, 1, "sequential scoring is the default");
         }
+        assert_eq!(super::default_scoring_threads(), 1);
+    }
+
+    #[test]
+    fn scoring_threads_knob_is_selectable_and_validated() {
+        let c = SimulationConfig::scaled(10, 20, 100.0, 0).with_scoring_threads(8);
+        assert_eq!(c.scoring_threads, 8);
+        assert!(c.validate().is_ok());
+
+        let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
+        c.scoring_threads = 0;
+        assert!(c.validate().is_err(), "zero scoring threads is rejected");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use sqlb_agents::Population;
-use sqlb_core::allocation::{CandidateInfo, SelectionSet};
+use sqlb_core::allocation::{CandidateInfo, MediatorView, SelectionSet};
 use sqlb_core::mediator_state::MediatorStateConfig;
 use sqlb_mediation::{
     run_wave_threaded, IntentionWave, Latency, ProviderAnswer, Reactor, RuntimeConfig,
@@ -38,7 +38,8 @@ use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
 use sqlb_reputation::ReputationStore;
 use sqlb_transport::{ServerConfig, SocketMediator, WaveJobs};
 use sqlb_types::{
-    ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SqlbError,
+    ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SlotColumn,
+    SqlbError,
 };
 
 use crate::config::{MediationMode, Method, SimulationConfig};
@@ -128,8 +129,10 @@ pub struct Simulator {
     rng: StdRng,
     queue: EventQueue,
     /// Per-provider time at which its FIFO queue drains (seconds), keyed
-    /// by stable provider id.
-    busy_until: ParticipantTable<ProviderId, f64>,
+    /// by stable provider id. A dense struct-of-arrays column (8 bytes
+    /// per slot, no `Option` wrapper): departed providers just keep a
+    /// stale drain time that is never read again.
+    busy_until: SlotColumn<ProviderId, f64>,
     now: SimTime,
     next_query_id: u32,
     /// Tick counters of the periodic events. Every periodic occurrence is
@@ -147,11 +150,11 @@ pub struct Simulator {
     initial_providers: usize,
     /// Consecutive assessments at which each provider's departure rule
     /// fired (the rule only takes effect after `required_consecutive`
-    /// strikes).
-    provider_strikes: ParticipantTable<ProviderId, u32>,
+    /// strikes). Dense columns like `busy_until`.
+    provider_strikes: SlotColumn<ProviderId, u32>,
     /// Consecutive assessments at which each consumer's departure rule
     /// fired.
-    consumer_strikes: ParticipantTable<ConsumerId, u32>,
+    consumer_strikes: SlotColumn<ConsumerId, u32>,
     // Statistics.
     series: MetricSeries,
     response_times: Histogram,
@@ -196,13 +199,14 @@ impl Simulator {
             provider_performed_window: config.population.provider_config.performed_memory,
             initial_satisfaction: config.population.provider_config.initial_satisfaction,
         };
-        let router = ShardRouter::new(
+        let mut router = ShardRouter::new(
             config.mediator_shards,
             method,
             config.seed,
             state_config,
             population.providers.keys(),
         );
+        router.set_scoring_threads(config.scoring_threads);
 
         let mediation = match config.mediation {
             MediationMode::Inline => MediationDriver::Inline,
@@ -271,9 +275,9 @@ impl Simulator {
             reputation: ReputationStore::neutral(),
             rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17)),
             queue: EventQueue::new(),
-            busy_until: ParticipantTable::from_fn(initial_providers, |_: ProviderId| 0.0),
-            provider_strikes: ParticipantTable::from_fn(initial_providers, |_: ProviderId| 0),
-            consumer_strikes: ParticipantTable::from_fn(initial_consumers, |_: ConsumerId| 0),
+            busy_until: SlotColumn::with_len(initial_providers, 0.0),
+            provider_strikes: SlotColumn::with_len(initial_providers, 0),
+            consumer_strikes: SlotColumn::with_len(initial_consumers, 0),
             now: SimTime::ZERO,
             next_query_id: 0,
             next_sample_tick: 1,
@@ -861,6 +865,13 @@ impl Simulator {
     /// Minimum allocations the busiest shard must have mediated in the
     /// window before its imbalance is considered signal rather than noise.
     const MIN_ALLOCATION_DELTA: u64 = 8;
+    /// Weight of the satisfaction term in the load-adaptive donor score
+    /// (see [`donor_score`]): a fully satisfied donor is penalized by this
+    /// fraction of the throughput target, so satisfaction arbitrates
+    /// between donors whose windowed throughput is comparably close to
+    /// half the gap without overriding a decisively better throughput
+    /// match.
+    const MIGRATION_SATISFACTION_WEIGHT: f64 = 0.25;
 
     /// One cross-shard rebalancing round. Which imbalance signal drives it
     /// depends on whether routed demand can follow the migrated capacity
@@ -997,19 +1008,23 @@ impl Simulator {
         // win more queries (the allocation method concentrates work on
         // attractive, fast-draining providers — raw capacity is a poor
         // predictor of this). Move the *observed* throughput instead:
-        // pick the provider whose windowed performed-query count best
-        // matches half the allocation gap, and only if moving it strictly
-        // shrinks the gap — the monotone-convergence guard. Its demand
-        // follows it, because routed arrivals seek the drain rate it
-        // brings to the idle shard.
+        // among providers whose windowed performed-query count would
+        // strictly shrink the gap (the monotone-convergence guard), pick
+        // the lowest [`donor_score`] — closeness to half the gap, with
+        // the donor shard's satisfaction reading for the provider folded
+        // in so that of comparably-matched donors the under-served one
+        // moves: its proposals mostly lose on the contended shard, so it
+        // both frees the least won throughput there and stands to gain
+        // the most on the receiving shard. Demand follows the move,
+        // because routed arrivals seek the drain rate it brings along.
         let gap = busy_count - idle_count;
         let donors = self.router.providers_of_shard(busy);
         if donors.len() < 2 {
             return;
         }
-        let target = gap as f64 / 2.0;
+        let busy_state = self.router.mediator(busy).state();
         let mut pick = None;
-        let mut pick_distance = f64::INFINITY;
+        let mut pick_score = f64::INFINITY;
         for &p in donors {
             let performed = self.population.providers[p].performed_queries();
             let previous = self
@@ -1018,13 +1033,17 @@ impl Simulator {
                 .copied()
                 .unwrap_or(0);
             let throughput = performed.saturating_sub(previous);
-            // `0 < throughput < gap` ⇔ the move strictly reduces the gap.
-            if throughput == 0 || throughput >= gap {
+            let satisfaction = busy_state.provider_satisfaction(p);
+            let Some(score) = donor_score(
+                throughput,
+                gap,
+                satisfaction,
+                Self::MIGRATION_SATISFACTION_WEIGHT,
+            ) else {
                 continue;
-            }
-            let distance = (throughput as f64 - target).abs();
-            if distance < pick_distance {
-                pick_distance = distance;
+            };
+            if score < pick_score {
+                pick_score = score;
                 pick = Some(p);
             }
         }
@@ -1064,6 +1083,18 @@ impl Simulator {
         to: usize,
         spread_before: f64,
     ) {
+        // Read the donor shard's satisfaction view before the move: the
+        // export wipes it there.
+        let donor_satisfaction = self
+            .router
+            .shard_of_provider(provider)
+            .map(|shard| {
+                self.router
+                    .mediator(shard)
+                    .state()
+                    .provider_satisfaction(provider)
+            })
+            .unwrap_or(0.0);
         if let Some(migration) = self.router.migrate_provider(provider, to) {
             let agent = &self.population.providers[provider];
             let capacity = agent.capacity().units_per_sec();
@@ -1081,6 +1112,7 @@ impl Simulator {
                 from_shard: migration.from,
                 to_shard: migration.to,
                 spread_before,
+                donor_satisfaction,
             });
         }
     }
@@ -1259,6 +1291,31 @@ impl Simulator {
     }
 }
 
+/// Scores one donor candidate for the load-adaptive migration rule, or
+/// `None` when moving it could not strictly shrink the allocation gap
+/// (`throughput` must lie strictly between 0 and `gap` — the
+/// monotone-convergence guard). Lower scores are better.
+///
+/// The score is the distance of the donor's windowed throughput from half
+/// the gap (the move that splits the imbalance evenly), plus a
+/// satisfaction penalty: `satisfaction × (gap / 2) × weight`. An
+/// under-served donor — a low mediator-side satisfaction reading means
+/// its proposals mostly lose on the contended shard — therefore wins
+/// against a comparably-matched but well-served one: it frees the least
+/// won throughput where it is, and stands to gain the most on the
+/// receiving shard, where its proposals face less competition. The
+/// bounded weight keeps the penalty a fraction of the target, so
+/// satisfaction arbitrates near-ties without overriding a decisively
+/// better throughput match.
+fn donor_score(throughput: u64, gap: u64, satisfaction: f64, weight: f64) -> Option<f64> {
+    if throughput == 0 || throughput >= gap {
+        return None;
+    }
+    let target = gap as f64 / 2.0;
+    let distance = (throughput as f64 - target).abs();
+    Some(distance + satisfaction.clamp(0.0, 1.0) * target * weight)
+}
+
 /// Convenience: builds and runs one simulation.
 pub fn run_simulation(
     config: SimulationConfig,
@@ -1275,6 +1332,40 @@ mod tests {
 
     fn small_config(duration: f64, seed: u64) -> SimulationConfig {
         SimulationConfig::scaled(16, 32, duration, seed)
+    }
+
+    #[test]
+    fn donor_score_guards_convergence_and_prefers_the_under_served() {
+        let weight = Simulator::MIGRATION_SATISFACTION_WEIGHT;
+        // The monotone-convergence guard: a zero-throughput donor moves
+        // nothing, a ≥gap donor would overshoot and oscillate.
+        assert_eq!(donor_score(0, 10, 0.5, weight), None);
+        assert_eq!(donor_score(10, 10, 0.5, weight), None);
+        assert_eq!(donor_score(15, 10, 0.5, weight), None);
+
+        // Equal distance from half the gap: the lower-satisfaction donor
+        // scores strictly better.
+        let served = donor_score(5, 10, 0.9, weight).unwrap();
+        let under_served = donor_score(5, 10, 0.1, weight).unwrap();
+        assert!(under_served < served);
+
+        // The satisfaction penalty is bounded by `weight × gap/2`, so it
+        // cannot overturn a decisively better throughput match: a donor on
+        // target with satisfaction 1.0 still beats one a full half-gap off
+        // target with satisfaction 0.0.
+        let on_target_served = donor_score(5, 10, 1.0, weight).unwrap();
+        let off_target_under_served = donor_score(1, 10, 0.0, weight).unwrap();
+        assert!(on_target_served < off_target_under_served);
+
+        // Out-of-range satisfaction readings are clamped, not amplified.
+        assert_eq!(
+            donor_score(3, 10, -4.0, weight),
+            donor_score(3, 10, 0.0, weight)
+        );
+        assert_eq!(
+            donor_score(3, 10, 7.0, weight),
+            donor_score(3, 10, 1.0, weight)
+        );
     }
 
     #[test]

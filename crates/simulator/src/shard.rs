@@ -83,10 +83,16 @@ impl ShardRouter {
         let shard_count = shard_count.max(1);
         let shards = (0..shard_count)
             .map(|i| {
-                let mut mediator = Mediator::new(
+                // Shard `i` owns providers (and serves consumers) with
+                // `id ≡ i (mod K)`, so its satisfaction tables are
+                // stride-compacted to that residue class: per-shard state
+                // stays O(P/K) no matter how many shards exist.
+                let mut mediator = Mediator::with_slot_stride(
                     MediatorId::new(i as u32),
                     method.build(shard_seed(seed, i)),
                     state_config,
+                    i,
+                    shard_count,
                 );
                 // The engine never reads the per-allocation ranking
                 // diagnostic; skipping it keeps the hot path free of the
@@ -117,6 +123,15 @@ impl ShardRouter {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Propagates the scoring-kernel thread count to every shard's
+    /// method. Deterministic at any value, so this is a performance knob,
+    /// not a semantics knob.
+    pub fn set_scoring_threads(&mut self, threads: usize) {
+        for shard in &mut self.shards {
+            shard.set_scoring_threads(threads);
+        }
     }
 
     /// The shard that mediates queries of the given consumer. Routing is a

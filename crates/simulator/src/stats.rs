@@ -86,6 +86,13 @@ pub struct MigrationRecord {
     /// under static routing, or the busiest/idlest allocation ratio under
     /// load-adaptive routing.
     pub spread_before: f64,
+    /// The donor shard's mediator-side satisfaction reading for the
+    /// provider at the moment of the move. The load-adaptive donor rule
+    /// prefers under-served donors (low reading — their proposals mostly
+    /// lose on the contended shard, so they stand to gain the most on the
+    /// receiving one); recording the value makes that preference
+    /// observable in the migration log.
+    pub donor_satisfaction: f64,
 }
 
 /// A consumer departure (always by dissatisfaction in the paper's model).

@@ -19,6 +19,7 @@ pub mod capacity;
 pub mod error;
 pub mod ids;
 pub mod query;
+pub mod strided;
 pub mod table;
 pub mod time;
 pub mod values;
@@ -27,6 +28,7 @@ pub use capacity::{Capacity, Utilization, WorkUnits};
 pub use error::{SqlbError, SqlbResult};
 pub use ids::{ConsumerId, MediatorId, ParticipantId, ProviderId, QueryId};
 pub use query::{Query, QueryClass, QueryDescription};
-pub use table::{ParticipantTable, StableId};
+pub use strided::{StridedColumn, StridedTable};
+pub use table::{ParticipantTable, SlotColumn, StableId};
 pub use time::{SimDuration, SimTime};
 pub use values::{Intention, Preference, Reputation, Satisfaction, UnitInterval};

@@ -153,12 +153,21 @@ impl<K: StableId, V> ParticipantTable<K, V> {
     }
 
     /// Returns a mutable reference to the entry for `key`, inserting the
-    /// result of `default` first if absent.
+    /// result of `default` first if absent. A single slot probe — this
+    /// sits on the allocation hot path (one call per candidate per
+    /// query), where the contains/insert/get_mut sequence it replaced
+    /// cost three.
     pub fn or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
-        if !self.contains(key) {
-            self.insert(key, default());
+        let slot = key.slot();
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
         }
-        self.get_mut(key).expect("entry just ensured")
+        let entry = &mut self.slots[slot];
+        if entry.is_none() {
+            *entry = Some(default());
+            self.len += 1;
+        }
+        entry.as_mut().expect("entry just ensured")
     }
 
     /// Removes the entry for `key`, keeping every other key valid.
@@ -268,6 +277,116 @@ impl<K: StableId, V> FromIterator<(K, V)> for ParticipantTable<K, V> {
     }
 }
 
+/// A dense struct-of-arrays column of plain per-participant values,
+/// indexed by a stable identifier's slot.
+///
+/// Where [`ParticipantTable`] stores `Option<V>` per slot (presence is
+/// part of the state), a `SlotColumn` stores a bare `T` per slot with a
+/// designated `fill` value standing in for "absent": reads past the end
+/// or of never-written slots return `fill`, and resetting a slot writes
+/// `fill` back. Dropping the `Option` halves the footprint for small `T`
+/// and keeps the column a contiguous `&[T]` that batch kernels can stream
+/// over — the struct-of-arrays layout the million-participant hot path
+/// wants, with the id→slot translation confined to this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotColumn<K: StableId, T> {
+    values: Vec<T>,
+    fill: T,
+    _key: PhantomData<K>,
+}
+
+impl<K: StableId, T: Copy> SlotColumn<K, T> {
+    /// Creates an empty column whose absent slots read as `fill`.
+    pub fn new(fill: T) -> Self {
+        SlotColumn {
+            values: Vec::new(),
+            fill,
+            _key: PhantomData,
+        }
+    }
+
+    /// Creates a column of `n` slots, each initialized to `fill`.
+    pub fn with_len(n: usize, fill: T) -> Self {
+        SlotColumn {
+            values: vec![fill; n],
+            fill,
+            _key: PhantomData,
+        }
+    }
+
+    /// Creates a column of `n` slots initialized by `f(id)`.
+    pub fn from_fn(n: usize, fill: T, mut f: impl FnMut(K) -> T) -> Self {
+        SlotColumn {
+            values: (0..n).map(|i| f(K::from_slot(i))).collect(),
+            fill,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of materialized slots (reads past this return the fill).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no slot has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The fill value standing in for absent slots.
+    pub fn fill_value(&self) -> T {
+        self.fill
+    }
+
+    /// The value for `key` (the fill value when the slot was never
+    /// written).
+    pub fn get(&self, key: K) -> T {
+        self.values.get(key.slot()).copied().unwrap_or(self.fill)
+    }
+
+    /// Writes the value for `key`, growing the column with fill values
+    /// when the slot lies past the end.
+    pub fn set(&mut self, key: K, value: T) {
+        *self.slot_mut(key) = value;
+    }
+
+    /// Resets `key` to the fill value.
+    pub fn reset(&mut self, key: K) {
+        let fill = self.fill;
+        self.set(key, fill);
+    }
+
+    /// Mutable access to the slot for `key`, growing the column as
+    /// needed.
+    pub fn slot_mut(&mut self, key: K) -> &mut T {
+        let slot = key.slot();
+        if slot >= self.values.len() {
+            self.values.resize(slot + 1, self.fill);
+        }
+        &mut self.values[slot]
+    }
+
+    /// The contiguous backing column, for batch kernels that stream over
+    /// slots directly.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<K: StableId, T: Copy> Index<K> for SlotColumn<K, T> {
+    type Output = T;
+
+    fn index(&self, key: K) -> &T {
+        self.values.get(key.slot()).unwrap_or(&self.fill)
+    }
+}
+
+impl<K: StableId, T: Copy> IndexMut<K> for SlotColumn<K, T> {
+    fn index_mut(&mut self, key: K) -> &mut T {
+        self.slot_mut(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +433,42 @@ mod tests {
         assert_eq!(table.iter_mut_of(&[p(99)]).count(), 0);
         // An empty selection is an empty iterator.
         assert_eq!(table.iter_mut_of(&[]).count(), 0);
+    }
+
+    #[test]
+    fn slot_column_reads_fill_for_absent_slots_and_grows_on_write() {
+        let mut column: SlotColumn<ProviderId, f64> = SlotColumn::new(0.5);
+        assert!(column.is_empty());
+        assert_eq!(column.get(p(7)), 0.5, "absent slots read the fill");
+        assert_eq!(column[p(7)], 0.5);
+
+        column.set(p(3), 0.9);
+        assert_eq!(column.len(), 4, "grown exactly to the written slot");
+        assert_eq!(column.get(p(3)), 0.9);
+        assert_eq!(column.get(p(1)), 0.5, "intermediate slots hold the fill");
+        assert_eq!(column.get(p(100)), 0.5, "past-the-end still reads fill");
+
+        column[p(3)] += 0.1;
+        assert_eq!(column.get(p(3)), 1.0);
+        column.reset(p(3));
+        assert_eq!(column.get(p(3)), 0.5);
+        assert_eq!(column.as_slice(), &[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(column.fill_value(), 0.5);
+    }
+
+    #[test]
+    fn slot_column_constructors_materialize_dense_slots() {
+        let column: SlotColumn<ProviderId, u32> = SlotColumn::with_len(3, 0);
+        assert_eq!(column.as_slice(), &[0, 0, 0]);
+
+        let column: SlotColumn<ProviderId, u32> =
+            SlotColumn::from_fn(4, 0, |id: ProviderId| id.raw() * 2);
+        assert_eq!(column.as_slice(), &[0, 2, 4, 6]);
+        assert_eq!(column.len(), 4);
+
+        let mut via_index: SlotColumn<ProviderId, u32> = SlotColumn::new(0);
+        via_index[p(2)] = 9;
+        assert_eq!(via_index.as_slice(), &[0, 0, 9]);
     }
 
     #[test]

@@ -169,6 +169,44 @@ fn backends_agree_on_migration_logs_and_digests() {
 }
 
 #[test]
+fn scoring_thread_count_never_changes_the_digest_on_any_backend() {
+    // Deterministic intra-shard parallelism: the batch Definition 7/8
+    // scoring kernel chunks candidates over a fixed partition, so its
+    // result must be bit-identical at any thread count — on every
+    // mediation backend. 80 providers over K=2 shards gives 40-candidate
+    // sets per query, comfortably past the parallel kernel's engagement
+    // threshold, so the parallel code path genuinely runs.
+    let base = SimulationConfig::scaled(16, 80, 300.0, 29)
+        .with_workload(WorkloadPattern::Fixed(0.6))
+        .with_mediator_shards(2);
+    let reference = run_simulation(base, Method::Sqlb).unwrap();
+    assert!(
+        reference.issued_queries > 200,
+        "the run must be interesting enough to discriminate"
+    );
+    let reference_digest = reference.digest();
+    for mode in [
+        MediationMode::Inline,
+        MediationMode::Threaded,
+        MediationMode::Reactor,
+        MediationMode::Socket,
+    ] {
+        for threads in [1usize, 2, 8] {
+            let report = run_simulation(
+                base.with_mediation(mode).with_scoring_threads(threads),
+                Method::Sqlb,
+            )
+            .unwrap();
+            assert_eq!(
+                report.digest(),
+                reference_digest,
+                "digest diverged on backend {mode:?} with {threads} scoring threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn reactor_runs_departures_deterministically() {
     // Provider departures deregister endpoints from the reactor
     // mid-run; the run must stay bit-identical to the inline engine and

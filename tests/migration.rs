@@ -164,6 +164,41 @@ fn migration_lowers_allocation_imbalance_under_a_skewed_workload() {
 }
 
 #[test]
+fn satisfaction_aware_donor_choice_keeps_the_skew_experiment_converging() {
+    // Regression pin for the satisfaction-aware donor rule: folding the
+    // donor shard's satisfaction reading into the load-adaptive donor
+    // score must not cost the committed skew experiment its convergence,
+    // and the reading that drove each pick must be recorded in the
+    // migration log (in the satisfaction domain, so the preference for
+    // under-served donors is observable after the fact).
+    let report = run_simulation(
+        skewed_config(31)
+            .with_routing(RoutingPolicyKind::LeastLoaded)
+            .with_migration(true),
+        Method::Sqlb,
+    )
+    .unwrap();
+    assert!(
+        !report.migrations.is_empty(),
+        "the skew must trigger load-adaptive migrations"
+    );
+    for migration in &report.migrations {
+        assert!(
+            (0.0..=1.0).contains(&migration.donor_satisfaction),
+            "donor satisfaction {} of provider {} is outside the satisfaction domain",
+            migration.donor_satisfaction,
+            migration.provider
+        );
+    }
+    // The committed skew experiment itself: migration (now satisfaction
+    // aware) still strictly beats both no-migration baselines.
+    let result = migration_skew(ExperimentScale::quick(), 4, 0.7).unwrap();
+    assert!(result.adaptive.allocation_imbalance < result.routed.allocation_imbalance);
+    assert!(result.adaptive.allocation_imbalance < result.baseline.allocation_imbalance);
+    assert!(result.adaptive.migrations > 0);
+}
+
+#[test]
 fn k1_ignores_migration_and_routing_knobs() {
     // The bit-identity contract: at K=1 neither knob can change anything.
     let plain = run_simulation(

@@ -5,17 +5,20 @@
 //! format in the build environment). This proc-macro crate accepts the
 //! derives and expands them to nothing, so `use serde::{Deserialize,
 //! Serialize};` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! Both derives register the `serde` helper attribute, so field-level
+//! annotations like `#[serde(default = "...")]` parse exactly as they do
+//! under the real crate.
 
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `Deserialize` derive.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
