@@ -31,7 +31,7 @@
 
 use sqlb_bench::perf::{
     measure_scale, measure_shard_throughput, measure_transport_round, merge_best, parse_trajectory,
-    regression_failures, scale_regression_failures, trajectory_path, transport_regression_failure,
+    regression_failures, scale_regression_failures, trajectory_path, transport_regression_failures,
     REGRESSION_TOLERANCE, SHARD_COUNTS, TRANSPORT_CONSUMERS,
 };
 
@@ -136,21 +136,40 @@ fn main() {
         Some(base) if base.round_ms > 0.0 && base.round_ms.is_finite() => {
             let provider_endpoints = base.endpoints.saturating_sub(TRANSPORT_CONSUMERS as usize);
             let mut now = measure_transport_round(provider_endpoints as u32, 3);
-            if transport_regression_failure(base, &now, tolerance).is_some() {
+            if !transport_regression_failures(base, &now, tolerance).is_empty() {
                 println!("perf_gate: transport below floor on first pass, confirming");
                 let second = measure_transport_round(provider_endpoints as u32, 3);
+                // Keep the best observation per gated rate: transient
+                // runner contention disappears on the retry.
                 if second.round_ms < now.round_ms {
-                    now = second;
+                    now.round_ms = second.round_ms;
+                    now.median_ms = second.median_ms;
+                }
+                if second.pipelined_ms < now.pipelined_ms {
+                    now.pipelined_ms = second.pipelined_ms;
                 }
             }
             println!(
-                "  transport: {} endpoints in {:.3} ms measured  vs committed {:.3} ms ({:+.1}%)",
+                "  transport: {} endpoints in {:.3} ms measured (median {}) vs committed {:.3} ms ({:+.1}%)",
                 now.endpoints,
                 now.round_ms,
+                now.median_ms
+                    .map_or("n/a".to_string(), |m| format!("{m:.3} ms")),
                 base.round_ms,
                 (base.round_ms / now.round_ms - 1.0) * 100.0
             );
-            failures.extend(transport_regression_failure(base, &now, tolerance));
+            match (now.pipelined_ms, base.pipelined_ms) {
+                (Some(pipelined), Some(committed)) => println!(
+                    "  transport (pipelined): {pipelined:.3} ms measured  vs committed \
+                     {committed:.3} ms ({:+.1}%)",
+                    (committed / pipelined - 1.0) * 100.0
+                ),
+                (Some(pipelined), None) => println!(
+                    "  transport (pipelined): {pipelined:.3} ms measured  (no committed row yet)"
+                ),
+                _ => {}
+            }
+            failures.extend(transport_regression_failures(base, &now, tolerance));
         }
         Some(base) => {
             eprintln!(

@@ -80,6 +80,17 @@ pub struct TransportMeasurement {
     pub hosts: usize,
     /// Best-of-N wall clock of one full wave round, in milliseconds.
     pub round_ms: f64,
+    /// Median-of-N wall clock of the same rounds, in milliseconds — the
+    /// dispersion companion to the best-of-N `round_ms`. Absent on
+    /// records that predate it (pre-PR-7).
+    pub median_ms: Option<f64>,
+    /// Best-of-N wall clock of the *pipelined* round, in milliseconds:
+    /// the same batch split into [`TRANSPORT_PIPELINE_SUBWAVES`]
+    /// sub-waves driven through `begin_wave`/`collect_wave` with up to
+    /// [`TRANSPORT_PIPELINE_DEPTH`] waves in flight, so encoding wave
+    /// `t+1` overlaps collecting wave `t`. Absent on records that
+    /// predate pipelining (pre-PR-7).
+    pub pipelined_ms: Option<f64>,
 }
 
 /// One measured scale point of the `scale_1m` benchmark: a full
@@ -192,13 +203,20 @@ pub const TRANSPORT_CONSUMERS: u32 = 64;
 pub const TRANSPORT_HOSTS: u32 = 8;
 /// Candidates per query of a transport gate round.
 pub const TRANSPORT_CANDIDATES_PER_QUERY: u32 = 16;
+/// Sub-waves a pipelined transport round splits its batch into.
+pub const TRANSPORT_PIPELINE_SUBWAVES: usize = 8;
+/// Maximum waves in flight while driving a pipelined transport round.
+pub const TRANSPORT_PIPELINE_DEPTH: usize = 4;
 
 /// Re-measures one socket-transport wave round at `providers` provider
 /// endpoints (plus [`TRANSPORT_CONSUMERS`] consumers) multiplexed over
 /// [`TRANSPORT_HOSTS`] loopback connections — the same topology, flat
 /// endpoints and full-coverage batch as the `transport_scaling` bench that
 /// produced the committed `transport` row, so the gate compares like with
-/// like. Best-of-`runs` wall clock.
+/// like. Records the best and median of `runs` single-wave rounds, plus
+/// the best-of-`runs` *pipelined* round (the batch split into
+/// [`TRANSPORT_PIPELINE_SUBWAVES`] sub-waves with up to
+/// [`TRANSPORT_PIPELINE_DEPTH`] in flight).
 pub fn measure_transport_round(providers: u32, runs: usize) -> TransportMeasurement {
     use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
     use sqlb_transport::{ParticipantHost, ServerConfig, WaveServer};
@@ -265,16 +283,44 @@ pub fn measure_transport_round(providers: u32, runs: usize) -> TransportMeasurem
         })
         .collect();
 
+    /// One pipelined round over the whole batch: sub-waves are encoded
+    /// and sent up to the depth cap ahead of the collections.
+    fn pipelined_round(server: &mut WaveServer, batch: &[(Query, Vec<ProviderId>)]) {
+        let chunk = batch.len().div_ceil(TRANSPORT_PIPELINE_SUBWAVES).max(1);
+        for sub in batch.chunks(chunk) {
+            while server.waves_in_flight() >= TRANSPORT_PIPELINE_DEPTH {
+                server.collect_wave().expect("a wave is in flight");
+                assert_eq!(server.last_round().timed_out, 0);
+            }
+            server.begin_wave(sub);
+        }
+        while server.collect_wave().is_some() {
+            assert_eq!(server.last_round().timed_out, 0);
+        }
+    }
+
     let _ = server.gather(&batch); // warmup
-    let mut best = Duration::MAX;
+    let mut rounds = Vec::new();
     for _ in 0..runs.max(1) {
         let started = Instant::now();
         let infos = server.gather(&batch);
         let elapsed = started.elapsed();
         assert_eq!(infos.len(), batch.len());
         assert_eq!(server.last_round().timed_out, 0);
-        best = best.min(elapsed);
+        rounds.push(elapsed);
     }
+    rounds.sort();
+    let best = rounds[0];
+    let median = rounds[rounds.len() / 2];
+
+    pipelined_round(&mut server, &batch); // warmup of the pipelined drive
+    let mut pipelined_best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let started = Instant::now();
+        pipelined_round(&mut server, &batch);
+        pipelined_best = pipelined_best.min(started.elapsed());
+    }
+
     server.shutdown();
     for handle in handles {
         handle.join().expect("host thread").expect("host io");
@@ -283,6 +329,8 @@ pub fn measure_transport_round(providers: u32, runs: usize) -> TransportMeasurem
         endpoints: (providers + TRANSPORT_CONSUMERS) as usize,
         hosts: TRANSPORT_HOSTS as usize,
         round_ms: best.as_secs_f64() * 1e3,
+        median_ms: Some(median.as_secs_f64() * 1e3),
+        pipelined_ms: Some(pipelined_best.as_secs_f64() * 1e3),
     }
 }
 
@@ -351,9 +399,16 @@ pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
         out.push_str("    ]");
         if let Some(transport) = &record.transport {
             out.push_str(&format!(
-                ", \"transport\": {{\"endpoints\": {}, \"hosts\": {}, \"round_ms\": {:.3}}}",
+                ", \"transport\": {{\"endpoints\": {}, \"hosts\": {}, \"round_ms\": {:.3}",
                 transport.endpoints, transport.hosts, transport.round_ms,
             ));
+            if let Some(median) = transport.median_ms {
+                out.push_str(&format!(", \"median_ms\": {median:.3}"));
+            }
+            if let Some(pipelined) = transport.pipelined_ms {
+                out.push_str(&format!(", \"pipelined_ms\": {pipelined:.3}"));
+            }
+            out.push('}');
         }
         if !record.scale.is_empty() {
             out.push_str(", \"scale\": [\n");
@@ -407,6 +462,8 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                     round_ms: field(line, "\"round_ms\"")
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(0.0),
+                    median_ms: field(line, "\"median_ms\"").and_then(|v| v.parse().ok()),
+                    pipelined_ms: field(line, "\"pipelined_ms\"").and_then(|v| v.parse().ok()),
                 });
             }
         }
@@ -531,31 +588,42 @@ pub fn upsert_scale(
     records
 }
 
-/// Gates the socket-transport round against a committed baseline row: a
-/// failure when the measured wave moves endpoints more than `tolerance`
-/// slower than the baseline did. Comparing endpoint rates (endpoints per
-/// millisecond) keeps the check meaningful even if the swept endpoint
-/// count changes between records.
-pub fn transport_regression_failure(
+/// Gates the socket-transport round against a committed baseline row:
+/// one failure per gated rate (the single-wave round, and the pipelined
+/// round when the baseline carries it) that moves endpoints more than
+/// `tolerance` slower than the baseline did. Comparing endpoint rates
+/// (endpoints per millisecond) keeps the check meaningful even if the
+/// swept endpoint count changes between records.
+pub fn transport_regression_failures(
     baseline: &TransportMeasurement,
     measured: &TransportMeasurement,
     tolerance: f64,
-) -> Option<String> {
-    let base_rate = baseline.endpoints as f64 / baseline.round_ms;
-    let measured_rate = measured.endpoints as f64 / measured.round_ms;
-    let floor = base_rate * (1.0 - tolerance);
-    (measured_rate < floor).then(|| {
-        format!(
-            "transport: {:.1} endpoints/ms ({} endpoints in {:.3} ms) is below the \
-             regression floor {:.1} ({:.1} committed, tolerance {:.0}%)",
-            measured_rate,
-            measured.endpoints,
-            measured.round_ms,
-            floor,
-            base_rate,
-            tolerance * 100.0,
-        )
-    })
+) -> Vec<String> {
+    let gate = |kind: &str, base_ms: f64, measured_ms: f64| -> Option<String> {
+        let base_rate = baseline.endpoints as f64 / base_ms;
+        let measured_rate = measured.endpoints as f64 / measured_ms;
+        let floor = base_rate * (1.0 - tolerance);
+        (measured_rate < floor).then(|| {
+            format!(
+                "transport ({kind}): {:.1} endpoints/ms ({} endpoints in {:.3} ms) is below \
+                 the regression floor {:.1} ({:.1} committed, tolerance {:.0}%)",
+                measured_rate,
+                measured.endpoints,
+                measured_ms,
+                floor,
+                base_rate,
+                tolerance * 100.0,
+            )
+        })
+    };
+    let mut failures = Vec::new();
+    failures.extend(gate("single wave", baseline.round_ms, measured.round_ms));
+    // The pipelined round is gated only when the committed record has one
+    // (older records predate pipelining) and the fresh measurement ran it.
+    if let (Some(base), Some(now)) = (baseline.pipelined_ms, measured.pipelined_ms) {
+        failures.extend(gate("pipelined", base, now));
+    }
+    failures
 }
 
 /// Gates the scale rows against a committed baseline: one failure per
@@ -710,6 +778,8 @@ mod tests {
             endpoints: 10_304,
             hosts: 8,
             round_ms: 41.5,
+            median_ms: None,
+            pipelined_ms: None,
         });
         let records = vec![record("PR-4", 170000.0), with_transport.clone()];
         let parsed = parse_trajectory(&render_trajectory(&records));
@@ -719,6 +789,11 @@ mod tests {
         assert_eq!(transport.endpoints, 10_304);
         assert_eq!(transport.hosts, 8);
         assert!((transport.round_ms - 41.5).abs() < 1e-9);
+        assert_eq!(
+            transport.median_ms, None,
+            "a pre-dispersion row stays bare through a round trip"
+        );
+        assert_eq!(transport.pipelined_ms, None);
 
         // Re-measuring the shard rows must not drop the transport row.
         let records = upsert_record(parsed, "PR-5", record("PR-5", 190000.0).shards);
@@ -731,12 +806,28 @@ mod tests {
                 endpoints: 1,
                 hosts: 1,
                 round_ms: 0.5,
+                median_ms: None,
+                pipelined_ms: None,
             },
         );
         assert_eq!(records[0].label, "PR-6");
         assert!(records[0].shards.is_empty());
         let reparsed = parse_trajectory(&render_trajectory(&records));
         assert_eq!(reparsed[0].transport.as_ref().unwrap().endpoints, 1);
+    }
+
+    #[test]
+    fn transport_dispersion_and_pipelined_rows_round_trip() {
+        let mut with_transport = record("PR-7", 200000.0);
+        with_transport.transport = Some(TransportMeasurement {
+            endpoints: 10_304,
+            hosts: 8,
+            round_ms: 11.25,
+            median_ms: Some(12.5),
+            pipelined_ms: Some(7.75),
+        });
+        let parsed = parse_trajectory(&render_trajectory(&[with_transport.clone()]));
+        assert_eq!(parsed[0].transport, with_transport.transport);
     }
 
     fn scale_row(participants: u64, throughput: f64) -> ScaleMeasurement {
@@ -792,30 +883,63 @@ mod tests {
             endpoints: 10_304,
             hosts: 8,
             round_ms: 10.0,
+            median_ms: None,
+            pipelined_ms: None,
         };
         // Same rate: fine.
-        assert!(transport_regression_failure(&base, &base, 0.2).is_none());
+        assert!(transport_regression_failures(&base, &base, 0.2).is_empty());
         // 10% slower: within a 20% tolerance.
         let slower = TransportMeasurement {
             round_ms: 11.0,
-            ..base
+            ..base.clone()
         };
-        assert!(transport_regression_failure(&base, &slower, 0.2).is_none());
+        assert!(transport_regression_failures(&base, &slower, 0.2).is_empty());
         // 2x slower: trips.
         let slow = TransportMeasurement {
             round_ms: 20.0,
-            ..base
+            ..base.clone()
         };
-        let failure = transport_regression_failure(&base, &slow, 0.2).unwrap();
-        assert!(failure.contains("transport"));
+        let failures = transport_regression_failures(&base, &slow, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("transport"));
         // A different endpoint count still compares fairly (per-ms rate):
         // half the endpoints in half the time is the same rate.
         let half = TransportMeasurement {
             endpoints: 5_152,
             hosts: 8,
             round_ms: 5.0,
+            median_ms: None,
+            pipelined_ms: None,
         };
-        assert!(transport_regression_failure(&base, &half, 0.2).is_none());
+        assert!(transport_regression_failures(&base, &half, 0.2).is_empty());
+    }
+
+    #[test]
+    fn transport_gate_covers_the_pipelined_round_when_committed() {
+        let base = TransportMeasurement {
+            endpoints: 10_304,
+            hosts: 8,
+            round_ms: 10.0,
+            median_ms: Some(11.0),
+            pipelined_ms: Some(6.0),
+        };
+        // Healthy single wave, regressed pipelined round: one failure,
+        // naming the pipelined rate.
+        let slow_pipeline = TransportMeasurement {
+            pipelined_ms: Some(12.0),
+            ..base.clone()
+        };
+        let failures = transport_regression_failures(&base, &slow_pipeline, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("pipelined"), "{}", failures[0]);
+        // A measurement with no pipelined round (or a baseline without
+        // one) skips that gate instead of failing vacuously.
+        let bare = TransportMeasurement {
+            pipelined_ms: None,
+            ..base.clone()
+        };
+        assert!(transport_regression_failures(&base, &bare, 0.2).is_empty());
+        assert!(transport_regression_failures(&bare, &base, 0.2).is_empty());
     }
 
     #[test]

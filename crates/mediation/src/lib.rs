@@ -36,8 +36,8 @@ pub mod runtime;
 
 pub use protocol::{
     decode_mediator_message, decode_participant_reply, encode_mediator_message,
-    encode_participant_reply, FrameAssembler, FrameError, MediatorMessage, ParticipantReply,
-    MAX_FRAME_PAYLOAD,
+    encode_mediator_message_into, encode_participant_reply, encode_participant_reply_into,
+    FrameAssembler, FrameError, FrameReader, MediatorMessage, ParticipantReply, MAX_FRAME_PAYLOAD,
 };
 pub use reactor::{
     run_wave_threaded, AsyncMediator, IntentionWave, Latency, ProviderAnswer, Reactor, RoundStats,

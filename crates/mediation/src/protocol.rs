@@ -284,17 +284,24 @@ impl std::error::Error for FrameError {}
 
 // ---- encoding ----------------------------------------------------------
 
-struct FrameWriter {
-    buf: Vec<u8>,
+/// Appends one frame to a caller-owned buffer, so encoders can reuse a
+/// scratch buffer across messages instead of allocating a `Vec<u8>` per
+/// frame (the send path of a 10k-endpoint wave encodes tens of
+/// thousands of messages).
+struct FrameWriter<'a> {
+    buf: &'a mut Vec<u8>,
+    /// Offset of this frame's length prefix in `buf`; patched in
+    /// `finish()`.
+    start: usize,
 }
 
-impl FrameWriter {
-    fn new(tag: u8) -> Self {
+impl<'a> FrameWriter<'a> {
+    fn over(buf: &'a mut Vec<u8>, tag: u8) -> Self {
         // Length placeholder first; patched in finish().
-        let mut buf = Vec::with_capacity(16);
+        let start = buf.len();
         buf.extend_from_slice(&[0, 0, 0, 0]);
         buf.push(tag);
-        FrameWriter { buf }
+        FrameWriter { buf, start }
     }
 
     fn u8(&mut self, value: u8) {
@@ -365,18 +372,26 @@ impl FrameWriter {
         self.u32(u32::try_from(len).expect("protocol vectors fit in u32"));
     }
 
-    fn finish(mut self) -> Vec<u8> {
-        let payload = (self.buf.len() - 4) as u32;
-        self.buf[..4].copy_from_slice(&payload.to_le_bytes());
-        self.buf
+    fn finish(self) {
+        let payload = (self.buf.len() - self.start - 4) as u32;
+        self.buf[self.start..self.start + 4].copy_from_slice(&payload.to_le_bytes());
     }
 }
 
 /// Encodes a mediator message as one self-delimiting frame.
 pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_mediator_message_into(message, &mut out);
+    out
+}
+
+/// Appends a mediator message's frame to `out`, which may already hold
+/// other frames — the zero-allocation encode path: a caller framing a
+/// whole wave reuses one scratch buffer for every message of the burst.
+pub fn encode_mediator_message_into(message: &MediatorMessage, out: &mut Vec<u8>) {
     match message {
         MediatorMessage::ConsumerIntentionRequest { query, candidates } => {
-            let mut w = FrameWriter::new(1);
+            let mut w = FrameWriter::over(out, 1);
             w.u32(query.raw());
             w.count(candidates.len());
             for p in candidates {
@@ -385,7 +400,7 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             w.finish()
         }
         MediatorMessage::ProviderIntentionRequest { query, request_bid } => {
-            let mut w = FrameWriter::new(2);
+            let mut w = FrameWriter::over(out, 2);
             w.u32(query.raw());
             w.bool(*request_bid);
             w.finish()
@@ -395,7 +410,7 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             consumer,
             requests,
         } => {
-            let mut w = FrameWriter::new(3);
+            let mut w = FrameWriter::over(out, 3);
             w.u64(*wave);
             w.u32(consumer.raw());
             w.count(requests.len());
@@ -414,7 +429,7 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             queries,
             request_bids,
         } => {
-            let mut w = FrameWriter::new(4);
+            let mut w = FrameWriter::over(out, 4);
             w.u64(*wave);
             w.u32(provider.raw());
             w.count(queries.len());
@@ -429,7 +444,7 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             provider,
             selected,
         } => {
-            let mut w = FrameWriter::new(5);
+            let mut w = FrameWriter::over(out, 5);
             w.u32(query.raw());
             w.u32(provider.raw());
             w.bool(*selected);
@@ -440,7 +455,7 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             consumer,
             providers,
         } => {
-            let mut w = FrameWriter::new(6);
+            let mut w = FrameWriter::over(out, 6);
             w.u32(query.raw());
             w.u32(consumer.raw());
             w.count(providers.len());
@@ -449,9 +464,9 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
             }
             w.finish()
         }
-        MediatorMessage::Shutdown => FrameWriter::new(7).finish(),
+        MediatorMessage::Shutdown => FrameWriter::over(out, 7).finish(),
         MediatorMessage::WaveEnd { wave } => {
-            let mut w = FrameWriter::new(8);
+            let mut w = FrameWriter::over(out, 8);
             w.u64(*wave);
             w.finish()
         }
@@ -460,13 +475,21 @@ pub fn encode_mediator_message(message: &MediatorMessage) -> Vec<u8> {
 
 /// Encodes a participant reply as one self-delimiting frame.
 pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_participant_reply_into(reply, &mut out);
+    out
+}
+
+/// Appends a participant reply's frame to `out` (see
+/// [`encode_mediator_message_into`]).
+pub fn encode_participant_reply_into(reply: &ParticipantReply, out: &mut Vec<u8>) {
     match reply {
         ParticipantReply::ConsumerIntentions {
             query,
             consumer,
             intentions,
         } => {
-            let mut w = FrameWriter::new(1);
+            let mut w = FrameWriter::over(out, 1);
             w.u32(query.raw());
             w.u32(consumer.raw());
             w.count(intentions.len());
@@ -482,7 +505,7 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             intention,
             bid,
         } => {
-            let mut w = FrameWriter::new(2);
+            let mut w = FrameWriter::over(out, 2);
             w.u32(query.raw());
             w.u32(provider.raw());
             w.f64(*intention);
@@ -494,7 +517,7 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             consumer,
             intentions,
         } => {
-            let mut w = FrameWriter::new(3);
+            let mut w = FrameWriter::over(out, 3);
             w.u64(*wave);
             w.u32(consumer.raw());
             w.count(intentions.len());
@@ -514,7 +537,7 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             utilization,
             intentions,
         } => {
-            let mut w = FrameWriter::new(4);
+            let mut w = FrameWriter::over(out, 4);
             w.u64(*wave);
             w.u32(provider.raw());
             w.f64(*utilization);
@@ -530,7 +553,7 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             consumers,
             providers,
         } => {
-            let mut w = FrameWriter::new(5);
+            let mut w = FrameWriter::over(out, 5);
             w.count(consumers.len());
             for c in consumers {
                 w.u32(c.raw());
@@ -541,13 +564,23 @@ pub fn encode_participant_reply(reply: &ParticipantReply) -> Vec<u8> {
             }
             w.finish()
         }
-        ParticipantReply::Goodbye => FrameWriter::new(6).finish(),
+        ParticipantReply::Goodbye => FrameWriter::over(out, 6).finish(),
     }
 }
 
 // ---- decoding ----------------------------------------------------------
 
-struct FrameReader<'a> {
+/// An in-place reader over one frame's bytes: every scalar accessor
+/// reads directly from the borrowed slice, so a consumer that only
+/// needs scalars (ids, intentions, wave numbers) decodes a frame
+/// without allocating anything.
+///
+/// Public so zero-copy consumers (the wave server's reply hot path) can
+/// decode the frames [`FrameAssembler::next_frame`] hands out without
+/// first materializing an owned [`ParticipantReply`]; the general
+/// decoders ([`decode_mediator_message`] / [`decode_participant_reply`])
+/// are built on the same reader.
+pub struct FrameReader<'a> {
     bytes: &'a [u8],
     at: usize,
     end: usize,
@@ -557,7 +590,7 @@ impl<'a> FrameReader<'a> {
     /// Opens the frame at the start of `bytes`: reads the length prefix
     /// and bounds the reader to the declared payload. A declared payload
     /// over [`MAX_FRAME_PAYLOAD`] is rejected before anything else.
-    fn open(bytes: &'a [u8]) -> Result<Self, FrameError> {
+    pub fn open(bytes: &'a [u8]) -> Result<Self, FrameError> {
         if bytes.len() < 4 {
             return Err(FrameError::Truncated);
         }
@@ -583,11 +616,13 @@ impl<'a> FrameReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, FrameError> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
     }
 
-    fn bool(&mut self) -> Result<bool, FrameError> {
+    /// Reads a presence/flag byte.
+    pub fn bool(&mut self) -> Result<bool, FrameError> {
         Ok(self.u8()? != 0)
     }
 
@@ -596,19 +631,23 @@ impl<'a> FrameReader<'a> {
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, FrameError> {
+    /// Reads a little-endian `u32` in place.
+    pub fn u32(&mut self) -> Result<u32, FrameError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, FrameError> {
+    /// Reads a little-endian `u64` in place.
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self) -> Result<f64, FrameError> {
+    /// Reads an `f64` from its raw IEEE-754 bits (the bit-identity
+    /// contract: no parse, no rounding).
+    pub fn f64(&mut self) -> Result<f64, FrameError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
@@ -620,7 +659,8 @@ impl<'a> FrameReader<'a> {
             .map_err(|_| FrameError::InvalidUtf8)
     }
 
-    fn bid(&mut self) -> Result<Option<Bid>, FrameError> {
+    /// Reads an optional bid (presence byte, then price and delay).
+    pub fn bid(&mut self) -> Result<Option<Bid>, FrameError> {
         if self.bool()? {
             Ok(Some(Bid::new(self.f64()?, self.f64()?)))
         } else {
@@ -664,7 +704,7 @@ impl<'a> FrameReader<'a> {
     /// A vector count, sanity-bounded by the bytes remaining in the frame
     /// (every element occupies at least one byte), so a corrupted count
     /// cannot drive a huge allocation.
-    fn count(&mut self) -> Result<usize, FrameError> {
+    pub fn count(&mut self) -> Result<usize, FrameError> {
         let count = self.u32()? as usize;
         if count > self.end - self.at {
             return Err(FrameError::TrailingBytes);
@@ -673,7 +713,7 @@ impl<'a> FrameReader<'a> {
     }
 
     /// Total frame length, once fully consumed.
-    fn close(self) -> Result<usize, FrameError> {
+    pub fn close(self) -> Result<usize, FrameError> {
         if self.at != self.end {
             return Err(FrameError::TrailingBytes);
         }
@@ -905,9 +945,44 @@ impl FrameAssembler {
         self.buf.len() - self.at
     }
 
-    /// The complete frame at the head of the buffer, if one has fully
-    /// arrived. `Ok(None)` means "keep reading".
-    fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+    /// Reads from `reader` directly into the assembler's buffer — the
+    /// zero-copy fill path: bytes land where the decoder will read them,
+    /// with no intermediate stack chunk to copy out of. Consumed frames
+    /// are compacted away first (a `memmove` of at most one partial
+    /// trailing frame), so the buffer's footprint stays bounded by the
+    /// unconsumed tail plus one read chunk. Returns what `reader.read`
+    /// returned: the byte count, `Ok(0)` on EOF, or the I/O error.
+    pub fn fill_from(&mut self, reader: &mut impl std::io::Read) -> std::io::Result<usize> {
+        /// Target read size: large enough to drain a burst of wave
+        /// frames per syscall, small enough not to balloon idle
+        /// connections.
+        const READ_CHUNK: usize = 64 * 1024;
+        if self.at > 0 {
+            // Everything consumed: drop it all (no copy). Otherwise a
+            // partial trailing frame moves to the front — the only copy
+            // this path ever performs.
+            if self.at == self.buf.len() {
+                self.buf.clear();
+            } else {
+                self.buf.drain(..self.at);
+            }
+            self.at = 0;
+        }
+        let filled = self.buf.len();
+        self.buf.resize(filled + READ_CHUNK, 0);
+        let result = reader.read(&mut self.buf[filled..]);
+        self.buf
+            .truncate(filled + result.as_ref().copied().unwrap_or(0));
+        result
+    }
+
+    /// Pops the complete frame at the head of the buffer — length prefix
+    /// included — as a slice borrowed from the receive buffer: the
+    /// zero-copy consume path ([`decode_mediator_message`] /
+    /// [`decode_participant_reply`] and [`FrameReader`] all read scalars
+    /// in place from such a slice). `Ok(None)` means "keep reading".
+    /// The slice stays valid until the next `extend` / `fill_from` call.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
         let available = &self.buf[self.at..];
         if available.len() < 4 {
             return Ok(None);
@@ -1151,10 +1226,11 @@ mod tests {
     fn corrupted_counts_cannot_drive_huge_allocations() {
         // A ConsumerIntentionRequest whose candidate count claims u32::MAX
         // with no bytes behind it must fail cleanly.
-        let mut frame = FrameWriter::new(1);
+        let mut bytes = Vec::new();
+        let mut frame = FrameWriter::over(&mut bytes, 1);
         frame.u32(1);
         frame.u32(u32::MAX);
-        let bytes = frame.finish();
+        frame.finish();
         assert_eq!(
             decode_mediator_message(&bytes).unwrap_err(),
             FrameError::TrailingBytes
@@ -1220,6 +1296,71 @@ mod tests {
             assert_eq!(decoded, all_messages(), "cut at {cut}");
             assert_eq!(assembler.pending_bytes(), 0);
         }
+    }
+
+    #[test]
+    fn borrowed_frames_survive_fill_from_at_every_split_position() {
+        // The zero-copy receive path end to end: bytes arrive through
+        // `fill_from` (two reads cut at every possible position), frames
+        // come out of `next_frame` as borrowed slices — length prefix
+        // included — and in-place decoding must recover the identical
+        // message sequence at every cut.
+        let mut stream = Vec::new();
+        for message in all_messages() {
+            stream.extend_from_slice(&encode_mediator_message(&message));
+        }
+        for cut in 0..=stream.len() {
+            let mut assembler = FrameAssembler::new();
+            let mut decoded = Vec::new();
+            for mut chunk in [&stream[..cut], &stream[cut..]] {
+                while !chunk.is_empty() {
+                    assert!(assembler.fill_from(&mut chunk).unwrap() > 0);
+                    while let Some(frame) = assembler.next_frame().unwrap() {
+                        let declared = u32::from_le_bytes(frame[..4].try_into().unwrap());
+                        assert_eq!(frame.len(), 4 + declared as usize, "cut at {cut}");
+                        let (message, consumed) = decode_mediator_message(frame).unwrap();
+                        assert_eq!(consumed, frame.len(), "cut at {cut}");
+                        decoded.push(message);
+                    }
+                }
+            }
+            assert_eq!(decoded, all_messages(), "cut at {cut}");
+            assert_eq!(assembler.pending_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn borrowed_frames_survive_fill_from_one_byte_reads() {
+        // A pathological reader that yields one byte per `read` call
+        // exercises `fill_from`'s resize/compact bookkeeping on every
+        // frame boundary of the reply stream.
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&byte, rest)) => {
+                        buf[0] = byte;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut stream = Vec::new();
+        for reply in all_replies() {
+            stream.extend_from_slice(&encode_participant_reply(&reply));
+        }
+        let mut reader = OneByte(&stream);
+        let mut assembler = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        while assembler.fill_from(&mut reader).unwrap() > 0 {
+            while let Some(frame) = assembler.next_frame().unwrap() {
+                decoded.push(decode_participant_reply(frame).unwrap().0);
+            }
+        }
+        assert_eq!(decoded, all_replies());
+        assert_eq!(assembler.pending_bytes(), 0);
     }
 
     #[test]

@@ -192,6 +192,17 @@ pub struct SimulationConfig {
     /// column, and ties still break on the lowest provider id.
     #[serde(default = "default_scoring_threads")]
     pub scoring_threads: usize,
+    /// Whether the socket backend coalesces every query arrival landing
+    /// on the same virtual instant into one multi-query mediation wave
+    /// (one frame fan-out instead of one wave per arrival). On by
+    /// default. Coalescing preserves bit-identical same-seed reports: it
+    /// only merges arrivals whose consumers and shards are all distinct
+    /// (so no arrival's answers can observe another's allocation), and it
+    /// is automatically suspended under load-reactive routing, whose
+    /// decisions read allocation state between arrivals. Ignored by the
+    /// in-process backends, which have no framing cost to amortize.
+    #[serde(default = "default_socket_wave_coalescing")]
+    pub socket_wave_coalescing: bool,
 }
 
 /// Serde default for [`SimulationConfig::scoring_threads`], so configs
@@ -201,6 +212,14 @@ pub struct SimulationConfig {
 #[allow(dead_code)]
 fn default_scoring_threads() -> usize {
     1
+}
+
+/// Serde default for [`SimulationConfig::socket_wave_coalescing`]: configs
+/// serialized before the knob existed deserialize to the coalescing
+/// behaviour, matching the constructors.
+#[allow(dead_code)]
+fn default_socket_wave_coalescing() -> bool {
+    true
 }
 
 impl SimulationConfig {
@@ -231,6 +250,7 @@ impl SimulationConfig {
             socket_hosts: 2,
             capability_matchmaking: false,
             scoring_threads: 1,
+            socket_wave_coalescing: true,
         }
     }
 
@@ -284,6 +304,7 @@ impl SimulationConfig {
             socket_hosts: 2,
             capability_matchmaking: false,
             scoring_threads: 1,
+            socket_wave_coalescing: true,
         }
     }
 
@@ -364,6 +385,13 @@ impl SimulationConfig {
     /// backend (ignored by the other backends).
     pub fn with_socket_hosts(mut self, hosts: usize) -> Self {
         self.socket_hosts = hosts;
+        self
+    }
+
+    /// Enables (or disables) same-instant wave coalescing on the socket
+    /// backend (ignored by the other backends).
+    pub fn with_socket_wave_coalescing(mut self, enabled: bool) -> Self {
+        self.socket_wave_coalescing = enabled;
         self
     }
 
@@ -514,14 +542,20 @@ mod tests {
             );
             assert!(c.socket_hosts >= 1);
             assert_eq!(c.scoring_threads, 1, "sequential scoring is the default");
+            assert!(
+                c.socket_wave_coalescing,
+                "socket wave coalescing is on by default (bit-identical either way)"
+            );
         }
         assert_eq!(super::default_scoring_threads(), 1);
+        assert!(super::default_socket_wave_coalescing());
     }
 
     #[test]
     fn scoring_threads_knob_is_selectable_and_validated() {
         let c = SimulationConfig::scaled(10, 20, 100.0, 0).with_scoring_threads(8);
         assert_eq!(c.scoring_threads, 8);
+        assert!(!c.with_socket_wave_coalescing(false).socket_wave_coalescing);
         assert!(c.validate().is_ok());
 
         let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);

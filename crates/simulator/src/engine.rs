@@ -103,6 +103,17 @@ enum MediationDriver {
     Socket(Box<SocketMediator>),
 }
 
+/// One arrival of a coalesced socket wave, prepared (drawn, routed,
+/// candidates resolved) but not yet mediated or allocated.
+struct PreparedArrival {
+    query: Query,
+    shard: usize,
+    /// The candidate set `P_q`, owned: the socket path clones it into
+    /// the wave request anyway, and the batch outlives the borrow the
+    /// per-arrival path gets away with.
+    candidates: Vec<ProviderId>,
+}
+
 /// The simulator for one `(configuration, method)` pair.
 pub struct Simulator {
     config: SimulationConfig,
@@ -449,6 +460,18 @@ impl Simulator {
     }
 
     fn handle_arrival(&mut self) {
+        // The socket backend coalesces every arrival landing on this same
+        // virtual instant into one multi-query wave (when the knob is on
+        // and routing is load-blind — a load-reactive policy reads
+        // allocation state between arrivals, so its runs stay
+        // strictly sequential).
+        if matches!(self.mediation, MediationDriver::Socket(_))
+            && self.config.socket_wave_coalescing
+            && !self.routing.reacts_to_load()
+        {
+            return self.handle_socket_arrivals();
+        }
+
         // Always keep the arrival process alive (its rate follows the
         // workload pattern and the number of remaining consumers).
         self.schedule_next_arrival();
@@ -651,9 +674,20 @@ impl Simulator {
             }
         }
 
-        // Allocation decision (Algorithm 1, lines 6–9), recorded in the
-        // shard's satisfaction state.
-        let allocation = self.router.allocate(shard, &query, &self.scratch.infos);
+        self.allocate_and_record(&query, shard);
+    }
+
+    /// Allocation decision (Algorithm 1, lines 6–9) over the candidate
+    /// infos sitting in `self.scratch.infos`, recorded in the shard's
+    /// satisfaction state, followed by the participant-side bookkeeping
+    /// and the enqueueing of the query at the selected providers. Shared
+    /// by the per-arrival path and the socket backend's coalesced path
+    /// (which mediates a batch first, then allocates each query of the
+    /// batch through here, in arrival order).
+    fn allocate_and_record(&mut self, query: &Query, shard: usize) {
+        let now = self.now;
+        let consumer = query.consumer;
+        let allocation = self.router.allocate(shard, query, &self.scratch.infos);
 
         // Participant-side bookkeeping (the mediation result is sent to all
         // candidates, line 10), answering "was p selected?" through the
@@ -681,7 +715,7 @@ impl Simulator {
         for info in &scratch.infos {
             let performed = scratch.selection.contains(info.provider);
             self.population.providers[info.provider].record_proposal(
-                &query,
+                query,
                 info.provider_intention,
                 performed,
             );
@@ -691,7 +725,7 @@ impl Simulator {
         self.shard_backlog[shard] += query.cost().value() * allocation.selected.len() as f64;
         for &p in &allocation.selected {
             let provider_agent = &mut self.population.providers[p];
-            let processing = provider_agent.assign(&query, now);
+            let processing = provider_agent.assign(query, now);
             let start = self.busy_until[p].max(now.as_secs());
             let finish = start + processing.as_secs();
             self.busy_until[p] = finish;
@@ -704,6 +738,178 @@ impl Simulator {
                     work: query.cost(),
                 },
             );
+        }
+    }
+
+    /// The socket backend's coalesced arrival handler: prepares the
+    /// arrival at hand plus every further arrival scheduled for this same
+    /// virtual instant (popping them off the event queue in their normal
+    /// order), and mediates them as *one* socket wave — one frame
+    /// fan-out, one reply collection — instead of one wave each.
+    ///
+    /// Bit-identity with the sequential path is preserved by
+    /// construction. Preparation (the arrival-process reschedule and the
+    /// consumer/class draws) is a pure function of the rng stream and of
+    /// state no allocation of the batch can touch, so performing it for
+    /// arrival `t + 1` before arrival `t`'s allocation consumes exactly
+    /// the random values the sequential interleaving would. Mediated
+    /// answers *can* observe earlier allocations, so a prepared arrival
+    /// sharing a consumer or a shard with the batch flushes the batch
+    /// first — the wave only ever carries arrivals whose answers are
+    /// mutually independent. Allocation then runs per query, in arrival
+    /// order, exactly like the sequential path.
+    fn handle_socket_arrivals(&mut self) {
+        let mut batch: Vec<PreparedArrival> = Vec::new();
+        if let Some(first) = self.prepare_arrival() {
+            batch.push(first);
+        }
+        while matches!(
+            self.queue.peek(),
+            Some((time, Event::QueryArrival)) if time == self.now
+        ) {
+            self.queue.pop();
+            let Some(prepared) = self.prepare_arrival() else {
+                continue;
+            };
+            let conflicts = batch.iter().any(|earlier| {
+                earlier.query.consumer == prepared.query.consumer || earlier.shard == prepared.shard
+            });
+            if conflicts {
+                let flushed = std::mem::take(&mut batch);
+                self.mediate_socket_batch(flushed);
+            }
+            batch.push(prepared);
+        }
+        if !batch.is_empty() {
+            self.mediate_socket_batch(batch);
+        }
+    }
+
+    /// The per-arrival work that precedes mediation, shared wording with
+    /// the sequential path (see [`Simulator::handle_arrival`]): reschedule
+    /// the arrival process, draw the consumer and query class, route to a
+    /// shard and resolve the candidate set. Returns `None` when no
+    /// consumer or no provider-bearing shard remains (the arrival is
+    /// counted exactly as the sequential path counts it).
+    fn prepare_arrival(&mut self) -> Option<PreparedArrival> {
+        self.schedule_next_arrival();
+
+        let consumers = self.population.active_consumer_ids();
+        if consumers.is_empty() {
+            return None;
+        }
+        let consumer = consumers[self.rng.random_range(0..consumers.len())];
+        let class = if self.rng.random_bool(0.5) {
+            QueryClass::Light
+        } else {
+            QueryClass::Heavy
+        };
+        let mut query = Query::single(QueryId::new(self.next_query_id), consumer, class, self.now);
+        query.n = self.config.query_n;
+        if self.matchmaker.is_some() {
+            query.description.topic = class_topic(class);
+        }
+        self.next_query_id = self.next_query_id.wrapping_add(1);
+        self.issued += 1;
+
+        let preferred = self.routing.route(
+            consumer,
+            &self.router,
+            ShardLoadView {
+                backlog: &self.shard_backlog,
+                capacity: &self.shard_capacity,
+            },
+        );
+        let Some(shard) = self.first_shard_with_candidates(preferred) else {
+            self.unallocated += 1;
+            return None;
+        };
+        let shard_providers = self.router.providers_of_shard(shard);
+        let candidates = match &self.matchmaker {
+            None => shard_providers.to_vec(),
+            Some(matchmaker) => {
+                let matching = matchmaker.matching(query.class());
+                intersect_sorted(shard_providers, matching, &mut self.scratch.candidates);
+                if self.scratch.candidates.is_empty() {
+                    shard_providers.to_vec()
+                } else {
+                    self.scratch.candidates.clone()
+                }
+            }
+        };
+        Some(PreparedArrival {
+            query,
+            shard,
+            candidates,
+        })
+    }
+
+    /// Mediates one coalesced batch as a single socket wave, then
+    /// allocates each query of the batch in arrival order. The batch
+    /// invariant (distinct consumers, distinct shards — hence disjoint
+    /// candidate sets) is established by [`Simulator::handle_socket_arrivals`].
+    fn mediate_socket_batch(&mut self, batch: Vec<PreparedArrival>) {
+        let now = self.now;
+        let requests: Vec<(Query, Vec<ProviderId>)> = batch
+            .iter()
+            .map(|a| (a.query.clone(), a.candidates.clone()))
+            .collect();
+        // The union of the batch's candidate sets, ascending: the sets
+        // are disjoint (distinct shards), so sorting the concatenation
+        // yields the duplicate-free ordered list `iter_mut_of` wants.
+        let mut all_candidates: Vec<ProviderId> =
+            Vec::with_capacity(batch.iter().map(|a| a.candidates.len()).sum());
+        for arrival in &batch {
+            all_candidates.extend_from_slice(&arrival.candidates);
+        }
+        all_candidates.sort_unstable();
+
+        let MediationDriver::Socket(socket) = &mut self.mediation else {
+            unreachable!("the coalescing path is entered only on the socket backend");
+        };
+        let reputation = &self.reputation;
+        let mut jobs = WaveJobs::new();
+        for arrival in &batch {
+            let consumer_agent = &self.population.consumers[arrival.query.consumer];
+            jobs.consumer(arrival.query.consumer, move |decoded| {
+                decoded
+                    .iter()
+                    .map(|(q, cands)| {
+                        (
+                            q.id,
+                            cands
+                                .iter()
+                                .map(|&p| (p, consumer_agent.intention_for(q, p, reputation)))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            });
+        }
+        // One provider job answers every query of the wave addressed to
+        // it — the wire request already carries the provider's full query
+        // list, so the same batch closure serves waves of any width.
+        for (p, agent) in self.population.providers.iter_mut_of(&all_candidates) {
+            jobs.provider(p, move |decoded, request_bids| {
+                decoded
+                    .iter()
+                    .map(|q| {
+                        let (intention, utilization) = agent.intention_and_utilization(q, now);
+                        ProviderAnswer {
+                            query: q.id,
+                            intention,
+                            utilization,
+                            bid: request_bids.then(|| agent.bid_for(q, now)),
+                        }
+                    })
+                    .collect()
+            });
+        }
+        let gathered = socket.gather(&requests, jobs);
+        for (arrival, infos) in batch.iter().zip(gathered) {
+            self.scratch.infos.clear();
+            self.scratch.infos.extend(infos);
+            self.allocate_and_record(&arrival.query, arrival.shard);
         }
     }
 
@@ -1742,6 +1948,70 @@ mod tests {
         assert_eq!(
             socket.series.utilization_mean.values(),
             inline.series.utilization_mean.values()
+        );
+    }
+
+    #[test]
+    fn same_instant_socket_arrivals_coalesce_into_one_wave() {
+        // Force a burst of arrivals onto one virtual instant (the Poisson
+        // process essentially never produces dt = 0 on its own) and check
+        // the socket backend mediates them in fewer waves than arrivals —
+        // while still issuing and allocating every one of them.
+        let config = small_config(60.0, 23)
+            .with_workload(WorkloadPattern::Fixed(0.5))
+            .with_mediator_shards(2)
+            .with_mediation(crate::MediationMode::Socket);
+        let mut sim = Simulator::new(config, Method::Sqlb).unwrap();
+        for _ in 0..8 {
+            sim.queue
+                .schedule(SimTime::from_secs(0.0), Event::QueryArrival);
+        }
+        let (time, event) = sim.queue.pop().unwrap();
+        assert_eq!(time.as_secs(), 0.0);
+        assert!(matches!(event, Event::QueryArrival));
+        sim.now = time;
+        sim.handle_arrival();
+
+        assert_eq!(sim.issued, 8, "the whole burst is drained in one turn");
+        let MediationDriver::Socket(socket) = &sim.mediation else {
+            unreachable!("the test runs the socket backend");
+        };
+        let waves = socket.last_round().wave;
+        assert!(
+            waves < 8,
+            "8 same-instant arrivals should coalesce into fewer waves, ran {waves}"
+        );
+        assert!(
+            waves >= 4,
+            "2 shards bound the batch width at 2, so at least 4 waves must run, ran {waves}"
+        );
+    }
+
+    #[test]
+    fn coalesced_socket_waves_stay_bit_identical() {
+        // Same forced burst, full runs: coalescing on vs. off must agree
+        // bit for bit — the draws, the mediated answers and the
+        // allocation order all line up with the sequential interleaving.
+        let run = |coalesce: bool| {
+            let config = small_config(120.0, 11)
+                .with_workload(WorkloadPattern::Fixed(0.6))
+                .with_mediator_shards(2)
+                .with_mediation(crate::MediationMode::Socket)
+                .with_socket_wave_coalescing(coalesce);
+            let mut sim = Simulator::new(config, Method::Sqlb).unwrap();
+            for _ in 0..6 {
+                sim.queue
+                    .schedule(SimTime::from_secs(0.5), Event::QueryArrival);
+            }
+            sim.run()
+        };
+        let coalesced = run(true);
+        let sequential = run(false);
+        assert_eq!(coalesced.digest(), sequential.digest());
+        assert_eq!(coalesced.issued_queries, sequential.issued_queries);
+        assert_eq!(
+            coalesced.series.utilization_mean.values(),
+            sequential.series.utilization_mean.values()
         );
     }
 

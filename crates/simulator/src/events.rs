@@ -99,6 +99,14 @@ impl EventQueue {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The earliest scheduled event and its time, without removing it —
+    /// exactly what [`EventQueue::pop`] would return next. Lets the
+    /// engine coalesce same-instant arrivals into one mediation wave
+    /// without disturbing the (time, insertion-sequence) pop order.
+    pub fn peek(&self) -> Option<(SimTime, &Event)> {
+        self.heap.peek().map(|s| (s.time, &s.event))
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -57,6 +57,19 @@ pub fn shard_seed(seed: u64, shard: usize) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Smallest participant-id space (max raw id) for which per-shard state
+/// uses residue-class compaction ([`StridedTable`]-backed, `O(P/K)` per
+/// shard). Below this, every shard keeps identity-mapped dense tables:
+/// `K` full-width tables over a sub-64Ki id space cost at most a few
+/// megabytes, while the compacted mapping costs a subtract, mask, and
+/// shift on every access of the allocation hot path (~5% of K=8
+/// allocation throughput at bench scale). At or above it — the 10⁵/10⁶
+/// scale configurations — the memory blow-up dominates and compaction
+/// wins. Allocations are bit-identical under both layouts.
+///
+/// [`StridedTable`]: sqlb_types::StridedTable
+pub const STRIDED_STATE_MIN_IDS: usize = 1 << 16;
+
 /// One provider re-assignment performed by [`ShardRouter::migrate_provider`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Migration {
@@ -81,18 +94,32 @@ impl ShardRouter {
         providers: impl IntoIterator<Item = ProviderId>,
     ) -> Self {
         let shard_count = shard_count.max(1);
+        let assignment: ParticipantTable<ProviderId, usize> = providers
+            .into_iter()
+            .map(|p| (p, p.slot() % shard_count))
+            .collect();
+        // Residue-class compaction trades O(K × P) mostly-empty dense
+        // slots for a sub+mask+shift on every table access — a clear win
+        // at 10⁵–10⁶ participants, pure per-access overhead when the id
+        // space is small enough that even K full-width tables are a few
+        // hundred kilobytes. Pick the layout from the id space: the
+        // storage is keyed by global id and iterated in ascending global
+        // order either way, so allocations are bit-identical under both.
+        let max_slot = assignment.keys().map(StableId::slot).max().unwrap_or(0);
+        let compact = max_slot >= STRIDED_STATE_MIN_IDS;
         let shards = (0..shard_count)
             .map(|i| {
                 // Shard `i` owns providers (and serves consumers) with
                 // `id ≡ i (mod K)`, so its satisfaction tables are
                 // stride-compacted to that residue class: per-shard state
                 // stays O(P/K) no matter how many shards exist.
+                let (offset, stride) = if compact { (i, shard_count) } else { (0, 1) };
                 let mut mediator = Mediator::with_slot_stride(
                     MediatorId::new(i as u32),
                     method.build(shard_seed(seed, i)),
                     state_config,
-                    i,
-                    shard_count,
+                    offset,
+                    stride,
                 );
                 // The engine never reads the per-allocation ranking
                 // diagnostic; skipping it keeps the hot path free of the
@@ -101,10 +128,6 @@ impl ShardRouter {
                 mediator.set_record_ranking(false);
                 mediator
             })
-            .collect();
-        let assignment: ParticipantTable<ProviderId, usize> = providers
-            .into_iter()
-            .map(|p| (p, p.slot() % shard_count))
             .collect();
         let mut shard_providers = vec![Vec::new(); shard_count];
         for (p, &shard) in assignment.iter() {

@@ -6,19 +6,23 @@
 //!
 //! ```text
 //! wave_server_demo [--hosts N] [--consumers N] [--providers N]
-//!                  [--waves N] [--spawn] [--uds] [--threads]
+//!                  [--waves N] [--spawn] [--uds] [--pipeline]
 //! ```
 //!
 //! With `--spawn` the participant hosts run as separate OS processes
 //! (the sibling `participant_host` binary); otherwise they run as
 //! in-process threads on the library. `--uds` moves host 0 onto a
 //! Unix-domain socket so both transports are exercised in one run.
-//! Exits non-zero on any divergence — usable directly as a CI gate.
+//! `--pipeline` drives the waves overlapped (`begin_wave` /
+//! `collect_wave`, two in flight) instead of strictly one at a time —
+//! every reply value is still verified against its own wave's formulas,
+//! so cross-wave bleed fails loudly. Exits non-zero on any divergence —
+//! usable directly as a CI gate.
 
 use std::process::{Child, Command, ExitCode};
 use std::time::Duration;
 
-use sqlb_core::allocation::Allocation;
+use sqlb_core::allocation::{Allocation, CandidateInfo};
 use sqlb_transport::demo::{
     consumer_intention, host_range, provider_intention, provider_utilization, DemoConsumer,
     DemoProvider,
@@ -33,7 +37,11 @@ struct Args {
     waves: u32,
     spawn: bool,
     uds: bool,
+    pipeline: bool,
 }
+
+/// Waves kept in flight at once under `--pipeline`.
+const PIPELINE_DEPTH: usize = 2;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -43,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         waves: 3,
         spawn: false,
         uds: false,
+        pipeline: false,
     };
     let mut raw = std::env::args().skip(1);
     while let Some(flag) = raw.next() {
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             "--waves" => args.waves = number("--waves")?.max(1),
             "--spawn" => args.spawn = true,
             "--uds" => args.uds = true,
+            "--pipeline" => args.pipeline = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -184,8 +194,8 @@ fn run(args: &Args) -> Result<(), String> {
     // over the consumers — the batch that touches the whole endpoint
     // population once, so every single reply value gets verified.
     let candidates_per_query = 16u32.min(args.providers);
-    for wave in 0..args.waves {
-        let batch: Vec<(Query, Vec<ProviderId>)> =
+    let batches: Vec<Vec<(Query, Vec<ProviderId>)>> = (0..args.waves)
+        .map(|wave| {
             (0..args.providers.div_ceil(candidates_per_query))
                 .map(|i| {
                     let consumer = ConsumerId::new(i % args.consumers);
@@ -200,8 +210,19 @@ fn run(args: &Args) -> Result<(), String> {
                     let candidates = (first..last).map(ProviderId::new).collect();
                     (query, candidates)
                 })
-                .collect();
-        let infos = server.gather(&batch);
+                .collect()
+        })
+        .collect();
+
+    // Verify every reply of a completed wave against the shared demo
+    // formulas, then exercise the notification path for its first query.
+    // The expected values depend on the wave's own query set, so a reply
+    // credited to the wrong wave under `--pipeline` is caught here.
+    let finish_wave = |server: &mut WaveServer,
+                       wave: usize,
+                       infos: &[Vec<CandidateInfo>]|
+     -> Result<(), String> {
+        let batch = &batches[wave];
         let round = server.last_round();
         if round.timed_out != 0 {
             return Err(format!(
@@ -209,7 +230,7 @@ fn run(args: &Args) -> Result<(), String> {
                 round.timed_out, round.delivered
             ));
         }
-        for ((query, candidates), query_infos) in batch.iter().zip(&infos) {
+        for ((query, candidates), query_infos) in batch.iter().zip(infos) {
             for (&p, info) in candidates.iter().zip(query_infos) {
                 let expected_pi = provider_intention(p);
                 let expected_ci = consumer_intention(query.consumer, p);
@@ -225,7 +246,6 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
         }
-        // Exercise the notification path for the first query of the wave.
         if let Some((query, candidates)) = batch.first() {
             let allocation = Allocation {
                 query: query.id,
@@ -235,11 +255,47 @@ fn run(args: &Args) -> Result<(), String> {
             server.notify(query, candidates, &allocation);
         }
         println!(
-            "wave_server_demo: wave {wave} ok — {} endpoint requests in {:.3} ms over {} connections",
+            "wave_server_demo: wave {wave} ok — {} endpoint requests in {:.3} ms over {} connections{}",
             round.delivered,
             round.elapsed.as_secs_f64() * 1e3,
             server.connection_count(),
+            if args.pipeline { " (pipelined)" } else { "" },
         );
+        Ok(())
+    };
+
+    if args.pipeline {
+        // Overlapped drive: keep up to PIPELINE_DEPTH waves in flight;
+        // collect oldest-first so wave w's replies land in wave w's
+        // ledger while wave w+1 is already on the wire.
+        let mut collected = 0usize;
+        for batch in &batches {
+            while server.waves_in_flight() >= PIPELINE_DEPTH {
+                let replies = server
+                    .collect_wave()
+                    .ok_or("collect_wave returned nothing with waves in flight")?;
+                let infos = replies.into_candidate_infos(&batches[collected]);
+                finish_wave(&mut server, collected, &infos)?;
+                collected += 1;
+            }
+            server.begin_wave(batch);
+        }
+        while let Some(replies) = server.collect_wave() {
+            let infos = replies.into_candidate_infos(&batches[collected]);
+            finish_wave(&mut server, collected, &infos)?;
+            collected += 1;
+        }
+        if collected != batches.len() {
+            return Err(format!(
+                "pipelined run collected {collected} of {} waves",
+                batches.len()
+            ));
+        }
+    } else {
+        for (wave, batch) in batches.iter().enumerate() {
+            let infos = server.gather(batch);
+            finish_wave(&mut server, wave, &infos)?;
+        }
     }
 
     server.shutdown();

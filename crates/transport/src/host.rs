@@ -19,14 +19,15 @@
 //! as indifference when the wave deadline passes.
 
 use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::ToSocketAddrs;
 
 #[cfg(unix)]
 use std::path::Path;
 
 use sqlb_mediation::{
-    encode_participant_reply, FrameAssembler, Latency, MediatorMessage, ParticipantReply,
+    encode_participant_reply, encode_participant_reply_into, FrameAssembler, Latency,
+    MediatorMessage, ParticipantReply,
 };
 use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
 use sqlb_types::{ConsumerId, ProviderId, Query};
@@ -61,6 +62,9 @@ pub struct ParticipantHost {
     consumers: BTreeMap<ConsumerId, Box<dyn ConsumerEndpoint>>,
     providers: BTreeMap<ProviderId, Box<dyn ProviderEndpoint>>,
     report: HostReport,
+    /// Reply-encode scratch, reused across waves: a steady-state wave's
+    /// reply burst is framed with no buffer allocation at all.
+    scratch: Vec<u8>,
 }
 
 impl ParticipantHost {
@@ -83,6 +87,7 @@ impl ParticipantHost {
             consumers: BTreeMap::new(),
             providers: BTreeMap::new(),
             report: HostReport::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -119,7 +124,6 @@ impl ParticipantHost {
         // Requests of the wave being assembled, in arrival order.
         let mut consumer_requests: Vec<BufferedConsumerRequest> = Vec::new();
         let mut provider_requests: Vec<BufferedProviderRequest> = Vec::new();
-        let mut chunk = [0u8; 65536];
         loop {
             while let Some(message) = self
                 .assembler
@@ -175,9 +179,9 @@ impl ParticipantHost {
                     | MediatorMessage::ProviderIntentionRequest { .. } => {}
                 }
             }
-            match self.stream.read(&mut chunk) {
+            match self.assembler.fill_from(&mut self.stream) {
                 Ok(0) => return Ok(self.report),
-                Ok(n) => self.assembler.extend(&chunk[..n]),
+                Ok(_) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
@@ -192,7 +196,7 @@ impl ParticipantHost {
         consumer_requests: &mut Vec<BufferedConsumerRequest>,
         provider_requests: &mut Vec<BufferedProviderRequest>,
     ) -> io::Result<()> {
-        let mut out = Vec::new();
+        self.scratch.clear();
         for (requested_wave, consumer, requests) in consumer_requests.drain(..) {
             if requested_wave != wave {
                 continue; // a stale buffered request of an aborted wave
@@ -201,13 +205,14 @@ impl ParticipantHost {
                 // Addressed to an endpoint this host no longer serves:
                 // an explicit empty reply keeps the server from waiting
                 // out the deadline for it.
-                out.extend(encode_participant_reply(
+                encode_participant_reply_into(
                     &ParticipantReply::ConsumerWaveReply {
                         wave,
                         consumer,
                         intentions: Vec::new(),
                     },
-                ));
+                    &mut self.scratch,
+                );
                 self.report.replies_sent += 1;
                 continue;
             };
@@ -216,19 +221,20 @@ impl ParticipantHost {
                 Latency::After(delay) => {
                     // Replies computed so far must not be held hostage by
                     // this endpoint's latency: flush, then sleep.
-                    flush_pending(&mut self.stream, &mut out)?;
+                    flush_pending(&mut self.stream, &mut self.scratch)?;
                     std::thread::sleep(delay);
                 }
                 Latency::Immediate => {}
             }
             let intentions = endpoint.intentions_batch(&requests);
-            out.extend(encode_participant_reply(
+            encode_participant_reply_into(
                 &ParticipantReply::ConsumerWaveReply {
                     wave,
                     consumer,
                     intentions,
                 },
-            ));
+                &mut self.scratch,
+            );
             self.report.replies_sent += 1;
         }
         for (requested_wave, provider, queries, request_bids) in provider_requests.drain(..) {
@@ -236,39 +242,41 @@ impl ParticipantHost {
                 continue;
             }
             let Some(endpoint) = self.providers.get_mut(&provider) else {
-                out.extend(encode_participant_reply(
+                encode_participant_reply_into(
                     &ParticipantReply::ProviderWaveReply {
                         wave,
                         provider,
                         utilization: 0.0,
                         intentions: Vec::new(),
                     },
-                ));
+                    &mut self.scratch,
+                );
                 self.report.replies_sent += 1;
                 continue;
             };
             match endpoint.latency() {
                 Latency::Never => continue,
                 Latency::After(delay) => {
-                    flush_pending(&mut self.stream, &mut out)?;
+                    flush_pending(&mut self.stream, &mut self.scratch)?;
                     std::thread::sleep(delay);
                 }
                 Latency::Immediate => {}
             }
             let utilization = endpoint.utilization();
             let intentions = endpoint.intention_batch(&queries, request_bids);
-            out.extend(encode_participant_reply(
+            encode_participant_reply_into(
                 &ParticipantReply::ProviderWaveReply {
                     wave,
                     provider,
                     utilization,
                     intentions,
                 },
-            ));
+                &mut self.scratch,
+            );
             self.report.replies_sent += 1;
         }
         self.report.waves_served += 1;
-        flush_pending(&mut self.stream, &mut out)
+        flush_pending(&mut self.stream, &mut self.scratch)
     }
 }
 

@@ -33,12 +33,13 @@
 //! its connection shut down and dropped.
 
 use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::time::Duration;
 
 use sqlb_core::allocation::CandidateInfo;
 use sqlb_mediation::{
-    encode_participant_reply, FrameAssembler, MediatorMessage, ParticipantReply, ProviderAnswer,
+    encode_participant_reply, encode_participant_reply_into, FrameAssembler, MediatorMessage,
+    ParticipantReply, ProviderAnswer,
 };
 use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
 
@@ -307,7 +308,6 @@ fn serve_wave_jobs(
     // partial bytes.
     let mut assembler = FrameAssembler::new();
     let mut out = Vec::new();
-    let mut chunk = [0u8; 65536];
     loop {
         while let Some(message) = assembler
             .next_mediator_message()
@@ -323,13 +323,14 @@ fn serve_wave_jobs(
                         .remove(&consumer)
                         .map(|job| job(&requests))
                         .unwrap_or_default();
-                    out.extend(encode_participant_reply(
+                    encode_participant_reply_into(
                         &ParticipantReply::ConsumerWaveReply {
                             wave,
                             consumer,
                             intentions,
                         },
-                    ));
+                        &mut out,
+                    );
                 }
                 MediatorMessage::ProviderWaveRequest {
                     wave,
@@ -341,7 +342,7 @@ fn serve_wave_jobs(
                         .remove(&provider)
                         .map(|job| job(&queries, request_bids))
                         .unwrap_or_default();
-                    out.extend(encode_participant_reply(
+                    encode_participant_reply_into(
                         &ParticipantReply::ProviderWaveReply {
                             wave,
                             provider,
@@ -351,7 +352,8 @@ fn serve_wave_jobs(
                                 .map(|a| (a.query, a.intention, a.bid))
                                 .collect(),
                         },
-                    ));
+                        &mut out,
+                    );
                 }
                 MediatorMessage::WaveEnd { .. } => {
                     stream.write_all(&out)?;
@@ -361,9 +363,9 @@ fn serve_wave_jobs(
                 _ => {}
             }
         }
-        match stream.read(&mut chunk) {
+        match assembler.fill_from(stream) {
             Ok(0) => return Ok(()),
-            Ok(n) => assembler.extend(&chunk[..n]),
+            Ok(_) => {}
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }

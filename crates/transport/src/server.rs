@@ -21,8 +21,8 @@
 //! straggler that missed its deadline) is recognized as stale and
 //! discarded, never mixed into the current wave.
 
-use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
@@ -34,10 +34,11 @@ use std::path::PathBuf;
 use sqlb_core::allocation::{Allocation, CandidateInfo};
 use sqlb_mediation::reactor::{ConsumerBatchAnswer, ProviderBatchAnswer};
 use sqlb_mediation::{
-    encode_mediator_message, FrameAssembler, MediatorMessage, ParticipantReply, ProviderAnswer,
+    decode_participant_reply, encode_mediator_message, encode_mediator_message_into,
+    FrameAssembler, FrameError, FrameReader, MediatorMessage, ParticipantReply, ProviderAnswer,
     WaveReplies,
 };
-use sqlb_types::{ConsumerId, ProviderId, Query};
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
 
 use crate::net::{is_timeout, Stream};
 
@@ -86,6 +87,27 @@ struct HostConnection {
     providers: Vec<ProviderId>,
 }
 
+/// One wave in flight: its reply ledgers and deadline bookkeeping, keyed
+/// by wave id so overlapped waves can never cross-correlate. A reply
+/// frame is routed to the ledger whose id it carries — a straggler of an
+/// already-collected wave matches no ledger and is discarded, exactly
+/// the stale-reply rule of the sequential server.
+struct PendingWave {
+    wave: u64,
+    /// When the wave's requests were written; the collection deadline is
+    /// `started + timeout`, per wave, so overlapping does not stretch
+    /// any wave's deadline.
+    started: Instant,
+    /// Endpoint requests written out.
+    delivered: usize,
+    /// Unanswered requests per connection slot.
+    pending_per_slot: Vec<usize>,
+    consumer_slot: BTreeMap<ConsumerId, usize>,
+    provider_slot: BTreeMap<ProviderId, usize>,
+    consumer_replies: Vec<(ConsumerId, Option<ConsumerBatchAnswer>)>,
+    provider_replies: Vec<(ProviderId, Option<ProviderBatchAnswer>)>,
+}
+
 /// The mediator-side socket server: accepts host connections and drives
 /// mediation waves over them.
 pub struct WaveServer {
@@ -103,6 +125,12 @@ pub struct WaveServer {
     next_wave: u64,
     waves: u64,
     last_round: SocketRoundStats,
+    /// Waves begun but not yet collected, oldest first (see
+    /// [`WaveServer::begin_wave`]).
+    in_flight: VecDeque<PendingWave>,
+    /// Per-connection encode scratch, reused across waves so the send
+    /// path of a steady-state wave allocates nothing.
+    outbox: Vec<Vec<u8>>,
 }
 
 impl WaveServer {
@@ -122,6 +150,8 @@ impl WaveServer {
             next_wave: 1,
             waves: 0,
             last_round: SocketRoundStats::default(),
+            in_flight: VecDeque::new(),
+            outbox: Vec::new(),
         }
     }
 
@@ -236,15 +266,14 @@ impl WaveServer {
                 ));
             }
             connection.stream.set_read_timeout(Some(remaining))?;
-            let mut chunk = [0u8; 4096];
-            match connection.stream.read(&mut chunk) {
+            match connection.assembler.fill_from(&mut connection.stream) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "host closed the connection before its hello",
                     ))
                 }
-                Ok(n) => connection.assembler.extend(&chunk[..n]),
+                Ok(_) => {}
                 Err(e) if is_timeout(&e) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
@@ -318,11 +347,35 @@ impl WaveServer {
     /// endpoints, dead connections, replies past the deadline) are `None`
     /// and degrade to indifference in
     /// [`WaveReplies::into_candidate_infos`].
+    ///
+    /// Equivalent to [`WaveServer::begin_wave`] immediately followed by
+    /// [`WaveServer::collect_wave`] — one wave in flight, the sequential
+    /// Algorithm 1 loop.
     pub fn run_wave(&mut self, requests: &[(Query, Vec<ProviderId>)]) -> WaveReplies {
+        self.begin_wave(requests);
+        self.collect_wave()
+            .expect("the wave begun on the previous line is in flight")
+    }
+
+    /// Number of waves begun but not yet collected.
+    pub fn waves_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Encodes and sends one wave's requests without waiting for any
+    /// reply, registering a reply ledger keyed by the returned wave id —
+    /// the pipelined fan-out half of [`WaveServer::run_wave`]: the caller
+    /// may begin wave `t + 1` while wave `t`'s replies are still being
+    /// computed, then drain results oldest-first with
+    /// [`WaveServer::collect_wave`]. Replies arriving for *any* in-flight
+    /// wave while another is being written or collected are credited to
+    /// their own ledger (never mixed), and each wave's deadline runs from
+    /// its own `begin_wave` call, so overlap changes throughput only —
+    /// never the timeout-to-indifference or stale-reply semantics.
+    pub fn begin_wave(&mut self, requests: &[(Query, Vec<ProviderId>)]) -> u64 {
         let wave = self.next_wave;
         self.next_wave += 1;
         self.waves += 1;
-        let started = Instant::now();
 
         // One request per distinct participant (BTreeMaps keep the fan-out
         // order deterministic).
@@ -341,11 +394,15 @@ impl WaveServer {
             }
         }
 
-        // Frame the wave per connection. Requests to endpoints with no
-        // live home connection are skipped — their answers degrade to
-        // indifference, the same contract the in-process backends apply
-        // to unregistered endpoints.
-        let mut outbox: Vec<Vec<u8>> = vec![Vec::new(); self.connections.len()];
+        // Frame the wave per connection into the reusable per-connection
+        // scratch buffers. Requests to endpoints with no live home
+        // connection are skipped — their answers degrade to indifference,
+        // the same contract the in-process backends apply to unregistered
+        // endpoints.
+        self.outbox.resize_with(self.connections.len(), Vec::new);
+        for bytes in &mut self.outbox {
+            bytes.clear();
+        }
         let mut expected: Vec<usize> = vec![0; self.connections.len()];
         let mut consumer_replies: Vec<(ConsumerId, Option<ConsumerBatchAnswer>)> = Vec::new();
         let mut consumer_slot: BTreeMap<ConsumerId, usize> = BTreeMap::new();
@@ -358,13 +415,14 @@ impl WaveServer {
             if self.connections[home].is_none() {
                 continue;
             }
-            outbox[home].extend(encode_mediator_message(
+            encode_mediator_message_into(
                 &MediatorMessage::ConsumerWaveRequest {
                     wave,
                     consumer,
                     requests: consumer_requests,
                 },
-            ));
+                &mut self.outbox[home],
+            );
             expected[home] += 1;
             consumer_slot.insert(consumer, consumer_replies.len());
             consumer_replies.push((consumer, None));
@@ -376,39 +434,129 @@ impl WaveServer {
             if self.connections[home].is_none() {
                 continue;
             }
-            outbox[home].extend(encode_mediator_message(
+            encode_mediator_message_into(
                 &MediatorMessage::ProviderWaveRequest {
                     wave,
                     provider,
                     queries,
                     request_bids: self.config.request_bids,
                 },
-            ));
+                &mut self.outbox[home],
+            );
             expected[home] += 1;
             provider_slot.insert(provider, provider_replies.len());
             provider_replies.push((provider, None));
         }
 
-        // Write each connection's requests in one burst, bracketed by the
-        // wave-end marker (hosts buffer until they see it, then answer —
-        // which is what keeps both directions draining).
+        // Bracket each involved connection's burst with the wave-end
+        // marker (hosts buffer until they see it, then answer).
         let delivered: usize = expected.iter().sum();
-        for (slot, bytes) in outbox.iter_mut().enumerate() {
-            if expected[slot] == 0 {
-                continue;
-            }
-            bytes.extend(encode_mediator_message(&MediatorMessage::WaveEnd { wave }));
-            let Some(connection) = self.connections[slot].as_mut() else {
-                continue;
-            };
-            if connection.stream.write_all(bytes).is_err() || connection.stream.flush().is_err() {
-                // A dead connection: its endpoints' replies stay missing
-                // and degrade to indifference.
-                self.close_slot(slot);
+        #[allow(clippy::needless_range_loop)]
+        for slot in 0..self.connections.len() {
+            if expected[slot] > 0 {
+                encode_mediator_message_into(
+                    &MediatorMessage::WaveEnd { wave },
+                    &mut self.outbox[slot],
+                );
             }
         }
 
-        // Collect replies per connection until the shared deadline. The
+        self.in_flight.push_back(PendingWave {
+            wave,
+            started: Instant::now(),
+            delivered,
+            pending_per_slot: expected,
+            consumer_slot,
+            provider_slot,
+            consumer_replies,
+            provider_replies,
+        });
+
+        // Write each connection's burst. With waves overlapped, the peer
+        // may itself be blocked writing an earlier wave's replies while
+        // its receive buffer is full of ours — so a stalled write drains
+        // incoming replies (credited to their waves' ledgers) instead of
+        // deadlocking on two full pipes.
+        let WaveServer {
+            config,
+            connections,
+            in_flight,
+            outbox,
+            ..
+        } = self;
+        let write_deadline = Instant::now() + config.timeout.max(Duration::from_millis(100));
+        for slot in 0..connections.len() {
+            if outbox[slot].is_empty() {
+                continue;
+            }
+            let mut written = 0;
+            let mut dead = false;
+            while written < outbox[slot].len() && !dead {
+                let Some(connection) = connections[slot].as_mut() else {
+                    break;
+                };
+                if connection
+                    .stream
+                    .set_write_timeout(Some(Duration::from_millis(20)))
+                    .is_err()
+                {
+                    dead = true;
+                    break;
+                }
+                match connection.stream.write(&outbox[slot][written..]) {
+                    Ok(0) => dead = true,
+                    Ok(n) => written += n,
+                    Err(e) if is_timeout(&e) => {
+                        // The peer may itself be stalled writing replies
+                        // of an earlier wave into our full receive
+                        // buffer; pull those replies out so both pipes
+                        // keep moving, then retry — up to the same
+                        // overall budget a non-pipelined write had.
+                        if drain_slot(connection, in_flight, slot).is_err()
+                            || Instant::now() >= write_deadline
+                        {
+                            dead = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => dead = true,
+                }
+            }
+            if let Some(connection) = connections[slot].as_mut() {
+                // Restore the long per-write budget used by notify /
+                // shutdown writes.
+                dead = dead
+                    || connection
+                        .stream
+                        .set_write_timeout(Some(config.timeout.max(Duration::from_millis(100))))
+                        .is_err()
+                    || connection.stream.flush().is_err();
+            }
+            if dead {
+                // A dead connection: its endpoints' replies stay missing
+                // and degrade to indifference.
+                if let Some(connection) = connections[slot].take() {
+                    connection.stream.shutdown();
+                }
+            }
+        }
+        wave
+    }
+
+    /// Collects the **oldest** in-flight wave: reads replies until every
+    /// request of that wave is answered or its deadline (begun at its
+    /// `begin_wave`) passes, then returns its ledger. Replies for
+    /// *newer* in-flight waves encountered along the way are credited to
+    /// their own ledgers — by the time those waves are collected, part
+    /// (or all) of their replies have usually already arrived. Returns
+    /// `None` when no wave is in flight.
+    pub fn collect_wave(&mut self) -> Option<WaveReplies> {
+        let front = self.in_flight.front()?;
+        let wave = front.wave;
+        let started = front.started;
+        let deadline = started + self.config.timeout;
+
+        // Collect replies per connection until the wave's deadline. The
         // first pass works the connections in slot order, each allowed
         // to block until the deadline — so one stalled host can consume
         // the whole budget. A second, drain-only pass then harvests the
@@ -416,94 +564,100 @@ impl WaveServer {
         // already sitting in this process's socket buffers and must not
         // be miscounted as timeouts just because an earlier slot was
         // slow.
-        let deadline = started + self.config.timeout;
-        let mut pending = expected.clone();
-        let mut chunk = [0u8; 65536];
+        let WaveServer {
+            connections,
+            in_flight,
+            ..
+        } = self;
         for drain_only in [false, true] {
-            // An index loop on purpose: the body needs `pending[slot]`
-            // mutable while `self.connections[slot]` is re-borrowed per
-            // iteration (close_slot takes `&mut self`).
-            #[allow(clippy::needless_range_loop)]
-            for slot in 0..self.connections.len() {
-                if pending[slot] == 0 {
-                    continue;
-                }
+            for (slot, connection_slot) in connections.iter_mut().enumerate() {
                 let mut dead = false;
-                while pending[slot] > 0 && !dead {
-                    let Some(connection) = self.connections[slot].as_mut() else {
+                loop {
+                    if in_flight
+                        .front()
+                        .is_none_or(|front| front.pending_per_slot[slot] == 0)
+                    {
+                        break;
+                    }
+                    let Some(connection) = connection_slot.as_mut() else {
                         break;
                     };
                     // Drain whatever is already assembled before reading.
-                    match connection.assembler.next_participant_reply() {
+                    match connection.assembler.next_frame() {
                         Err(_) => {
                             // Garbage on the stream: frame boundaries
                             // are lost, the connection is unusable.
                             dead = true;
-                            continue;
                         }
-                        Ok(Some(reply)) => {
-                            match apply_reply(
-                                wave,
-                                reply,
-                                &consumer_slot,
-                                &provider_slot,
-                                &mut consumer_replies,
-                                &mut provider_replies,
-                            ) {
-                                Applied::Counted => pending[slot] -= 1,
+                        Ok(Some(frame)) => {
+                            match route_reply_frame(frame, in_flight, slot) {
+                                Err(_) => dead = true,
                                 // The host is leaving mid-wave; whatever
                                 // it has not answered degrades.
-                                Applied::Goodbye => dead = true,
-                                Applied::Ignored => {}
+                                Ok(Applied::Goodbye) => dead = true,
+                                Ok(_) => {}
                             }
-                            continue;
+                            if !dead {
+                                continue;
+                            }
                         }
-                        Ok(None) => {}
-                    }
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    let timeout = if drain_only {
-                        // Harvest only what has (essentially) already
-                        // arrived; don't wait for anything new.
-                        Duration::from_millis(1)
-                    } else if remaining.is_zero() {
-                        break;
-                    } else {
-                        remaining
-                    };
-                    if connection.stream.set_read_timeout(Some(timeout)).is_err() {
-                        dead = true;
-                        continue;
-                    }
-                    match connection.stream.read(&mut chunk) {
-                        Ok(0) => dead = true,
-                        Ok(n) => connection.assembler.extend(&chunk[..n]),
-                        Err(e) if is_timeout(&e) => {
-                            if drain_only {
+                        Ok(None) => {
+                            let remaining = deadline.saturating_duration_since(Instant::now());
+                            let timeout = if drain_only {
+                                // Harvest only what has (essentially)
+                                // already arrived; don't wait for
+                                // anything new.
+                                Duration::from_millis(1)
+                            } else if remaining.is_zero() {
                                 break;
+                            } else {
+                                remaining
+                            };
+                            if connection.stream.set_read_timeout(Some(timeout)).is_err() {
+                                dead = true;
+                            } else {
+                                match connection.assembler.fill_from(&mut connection.stream) {
+                                    Ok(0) => dead = true,
+                                    Ok(_) => {}
+                                    Err(e) if is_timeout(&e) => {
+                                        if drain_only {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                    Err(_) => dead = true,
+                                }
                             }
                         }
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        Err(_) => dead = true,
+                    }
+                    if dead {
+                        break;
                     }
                 }
                 if dead {
-                    self.close_slot(slot);
+                    if let Some(connection) = connection_slot.take() {
+                        connection.stream.shutdown();
+                    }
                 }
             }
         }
-        let answered = delivered - pending.iter().sum::<usize>();
 
+        let finished = self
+            .in_flight
+            .pop_front()
+            .expect("the front wave existed at entry and nothing pops between");
+        let answered = finished.delivered - finished.pending_per_slot.iter().sum::<usize>();
         self.last_round = SocketRoundStats {
             wave,
-            delivered,
+            delivered: finished.delivered,
             answered,
-            timed_out: delivered - answered,
+            timed_out: finished.delivered - answered,
             elapsed: started.elapsed(),
         };
-        WaveReplies {
-            consumers: consumer_replies,
-            providers: provider_replies,
-        }
+        Some(WaveReplies {
+            consumers: finished.consumer_replies,
+            providers: finished.provider_replies,
+        })
     }
 
     /// Gathers the candidate information for a batch of queries in one
@@ -521,33 +675,38 @@ impl WaveServer {
     /// of its allocation (Algorithm 1, lines 9–10), as framed one-way
     /// messages over the owning connections.
     pub fn notify(&mut self, query: &Query, candidates: &[ProviderId], allocation: &Allocation) {
-        let mut outbox: Vec<Vec<u8>> = vec![Vec::new(); self.connections.len()];
+        self.outbox.resize_with(self.connections.len(), Vec::new);
+        for bytes in &mut self.outbox {
+            bytes.clear();
+        }
         for &provider in candidates {
             if let Some(&home) = self.provider_home.get(&provider) {
-                outbox[home].extend(encode_mediator_message(
+                encode_mediator_message_into(
                     &MediatorMessage::AllocationNotice {
                         query: query.id,
                         provider,
                         selected: allocation.is_selected(provider),
                     },
-                ));
+                    &mut self.outbox[home],
+                );
             }
         }
         if let Some(&home) = self.consumer_home.get(&query.consumer) {
-            outbox[home].extend(encode_mediator_message(
+            encode_mediator_message_into(
                 &MediatorMessage::AllocationResult {
                     query: query.id,
                     consumer: query.consumer,
                     providers: allocation.selected.clone(),
                 },
-            ));
+                &mut self.outbox[home],
+            );
         }
-        for (slot, bytes) in outbox.iter().enumerate() {
-            if bytes.is_empty() {
+        for slot in 0..self.connections.len() {
+            if self.outbox[slot].is_empty() {
                 continue;
             }
             if let Some(connection) = self.connections[slot].as_mut() {
-                if connection.stream.write_all(bytes).is_err() {
+                if connection.stream.write_all(&self.outbox[slot]).is_err() {
                     self.close_slot(slot);
                 }
             }
@@ -640,9 +799,10 @@ fn frame_error(error: sqlb_mediation::FrameError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, error)
 }
 
-/// What a popped reply meant to the wave being collected.
+/// What a popped reply meant to the in-flight waves.
 enum Applied {
-    /// A fresh answer of this wave: one fewer pending request.
+    /// A fresh answer of an in-flight wave: one fewer pending request on
+    /// its ledger.
     Counted,
     /// The host announced it is leaving.
     Goodbye,
@@ -651,55 +811,146 @@ enum Applied {
     Ignored,
 }
 
-/// Applies one participant reply to the wave's reply slots (wave-id
-/// correlated: anything not addressed to `wave` is ignored).
-fn apply_reply(
-    wave: u64,
-    reply: ParticipantReply,
-    consumer_slot: &BTreeMap<ConsumerId, usize>,
-    provider_slot: &BTreeMap<ProviderId, usize>,
-    consumer_replies: &mut [(ConsumerId, Option<ConsumerBatchAnswer>)],
-    provider_replies: &mut [(ProviderId, Option<ProviderBatchAnswer>)],
-) -> Applied {
-    match reply {
-        ParticipantReply::ConsumerWaveReply {
-            wave: replied,
-            consumer,
-            intentions,
-        } if replied == wave => {
-            if let Some(&i) = consumer_slot.get(&consumer) {
-                if consumer_replies[i].1.is_none() {
-                    consumer_replies[i].1 = Some(intentions);
-                    return Applied::Counted;
+/// Routes one reply frame read from connection `slot` to the in-flight
+/// wave it answers, decoding scalars in place from the borrowed frame
+/// bytes — the steady-state receive path allocates only the reply
+/// vectors that are actually kept. A reply whose wave id matches no
+/// in-flight ledger — a straggler of a wave already collected — is still
+/// fully parsed (frame validation is unconditional) and then discarded,
+/// exactly the sequential server's stale-reply rule; a duplicate of an
+/// already-filled slot likewise validates and drops.
+fn route_reply_frame(
+    frame: &[u8],
+    waves: &mut VecDeque<PendingWave>,
+    slot: usize,
+) -> Result<Applied, FrameError> {
+    let mut r = FrameReader::open(frame)?;
+    match r.u8()? {
+        // ConsumerWaveReply
+        3 => {
+            let wave = r.u64()?;
+            let consumer = ConsumerId::new(r.u32()?);
+            let n = r.count()?;
+            let target = waves.iter_mut().find(|w| w.wave == wave).and_then(|w| {
+                let &i = w.consumer_slot.get(&consumer)?;
+                w.consumer_replies[i].1.is_none().then_some((w, i))
+            });
+            match target {
+                Some((w, i)) => {
+                    let mut intentions: ConsumerBatchAnswer = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let query = QueryId::new(r.u32()?);
+                        let m = r.count()?;
+                        let mut per_provider = Vec::with_capacity(m);
+                        for _ in 0..m {
+                            per_provider.push((ProviderId::new(r.u32()?), r.f64()?));
+                        }
+                        intentions.push((query, per_provider));
+                    }
+                    r.close()?;
+                    w.consumer_replies[i].1 = Some(intentions);
+                    w.pending_per_slot[slot] = w.pending_per_slot[slot].saturating_sub(1);
+                    Ok(Applied::Counted)
+                }
+                None => {
+                    for _ in 0..n {
+                        r.u32()?;
+                        let m = r.count()?;
+                        for _ in 0..m {
+                            r.u32()?;
+                            r.f64()?;
+                        }
+                    }
+                    r.close()?;
+                    Ok(Applied::Ignored)
                 }
             }
-            Applied::Ignored
         }
-        ParticipantReply::ProviderWaveReply {
-            wave: replied,
-            provider,
-            utilization,
-            intentions,
-        } if replied == wave => {
-            if let Some(&i) = provider_slot.get(&provider) {
-                if provider_replies[i].1.is_none() {
-                    provider_replies[i].1 = Some(
-                        intentions
-                            .into_iter()
-                            .map(|(query, intention, bid)| ProviderAnswer {
-                                query,
-                                intention,
-                                utilization,
-                                bid,
-                            })
-                            .collect(),
-                    );
-                    return Applied::Counted;
+        // ProviderWaveReply
+        4 => {
+            let wave = r.u64()?;
+            let provider = ProviderId::new(r.u32()?);
+            let utilization = r.f64()?;
+            let n = r.count()?;
+            let target = waves.iter_mut().find(|w| w.wave == wave).and_then(|w| {
+                let &i = w.provider_slot.get(&provider)?;
+                w.provider_replies[i].1.is_none().then_some((w, i))
+            });
+            match target {
+                Some((w, i)) => {
+                    let mut answers: ProviderBatchAnswer = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        answers.push(ProviderAnswer {
+                            query: QueryId::new(r.u32()?),
+                            intention: r.f64()?,
+                            utilization,
+                            bid: r.bid()?,
+                        });
+                    }
+                    r.close()?;
+                    w.provider_replies[i].1 = Some(answers);
+                    w.pending_per_slot[slot] = w.pending_per_slot[slot].saturating_sub(1);
+                    Ok(Applied::Counted)
+                }
+                None => {
+                    for _ in 0..n {
+                        r.u32()?;
+                        r.f64()?;
+                        r.bid()?;
+                    }
+                    r.close()?;
+                    Ok(Applied::Ignored)
                 }
             }
-            Applied::Ignored
         }
-        ParticipantReply::Goodbye => Applied::Goodbye,
-        _ => Applied::Ignored,
+        // Goodbye
+        6 => {
+            r.close()?;
+            Ok(Applied::Goodbye)
+        }
+        // Legacy single-query replies and hellos: validate the frame via
+        // the owned decoder, then drop the value.
+        _ => {
+            decode_participant_reply(frame)?;
+            Ok(Applied::Ignored)
+        }
+    }
+}
+
+/// Drains replies already available on one connection while a wave
+/// write is stalled: pops every assembled frame (crediting whichever
+/// in-flight ledger each belongs to) and performs one short read so the
+/// peer's send buffer keeps moving. `Err` means the connection is no
+/// longer usable.
+fn drain_slot(
+    connection: &mut HostConnection,
+    waves: &mut VecDeque<PendingWave>,
+    slot: usize,
+) -> io::Result<()> {
+    loop {
+        match connection.assembler.next_frame() {
+            Err(error) => return Err(frame_error(error)),
+            Ok(None) => break,
+            Ok(Some(frame)) => match route_reply_frame(frame, waves, slot) {
+                Err(error) => return Err(frame_error(error)),
+                Ok(Applied::Goodbye) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "host said goodbye mid-wave",
+                    ))
+                }
+                Ok(_) => {}
+            },
+        }
+    }
+    connection
+        .stream
+        .set_read_timeout(Some(Duration::from_millis(1)))?;
+    match connection.assembler.fill_from(&mut connection.stream) {
+        Ok(0) => Err(io::ErrorKind::UnexpectedEof.into()),
+        Ok(_) => Ok(()),
+        Err(e) if is_timeout(&e) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+        Err(e) => Err(e),
     }
 }

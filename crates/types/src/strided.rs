@@ -42,6 +42,17 @@ struct MergeBySlot<A: Iterator, B: Iterator> {
     b: Peekable<B>,
 }
 
+/// `log2(stride)` for power-of-two strides, zero otherwise. Zero doubles
+/// as the "use hardware division" sentinel: stride 1 short-circuits
+/// before the shift is consulted, and no other power of two maps to it.
+fn pow2_shift(stride: usize) -> u32 {
+    if stride.is_power_of_two() {
+        stride.trailing_zeros()
+    } else {
+        0
+    }
+}
+
 impl<T, A, B> Iterator for MergeBySlot<A, B>
 where
     A: Iterator<Item = (usize, T)>,
@@ -76,6 +87,13 @@ where
 pub struct StridedTable<K: StableId, V> {
     offset: usize,
     stride: usize,
+    /// `log2(stride)` when the stride is a power of two, so the per-access
+    /// residue test and local-index computation strength-reduce to mask
+    /// and shift (hardware division by a runtime stride costs tens of
+    /// cycles and sits on the allocation hot path — one `local` per
+    /// candidate per query). Zero means "not a power of two"; stride 1
+    /// never consults it (the identity short-circuit fires first).
+    shift: u32,
     /// Dense storage of the residue class: local index `i` holds the
     /// participant with raw id `offset + i · stride`.
     slots: Vec<Option<V>>,
@@ -110,6 +128,7 @@ impl<K: StableId, V> StridedTable<K, V> {
         StridedTable {
             offset,
             stride,
+            shift: pow2_shift(stride),
             slots: Vec::new(),
             overflow: Vec::new(),
             len: 0,
@@ -147,9 +166,17 @@ impl<K: StableId, V> StridedTable<K, V> {
         if self.stride == 1 {
             return Some(slot);
         }
-        match slot.checked_sub(self.offset) {
-            Some(d) if d % self.stride == 0 => Some(d / self.stride),
-            _ => None,
+        let d = slot.checked_sub(self.offset)?;
+        if self.shift != 0 {
+            if d & (self.stride - 1) == 0 {
+                Some(d >> self.shift)
+            } else {
+                None
+            }
+        } else if d % self.stride == 0 {
+            Some(d / self.stride)
+        } else {
+            None
         }
     }
 
@@ -305,6 +332,9 @@ impl<K: StableId, V> Default for StridedTable<K, V> {
 pub struct StridedColumn<K: StableId, T> {
     offset: usize,
     stride: usize,
+    /// See [`StridedTable::shift`]: mask-and-shift strength reduction for
+    /// power-of-two strides, zero when the stride needs real division.
+    shift: u32,
     values: Vec<T>,
     overflow: Vec<(usize, T)>,
     fill: T,
@@ -333,6 +363,7 @@ impl<K: StableId, T: Copy> StridedColumn<K, T> {
         StridedColumn {
             offset,
             stride,
+            shift: pow2_shift(stride),
             values: Vec::new(),
             overflow: Vec::new(),
             fill,
@@ -360,9 +391,17 @@ impl<K: StableId, T: Copy> StridedColumn<K, T> {
         if self.stride == 1 {
             return Some(slot);
         }
-        match slot.checked_sub(self.offset) {
-            Some(d) if d % self.stride == 0 => Some(d / self.stride),
-            _ => None,
+        let d = slot.checked_sub(self.offset)?;
+        if self.shift != 0 {
+            if d & (self.stride - 1) == 0 {
+                Some(d >> self.shift)
+            } else {
+                None
+            }
+        } else if d % self.stride == 0 {
+            Some(d / self.stride)
+        } else {
+            None
         }
     }
 

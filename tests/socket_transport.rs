@@ -48,6 +48,44 @@ fn socket_and_reactor_backends_make_identical_allocation_decisions() {
     }
 }
 
+#[test]
+fn a_coalesced_socket_run_matches_the_inline_engine_bit_for_bit() {
+    // The PR-7 hot path: same-instant arrivals coalesced into one
+    // multi-query socket wave (`socket_wave_coalescing`, on by default).
+    // Whether waves carry one query or many must be invisible in the
+    // digest — the coalesced socket run, the wave-at-a-time socket run,
+    // and the inline engine must agree bit for bit.
+    for (seed, method) in [(7u64, Method::Sqlb), (29, Method::CapacityBased)] {
+        let config = SimulationConfig::scaled(16, 32, 150.0, seed)
+            .with_workload(WorkloadPattern::Fixed(0.6));
+        let inline = run_simulation(config, method).unwrap();
+        let coalesced = run_simulation(
+            config
+                .with_mediation(MediationMode::Socket)
+                .with_socket_wave_coalescing(true),
+            method,
+        )
+        .unwrap();
+        let one_at_a_time = run_simulation(
+            config
+                .with_mediation(MediationMode::Socket)
+                .with_socket_wave_coalescing(false),
+            method,
+        )
+        .unwrap();
+        assert_eq!(
+            coalesced.digest(),
+            inline.digest(),
+            "seed {seed}, {method:?}: coalesced socket waves changed the outcome"
+        );
+        assert_eq!(
+            one_at_a_time.digest(),
+            inline.digest(),
+            "seed {seed}, {method:?}: wave-at-a-time socket run diverged from inline"
+        );
+    }
+}
+
 struct Flat(f64);
 
 impl ConsumerEndpoint for Flat {
