@@ -1,0 +1,386 @@
+//! The systematic explorer: clone-based depth-first enumeration of
+//! every nondeterministic choice a [`Model`] exposes.
+//!
+//! The shape follows the classic stateless-model-checking loop: a state
+//! is an opaque cloneable value, nondeterminism is an indexed menu of
+//! enabled actions, and a *schedule* — the sequence of action indices
+//! picked at each step — identifies one execution completely. DFS over
+//! the choice tree therefore enumerates every interleaving, and any
+//! failing trace is reported as a [`Schedule`] string that
+//! [`replay`] re-executes deterministically, step-described, for
+//! debugging and for regression tests.
+//!
+//! The explorer itself knows nothing about waves or frames; the wave
+//! protocol world lives in [`crate::model`]. Exploration is bounded by
+//! a [`Budget`] so CI can run a fixed slice of the space; a run that
+//! hits the budget is reported as [`Report::truncated`] rather than
+//! silently passed off as exhaustive.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+use std::str::FromStr;
+
+/// A safety property observed to fail on one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short name of the invariant that failed.
+    pub invariant: &'static str,
+    /// What exactly was observed.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+/// The sequence of action indices that reproduces one execution.
+///
+/// Displays as a dot-separated index string (`"0.2.1.4"`) and parses
+/// back from it, so a failing trace can be pasted into
+/// `sqlb_check --replay`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule(pub Vec<usize>);
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, action) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{action}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.trim().is_empty() {
+            return Ok(Schedule(Vec::new()));
+        }
+        s.trim()
+            .split('.')
+            .map(|part| {
+                part.parse::<usize>()
+                    .map_err(|_| format!("bad schedule element {part:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Schedule)
+    }
+}
+
+/// A checkable protocol world: cloneable state plus an indexed menu of
+/// enabled nondeterministic actions.
+///
+/// The action menu must be a deterministic function of the state:
+/// `enabled`, `describe` and `step` all index the *same* menu, and the
+/// explorer relies on a cloned state reproducing it exactly — that is
+/// what makes a [`Schedule`] replayable.
+pub trait Model: Clone {
+    /// Number of actions enabled in this state; `0` ends the trace.
+    fn enabled(&self) -> usize;
+
+    /// Human-readable label of enabled action `action` (used in replay
+    /// transcripts and the explorer's coverage accounting).
+    fn describe(&self, action: usize) -> String;
+
+    /// Applies enabled action `action`, checking step invariants.
+    fn step(&mut self, action: usize) -> Result<(), Violation>;
+
+    /// Outstanding protocol obligations. A state with no enabled action
+    /// but non-zero obligations is a **deadlock** and fails the trace —
+    /// this is how the write-timeout/drain liveness argument becomes a
+    /// checked property.
+    fn obligations(&self) -> usize;
+
+    /// Final-state invariants, checked on every completed trace.
+    fn finish(&self) -> Result<(), Violation>;
+
+    /// 64-bit digest of the state, for distinct-state counting.
+    fn state_hash(&self) -> u64;
+}
+
+/// Bounds one exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Stop after this many completed executions.
+    pub max_executions: usize,
+    /// Stop after this many transitions (guards against pathologically
+    /// deep traces before the execution bound is reached).
+    pub max_transitions: usize,
+}
+
+impl Budget {
+    /// An effectively unbounded budget (full exploration).
+    pub const UNBOUNDED: Budget = Budget {
+        max_executions: usize::MAX,
+        max_transitions: usize::MAX,
+    };
+
+    /// A budget capped at `executions` completed traces.
+    pub fn executions(executions: usize) -> Budget {
+        Budget {
+            max_executions: executions,
+            max_transitions: usize::MAX,
+        }
+    }
+}
+
+/// A failing trace: the violation plus the schedule that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The invariant that failed.
+    pub violation: Violation,
+    /// The replayable choice sequence leading to the failure.
+    pub schedule: Schedule,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [replay: {}]", self.violation, self.schedule)
+    }
+}
+
+/// What one exploration covered.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Completed executions (maximal traces).
+    pub executions: usize,
+    /// Transitions taken across all traces.
+    pub transitions: usize,
+    /// Distinct state hashes visited.
+    pub distinct_states: usize,
+    /// Depth of the deepest completed trace.
+    pub max_depth: usize,
+    /// Whether the budget cut the exploration short.
+    pub truncated: bool,
+    /// Times each action label was taken, across the whole exploration.
+    /// Labels carry enough state context (e.g. bytes already delivered
+    /// at a crash) that distinct labels are distinct *points* in the
+    /// protocol, which is how crash-point coverage is counted.
+    pub coverage: BTreeMap<String, usize>,
+    /// The first failing trace, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Number of distinct action labels matching `prefix` that were
+    /// exercised at least once.
+    pub fn distinct_actions_with_prefix(&self, prefix: &str) -> usize {
+        self.coverage
+            .keys()
+            .filter(|label| label.starts_with(prefix))
+            .count()
+    }
+}
+
+/// Depth-first enumeration of every schedule of `initial`, bounded by
+/// `budget`. Stops at the first invariant violation (including
+/// deadlock: no enabled action while obligations remain) and reports
+/// its replayable schedule.
+pub fn explore<M: Model>(initial: &M, budget: &Budget) -> Report {
+    let mut report = Report::default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(initial.state_hash());
+    // Each frame is (state, next action index to try).
+    let mut stack: Vec<(M, usize)> = vec![(initial.clone(), 0)];
+    // path[i] is the action taken to reach stack[i + 1].
+    let mut path: Vec<usize> = Vec::new();
+
+    while let Some(frame) = stack.last_mut() {
+        let n = frame.0.enabled();
+        if n == 0 {
+            // A maximal trace.
+            report.executions += 1;
+            report.max_depth = report.max_depth.max(path.len());
+            let fail = if frame.0.obligations() > 0 {
+                Some(Violation {
+                    invariant: "no-deadlock",
+                    detail: format!(
+                        "no action enabled with {} obligations outstanding",
+                        frame.0.obligations()
+                    ),
+                })
+            } else {
+                frame.0.finish().err()
+            };
+            if let Some(violation) = fail {
+                report.failure = Some(Failure {
+                    violation,
+                    schedule: Schedule(path.clone()),
+                });
+                break;
+            }
+            if report.executions >= budget.max_executions {
+                report.truncated = true;
+                break;
+            }
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        if frame.1 >= n {
+            // All choices under this state explored.
+            stack.pop();
+            path.pop();
+            continue;
+        }
+        let action = frame.1;
+        frame.1 += 1;
+        let label = frame.0.describe(action);
+        let mut child = frame.0.clone();
+        path.push(action);
+        report.transitions += 1;
+        *report.coverage.entry(label).or_insert(0) += 1;
+        if let Err(violation) = child.step(action) {
+            report.failure = Some(Failure {
+                violation,
+                schedule: Schedule(path.clone()),
+            });
+            break;
+        }
+        if report.transitions >= budget.max_transitions {
+            report.truncated = true;
+            break;
+        }
+        seen.insert(child.state_hash());
+        stack.push((child, 0));
+    }
+
+    report.distinct_states = seen.len();
+    report
+}
+
+/// Re-executes one schedule against a fresh copy of `initial`,
+/// returning the step-by-step transcript and the trace's verdict. A
+/// schedule element out of range for its state (a schedule from a
+/// different scenario or a stale build) is itself reported as an error
+/// rather than a panic.
+pub fn replay<M: Model>(initial: &M, schedule: &Schedule) -> (Vec<String>, Result<(), Violation>) {
+    let mut state = initial.clone();
+    let mut transcript = Vec::with_capacity(schedule.0.len());
+    for (i, &action) in schedule.0.iter().enumerate() {
+        let n = state.enabled();
+        if action >= n {
+            return (
+                transcript,
+                Err(Violation {
+                    invariant: "replay",
+                    detail: format!("step {i}: action index {action} out of range ({n} enabled)"),
+                }),
+            );
+        }
+        transcript.push(format!("{i:4}  {}", state.describe(action)));
+        if let Err(violation) = state.step(action) {
+            return (transcript, Err(violation));
+        }
+    }
+    if state.enabled() == 0 {
+        if state.obligations() > 0 {
+            return (
+                transcript,
+                Err(Violation {
+                    invariant: "no-deadlock",
+                    detail: format!(
+                        "{} obligations outstanding at end of trace",
+                        state.obligations()
+                    ),
+                }),
+            );
+        }
+        if let Err(violation) = state.finish() {
+            return (transcript, Err(violation));
+        }
+    }
+    (transcript, Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: `k` tokens, each consumed by one action; finishing
+    /// with a token left (never happens) would deadlock. The choice
+    /// tree is the set of permutations of the tokens.
+    #[derive(Clone)]
+    struct Tokens {
+        left: Vec<u8>,
+    }
+
+    impl Model for Tokens {
+        fn enabled(&self) -> usize {
+            self.left.len()
+        }
+        fn describe(&self, action: usize) -> String {
+            format!("take({})", self.left[action])
+        }
+        fn step(&mut self, action: usize) -> Result<(), Violation> {
+            self.left.remove(action);
+            Ok(())
+        }
+        fn obligations(&self) -> usize {
+            self.left.len()
+        }
+        fn finish(&self) -> Result<(), Violation> {
+            Ok(())
+        }
+        fn state_hash(&self) -> u64 {
+            self.left
+                .iter()
+                .fold(0x9e37u64, |h, &t| h.wrapping_mul(31).wrapping_add(t as u64))
+        }
+    }
+
+    #[test]
+    fn explores_all_permutations() {
+        let report = explore(
+            &Tokens {
+                left: vec![1, 2, 3, 4],
+            },
+            &Budget::UNBOUNDED,
+        );
+        assert_eq!(report.executions, 24, "4! maximal traces");
+        assert!(!report.truncated);
+        assert!(report.failure.is_none());
+        assert_eq!(report.max_depth, 4);
+        // 4 distinct take() labels, each seen in many traces.
+        assert_eq!(report.distinct_actions_with_prefix("take("), 4);
+    }
+
+    #[test]
+    fn budget_truncates_and_is_reported() {
+        let report = explore(
+            &Tokens {
+                left: vec![1, 2, 3, 4, 5, 6],
+            },
+            &Budget::executions(10),
+        );
+        assert_eq!(report.executions, 10);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn schedules_round_trip_and_replay() {
+        let schedule: Schedule = "2.0.1.0".parse().unwrap();
+        assert_eq!(schedule.to_string(), "2.0.1.0");
+        let initial = Tokens {
+            left: vec![7, 8, 9, 10],
+        };
+        let (transcript, verdict) = replay(&initial, &schedule);
+        assert!(verdict.is_ok());
+        assert_eq!(transcript.len(), 4);
+        assert!(transcript[0].contains("take(9)"));
+        // Out-of-range schedules error instead of panicking.
+        let bad: Schedule = "9".parse().unwrap();
+        let (_, verdict) = replay(&initial, &bad);
+        assert!(verdict.is_err());
+    }
+}

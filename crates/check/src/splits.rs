@@ -1,0 +1,202 @@
+//! The exhaustive two-chunk split sweep.
+//!
+//! The DFS scenarios explore split nondeterminism at a few
+//! representative chunk sizes; this module covers the orthogonal axis
+//! *completely*: for every frame shape the wave path produces, and for
+//! **every** possible two-chunk split of its encoding, a fresh
+//! [`FrameAssembler`] must reassemble exactly the message that was
+//! encoded — no error, no spurious frame, no partial-frame leak. The
+//! sweep also re-splits a concatenated multi-frame burst at every byte
+//! boundary, which is the shape a real TCP read actually delivers.
+
+use sqlb_mediation::{
+    decode_participant_reply, encode_mediator_message, encode_participant_reply, FrameAssembler,
+    MediatorMessage, ParticipantReply,
+};
+use sqlb_types::{ConsumerId, ProviderId, Query, QueryClass, QueryId, SimTime};
+
+/// What the sweep covered.
+#[derive(Debug, Clone, Default)]
+pub struct SplitReport {
+    /// Distinct frames swept.
+    pub frames: usize,
+    /// Two-chunk split points exercised (every interior byte boundary
+    /// of every frame, plus every boundary of the mixed burst).
+    pub splits: usize,
+    /// First inconsistency observed, if any.
+    pub failure: Option<String>,
+}
+
+impl SplitReport {
+    /// Whether every split reassembled consistently.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+fn sample_query(id: u32) -> Query {
+    Query::single(
+        QueryId::new(id),
+        ConsumerId::new(3),
+        QueryClass::Heavy,
+        SimTime::from_secs(1.5),
+    )
+}
+
+/// Every mediator-message shape the wave path sends.
+fn mediator_samples() -> Vec<MediatorMessage> {
+    vec![
+        MediatorMessage::ConsumerWaveRequest {
+            wave: 9,
+            consumer: ConsumerId::new(3),
+            requests: vec![(
+                sample_query(41),
+                vec![ProviderId::new(1), ProviderId::new(2)],
+            )],
+        },
+        MediatorMessage::ProviderWaveRequest {
+            wave: 9,
+            provider: ProviderId::new(2),
+            queries: vec![sample_query(41), sample_query(42)],
+            request_bids: true,
+        },
+        MediatorMessage::WaveEnd { wave: 9 },
+        MediatorMessage::AllocationNotice {
+            query: QueryId::new(41),
+            provider: ProviderId::new(2),
+            selected: true,
+        },
+        MediatorMessage::Shutdown,
+    ]
+}
+
+/// Every participant-reply shape the wave path sends.
+fn reply_samples() -> Vec<ParticipantReply> {
+    vec![
+        ParticipantReply::ConsumerWaveReply {
+            wave: 9,
+            consumer: ConsumerId::new(3),
+            intentions: vec![(
+                QueryId::new(41),
+                vec![(ProviderId::new(1), 0.25), (ProviderId::new(2), 0.75)],
+            )],
+        },
+        ParticipantReply::ProviderWaveReply {
+            wave: 9,
+            provider: ProviderId::new(2),
+            utilization: 0.5,
+            intentions: vec![(QueryId::new(41), 0.9, None)],
+        },
+        ParticipantReply::Hello {
+            consumers: vec![ConsumerId::new(3)],
+            providers: vec![ProviderId::new(1), ProviderId::new(2)],
+        },
+        ParticipantReply::Goodbye,
+    ]
+}
+
+/// Feeds `bytes` as two chunks split at `at` and pops every complete
+/// frame as owned byte vectors (the assembler's zero-copy slices are
+/// copied out so the next feed can proceed).
+fn reassemble_split(bytes: &[u8], at: usize) -> Result<Vec<Vec<u8>>, String> {
+    let mut assembler = FrameAssembler::new();
+    let mut frames = Vec::new();
+    for chunk in [&bytes[..at], &bytes[at..]] {
+        assembler.extend(chunk);
+        loop {
+            match assembler.next_frame() {
+                Err(e) => return Err(format!("split at {at}: {e}")),
+                Ok(None) => break,
+                Ok(Some(frame)) => frames.push(frame.to_vec()),
+            }
+        }
+    }
+    if assembler.pending_bytes() != 0 {
+        return Err(format!(
+            "split at {at}: {} bytes left unconsumed",
+            assembler.pending_bytes()
+        ));
+    }
+    Ok(frames)
+}
+
+/// Sweeps every two-chunk split of `bytes` (one encoded burst) and
+/// checks the reassembled frame sequence equals `whole`. Returns the
+/// number of split points on success.
+fn sweep_burst(bytes: &[u8], whole: &[Vec<u8>]) -> Result<usize, String> {
+    for at in 0..=bytes.len() {
+        let frames = reassemble_split(bytes, at)?;
+        if frames != whole {
+            return Err(format!(
+                "split at {at}: reassembled {} frames, expected {}",
+                frames.len(),
+                whole.len()
+            ));
+        }
+    }
+    Ok(bytes.len() + 1)
+}
+
+/// Runs the full sweep: every frame shape alone, then the concatenated
+/// mixed burst, each at every two-chunk split point. Frames are also
+/// decode-checked against their original message.
+pub fn sweep_two_chunk_splits() -> SplitReport {
+    let mut report = SplitReport::default();
+    let mut burst = Vec::new();
+    let mut burst_frames = Vec::new();
+
+    let mut encoded: Vec<Vec<u8>> = Vec::new();
+    for message in mediator_samples() {
+        encoded.push(encode_mediator_message(&message));
+    }
+    for reply in reply_samples() {
+        let bytes = encode_participant_reply(&reply);
+        // The reply must survive its own round-trip before splitting.
+        match decode_participant_reply(&bytes) {
+            Ok((decoded, _)) if decoded == reply => {}
+            Ok(_) => {
+                report.failure = Some(format!("reply {reply:?} decoded to a different value"));
+                return report;
+            }
+            Err(e) => {
+                report.failure = Some(format!("reply {reply:?} failed to decode: {e}"));
+                return report;
+            }
+        }
+        encoded.push(bytes);
+    }
+
+    for bytes in &encoded {
+        report.frames += 1;
+        match sweep_burst(bytes, std::slice::from_ref(bytes)) {
+            Ok(splits) => report.splits += splits,
+            Err(failure) => {
+                report.failure = Some(failure);
+                return report;
+            }
+        }
+        burst.extend_from_slice(bytes);
+        burst_frames.push(bytes.clone());
+    }
+
+    match sweep_burst(&burst, &burst_frames) {
+        Ok(splits) => report.splits += splits,
+        Err(failure) => report.failure = Some(failure),
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_two_chunk_split_reassembles() {
+        let report = sweep_two_chunk_splits();
+        assert!(report.ok(), "{:?}", report.failure);
+        assert_eq!(report.frames, 9);
+        // Every frame alone contributes len+1 split points, the mixed
+        // burst contributes its own full sweep on top.
+        assert!(report.splits > 500, "covered {} splits", report.splits);
+    }
+}

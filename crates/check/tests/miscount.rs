@@ -1,0 +1,50 @@
+//! Proof that the harness can actually fail: with the test-only
+//! sign-flipped ledger credit injected, exploration must catch the
+//! accounting violation and hand back a schedule that reproduces it on
+//! a fresh world.
+//!
+//! This lives in its own integration-test binary on purpose: the
+//! injection flag is process-global, and cargo runs each test binary in
+//! its own process, so flipping it here can never poison the clean
+//! explorations in `invariants.rs`.
+
+use sqlb_check::{explore, replay, Budget, Scenario, Schedule, WaveWorld};
+
+#[test]
+fn injected_miscount_is_caught_with_a_replayable_schedule() {
+    sqlb_transport::ledger::inject_miscount_for_tests(true);
+
+    let report = explore(
+        &WaveWorld::new(Scenario::mini()),
+        &Budget::executions(12_000),
+    );
+    let failure = report
+        .failure
+        .expect("a sign-flipped ledger credit must be caught");
+    assert!(
+        !failure.schedule.0.is_empty(),
+        "the failing trace must carry a non-empty schedule"
+    );
+
+    // The schedule survives its own string round-trip — the exact form
+    // `sqlb_check --replay` accepts.
+    let printed = failure.schedule.to_string();
+    let reparsed: Schedule = printed.parse().expect("schedule string parses back");
+    assert_eq!(reparsed, failure.schedule);
+
+    // Replaying it against a fresh world reproduces the same violation
+    // (the flag is still on), step-described for debugging.
+    let (transcript, verdict) = replay(&WaveWorld::new(Scenario::mini()), &reparsed);
+    let replayed = verdict.expect_err("replay must reproduce the violation");
+    assert_eq!(replayed.invariant, failure.violation.invariant);
+    assert!(!transcript.is_empty());
+
+    // And with the bug healed, the very same schedule runs clean —
+    // the violation was the injection, not the schedule machinery.
+    sqlb_transport::ledger::inject_miscount_for_tests(false);
+    let (_, verdict) = replay(&WaveWorld::new(Scenario::mini()), &reparsed);
+    assert!(
+        verdict.is_ok(),
+        "schedule must be clean without the injection: {verdict:?}"
+    );
+}

@@ -917,7 +917,7 @@ pub fn decode_participant_reply(bytes: &[u8]) -> Result<(ParticipantReply, usize
 /// let decoded = assembler.next_mediator_message().unwrap().unwrap();
 /// assert_eq!(decoded, MediatorMessage::Shutdown);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FrameAssembler {
     buf: Vec<u8>,
     at: usize,

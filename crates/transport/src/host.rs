@@ -41,6 +41,101 @@ type BufferedConsumerRequest = (u64, ConsumerId, Vec<(Query, Vec<ProviderId>)>);
 /// queries, request_bids)`.
 type BufferedProviderRequest = (u64, ProviderId, Vec<Query>, bool);
 
+/// Buffers decoded wave requests until their wave-end marker arrives.
+///
+/// Both the real [`ParticipantHost`] and the `sqlb-check` model host
+/// run this exact structure, so the checker exercises the same
+/// buffering discipline the deployment ships. The wave discipline
+/// lives in [`WaveRequestBuffer::take_wave`]: requests of *older*
+/// waves are dropped (stale leftovers of a wave the server already
+/// timed out), while requests of *newer* waves stay buffered — under
+/// depth-2 pipelining the server legitimately writes wave `t+1`
+/// requests before the host has seen wave `t`'s end marker, and
+/// dropping them would silently degrade the next wave to
+/// indifference.
+#[derive(Debug, Clone, Default)]
+pub struct WaveRequestBuffer {
+    consumers: Vec<BufferedConsumerRequest>,
+    providers: Vec<BufferedProviderRequest>,
+}
+
+/// The requests of one wave, removed from a [`WaveRequestBuffer`] in
+/// arrival order by [`WaveRequestBuffer::take_wave`].
+#[derive(Debug, Clone, Default)]
+pub struct TakenWave {
+    /// Consumer requests of the taken wave: `(addressee, batch)`.
+    #[allow(clippy::type_complexity)]
+    pub consumers: Vec<(ConsumerId, Vec<(Query, Vec<ProviderId>)>)>,
+    /// Provider requests of the taken wave: `(addressee, queries,
+    /// request_bids)`.
+    pub providers: Vec<(ProviderId, Vec<Query>, bool)>,
+}
+
+impl WaveRequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers one decoded consumer wave request.
+    pub fn push_consumer(
+        &mut self,
+        wave: u64,
+        consumer: ConsumerId,
+        requests: Vec<(Query, Vec<ProviderId>)>,
+    ) {
+        self.consumers.push((wave, consumer, requests));
+    }
+
+    /// Buffers one decoded provider wave request.
+    pub fn push_provider(
+        &mut self,
+        wave: u64,
+        provider: ProviderId,
+        queries: Vec<Query>,
+        request_bids: bool,
+    ) {
+        self.providers.push((wave, provider, queries, request_bids));
+    }
+
+    /// Number of buffered requests across all waves.
+    pub fn len(&self) -> usize {
+        self.consumers.len() + self.providers.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.consumers.is_empty() && self.providers.is_empty()
+    }
+
+    /// Removes and returns `wave`'s requests in arrival order. Older
+    /// waves' leftovers are discarded; newer waves' requests (written
+    /// early by a pipelining server) remain buffered for their own
+    /// end marker.
+    pub fn take_wave(&mut self, wave: u64) -> TakenWave {
+        let mut taken = TakenWave::default();
+        let mut kept = Vec::new();
+        for (w, consumer, requests) in std::mem::take(&mut self.consumers) {
+            match w.cmp(&wave) {
+                std::cmp::Ordering::Equal => taken.consumers.push((consumer, requests)),
+                std::cmp::Ordering::Greater => kept.push((w, consumer, requests)),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        self.consumers = kept;
+        let mut kept = Vec::new();
+        for (w, provider, queries, bids) in std::mem::take(&mut self.providers) {
+            match w.cmp(&wave) {
+                std::cmp::Ordering::Equal => taken.providers.push((provider, queries, bids)),
+                std::cmp::Ordering::Greater => kept.push((w, provider, queries, bids)),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        self.providers = kept;
+        taken
+    }
+}
+
 /// Summary of one host's service, returned when the connection ends.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostReport {
@@ -121,9 +216,8 @@ impl ParticipantHost {
     /// Serves waves until the mediator sends `Shutdown` (answered with a
     /// `Goodbye`) or the connection closes. Returns the service summary.
     pub fn serve(&mut self) -> io::Result<HostReport> {
-        // Requests of the wave being assembled, in arrival order.
-        let mut consumer_requests: Vec<BufferedConsumerRequest> = Vec::new();
-        let mut provider_requests: Vec<BufferedProviderRequest> = Vec::new();
+        // Requests of the waves being assembled, in arrival order.
+        let mut buffer = WaveRequestBuffer::new();
         loop {
             while let Some(message) = self
                 .assembler
@@ -135,15 +229,16 @@ impl ParticipantHost {
                         wave,
                         consumer,
                         requests,
-                    } => consumer_requests.push((wave, consumer, requests)),
+                    } => buffer.push_consumer(wave, consumer, requests),
                     MediatorMessage::ProviderWaveRequest {
                         wave,
                         provider,
                         queries,
                         request_bids,
-                    } => provider_requests.push((wave, provider, queries, request_bids)),
+                    } => buffer.push_provider(wave, provider, queries, request_bids),
                     MediatorMessage::WaveEnd { wave } => {
-                        self.answer_wave(wave, &mut consumer_requests, &mut provider_requests)?;
+                        let taken = buffer.take_wave(wave);
+                        self.answer_wave(wave, taken)?;
                     }
                     MediatorMessage::AllocationNotice {
                         query,
@@ -188,19 +283,11 @@ impl ParticipantHost {
         }
     }
 
-    /// Computes and writes every buffered reply of `wave`, in request
-    /// arrival order, honouring the endpoints' latency hooks.
-    fn answer_wave(
-        &mut self,
-        wave: u64,
-        consumer_requests: &mut Vec<BufferedConsumerRequest>,
-        provider_requests: &mut Vec<BufferedProviderRequest>,
-    ) -> io::Result<()> {
+    /// Computes and writes every reply of `wave`, in request arrival
+    /// order, honouring the endpoints' latency hooks.
+    fn answer_wave(&mut self, wave: u64, taken: TakenWave) -> io::Result<()> {
         self.scratch.clear();
-        for (requested_wave, consumer, requests) in consumer_requests.drain(..) {
-            if requested_wave != wave {
-                continue; // a stale buffered request of an aborted wave
-            }
+        for (consumer, requests) in taken.consumers {
             let Some(endpoint) = self.consumers.get_mut(&consumer) else {
                 // Addressed to an endpoint this host no longer serves:
                 // an explicit empty reply keeps the server from waiting
@@ -237,10 +324,7 @@ impl ParticipantHost {
             );
             self.report.replies_sent += 1;
         }
-        for (requested_wave, provider, queries, request_bids) in provider_requests.drain(..) {
-            if requested_wave != wave {
-                continue;
-            }
+        for (provider, queries, request_bids) in taken.providers {
             let Some(endpoint) = self.providers.get_mut(&provider) else {
                 encode_participant_reply_into(
                     &ParticipantReply::ProviderWaveReply {
@@ -299,5 +383,62 @@ impl std::fmt::Debug for ParticipantHost {
             .field("providers", &self.providers.len())
             .field("waves_served", &self.report.waves_served)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlb_types::{QueryClass, QueryId, SimTime};
+
+    fn query(id: u32, consumer: u32) -> Query {
+        Query::single(
+            QueryId::new(id),
+            ConsumerId::new(consumer),
+            QueryClass::Light,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn take_wave_keeps_newer_waves_buffered() {
+        // Under depth-2 pipelining the server writes wave t+1 requests
+        // before the host has answered wave t. Taking wave t must leave
+        // wave t+1's requests buffered for their own end marker — an
+        // earlier revision dropped them, silently degrading the next
+        // wave to indifference.
+        let mut buffer = WaveRequestBuffer::new();
+        buffer.push_consumer(1, ConsumerId::new(0), vec![(query(10, 0), vec![])]);
+        buffer.push_provider(2, ProviderId::new(1), vec![query(11, 0)], false);
+        let taken = buffer.take_wave(1);
+        assert_eq!(taken.consumers.len(), 1);
+        assert!(taken.providers.is_empty());
+        assert_eq!(buffer.len(), 1, "wave-2 request must stay buffered");
+        let taken = buffer.take_wave(2);
+        assert_eq!(taken.providers.len(), 1);
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn take_wave_discards_stale_older_waves() {
+        // Leftovers of a wave the server already timed out must not
+        // leak into a later wave's answer burst.
+        let mut buffer = WaveRequestBuffer::new();
+        buffer.push_provider(1, ProviderId::new(1), vec![query(11, 0)], false);
+        buffer.push_provider(3, ProviderId::new(1), vec![query(12, 0)], true);
+        let taken = buffer.take_wave(3);
+        assert_eq!(taken.providers.len(), 1);
+        assert_eq!(taken.providers[0].1[0].id, QueryId::new(12));
+        assert!(buffer.is_empty(), "stale wave-1 leftover must be gone");
+    }
+
+    #[test]
+    fn take_wave_preserves_arrival_order_within_a_wave() {
+        let mut buffer = WaveRequestBuffer::new();
+        buffer.push_provider(1, ProviderId::new(2), vec![query(1, 0)], false);
+        buffer.push_provider(1, ProviderId::new(1), vec![query(2, 0)], false);
+        let taken = buffer.take_wave(1);
+        assert_eq!(taken.providers[0].0, ProviderId::new(2));
+        assert_eq!(taken.providers[1].0, ProviderId::new(1));
     }
 }

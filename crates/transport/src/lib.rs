@@ -78,11 +78,13 @@
 
 pub mod demo;
 pub mod host;
+pub mod ledger;
 pub mod loopback;
 pub mod net;
 pub mod server;
 
-pub use host::{HostReport, ParticipantHost};
+pub use host::{HostReport, ParticipantHost, TakenWave, WaveRequestBuffer};
+pub use ledger::{route_reply_frame, Applied, WaveLedger};
 pub use loopback::{ConsumerWaveJob, ProviderWaveJob, SocketMediator, WaveJobs};
 pub use net::Stream;
 pub use server::{ServerConfig, SocketRoundStats, WaveServer};

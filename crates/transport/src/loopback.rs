@@ -43,6 +43,7 @@ use sqlb_mediation::{
 };
 use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
 
+use crate::host::WaveRequestBuffer;
 use crate::net::Stream;
 use crate::server::{ServerConfig, SocketRoundStats, WaveServer};
 
@@ -295,9 +296,11 @@ impl std::fmt::Debug for SocketMediator {
 }
 
 /// Serves one wave's requests on a loopback host link: reads frames off
-/// the wire, reassembles and decodes them, answers each addressed
-/// endpoint by running its job on the *decoded* request, and writes all
-/// replies in one burst when the wave-end marker arrives.
+/// the wire, reassembles and decodes them, buffers the decoded requests
+/// in the same [`WaveRequestBuffer`] the persistent host runs, and —
+/// when the wave-end marker arrives — answers each addressed endpoint
+/// by running its job on the *decoded* request, writing all replies in
+/// one burst.
 fn serve_wave_jobs(
     stream: &mut Stream,
     mut consumer_jobs: BTreeMap<ConsumerId, ConsumerWaveJob<'_>>,
@@ -307,6 +310,7 @@ fn serve_wave_jobs(
     // synchronous event loop), so a fresh assembler per wave never loses
     // partial bytes.
     let mut assembler = FrameAssembler::new();
+    let mut buffer = WaveRequestBuffer::new();
     let mut out = Vec::new();
     loop {
         while let Some(message) = assembler
@@ -318,44 +322,47 @@ fn serve_wave_jobs(
                     wave,
                     consumer,
                     requests,
-                } => {
-                    let intentions = consumer_jobs
-                        .remove(&consumer)
-                        .map(|job| job(&requests))
-                        .unwrap_or_default();
-                    encode_participant_reply_into(
-                        &ParticipantReply::ConsumerWaveReply {
-                            wave,
-                            consumer,
-                            intentions,
-                        },
-                        &mut out,
-                    );
-                }
+                } => buffer.push_consumer(wave, consumer, requests),
                 MediatorMessage::ProviderWaveRequest {
                     wave,
                     provider,
                     queries,
                     request_bids,
-                } => {
-                    let answers = provider_jobs
-                        .remove(&provider)
-                        .map(|job| job(&queries, request_bids))
-                        .unwrap_or_default();
-                    encode_participant_reply_into(
-                        &ParticipantReply::ProviderWaveReply {
-                            wave,
-                            provider,
-                            utilization: answers.first().map_or(0.0, |a| a.utilization),
-                            intentions: answers
-                                .into_iter()
-                                .map(|a| (a.query, a.intention, a.bid))
-                                .collect(),
-                        },
-                        &mut out,
-                    );
-                }
-                MediatorMessage::WaveEnd { .. } => {
+                } => buffer.push_provider(wave, provider, queries, request_bids),
+                MediatorMessage::WaveEnd { wave } => {
+                    let taken = buffer.take_wave(wave);
+                    for (consumer, requests) in taken.consumers {
+                        let intentions = consumer_jobs
+                            .remove(&consumer)
+                            .map(|job| job(&requests))
+                            .unwrap_or_default();
+                        encode_participant_reply_into(
+                            &ParticipantReply::ConsumerWaveReply {
+                                wave,
+                                consumer,
+                                intentions,
+                            },
+                            &mut out,
+                        );
+                    }
+                    for (provider, queries, request_bids) in taken.providers {
+                        let answers = provider_jobs
+                            .remove(&provider)
+                            .map(|job| job(&queries, request_bids))
+                            .unwrap_or_default();
+                        encode_participant_reply_into(
+                            &ParticipantReply::ProviderWaveReply {
+                                wave,
+                                provider,
+                                utilization: answers.first().map_or(0.0, |a| a.utilization),
+                                intentions: answers
+                                    .into_iter()
+                                    .map(|a| (a.query, a.intention, a.bid))
+                                    .collect(),
+                            },
+                            &mut out,
+                        );
+                    }
                     stream.write_all(&out)?;
                     return stream.flush();
                 }

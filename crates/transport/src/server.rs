@@ -32,14 +32,13 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 
 use sqlb_core::allocation::{Allocation, CandidateInfo};
-use sqlb_mediation::reactor::{ConsumerBatchAnswer, ProviderBatchAnswer};
 use sqlb_mediation::{
-    decode_participant_reply, encode_mediator_message, encode_mediator_message_into,
-    FrameAssembler, FrameError, FrameReader, MediatorMessage, ParticipantReply, ProviderAnswer,
-    WaveReplies,
+    encode_mediator_message, encode_mediator_message_into, FrameAssembler, MediatorMessage,
+    ParticipantReply, WaveReplies,
 };
-use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
+use sqlb_types::{ConsumerId, ProviderId, Query};
 
+use crate::ledger::{route_reply_frame, Applied, WaveLedger};
 use crate::net::{is_timeout, Stream};
 
 /// Wave-server configuration.
@@ -87,25 +86,17 @@ struct HostConnection {
     providers: Vec<ProviderId>,
 }
 
-/// One wave in flight: its reply ledgers and deadline bookkeeping, keyed
-/// by wave id so overlapped waves can never cross-correlate. A reply
-/// frame is routed to the ledger whose id it carries — a straggler of an
-/// already-collected wave matches no ledger and is discarded, exactly
-/// the stale-reply rule of the sequential server.
+/// One wave in flight: the shared protocol ledger
+/// ([`WaveLedger`], also driven by `sqlb-check`'s model checker) plus
+/// the real-time deadline bookkeeping only the live server needs.
 struct PendingWave {
-    wave: u64,
     /// When the wave's requests were written; the collection deadline is
     /// `started + timeout`, per wave, so overlapping does not stretch
     /// any wave's deadline.
     started: Instant,
-    /// Endpoint requests written out.
-    delivered: usize,
-    /// Unanswered requests per connection slot.
-    pending_per_slot: Vec<usize>,
-    consumer_slot: BTreeMap<ConsumerId, usize>,
-    provider_slot: BTreeMap<ProviderId, usize>,
-    consumer_replies: Vec<(ConsumerId, Option<ConsumerBatchAnswer>)>,
-    provider_replies: Vec<(ProviderId, Option<ProviderBatchAnswer>)>,
+    /// Reply ledger and per-connection accounting, keyed by wave id so
+    /// overlapped waves can never cross-correlate.
+    ledger: WaveLedger,
 }
 
 /// The mediator-side socket server: accepts host connections and drives
@@ -377,99 +368,29 @@ impl WaveServer {
         self.next_wave += 1;
         self.waves += 1;
 
-        // One request per distinct participant (BTreeMaps keep the fan-out
-        // order deterministic).
-        let mut by_consumer: BTreeMap<ConsumerId, Vec<(Query, Vec<ProviderId>)>> = BTreeMap::new();
-        let mut by_provider: BTreeMap<ProviderId, Vec<Query>> = BTreeMap::new();
-        for (query, candidates) in requests {
-            by_consumer
-                .entry(query.consumer)
-                .or_default()
-                .push((query.clone(), candidates.clone()));
-            for provider in candidates {
-                by_provider
-                    .entry(*provider)
-                    .or_default()
-                    .push(query.clone());
-            }
-        }
-
-        // Frame the wave per connection into the reusable per-connection
-        // scratch buffers. Requests to endpoints with no live home
-        // connection are skipped — their answers degrade to indifference,
-        // the same contract the in-process backends apply to unregistered
+        // Plan the fan-out through the shared ledger seam: requests are
+        // framed per connection into the reusable scratch buffers, each
+        // involved connection's burst bracketed with the wave-end marker,
+        // and the reply ledger records which slot every request was
+        // charged to. Requests to endpoints with no live home connection
+        // are skipped — their answers degrade to indifference, the same
+        // contract the in-process backends apply to unregistered
         // endpoints.
-        self.outbox.resize_with(self.connections.len(), Vec::new);
-        for bytes in &mut self.outbox {
-            bytes.clear();
-        }
-        let mut expected: Vec<usize> = vec![0; self.connections.len()];
-        let mut consumer_replies: Vec<(ConsumerId, Option<ConsumerBatchAnswer>)> = Vec::new();
-        let mut consumer_slot: BTreeMap<ConsumerId, usize> = BTreeMap::new();
-        let mut provider_replies: Vec<(ProviderId, Option<ProviderBatchAnswer>)> = Vec::new();
-        let mut provider_slot: BTreeMap<ProviderId, usize> = BTreeMap::new();
-        for (consumer, consumer_requests) in by_consumer {
-            let Some(&home) = self.consumer_home.get(&consumer) else {
-                continue;
-            };
-            if self.connections[home].is_none() {
-                continue;
-            }
-            encode_mediator_message_into(
-                &MediatorMessage::ConsumerWaveRequest {
-                    wave,
-                    consumer,
-                    requests: consumer_requests,
-                },
-                &mut self.outbox[home],
-            );
-            expected[home] += 1;
-            consumer_slot.insert(consumer, consumer_replies.len());
-            consumer_replies.push((consumer, None));
-        }
-        for (provider, queries) in by_provider {
-            let Some(&home) = self.provider_home.get(&provider) else {
-                continue;
-            };
-            if self.connections[home].is_none() {
-                continue;
-            }
-            encode_mediator_message_into(
-                &MediatorMessage::ProviderWaveRequest {
-                    wave,
-                    provider,
-                    queries,
-                    request_bids: self.config.request_bids,
-                },
-                &mut self.outbox[home],
-            );
-            expected[home] += 1;
-            provider_slot.insert(provider, provider_replies.len());
-            provider_replies.push((provider, None));
-        }
-
-        // Bracket each involved connection's burst with the wave-end
-        // marker (hosts buffer until they see it, then answer).
-        let delivered: usize = expected.iter().sum();
-        #[allow(clippy::needless_range_loop)]
-        for slot in 0..self.connections.len() {
-            if expected[slot] > 0 {
-                encode_mediator_message_into(
-                    &MediatorMessage::WaveEnd { wave },
-                    &mut self.outbox[slot],
-                );
-            }
-        }
+        let connections = &self.connections;
+        let ledger = WaveLedger::plan(
+            wave,
+            requests,
+            &self.consumer_home,
+            &self.provider_home,
+            connections.len(),
+            |slot| connections[slot].is_some(),
+            self.config.request_bids,
+            &mut self.outbox,
+        );
 
         self.in_flight.push_back(PendingWave {
-            wave,
             started: Instant::now(),
-            delivered,
-            pending_per_slot: expected,
-            consumer_slot,
-            provider_slot,
-            consumer_replies,
-            provider_replies,
+            ledger,
         });
 
         // Write each connection's burst. With waves overlapped, the peer
@@ -552,7 +473,7 @@ impl WaveServer {
     /// `None` when no wave is in flight.
     pub fn collect_wave(&mut self) -> Option<WaveReplies> {
         let front = self.in_flight.front()?;
-        let wave = front.wave;
+        let wave = front.ledger.wave();
         let started = front.started;
         let deadline = started + self.config.timeout;
 
@@ -575,7 +496,7 @@ impl WaveServer {
                 loop {
                     if in_flight
                         .front()
-                        .is_none_or(|front| front.pending_per_slot[slot] == 0)
+                        .is_none_or(|front| front.ledger.pending_on(slot) == 0)
                     {
                         break;
                     }
@@ -590,7 +511,8 @@ impl WaveServer {
                             dead = true;
                         }
                         Ok(Some(frame)) => {
-                            match route_reply_frame(frame, in_flight, slot) {
+                            let ledgers = in_flight.iter_mut().map(|w| &mut w.ledger);
+                            match route_reply_frame(frame, ledgers, slot) {
                                 Err(_) => dead = true,
                                 // The host is leaving mid-wave; whatever
                                 // it has not answered degrades.
@@ -646,18 +568,21 @@ impl WaveServer {
             .in_flight
             .pop_front()
             .expect("the front wave existed at entry and nothing pops between");
-        let answered = finished.delivered - finished.pending_per_slot.iter().sum::<usize>();
+        let delivered = finished.ledger.delivered();
+        let answered = delivered - finished.ledger.pending_total();
+        debug_assert_eq!(
+            answered,
+            finished.ledger.stored_replies(),
+            "ledger accounting must agree with the stored replies"
+        );
         self.last_round = SocketRoundStats {
             wave,
-            delivered: finished.delivered,
+            delivered,
             answered,
-            timed_out: finished.delivered - answered,
+            timed_out: delivered - answered,
             elapsed: started.elapsed(),
         };
-        Some(WaveReplies {
-            consumers: finished.consumer_replies,
-            providers: finished.provider_replies,
-        })
+        Some(finished.ledger.into_replies())
     }
 
     /// Gathers the candidate information for a batch of queries in one
@@ -799,129 +724,12 @@ fn frame_error(error: sqlb_mediation::FrameError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, error)
 }
 
-/// What a popped reply meant to the in-flight waves.
-enum Applied {
-    /// A fresh answer of an in-flight wave: one fewer pending request on
-    /// its ledger.
-    Counted,
-    /// The host announced it is leaving.
-    Goodbye,
-    /// A stale-wave straggler, a duplicate, or a legacy single-query
-    /// reply: discarded.
-    Ignored,
-}
-
-/// Routes one reply frame read from connection `slot` to the in-flight
-/// wave it answers, decoding scalars in place from the borrowed frame
-/// bytes — the steady-state receive path allocates only the reply
-/// vectors that are actually kept. A reply whose wave id matches no
-/// in-flight ledger — a straggler of a wave already collected — is still
-/// fully parsed (frame validation is unconditional) and then discarded,
-/// exactly the sequential server's stale-reply rule; a duplicate of an
-/// already-filled slot likewise validates and drops.
-fn route_reply_frame(
-    frame: &[u8],
-    waves: &mut VecDeque<PendingWave>,
-    slot: usize,
-) -> Result<Applied, FrameError> {
-    let mut r = FrameReader::open(frame)?;
-    match r.u8()? {
-        // ConsumerWaveReply
-        3 => {
-            let wave = r.u64()?;
-            let consumer = ConsumerId::new(r.u32()?);
-            let n = r.count()?;
-            let target = waves.iter_mut().find(|w| w.wave == wave).and_then(|w| {
-                let &i = w.consumer_slot.get(&consumer)?;
-                w.consumer_replies[i].1.is_none().then_some((w, i))
-            });
-            match target {
-                Some((w, i)) => {
-                    let mut intentions: ConsumerBatchAnswer = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        let query = QueryId::new(r.u32()?);
-                        let m = r.count()?;
-                        let mut per_provider = Vec::with_capacity(m);
-                        for _ in 0..m {
-                            per_provider.push((ProviderId::new(r.u32()?), r.f64()?));
-                        }
-                        intentions.push((query, per_provider));
-                    }
-                    r.close()?;
-                    w.consumer_replies[i].1 = Some(intentions);
-                    w.pending_per_slot[slot] = w.pending_per_slot[slot].saturating_sub(1);
-                    Ok(Applied::Counted)
-                }
-                None => {
-                    for _ in 0..n {
-                        r.u32()?;
-                        let m = r.count()?;
-                        for _ in 0..m {
-                            r.u32()?;
-                            r.f64()?;
-                        }
-                    }
-                    r.close()?;
-                    Ok(Applied::Ignored)
-                }
-            }
-        }
-        // ProviderWaveReply
-        4 => {
-            let wave = r.u64()?;
-            let provider = ProviderId::new(r.u32()?);
-            let utilization = r.f64()?;
-            let n = r.count()?;
-            let target = waves.iter_mut().find(|w| w.wave == wave).and_then(|w| {
-                let &i = w.provider_slot.get(&provider)?;
-                w.provider_replies[i].1.is_none().then_some((w, i))
-            });
-            match target {
-                Some((w, i)) => {
-                    let mut answers: ProviderBatchAnswer = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        answers.push(ProviderAnswer {
-                            query: QueryId::new(r.u32()?),
-                            intention: r.f64()?,
-                            utilization,
-                            bid: r.bid()?,
-                        });
-                    }
-                    r.close()?;
-                    w.provider_replies[i].1 = Some(answers);
-                    w.pending_per_slot[slot] = w.pending_per_slot[slot].saturating_sub(1);
-                    Ok(Applied::Counted)
-                }
-                None => {
-                    for _ in 0..n {
-                        r.u32()?;
-                        r.f64()?;
-                        r.bid()?;
-                    }
-                    r.close()?;
-                    Ok(Applied::Ignored)
-                }
-            }
-        }
-        // Goodbye
-        6 => {
-            r.close()?;
-            Ok(Applied::Goodbye)
-        }
-        // Legacy single-query replies and hellos: validate the frame via
-        // the owned decoder, then drop the value.
-        _ => {
-            decode_participant_reply(frame)?;
-            Ok(Applied::Ignored)
-        }
-    }
-}
-
 /// Drains replies already available on one connection while a wave
 /// write is stalled: pops every assembled frame (crediting whichever
-/// in-flight ledger each belongs to) and performs one short read so the
-/// peer's send buffer keeps moving. `Err` means the connection is no
-/// longer usable.
+/// in-flight ledger each belongs to, via the shared
+/// [`route_reply_frame`]) and performs one short read so the peer's
+/// send buffer keeps moving. `Err` means the connection is no longer
+/// usable.
 fn drain_slot(
     connection: &mut HostConnection,
     waves: &mut VecDeque<PendingWave>,
@@ -931,16 +739,19 @@ fn drain_slot(
         match connection.assembler.next_frame() {
             Err(error) => return Err(frame_error(error)),
             Ok(None) => break,
-            Ok(Some(frame)) => match route_reply_frame(frame, waves, slot) {
-                Err(error) => return Err(frame_error(error)),
-                Ok(Applied::Goodbye) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::ConnectionAborted,
-                        "host said goodbye mid-wave",
-                    ))
+            Ok(Some(frame)) => {
+                let ledgers = waves.iter_mut().map(|w| &mut w.ledger);
+                match route_reply_frame(frame, ledgers, slot) {
+                    Err(error) => return Err(frame_error(error)),
+                    Ok(Applied::Goodbye) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "host said goodbye mid-wave",
+                        ))
+                    }
+                    Ok(_) => {}
                 }
-                Ok(_) => {}
-            },
+            }
         }
     }
     connection

@@ -13,7 +13,7 @@
 //! allocation algorithms themselves) lives in the dedicated crates that build
 //! on top of these types.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod capacity;
 pub mod error;
