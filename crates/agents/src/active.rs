@@ -76,6 +76,20 @@ impl<K: StableId + Ord> ActiveSet<K> {
             Err(_) => false,
         }
     }
+
+    /// Re-admits a re-joining participant at its ordered position (churn
+    /// scenarios bring previously departed providers back). Returns
+    /// `true` if it was absent (insertion is idempotent, mirroring
+    /// [`ActiveSet::remove`]).
+    pub fn insert(&mut self, id: K) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
 }
 
 impl<K: StableId + Ord> FromIterator<K> for ActiveSet<K> {
@@ -108,6 +122,21 @@ mod tests {
         // Idempotent.
         assert!(!s.remove(ConsumerId::new(2)));
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn insert_restores_ordered_position() {
+        let mut s = set(4);
+        assert!(s.remove(ConsumerId::new(1)));
+        assert!(s.remove(ConsumerId::new(3)));
+        assert!(s.insert(ConsumerId::new(3)));
+        assert!(s.insert(ConsumerId::new(1)));
+        // Idempotent: re-inserting an active id is a no-op.
+        assert!(!s.insert(ConsumerId::new(1)));
+        assert_eq!(
+            s.ids().iter().map(|c| c.raw()).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
     }
 
     #[test]

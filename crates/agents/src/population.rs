@@ -398,6 +398,18 @@ impl Population {
         self.active_providers.remove(provider);
     }
 
+    /// Re-admits a previously departed provider (scenario churn re-join):
+    /// clears its departed flag and restores it to the active index at
+    /// its ordered position. The agent's satisfaction history is kept —
+    /// callers wanting the `Reset` re-join policy additionally call
+    /// [`crate::ProviderAgent::reset_satisfaction_history`].
+    pub fn rejoin_provider(&mut self, provider: ProviderId) {
+        if let Some(agent) = self.providers.get_mut(provider) {
+            agent.rejoin();
+        }
+        self.active_providers.insert(provider);
+    }
+
     /// Debug-checks that the incremental active indices agree with a
     /// from-scratch rebuild over the agents' departed flags. The engine
     /// calls it after every departure assessment, but the O(n) rebuild

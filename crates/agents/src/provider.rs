@@ -330,6 +330,33 @@ impl ProviderAgent {
     pub fn depart(&mut self) {
         self.departed = true;
     }
+
+    /// Re-admits a churned-out provider (scenario churn groups bring
+    /// providers back). The agent keeps its satisfaction trackers, its
+    /// utilization window and any outstanding backlog — under the default
+    /// `Resume` re-join policy the provider's history simply continues.
+    pub fn rejoin(&mut self) {
+        self.departed = false;
+    }
+
+    /// Discards the provider's satisfaction history, rebuilding both
+    /// trackers at the configured initial satisfaction and clearing the
+    /// Definition 8 memo (the `Reset` re-join policy). The utilization
+    /// window and backlog are *physical* state — work already accepted
+    /// does not vanish when bookkeeping resets — so they are kept.
+    pub fn reset_satisfaction_history(&mut self) {
+        self.intention_tracker = ProviderTracker::new(
+            self.config.proposed_memory,
+            self.config.performed_memory,
+            self.config.initial_satisfaction,
+        );
+        self.preference_tracker = ProviderTracker::new(
+            self.config.proposed_memory,
+            self.config.performed_memory,
+            self.config.initial_satisfaction,
+        );
+        self.intention_memo = [None; 2];
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //!
 //! The harness has three parts:
 //!
-//! * [`explore`] — a generic clone-based DFS over a [`explore::Model`]:
+//! * [`mod@explore`] — a generic clone-based DFS over a [`explore::Model`]:
 //!   nondeterminism is an indexed action menu, a schedule (the index
 //!   sequence) identifies an execution, failing traces print a
 //!   replayable schedule string, and a [`explore::Budget`] bounds CI

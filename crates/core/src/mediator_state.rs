@@ -7,7 +7,10 @@
 //! [`ProviderTracker`] per provider, updated after every allocation.
 
 use serde::{Deserialize, Serialize};
-use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
+// Re-exported so layers that carry trackers across mediators (the shard
+// router's migration and churn parking paths) can name the type without a
+// direct dependency on the satisfaction crate.
+pub use sqlb_satisfaction::{ConsumerTracker, ProviderTracker};
 use sqlb_types::{ConsumerId, Intention, ProviderId, Query, StridedColumn, StridedTable};
 
 use crate::allocation::{Allocation, CandidateInfo, MediatorView, SelectionSet};

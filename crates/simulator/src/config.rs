@@ -198,11 +198,23 @@ pub struct SimulationConfig {
     /// default. Coalescing preserves bit-identical same-seed reports: it
     /// only merges arrivals whose consumers and shards are all distinct
     /// (so no arrival's answers can observe another's allocation), and it
-    /// is automatically suspended under load-reactive routing, whose
-    /// decisions read allocation state between arrivals. Ignored by the
-    /// in-process backends, which have no framing cost to amortize.
+    /// is automatically suspended under load-reactive routing on more
+    /// than one shard, whose decisions read allocation state between
+    /// arrivals (with a single shard every route is 0, so coalescing
+    /// stays engaged — least-loaded K=1 runs keep the batched fan-out).
+    /// Ignored by the in-process backends, which have no framing cost to
+    /// amortize.
     #[serde(default = "default_socket_wave_coalescing")]
     pub socket_wave_coalescing: bool,
+    /// Wave deadline of the mediated backends (threaded runtime, reactor
+    /// and socket transport), in milliseconds: replies that miss it
+    /// degrade to indifference. The default (5000 ms) is far beyond any
+    /// loopback reply latency, so it never fires in fault-free runs;
+    /// scenario campaigns that stall hosts lower it so each stalled wave
+    /// pays a short, bounded penalty instead of five wall-clock seconds.
+    /// Ignored by the inline backend, which has no wire to time out.
+    #[serde(default = "default_wave_timeout_ms")]
+    pub wave_timeout_ms: u64,
 }
 
 /// Serde default for [`SimulationConfig::scoring_threads`], so configs
@@ -220,6 +232,14 @@ fn default_scoring_threads() -> usize {
 #[allow(dead_code)]
 fn default_socket_wave_coalescing() -> bool {
     true
+}
+
+/// Serde default for [`SimulationConfig::wave_timeout_ms`]: configs
+/// serialized before the knob existed deserialize to the historical
+/// 5-second deadline.
+#[allow(dead_code)]
+fn default_wave_timeout_ms() -> u64 {
+    5_000
 }
 
 impl SimulationConfig {
@@ -251,6 +271,7 @@ impl SimulationConfig {
             capability_matchmaking: false,
             scoring_threads: 1,
             socket_wave_coalescing: true,
+            wave_timeout_ms: 5_000,
         }
     }
 
@@ -305,6 +326,7 @@ impl SimulationConfig {
             capability_matchmaking: false,
             scoring_threads: 1,
             socket_wave_coalescing: true,
+            wave_timeout_ms: 5_000,
         }
     }
 
@@ -409,6 +431,13 @@ impl SimulationConfig {
         self
     }
 
+    /// Sets the mediated-backend wave deadline in milliseconds (replies
+    /// that miss it degrade to indifference).
+    pub fn with_wave_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.wave_timeout_ms = timeout_ms;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), SqlbError> {
         self.population.validate()?;
@@ -463,6 +492,11 @@ impl SimulationConfig {
         if self.scoring_threads == 0 {
             return Err(SqlbError::InvalidConfig {
                 reason: "at least one scoring thread is required".into(),
+            });
+        }
+        if self.wave_timeout_ms == 0 {
+            return Err(SqlbError::InvalidConfig {
+                reason: "the wave timeout must be at least one millisecond".into(),
             });
         }
         Ok(())
@@ -546,9 +580,14 @@ mod tests {
                 c.socket_wave_coalescing,
                 "socket wave coalescing is on by default (bit-identical either way)"
             );
+            assert_eq!(
+                c.wave_timeout_ms, 5_000,
+                "the historical 5 s wave deadline is the default"
+            );
         }
         assert_eq!(super::default_scoring_threads(), 1);
         assert!(super::default_socket_wave_coalescing());
+        assert_eq!(super::default_wave_timeout_ms(), 5_000);
     }
 
     #[test]
@@ -561,6 +600,14 @@ mod tests {
         let mut c = SimulationConfig::scaled(10, 20, 100.0, 0);
         c.scoring_threads = 0;
         assert!(c.validate().is_err(), "zero scoring threads is rejected");
+
+        let c = SimulationConfig::scaled(10, 20, 100.0, 0).with_wave_timeout_ms(150);
+        assert_eq!(c.wave_timeout_ms, 150);
+        assert!(c.validate().is_ok());
+        assert!(
+            c.with_wave_timeout_ms(0).validate().is_err(),
+            "a zero wave deadline is rejected"
+        );
     }
 
     #[test]

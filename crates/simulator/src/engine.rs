@@ -36,7 +36,7 @@ use sqlb_mediation::{
 };
 use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
 use sqlb_reputation::ReputationStore;
-use sqlb_transport::{ServerConfig, SocketMediator, WaveJobs};
+use sqlb_transport::{HostFault, ServerConfig, SocketMediator, WaveJobs};
 use sqlb_types::{
     ConsumerId, ParticipantTable, ProviderId, Query, QueryClass, QueryId, SimTime, SlotColumn,
     SqlbError,
@@ -46,6 +46,7 @@ use crate::config::{MediationMode, Method, SimulationConfig};
 use crate::events::{Event, EventQueue};
 use crate::matchmaking::{class_topic, intersect_sorted, ClassMatchmaker};
 use crate::routing::{RoutingPolicy, ShardLoadView};
+use crate::scenario::{CompiledChurnGroup, RejoinPolicy, Scenario, TransportFault};
 use crate::shard::ShardRouter;
 use crate::stats::{
     ConsumerDepartureRecord, DepartureRecord, MetricSeries, MigrationRecord, SimulationReport,
@@ -71,14 +72,125 @@ struct ArrivalScratch {
     selection: SelectionSet,
 }
 
-/// Deadline of one mediated intention wave: real time for the threaded
-/// backend, virtual time for the reactor. Simulated participants are
-/// in-process and answer as soon as they are polled, so the deadline is
-/// only a guard — generous enough that scheduler hiccups on a loaded
-/// machine can never time a reply out and perturb a run's determinism.
-/// (The timeout-to-indifference path itself is exercised by the
-/// `sqlb-mediation` tests, with endpoints that model real latency.)
-const MEDIATED_WAVE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Run state of an attached [`Scenario`]: the declarative description
+/// (arrival modifiers are evaluated from it directly), the compiled
+/// churn groups, the fault list with its one-shot drop bookkeeping, and
+/// the accounting the report carries.
+struct ScenarioState {
+    description: Scenario,
+    groups: Vec<CompiledChurnGroup>,
+    /// Per churn group: the members this run actually took down (a
+    /// member that had already departed behaviorally is skipped and
+    /// must not re-join).
+    departed_members: Vec<Vec<ProviderId>>,
+    faults: Vec<TransportFault>,
+    /// Per entry of `faults`: whether a [`TransportFault::DropHost`]
+    /// already severed its connection. Socket backend only — the
+    /// in-process backends derive the permanent post-drop condition
+    /// from the virtual clock alone.
+    drop_fired: Vec<bool>,
+    churn_departures: u64,
+    churn_rejoins: u64,
+    /// Indifference fabricated for scenario-faulted endpoints on the
+    /// in-process backends (the socket backend counts real wire
+    /// timeouts instead — see
+    /// [`SimulationReport::indifferent_replies`]).
+    fault_indifference: u64,
+}
+
+/// The engine-side condition of one loopback host for the wave being
+/// issued now, derived from the scenario's fault windows and the
+/// virtual clock.
+#[derive(Debug, Clone, Copy)]
+enum HostCondition {
+    /// No active fault.
+    Healthy,
+    /// Stalled, dropped, or delayed past the wave deadline: the host's
+    /// replies degrade to indifference.
+    Unresponsive,
+    /// Delayed but inside the deadline: the reply still counts.
+    Delayed(Duration),
+}
+
+impl HostCondition {
+    /// The per-wave latency override modelling this condition on the
+    /// in-process mediated backends (`None`: the endpoint's registered
+    /// latency stands).
+    fn latency_override(self) -> Option<Latency> {
+        match self {
+            HostCondition::Healthy => None,
+            HostCondition::Unresponsive => Some(Latency::Never),
+            HostCondition::Delayed(delay) => Some(Latency::After(delay)),
+        }
+    }
+}
+
+/// The fault condition of `host` for a wave issued at `now_secs`. The
+/// worst active fault wins: `Unresponsive` beats a sub-deadline delay,
+/// and a delay at or past the deadline *is* unresponsiveness.
+fn host_condition_at(
+    faults: &[TransportFault],
+    host: usize,
+    now_secs: f64,
+    timeout_ms: u64,
+) -> HostCondition {
+    let mut condition = HostCondition::Healthy;
+    for fault in faults {
+        match *fault {
+            TransportFault::StallHost {
+                host: h,
+                from_secs,
+                until_secs,
+            } if h == host && now_secs >= from_secs && now_secs < until_secs => {
+                return HostCondition::Unresponsive;
+            }
+            TransportFault::DropHost { host: h, at_secs } if h == host && now_secs >= at_secs => {
+                return HostCondition::Unresponsive;
+            }
+            TransportFault::DelayHost {
+                host: h,
+                from_secs,
+                until_secs,
+                delay_ms,
+            } if h == host && now_secs >= from_secs && now_secs < until_secs => {
+                if delay_ms >= timeout_ms {
+                    return HostCondition::Unresponsive;
+                }
+                condition = HostCondition::Delayed(Duration::from_millis(delay_ms));
+            }
+            _ => {}
+        }
+    }
+    condition
+}
+
+/// Per-host fault conditions of the wave being issued now, keyed by the
+/// socket backend's host partition (`raw id % socket_hosts`). The
+/// in-process backends model scenario transport faults against the
+/// same partition, which is what keeps fault runs digest-comparable
+/// across backends. An empty table means every host is healthy — the
+/// common case, costing no allocation.
+struct WaveConditions {
+    hosts: Vec<HostCondition>,
+}
+
+impl WaveConditions {
+    fn consumer(&self, id: ConsumerId) -> HostCondition {
+        self.of_raw(id.raw())
+    }
+
+    fn provider(&self, id: ProviderId) -> HostCondition {
+        self.of_raw(id.raw())
+    }
+
+    fn of_raw(&self, raw: u32) -> HostCondition {
+        if self.hosts.is_empty() {
+            HostCondition::Healthy
+        } else {
+            self.hosts[raw as usize % self.hosts.len()]
+        }
+    }
+}
 
 /// The mediation backend the engine gathers intentions through — the
 /// runtime realization of [`MediationMode`]. All four backends ask the
@@ -193,13 +305,40 @@ pub struct Simulator {
     /// lists), when capability matchmaking is enabled (`None` reproduces
     /// the paper's all-providers candidate sets).
     matchmaker: Option<ClassMatchmaker>,
+    /// Scenario run state (`None` for plain runs — the default).
+    scenario: Option<ScenarioState>,
 }
 
 impl Simulator {
     /// Builds a simulator for the given configuration and allocation
     /// method.
     pub fn new(config: SimulationConfig, method: Method) -> Result<Self, SqlbError> {
+        Self::build(config, method, None)
+    }
+
+    /// Builds a simulator executing `scenario` on top of the configured
+    /// setup: arrival modifiers reshape the Poisson rate, churn groups
+    /// are compiled into [`Event::ChurnDepart`]/[`Event::ChurnRejoin`]
+    /// occurrences on the ordinary event queue, and transport faults
+    /// degrade the affected hosts' replies on every mediation backend.
+    /// Same seed, same scenario → bit-identical report.
+    pub fn with_scenario(
+        config: SimulationConfig,
+        method: Method,
+        scenario: &Scenario,
+    ) -> Result<Self, SqlbError> {
+        Self::build(config, method, Some(scenario))
+    }
+
+    fn build(
+        config: SimulationConfig,
+        method: Method,
+        scenario: Option<&Scenario>,
+    ) -> Result<Self, SqlbError> {
         config.validate()?;
+        if let Some(scenario) = scenario {
+            scenario.validate(&config)?;
+        }
         let population = Population::generate(&config.population)?;
         let total_capacity = population.total_capacity();
         let initial_consumers = population.consumers.len();
@@ -219,6 +358,11 @@ impl Simulator {
         );
         router.set_scoring_threads(config.scoring_threads);
 
+        // The wave deadline is only a guard on the simulated topologies
+        // (in-process participants answer as soon as they are polled);
+        // scenario fault runs shrink it so stalled hosts do not make
+        // every wave pay the full default five seconds.
+        let wave_timeout = Duration::from_millis(config.wave_timeout_ms);
         let mediation = match config.mediation {
             MediationMode::Inline => MediationDriver::Inline,
             MediationMode::Threaded => MediationDriver::Threaded,
@@ -227,7 +371,7 @@ impl Simulator {
                 // registered as a polled endpoint up front (a lightweight
                 // profile, not a thread) and deregistered on departure.
                 let mut reactor = Reactor::new(RuntimeConfig {
-                    timeout: MEDIATED_WAVE_TIMEOUT,
+                    timeout: wave_timeout,
                     request_bids: method.uses_bids(),
                 });
                 for id in population.consumers.keys() {
@@ -245,7 +389,7 @@ impl Simulator {
                 let mediator = SocketMediator::loopback(
                     config.socket_hosts,
                     ServerConfig {
-                        timeout: MEDIATED_WAVE_TIMEOUT,
+                        timeout: wave_timeout,
                         request_bids: method.uses_bids(),
                     },
                     population.consumers.keys(),
@@ -265,6 +409,25 @@ impl Simulator {
         let matchmaker = config
             .capability_matchmaking
             .then(|| ClassMatchmaker::new(&population));
+
+        // Compile the scenario against the generated population: churn
+        // membership is drawn from the salted scenario RNG (the engine's
+        // own random streams are untouched), schedules are frozen as
+        // virtual times.
+        let scenario = scenario.map(|s| {
+            let providers: Vec<ProviderId> = population.providers.keys().collect();
+            let compiled = s.compile(config.seed, &providers);
+            ScenarioState {
+                description: s.clone(),
+                departed_members: vec![Vec::new(); compiled.groups.len()],
+                drop_fired: vec![false; compiled.faults.len()],
+                groups: compiled.groups,
+                faults: compiled.faults,
+                churn_departures: 0,
+                churn_rejoins: 0,
+                fault_indifference: 0,
+            }
+        });
 
         let routing = config.routing.build();
         let shard_backlog = vec![0.0f64; router.shard_count()];
@@ -312,6 +475,7 @@ impl Simulator {
             scratch: ArrivalScratch::default(),
             mediation,
             matchmaker,
+            scenario,
             population,
             config,
         };
@@ -366,6 +530,22 @@ impl Simulator {
                 );
             }
         }
+        // Scenario churn is compiled into the same queue, so same-seed
+        // runs pop the identical event sequence; occurrences beyond the
+        // horizon are dropped like any other event.
+        if let Some(state) = &self.scenario {
+            for (group, compiled) in state.groups.iter().enumerate() {
+                if compiled.depart_at.as_secs() <= self.config.duration_secs {
+                    self.queue
+                        .schedule(compiled.depart_at, Event::ChurnDepart { group });
+                }
+                if let Some(rejoin_at) = compiled.rejoin_at {
+                    if rejoin_at.as_secs() <= self.config.duration_secs {
+                        self.queue.schedule(rejoin_at, Event::ChurnRejoin { group });
+                    }
+                }
+            }
+        }
     }
 
     /// Schedules the next occurrence of a periodic event from its tick
@@ -405,6 +585,8 @@ impl Simulator {
                 Event::Assessment => self.handle_assessment(),
                 Event::SyncViews => self.handle_sync(),
                 Event::Rebalance => self.handle_rebalance(),
+                Event::ChurnDepart { group } => self.handle_churn_depart(group),
+                Event::ChurnRejoin { group } => self.handle_churn_rejoin(group),
             }
         }
         self.finish()
@@ -430,7 +612,42 @@ impl Simulator {
             self.total_capacity,
             Population::mean_query_cost(),
         ) * consumer_fraction;
-        sample_interarrival(&mut self.rng, rate)
+        match &self.scenario {
+            Some(state) if !state.description.arrival.is_empty() => {
+                // Thinning (Lewis–Shedler): candidate arrivals are drawn
+                // at the scenario's envelope rate and accepted with
+                // probability `factor(t) / max`, so the modifier shape is
+                // honoured at the *candidate's* instant — a burst ramps
+                // on at its exact onset, and arrivals revive by
+                // themselves after a zero-factor window. Plain runs
+                // (no scenario) take the single-draw path below and keep
+                // their historical random stream bit-for-bit.
+                let max = state.description.max_rate_factor();
+                if rate <= 0.0 || max <= 0.0 {
+                    return f64::INFINITY;
+                }
+                let duration = self.config.duration_secs;
+                let start = self.now.as_secs();
+                let mut t = start;
+                loop {
+                    let dt = sample_interarrival(&mut self.rng, rate * max);
+                    if !dt.is_finite() {
+                        return f64::INFINITY;
+                    }
+                    t += dt;
+                    if t > duration {
+                        // Past the horizon the event would be dropped
+                        // anyway; stop consuming random draws.
+                        return f64::INFINITY;
+                    }
+                    let accept = state.description.rate_factor_at(t, duration) / max;
+                    if accept >= 1.0 || self.rng.random_bool(accept.clamp(0.0, 1.0)) {
+                        return t - start;
+                    }
+                }
+            }
+            _ => sample_interarrival(&mut self.rng, rate),
+        }
     }
 
     fn schedule_next_arrival(&mut self) {
@@ -463,11 +680,14 @@ impl Simulator {
         // The socket backend coalesces every arrival landing on this same
         // virtual instant into one multi-query wave (when the knob is on
         // and routing is load-blind — a load-reactive policy reads
-        // allocation state between arrivals, so its runs stay
-        // strictly sequential).
+        // allocation state between arrivals, so its runs stay strictly
+        // sequential. With a single shard, though, every route is shard 0
+        // no matter what the policy observes, so least-loaded K = 1 runs
+        // keep the batched fan-out instead of needlessly degrading to one
+        // wave per arrival).
         if matches!(self.mediation, MediationDriver::Socket(_))
             && self.config.socket_wave_coalescing
-            && !self.routing.reacts_to_load()
+            && (!self.routing.reacts_to_load() || self.router.shard_count() == 1)
         {
             return self.handle_socket_arrivals();
         }
@@ -532,6 +752,20 @@ impl Simulator {
         // computations, only multiplexed through a mediation wave instead
         // of direct calls — which is why reports are bit-identical across
         // backends for a given seed.
+        // The transport-fault seam: the condition of every loopback host
+        // for a wave issued at this instant (all-healthy outside scenario
+        // fault windows), plus the wire-fault plan when the wave really
+        // crosses sockets. A fault models the *reply* going missing, not
+        // the work: every backend degrades a faulted host's answers to
+        // the same indifference the wave timeout semantics fabricate.
+        // (Resolved before the candidate set borrows the router.)
+        let conditions = self.wave_conditions();
+        let fault_plan = if matches!(self.mediation, MediationDriver::Socket(_)) {
+            self.socket_fault_plan()
+        } else {
+            Vec::new()
+        };
+
         // The candidate set `P_q`: the shard's provider list, optionally
         // narrowed by capability matchmaking to the providers whose
         // declared capabilities cover the query's description. An empty
@@ -554,13 +788,39 @@ impl Simulator {
 
         let uses_bids = self.method_kind.uses_bids();
         let now = self.now;
+        let wave_timeout = Duration::from_millis(self.config.wave_timeout_ms);
+        let mut fabricated = 0u64;
         match &mut self.mediation {
             MediationDriver::Inline => {
                 let consumer_agent = &self.population.consumers[consumer];
                 let infos = &mut self.scratch.infos;
                 infos.clear();
+                let consumer_down =
+                    matches!(conditions.consumer(consumer), HostCondition::Unresponsive);
+                if consumer_down {
+                    fabricated += 1;
+                }
                 for &p in candidates {
-                    let ci = consumer_agent.intention_for(&query, p, &self.reputation);
+                    // Mirror the mediated indifference exactly: consumer
+                    // intentions 0.0 when the consumer's host is down,
+                    // provider intention/utilization 0.0 and no bid when
+                    // the provider's is. The skipped agent calls are pure
+                    // reads, so skipping them is unobservable elsewhere.
+                    let ci = if consumer_down {
+                        0.0
+                    } else {
+                        consumer_agent.intention_for(&query, p, &self.reputation)
+                    };
+                    if matches!(conditions.provider(p), HostCondition::Unresponsive) {
+                        fabricated += 1;
+                        infos.push(
+                            CandidateInfo::new(p)
+                                .with_consumer_intention(ci)
+                                .with_provider_intention(0.0)
+                                .with_utilization(0.0),
+                        );
+                        continue;
+                    }
                     let provider_agent = &mut self.population.providers[p];
                     let (pi, utilization) = provider_agent.intention_and_utilization(&query, now);
                     let mut info = CandidateInfo::new(p)
@@ -615,7 +875,7 @@ impl Simulator {
                     });
                 }
                 let requests = [(query.clone(), candidates.to_vec())];
-                let gathered = socket.gather(&requests, jobs);
+                let gathered = socket.gather_with_faults(&requests, jobs, &fault_plan);
                 let infos = &mut self.scratch.infos;
                 infos.clear();
                 infos.extend(gathered.into_iter().flatten());
@@ -628,7 +888,16 @@ impl Simulator {
                 let reputation = &self.reputation;
                 let query_ref = &query;
                 let mut wave = IntentionWave::new();
-                wave.consumer(consumer, None, move || {
+                // Scenario faults ride in as per-wave latency overrides:
+                // an unresponsive host's endpoints miss the deadline
+                // (`Never`), a delayed host's lag by the configured
+                // amount — the wave machinery then fabricates the exact
+                // indifference the inline backend models directly.
+                let consumer_condition = conditions.consumer(consumer);
+                if matches!(consumer_condition, HostCondition::Unresponsive) {
+                    fabricated += 1;
+                }
+                wave.consumer(consumer, consumer_condition.latency_override(), move || {
                     vec![(
                         query_ref.id,
                         candidates
@@ -642,7 +911,11 @@ impl Simulator {
                 // O(candidates) — the wave never walks the rest of the
                 // population.
                 for (p, agent) in self.population.providers.iter_mut_of(candidates) {
-                    wave.provider(p, None, move || {
+                    let condition = conditions.provider(p);
+                    if matches!(condition, HostCondition::Unresponsive) {
+                        fabricated += 1;
+                    }
+                    wave.provider(p, condition.latency_override(), move || {
                         let (intention, utilization) =
                             agent.intention_and_utilization(query_ref, now);
                         vec![ProviderAnswer {
@@ -655,7 +928,7 @@ impl Simulator {
                 }
 
                 let replies = match driver {
-                    MediationDriver::Threaded => run_wave_threaded(wave, MEDIATED_WAVE_TIMEOUT),
+                    MediationDriver::Threaded => run_wave_threaded(wave, wave_timeout),
                     MediationDriver::Reactor(reactor) => reactor.run_wave(wave),
                     MediationDriver::Inline | MediationDriver::Socket(_) => {
                         unreachable!("inline and socket are handled above")
@@ -671,6 +944,11 @@ impl Simulator {
                 let infos = &mut self.scratch.infos;
                 infos.clear();
                 infos.extend(gathered.into_iter().flatten());
+            }
+        }
+        if fabricated > 0 {
+            if let Some(state) = &mut self.scenario {
+                state.fault_indifference += fabricated;
             }
         }
 
@@ -850,6 +1128,7 @@ impl Simulator {
     /// candidate sets) is established by [`Simulator::handle_socket_arrivals`].
     fn mediate_socket_batch(&mut self, batch: Vec<PreparedArrival>) {
         let now = self.now;
+        let fault_plan = self.socket_fault_plan();
         let requests: Vec<(Query, Vec<ProviderId>)> = batch
             .iter()
             .map(|a| (a.query.clone(), a.candidates.clone()))
@@ -905,11 +1184,175 @@ impl Simulator {
                     .collect()
             });
         }
-        let gathered = socket.gather(&requests, jobs);
+        let gathered = socket.gather_with_faults(&requests, jobs, &fault_plan);
         for (arrival, infos) in batch.iter().zip(gathered) {
             self.scratch.infos.clear();
             self.scratch.infos.extend(infos);
             self.allocate_and_record(&arrival.query, arrival.shard);
+        }
+    }
+
+    /// The per-host fault conditions of a wave issued at this instant
+    /// (see [`WaveConditions`]); an empty table outside scenario fault
+    /// runs.
+    fn wave_conditions(&self) -> WaveConditions {
+        let hosts = match &self.scenario {
+            Some(state) if !state.faults.is_empty() => (0..self.config.socket_hosts)
+                .map(|host| {
+                    host_condition_at(
+                        &state.faults,
+                        host,
+                        self.now.as_secs(),
+                        self.config.wave_timeout_ms,
+                    )
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        WaveConditions { hosts }
+    }
+
+    /// The wire-fault plan of a socket wave issued at this instant: one
+    /// entry per faulted host. A stall (or a delay at/past the deadline)
+    /// is injected for every wave of its window; a [`TransportFault::DropHost`]
+    /// severs the connection in the first wave at or after its instant
+    /// and is spent thereafter — later waves skip the dead host's
+    /// endpoints at fan-out, which the wave server already degrades to
+    /// indifference on its own.
+    fn socket_fault_plan(&mut self) -> Vec<(usize, HostFault)> {
+        let now = self.now.as_secs();
+        let timeout_ms = self.config.wave_timeout_ms;
+        let Some(state) = &mut self.scenario else {
+            return Vec::new();
+        };
+        let mut plan: Vec<(usize, HostFault)> = Vec::new();
+        for (index, fault) in state.faults.iter().enumerate() {
+            let injected = match *fault {
+                TransportFault::StallHost {
+                    host,
+                    from_secs,
+                    until_secs,
+                } if now >= from_secs && now < until_secs => Some((host, HostFault::Stall)),
+                TransportFault::DelayHost {
+                    host,
+                    from_secs,
+                    until_secs,
+                    delay_ms,
+                } if now >= from_secs && now < until_secs && delay_ms >= timeout_ms => {
+                    Some((host, HostFault::Stall))
+                }
+                TransportFault::DropHost { host, at_secs }
+                    if now >= at_secs && !state.drop_fired[index] =>
+                {
+                    state.drop_fired[index] = true;
+                    Some((host, HostFault::Drop))
+                }
+                _ => None,
+            };
+            if let Some((host, fault)) = injected {
+                if !plan.iter().any(|&(h, _)| h == host) {
+                    plan.push((host, fault));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Takes a churn group's members down, mirroring the assessment
+    /// departure machinery (capacity/backlog write-off, mediation and
+    /// matchmaking deregistration) with two deliberate differences: the
+    /// mediator-side satisfaction tracker is *parked* for a possible
+    /// re-join instead of destroyed, and the exit is counted as a churn
+    /// departure, not as a behavioral [`DepartureRecord`] — churn is
+    /// imposed by the scenario, not chosen by the agent, so it must not
+    /// pollute the retention metrics of Table 3.
+    fn handle_churn_depart(&mut self, group: usize) {
+        let members = match &self.scenario {
+            Some(state) => state.groups[group].members.clone(),
+            None => return,
+        };
+        let mut departed = Vec::new();
+        for id in members {
+            if self.population.providers[id].has_departed() {
+                continue;
+            }
+            self.population.depart_provider(id);
+            if let Some(shard) = self.router.shard_of_provider(id) {
+                let agent = &self.population.providers[id];
+                self.shard_capacity[shard] -= agent.capacity().units_per_sec();
+                // In-flight completions of a parked provider are not
+                // credited anywhere, so its outstanding work comes off
+                // the books now (and goes back on at re-join, for
+                // whatever is still outstanding then).
+                self.shard_backlog[shard] -= agent.backlog().value();
+            }
+            self.router.churn_depart(id);
+            match &mut self.mediation {
+                MediationDriver::Reactor(reactor) => reactor.deregister_provider(id),
+                MediationDriver::Socket(socket) => socket.deregister_provider(id),
+                _ => {}
+            }
+            if let Some(matchmaker) = &mut self.matchmaker {
+                matchmaker.deregister(id);
+            }
+            departed.push(id);
+        }
+        self.population.debug_assert_active_indices_consistent();
+        if let Some(state) = &mut self.scenario {
+            state.churn_departures += departed.len() as u64;
+            state.departed_members[group] = departed;
+        }
+    }
+
+    /// Brings a churn group's members back: the population re-activates
+    /// the agent, the router readmits it to its home shard (`slot % K`)
+    /// with its parked satisfaction view under [`RejoinPolicy::Resume`]
+    /// or a fresh registration under [`RejoinPolicy::Reset`], capacity
+    /// and outstanding backlog go back on the books, departure strikes
+    /// restart from zero, and the mediation backend re-announces the
+    /// endpoint (the socket backend reconnects the host if the drop-out
+    /// closed its last connection).
+    fn handle_churn_rejoin(&mut self, group: usize) {
+        let (members, policy) = match &mut self.scenario {
+            Some(state) => (
+                std::mem::take(&mut state.departed_members[group]),
+                state.groups[group].policy,
+            ),
+            None => return,
+        };
+        let mut rejoined = 0u64;
+        for id in members {
+            let Some(shard) = self
+                .router
+                .readmit_provider(id, policy == RejoinPolicy::Resume)
+            else {
+                continue;
+            };
+            self.population.rejoin_provider(id);
+            if policy == RejoinPolicy::Reset {
+                self.population.providers[id].reset_satisfaction_history();
+            }
+            let agent = &self.population.providers[id];
+            self.shard_capacity[shard] += agent.capacity().units_per_sec();
+            self.shard_backlog[shard] += agent.backlog().value();
+            self.provider_strikes[id] = 0;
+            match &mut self.mediation {
+                MediationDriver::Reactor(reactor) => {
+                    reactor.register_provider(id, Latency::Immediate);
+                }
+                MediationDriver::Socket(socket) => socket
+                    .register_provider(id)
+                    .expect("socket re-registration of a re-joining provider failed"),
+                _ => {}
+            }
+            if let Some(matchmaker) = &mut self.matchmaker {
+                matchmaker.register(&self.population.providers[id]);
+            }
+            rejoined += 1;
+        }
+        self.population.debug_assert_active_indices_consistent();
+        if let Some(state) = &mut self.scenario {
+            state.churn_rejoins += rejoined;
         }
     }
 
@@ -1472,9 +1915,25 @@ impl Simulator {
             .map(|c| c.satisfaction())
             .collect();
 
+        // Scenario fault accounting: the socket backend counts the
+        // replies that really timed out (or found a dead connection) on
+        // the wire; the in-process backends count the indifference they
+        // fabricated for scenario-faulted endpoints.
+        let indifferent_replies = match &self.mediation {
+            MediationDriver::Socket(socket) => socket.timed_out_total(),
+            _ => self.scenario.as_ref().map_or(0, |s| s.fault_indifference),
+        };
+
         SimulationReport {
             method: self.method_kind.name().to_string(),
             seed: self.config.seed,
+            scenario: self
+                .scenario
+                .as_ref()
+                .map_or_else(String::new, |s| s.description.name.clone()),
+            churn_departures: self.scenario.as_ref().map_or(0, |s| s.churn_departures),
+            churn_rejoins: self.scenario.as_ref().map_or(0, |s| s.churn_rejoins),
+            indifferent_replies,
             series: self.series,
             issued_queries: self.issued,
             completed_queries: self.completed,
@@ -1528,6 +1987,15 @@ pub fn run_simulation(
     method: Method,
 ) -> Result<SimulationReport, SqlbError> {
     Ok(Simulator::new(config, method)?.run())
+}
+
+/// Convenience: builds and runs one simulation under a scenario.
+pub fn run_scenario(
+    config: SimulationConfig,
+    method: Method,
+    scenario: &Scenario,
+) -> Result<SimulationReport, SqlbError> {
+    Ok(Simulator::with_scenario(config, method, scenario)?.run())
 }
 
 #[cfg(test)]
@@ -1985,6 +2453,36 @@ mod tests {
             waves >= 4,
             "2 shards bound the batch width at 2, so at least 4 waves must run, ran {waves}"
         );
+    }
+
+    #[test]
+    fn single_shard_least_loaded_runs_keep_the_coalesced_arrival_path() {
+        // Regression: load-reactive routing used to suspend the coalesced
+        // socket-arrival path unconditionally, K = 1 included. With a
+        // single shard every route is shard 0 no matter what the policy
+        // observes, so there is nothing for the batched drain to get
+        // wrong — the guard now keeps the path engaged, and this pins
+        // that it stays bit-identical to the sequential interleaving and
+        // to the inline engine (same-instant bursts included).
+        let run = |mode: crate::MediationMode, coalesce: bool| {
+            let config = small_config(90.0, 23)
+                .with_workload(WorkloadPattern::Fixed(0.5))
+                .with_routing(crate::RoutingPolicyKind::LeastLoaded)
+                .with_mediation(mode)
+                .with_socket_wave_coalescing(coalesce);
+            let mut sim = Simulator::new(config, Method::Sqlb).unwrap();
+            for _ in 0..6 {
+                sim.queue
+                    .schedule(SimTime::from_secs(0.5), Event::QueryArrival);
+            }
+            sim.run()
+        };
+        let coalesced = run(crate::MediationMode::Socket, true);
+        let sequential = run(crate::MediationMode::Socket, false);
+        let inline = run(crate::MediationMode::Inline, true);
+        assert_eq!(coalesced.digest(), sequential.digest());
+        assert_eq!(coalesced.digest(), inline.digest());
+        assert_eq!(coalesced.issued_queries, sequential.issued_queries);
     }
 
     #[test]

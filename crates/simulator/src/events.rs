@@ -34,6 +34,19 @@ pub enum Event {
     /// shards to shrink it (only scheduled when the engine runs more than
     /// one shard *and* migration is enabled in the configuration).
     Rebalance,
+    /// A scenario churn group leaves the system (correlated provider
+    /// churn, compiled from [`crate::scenario::Scenario`] at start-up).
+    ChurnDepart {
+        /// Index of the churn group in the scenario description.
+        group: usize,
+    },
+    /// A scenario churn group re-joins the system; the re-join semantics
+    /// (satisfaction history resumes or resets) are the group's
+    /// [`crate::scenario::RejoinPolicy`].
+    ChurnRejoin {
+        /// Index of the churn group in the scenario description.
+        group: usize,
+    },
 }
 
 #[derive(Debug, Clone)]

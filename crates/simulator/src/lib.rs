@@ -22,6 +22,13 @@
 //! * [`workload`] — workload patterns (fixed or ramping fraction of the
 //!   total system capacity) and the Poisson arrival process;
 //! * [`events`] — the event queue of the discrete-event engine;
+//! * [`scenario`] — declarative scenario descriptions (arrival-rate
+//!   schedules, correlated provider churn with re-join semantics,
+//!   seeded transport faults), compiled into the event queue so
+//!   same-seed scenario runs stay bit-identical;
+//! * [`campaign`] — the named scenario-campaign matrix (scenarios ×
+//!   allocation methods) behind the committed `BENCH_campaign.json`
+//!   digest gate;
 //! * [`matchmaking`] — opt-in capability matchmaking for the candidate
 //!   set `P_q` (the default remains the paper's all-providers behaviour);
 //! * [`routing`] — consumer-routing policies (static `consumer % K` or
@@ -36,12 +43,14 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod events;
 pub mod experiments;
 pub mod matchmaking;
 pub mod routing;
+pub mod scenario;
 pub mod shard;
 pub mod stats;
 pub mod workload;
@@ -51,6 +60,7 @@ pub use engine::Simulator;
 pub use routing::{
     LeastLoadedRouting, RoutingPolicy, RoutingPolicyKind, ShardLoadView, StaticRouting,
 };
+pub use scenario::{ArrivalModifier, ChurnGroup, RejoinPolicy, Scenario, TransportFault};
 pub use shard::ShardRouter;
 pub use stats::{DepartureRecord, MigrationRecord, SimulationReport};
 pub use workload::WorkloadPattern;

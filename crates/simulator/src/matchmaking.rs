@@ -112,6 +112,42 @@ impl ClassMatchmaker {
             }
         }
     }
+
+    /// Re-registers a re-joining provider (scenario churn), re-deriving
+    /// its declared capabilities with exactly the [`registry_for`] rule:
+    /// every non-negatively-preferred class, or the least-disliked one
+    /// when it dislikes them all. Idempotent — a provider already in the
+    /// matching lists is left untouched.
+    pub fn register(&mut self, provider: &sqlb_agents::ProviderAgent) {
+        let mut best = (WORKLOAD_CLASSES[0], f64::NEG_INFINITY);
+        let mut declared_any = false;
+        for (index, class) in WORKLOAD_CLASSES.into_iter().enumerate() {
+            let preference = provider.preference_for(class).value();
+            if preference > best.1 {
+                best = (class, preference);
+            }
+            if preference >= 0.0 {
+                self.declare(provider.id(), class, index);
+                declared_any = true;
+            }
+        }
+        if !declared_any {
+            let index = WORKLOAD_CLASSES
+                .iter()
+                .position(|&c| c == best.0)
+                .expect("best class comes from WORKLOAD_CLASSES");
+            self.declare(provider.id(), best.0, index);
+        }
+    }
+
+    /// Adds one capability and its cached matching-list entry.
+    fn declare(&mut self, provider: ProviderId, class: QueryClass, index: usize) {
+        if let Err(at) = self.by_class[index].binary_search(&provider) {
+            self.registry
+                .register(provider, Capability::new(class_topic(class)));
+            self.by_class[index].insert(at, provider);
+        }
+    }
 }
 
 /// Intersects the shard's (ascending) provider list with the
@@ -233,6 +269,24 @@ mod tests {
         }
         // Deregistering again is a no-op.
         matchmaker.deregister(departed);
+
+        // Re-registration (churn re-join) restores exactly the original
+        // derivation: the matching lists match a from-scratch build.
+        let agent = population
+            .providers
+            .values()
+            .find(|p| p.id() == departed)
+            .unwrap();
+        matchmaker.register(agent);
+        let fresh = ClassMatchmaker::new(&population);
+        for class in WORKLOAD_CLASSES {
+            assert_eq!(matchmaker.matching(class), fresh.matching(class));
+        }
+        // Idempotent.
+        matchmaker.register(agent);
+        for class in WORKLOAD_CLASSES {
+            assert_eq!(matchmaker.matching(class), fresh.matching(class));
+        }
     }
 
     #[test]

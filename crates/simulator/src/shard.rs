@@ -14,7 +14,9 @@
 //! ([`Mediator::export_digest`] / [`Mediator::absorb_digests`]) that blends
 //! them back together.
 
-use sqlb_core::mediator_state::MediatorStateConfig;
+use std::collections::BTreeMap;
+
+use sqlb_core::mediator_state::{MediatorStateConfig, ProviderTracker};
 use sqlb_core::{Allocation, CandidateInfo, Mediator};
 use sqlb_types::ProviderId;
 use sqlb_types::{ConsumerId, MediatorId, ParticipantTable, Query, StableId};
@@ -32,6 +34,12 @@ pub struct ShardRouter {
     /// shard's candidate set is O(1) instead of a filter over the whole
     /// assignment table (which is O(P) per arrival, not O(P/K)).
     shard_providers: Vec<Vec<ProviderId>>,
+    /// Mediator-side satisfaction trackers of providers that churned out
+    /// of the system but may re-join ([`ShardRouter::churn_depart`]).
+    /// Under the `Resume` re-join policy [`ShardRouter::readmit_provider`]
+    /// absorbs the parked tracker back, so the mediator's view of a
+    /// re-joining provider continues where it left off.
+    parked: BTreeMap<ProviderId, ProviderTracker>,
     /// Completed synchronization rounds.
     sync_rounds: u64,
 }
@@ -139,6 +147,7 @@ impl ShardRouter {
             shards,
             assignment,
             shard_providers,
+            parked: BTreeMap::new(),
             sync_rounds: 0,
         }
     }
@@ -207,6 +216,51 @@ impl ShardRouter {
             }
             self.shards[shard].state_mut().remove_provider(provider);
         }
+    }
+
+    /// Removes a churning-out provider like [`ShardRouter::remove_provider`],
+    /// but parks its mediator-side satisfaction tracker so a later
+    /// [`ShardRouter::readmit_provider`] can resume it. A provider the
+    /// shard never observed has no tracker to park; re-admission then
+    /// registers it fresh, exactly as a first allocation would.
+    pub fn churn_depart(&mut self, provider: ProviderId) {
+        if let Some(shard) = self.assignment.remove(provider) {
+            let list = &mut self.shard_providers[shard];
+            if let Ok(pos) = list.binary_search(&provider) {
+                list.remove(pos);
+            }
+            if let Some(tracker) = self.shards[shard].state_mut().export_provider(provider) {
+                self.parked.insert(provider, tracker);
+            }
+        }
+    }
+
+    /// Re-admits a churned-out provider on its home residue shard
+    /// (`slot % K` — always compatible with the stride-compacted state
+    /// layout, whichever shard it had migrated to before departing).
+    /// `resume` absorbs the tracker parked by
+    /// [`ShardRouter::churn_depart`] (the `Resume` re-join policy);
+    /// otherwise — `Reset`, or nothing was parked — the provider
+    /// registers fresh. Returns the shard it now lives on, or `None`
+    /// when the provider is already present.
+    pub fn readmit_provider(&mut self, provider: ProviderId, resume: bool) -> Option<usize> {
+        if self.assignment.get(provider).is_some() {
+            return None;
+        }
+        let shard = provider.slot() % self.shards.len();
+        self.assignment.insert(provider, shard);
+        let list = &mut self.shard_providers[shard];
+        if let Err(pos) = list.binary_search(&provider) {
+            list.insert(pos, provider);
+        }
+        let parked = self.parked.remove(&provider);
+        match parked.filter(|_| resume) {
+            Some(tracker) => self.shards[shard]
+                .state_mut()
+                .absorb_provider(provider, tracker),
+            None => self.shards[shard].state_mut().register_provider(provider),
+        }
+        Some(shard)
     }
 
     /// Removes a departed consumer from every shard's satisfaction state.
@@ -449,6 +503,80 @@ mod tests {
         r.migrate_provider(provider, 1).unwrap();
         assert_eq!(r.shard_of_provider(provider), Some(1));
         assert!(r.mediator(1).state().provider_tracker(provider).is_some());
+        assert_eq!(r.mediator(1).state().provider_satisfaction(provider), 0.5);
+    }
+
+    #[test]
+    fn churn_parks_history_and_resume_restores_it() {
+        let mut r = router(2, 4);
+        let provider = ProviderId::new(0); // shard 0
+        let q = Query::single(
+            QueryId::new(0),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        );
+        for _ in 0..8 {
+            let infos = vec![CandidateInfo::new(provider)
+                .with_consumer_intention(1.0)
+                .with_provider_intention(1.0)];
+            r.allocate(0, &q, &infos);
+        }
+        let history = r.mediator(0).state().provider_satisfaction(provider);
+        assert!(history > 0.9);
+
+        r.churn_depart(provider);
+        assert_eq!(r.shard_of_provider(provider), None);
+        assert!(r.mediator(0).state().provider_tracker(provider).is_none());
+
+        // Resume: the mediator's view continues where it left off, on the
+        // home residue shard.
+        assert_eq!(r.readmit_provider(provider, true), Some(0));
+        assert_eq!(r.shard_of_provider(provider), Some(0));
+        assert!(r.providers_of_shard(0).binary_search(&provider).is_ok());
+        assert!(r.providers_of_shard(0).windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            r.mediator(0).state().provider_satisfaction(provider),
+            history
+        );
+        // Re-admitting a present provider is rejected.
+        assert_eq!(r.readmit_provider(provider, true), None);
+    }
+
+    #[test]
+    fn churn_reset_registers_the_provider_fresh() {
+        let mut r = router(2, 4);
+        let provider = ProviderId::new(1); // shard 1
+        let q = Query::single(
+            QueryId::new(0),
+            ConsumerId::new(0),
+            QueryClass::Light,
+            SimTime::ZERO,
+        );
+        for _ in 0..8 {
+            let infos = vec![CandidateInfo::new(provider)
+                .with_consumer_intention(1.0)
+                .with_provider_intention(1.0)];
+            r.allocate(1, &q, &infos);
+        }
+        assert!(r.mediator(1).state().provider_satisfaction(provider) > 0.9);
+        r.churn_depart(provider);
+        assert_eq!(r.readmit_provider(provider, false), Some(1));
+        // Reset: back to the tracker's initial satisfaction.
+        assert_eq!(r.mediator(1).state().provider_satisfaction(provider), 0.5);
+        // The parked tracker was discarded, so a later resume cannot
+        // resurrect it either.
+        r.churn_depart(provider);
+        assert_eq!(r.readmit_provider(provider, true), Some(1));
+        assert_eq!(r.mediator(1).state().provider_satisfaction(provider), 0.5);
+    }
+
+    #[test]
+    fn churn_of_an_unobserved_provider_readmits_fresh() {
+        let mut r = router(2, 4);
+        let provider = ProviderId::new(3); // shard 1, never allocated to
+        r.churn_depart(provider);
+        assert_eq!(r.readmit_provider(provider, true), Some(1));
         assert_eq!(r.mediator(1).state().provider_satisfaction(provider), 0.5);
     }
 

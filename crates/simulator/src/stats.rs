@@ -151,6 +151,28 @@ pub struct SimulationReport {
     pub final_provider_satisfaction: Summary,
     /// Summary of consumer satisfaction at the end of the run.
     pub final_consumer_satisfaction: Summary,
+    /// Name of the scenario the run executed (empty: the plain paper
+    /// setup with no scenario attached). Descriptive only — not part of
+    /// [`SimulationReport::digest`], whose fixed series list keeps
+    /// digests comparable across report-schema revisions.
+    #[serde(default)]
+    pub scenario: String,
+    /// Providers taken out by scenario churn groups. Kept separate from
+    /// [`SimulationReport::provider_departures`]: churn is injected, not
+    /// a behavioral outcome, so Table-3-style retention metrics stay
+    /// clean (the digest still reflects churn through the
+    /// `active_providers` series).
+    #[serde(default)]
+    pub churn_departures: u64,
+    /// Providers brought back by scenario churn groups.
+    #[serde(default)]
+    pub churn_rejoins: u64,
+    /// Mediation replies degraded to indifference by the run's transport
+    /// (missed wave deadlines, dead connections) or modeled as such by
+    /// the in-process fault hooks. Zero in fault-free runs on every
+    /// backend.
+    #[serde(default)]
+    pub indifferent_replies: u64,
 }
 
 /// FNV-1a, 64-bit — the fold behind [`SimulationReport::digest`].
@@ -238,6 +260,23 @@ impl SimulationReport {
         } else {
             self.consumer_departures.len() as f64 / self.initial_consumers as f64
         }
+    }
+
+    /// Fraction of the initial providers still active at the last metric
+    /// sample — the retention reading of the campaign matrix. Unlike
+    /// `1 − provider_departure_fraction()` this also reflects scenario
+    /// churn (departures *and* re-joins), since it reads the sampled
+    /// `active_providers` series.
+    pub fn provider_retention(&self) -> f64 {
+        if self.initial_providers == 0 {
+            return 1.0;
+        }
+        let active = self
+            .series
+            .active_providers
+            .last_value()
+            .unwrap_or(self.initial_providers as f64 - self.provider_departures.len() as f64);
+        active / self.initial_providers as f64
     }
 
     /// Fraction of issued queries that completed.
@@ -351,6 +390,10 @@ mod tests {
             final_utilization: Summary::of(&[]),
             final_provider_satisfaction: Summary::of(&[]),
             final_consumer_satisfaction: Summary::of(&[]),
+            scenario: String::new(),
+            churn_departures: 0,
+            churn_rejoins: 0,
+            indifferent_replies: 0,
         }
     }
 

@@ -85,6 +85,6 @@ pub mod server;
 
 pub use host::{HostReport, ParticipantHost, TakenWave, WaveRequestBuffer};
 pub use ledger::{route_reply_frame, Applied, WaveLedger};
-pub use loopback::{ConsumerWaveJob, ProviderWaveJob, SocketMediator, WaveJobs};
+pub use loopback::{ConsumerWaveJob, HostFault, ProviderWaveJob, SocketMediator, WaveJobs};
 pub use net::Stream;
 pub use server::{ServerConfig, SocketRoundStats, WaveServer};

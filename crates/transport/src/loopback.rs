@@ -104,23 +104,56 @@ impl<'a> WaveJobs<'a> {
     }
 }
 
+/// A transport fault injected on one loopback host for one wave
+/// ([`SocketMediator::gather_with_faults`]). Scenario campaigns drive
+/// these from the deterministic simulation clock, so the *decision* to
+/// fault a wave is seeded; the fault itself is a genuine wire-level
+/// misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostFault {
+    /// The host goes silent for the wave: it reads its requests off the
+    /// wire (keeping the link's frame stream aligned for later waves)
+    /// but never answers, so every reply expected from it degrades to
+    /// indifference when the wave deadline passes.
+    Stall,
+    /// The host connection drops mid-wave: the host reads the wave's
+    /// requests, then shuts the stream down without replying. The server
+    /// sees the EOF, closes the slot, and every later wave skips the
+    /// host's endpoints at fan-out (instant indifference, no deadline
+    /// wait) until they re-register over a fresh connection.
+    Drop,
+}
+
 /// The engine's socket mediation backend: a [`WaveServer`] on the
 /// mediator side and `hosts` loopback participant-host connections,
 /// each multiplexing the endpoints assigned to it.
 pub struct SocketMediator {
     server: WaveServer,
+    /// The wave server's TCP address, kept so churned-out endpoints can
+    /// re-join over a fresh connection after their host link dropped.
+    addr: std::net::SocketAddr,
     /// Client-side streams of the loopback hosts (`None` once closed).
     links: Vec<Option<Stream>>,
     /// Endpoints still registered per host, for connection lifecycle.
     endpoints_per_host: Vec<usize>,
+    /// The server-side connection slot of each loopback host (bring-up
+    /// makes `host_slot[h] == h`; a re-connect after a dropped link gets
+    /// a fresh slot).
+    host_slot: Vec<usize>,
     host_count: usize,
+    /// Requests fanned out / answered / degraded to indifference across
+    /// all waves so far (accumulated [`SocketRoundStats`]).
+    delivered_total: u64,
+    answered_total: u64,
+    timed_out_total: u64,
 }
 
 impl SocketMediator {
     /// Brings the loopback topology up: binds a TCP wave server on
     /// `127.0.0.1`, connects `hosts` loopback host links, announces each
     /// host's endpoint partition (round-robin by raw id) and accepts
-    /// them on the server side.
+    /// them on the server side. Hosts are connected and accepted one at
+    /// a time, so host `h` always owns server connection slot `h`.
     pub fn loopback(
         hosts: usize,
         config: ServerConfig,
@@ -142,6 +175,7 @@ impl SocketMediator {
 
         let mut links = Vec::with_capacity(hosts);
         let mut endpoints_per_host = Vec::with_capacity(hosts);
+        let mut host_slot = Vec::with_capacity(hosts);
         for h in 0..hosts {
             let stream = Stream::connect_tcp(addr)?;
             // Loopback serving threads use blocking I/O; generous
@@ -156,16 +190,23 @@ impl SocketMediator {
             let mut stream = stream;
             stream.write_all(&encode_participant_reply(&hello))?;
             stream.flush()?;
+            // Accept before connecting the next host, pinning the
+            // host → slot mapping re-registration relies on.
+            host_slot.push(server.accept_host(Duration::from_secs(10))?);
             endpoints_per_host.push(host_consumers[h].len() + host_providers[h].len());
             links.push(Some(stream));
         }
-        server.accept_hosts(hosts, Duration::from_secs(10))?;
 
         Ok(SocketMediator {
             server,
+            addr,
             links,
             endpoints_per_host,
+            host_slot,
             host_count: hosts,
+            delivered_total: 0,
+            answered_total: 0,
+            timed_out_total: 0,
         })
     }
 
@@ -184,6 +225,23 @@ impl SocketMediator {
         self.server.last_round()
     }
 
+    /// Requests degraded to indifference (missed deadlines, dead
+    /// connections) accumulated across all waves so far.
+    pub fn timed_out_total(&self) -> u64 {
+        self.timed_out_total
+    }
+
+    /// Requests fanned out across all waves so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Replies that arrived before their deadline across all waves so
+    /// far.
+    pub fn answered_total(&self) -> u64 {
+        self.answered_total
+    }
+
     /// Number of live loopback host connections.
     pub fn live_hosts(&self) -> usize {
         self.links.iter().filter(|l| l.is_some()).count()
@@ -199,6 +257,21 @@ impl SocketMediator {
         &mut self,
         requests: &[(Query, Vec<ProviderId>)],
         jobs: WaveJobs<'_>,
+    ) -> Vec<Vec<CandidateInfo>> {
+        self.gather_with_faults(requests, jobs, &[])
+    }
+
+    /// [`SocketMediator::gather`] with per-host transport faults injected
+    /// for this wave. A [`HostFault::Stall`]ed host swallows its requests
+    /// without answering (its jobs never run; its replies degrade to
+    /// indifference at the deadline); a [`HostFault::Drop`]ped host reads
+    /// the wave, shuts its connection down mid-wave and stays down until
+    /// its endpoints re-register.
+    pub fn gather_with_faults(
+        &mut self,
+        requests: &[(Query, Vec<ProviderId>)],
+        jobs: WaveJobs<'_>,
+        faults: &[(usize, HostFault)],
     ) -> Vec<Vec<CandidateInfo>> {
         if requests.is_empty() {
             return Vec::new();
@@ -218,18 +291,51 @@ impl SocketMediator {
 
         let server = &mut self.server;
         let links = &mut self.links;
+        let mut dropped = Vec::new();
         let replies = std::thread::scope(|scope| {
-            for ((link, cjobs), pjobs) in links.iter_mut().zip(consumer_jobs).zip(provider_jobs) {
+            for (host, ((link, cjobs), pjobs)) in links
+                .iter_mut()
+                .zip(consumer_jobs)
+                .zip(provider_jobs)
+                .enumerate()
+            {
                 if cjobs.is_empty() && pjobs.is_empty() {
                     continue;
                 }
                 let Some(stream) = link.as_mut() else {
                     continue;
                 };
-                scope.spawn(move || serve_wave_jobs(stream, cjobs, pjobs));
+                match faults.iter().find(|(h, _)| *h == host).map(|&(_, f)| f) {
+                    None => {
+                        scope.spawn(move || serve_wave_jobs(stream, cjobs, pjobs));
+                    }
+                    Some(HostFault::Stall) => {
+                        // The jobs are dropped, not run: the host reads
+                        // its requests (keeping the pipe drained and the
+                        // frame stream aligned for the next wave) and
+                        // stays silent.
+                        scope.spawn(move || swallow_wave(stream, false));
+                    }
+                    Some(HostFault::Drop) => {
+                        scope.spawn(move || swallow_wave(stream, true));
+                        dropped.push(host);
+                    }
+                }
             }
             server.run_wave(requests)
         });
+        for host in dropped {
+            // The serving thread already shut the stream down; forget the
+            // link so later waves skip the host instead of writing into a
+            // closed pipe.
+            if let Some(stream) = self.links[host].take() {
+                stream.shutdown();
+            }
+        }
+        let round = self.server.last_round();
+        self.delivered_total += round.delivered as u64;
+        self.answered_total += round.answered as u64;
+        self.timed_out_total += round.timed_out as u64;
         replies.into_candidate_infos(requests)
     }
 
@@ -252,6 +358,59 @@ impl SocketMediator {
         } else {
             self.shrink_host_of(id.raw());
         }
+    }
+
+    /// Registers a consumer endpoint (a re-joining participant): onto
+    /// its host's live connection when one exists, otherwise over a
+    /// fresh connection to the server (the host's previous link dropped
+    /// or was shut down when its last endpoint departed).
+    pub fn register_consumer(&mut self, id: ConsumerId) -> io::Result<()> {
+        let host = Self::host_of(id.raw(), self.host_count);
+        if self.links[host].is_none() {
+            return self.reconnect_host(host, vec![id], Vec::new());
+        }
+        if self.server.register_consumer_on(id, self.host_slot[host]) {
+            self.endpoints_per_host[host] += 1;
+        }
+        Ok(())
+    }
+
+    /// Registers a provider endpoint (see
+    /// [`SocketMediator::register_consumer`]).
+    pub fn register_provider(&mut self, id: ProviderId) -> io::Result<()> {
+        let host = Self::host_of(id.raw(), self.host_count);
+        if self.links[host].is_none() {
+            return self.reconnect_host(host, Vec::new(), vec![id]);
+        }
+        if self.server.register_provider_on(id, self.host_slot[host]) {
+            self.endpoints_per_host[host] += 1;
+        }
+        Ok(())
+    }
+
+    /// Re-establishes a dropped host link with a fresh connection whose
+    /// hello declares the given endpoints, and accepts it server-side
+    /// (the host gets a new slot).
+    fn reconnect_host(
+        &mut self,
+        host: usize,
+        consumers: Vec<ConsumerId>,
+        providers: Vec<ProviderId>,
+    ) -> io::Result<()> {
+        let endpoints = consumers.len() + providers.len();
+        let stream = Stream::connect_tcp(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let mut stream = stream;
+        stream.write_all(&encode_participant_reply(&ParticipantReply::Hello {
+            consumers,
+            providers,
+        }))?;
+        stream.flush()?;
+        self.host_slot[host] = self.server.accept_host(Duration::from_secs(10))?;
+        self.links[host] = Some(stream);
+        self.endpoints_per_host[host] = endpoints;
+        Ok(())
     }
 
     fn shrink_host_of(&mut self, raw: u32) {
@@ -365,6 +524,42 @@ fn serve_wave_jobs(
                     }
                     stream.write_all(&out)?;
                     return stream.flush();
+                }
+                MediatorMessage::Shutdown => return Ok(()),
+                _ => {}
+            }
+        }
+        match assembler.fill_from(stream) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Reads one wave's frames off a host link and discards them without
+/// answering — the participant side of an injected [`HostFault`]. The
+/// requests must still be consumed: waves are strictly sequential per
+/// link, so frames left in the socket buffer would be mistaken for the
+/// *next* wave's requests by its serving thread, desynchronizing the
+/// link one wave per fault forever. With `drop_connection` the host
+/// additionally shuts the stream down after the wave-end marker (the
+/// mid-wave connection drop); otherwise it returns silently and the
+/// wave's replies degrade to indifference at the server's deadline.
+fn swallow_wave(stream: &mut Stream, drop_connection: bool) -> io::Result<()> {
+    let mut assembler = FrameAssembler::new();
+    loop {
+        while let Some(message) = assembler
+            .next_mediator_message()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            match message {
+                MediatorMessage::WaveEnd { .. } => {
+                    if drop_connection {
+                        stream.shutdown();
+                    }
+                    return Ok(());
                 }
                 MediatorMessage::Shutdown => return Ok(()),
                 _ => {}

@@ -671,6 +671,36 @@ impl WaveServer {
         false
     }
 
+    /// Registers a consumer endpoint on an already-connected host slot
+    /// (a re-joining participant multiplexed onto a live connection, the
+    /// inverse of [`WaveServer::deregister_consumer`]). Returns `false`
+    /// when the slot is closed or the endpoint is already registered.
+    pub fn register_consumer_on(&mut self, id: ConsumerId, slot: usize) -> bool {
+        if self.consumer_home.contains_key(&id) {
+            return false;
+        }
+        let Some(Some(connection)) = self.connections.get_mut(slot) else {
+            return false;
+        };
+        connection.consumers.push(id);
+        self.consumer_home.insert(id, slot);
+        true
+    }
+
+    /// Registers a provider endpoint on an already-connected host slot
+    /// (see [`WaveServer::register_consumer_on`]).
+    pub fn register_provider_on(&mut self, id: ProviderId, slot: usize) -> bool {
+        if self.provider_home.contains_key(&id) {
+            return false;
+        }
+        let Some(Some(connection)) = self.connections.get_mut(slot) else {
+            return false;
+        };
+        connection.providers.push(id);
+        self.provider_home.insert(id, slot);
+        true
+    }
+
     /// Sends `Shutdown` to every live host and drops the connections.
     /// The Unix-domain socket file, if any, is removed.
     pub fn shutdown(&mut self) {
