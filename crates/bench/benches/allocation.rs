@@ -194,12 +194,16 @@ fn bench_shard_throughput(c: &mut Criterion) {
     // A dedicated best-of-N wall-clock measurement for the JSON record
     // (criterion's per-iteration mean is noisier for multi-ms runs).
     let measured = perf::measure_shard_throughput(3);
+    // The observability cost row rides along: instrumented vs off on the
+    // single-shard hot path, digest-checked (observation-only contract).
+    let obs = perf::measure_obs_overhead(5);
     let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "latest".to_string());
     let path = perf::trajectory_path();
     let existing = std::fs::read_to_string(path)
         .map(|content| perf::parse_trajectory(&content))
         .unwrap_or_default();
     let records = perf::upsert_record(existing, &label, measured);
+    let records = perf::upsert_obs(records, &label, obs);
     if let Err(e) = std::fs::write(path, perf::render_trajectory(&records)) {
         eprintln!("warning: could not write BENCH_allocation.json: {e}");
     }

@@ -30,9 +30,9 @@
 //!   from the machine that produced the committed record.
 
 use sqlb_bench::perf::{
-    measure_scale, measure_shard_throughput, measure_transport_round, merge_best, parse_trajectory,
-    regression_failures, scale_regression_failures, trajectory_path, transport_regression_failures,
-    REGRESSION_TOLERANCE, SHARD_COUNTS, TRANSPORT_CONSUMERS,
+    measure_obs_overhead, measure_scale, measure_shard_throughput, measure_transport_round,
+    merge_best, parse_trajectory, regression_failures, scale_regression_failures, trajectory_path,
+    transport_regression_failures, REGRESSION_TOLERANCE, SHARD_COUNTS, TRANSPORT_CONSUMERS,
 };
 
 fn main() {
@@ -227,6 +227,25 @@ fn main() {
             tolerance,
         ));
     }
+
+    // Observability check: re-measure the instrumented-vs-off overhead on
+    // the single-shard hot path. measure_obs_overhead panics (non-zero
+    // exit) if instrumentation moves the report digest, so the
+    // observation-only contract is gated here too; the wall-clock delta
+    // itself is informational — the shard gate above already runs with
+    // instrumentation off, so a disabled-path slowdown trips the main
+    // tolerance, not a dedicated one.
+    let obs = measure_obs_overhead(5);
+    println!(
+        "  obs overhead: off {:.3} ms, on {:.3} ms ({:+.2}%) — digests identical{}",
+        obs.off_wall_ms,
+        obs.on_wall_ms,
+        obs.overhead_pct,
+        match &baseline.obs {
+            Some(b) => format!("  vs committed {:+.2}%", b.overhead_pct),
+            None => "  (no committed baseline row)".to_string(),
+        }
+    );
 
     if failures.is_empty() {
         println!("perf_gate: OK — no gated row regressed past the tolerance");

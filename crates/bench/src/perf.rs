@@ -118,6 +118,22 @@ pub struct ScaleMeasurement {
     pub bytes_per_participant: f64,
 }
 
+/// The observability cost comparison: the same seeded engine run timed
+/// with instrumentation off (the default, a single-branch no-op path)
+/// and on (counters, histograms and the flight recorder live). Recorded
+/// from PR-10 on so the "zero overhead when off" claim stays a measured
+/// number, not a comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOverheadMeasurement {
+    /// Best-of-N wall clock of the uninstrumented run, in milliseconds.
+    pub off_wall_ms: f64,
+    /// Best-of-N wall clock of the instrumented run, in milliseconds.
+    pub on_wall_ms: f64,
+    /// `(on - off) / off`, in percent. Negative values are noise (the
+    /// instrumented run happened to win the wall-clock lottery).
+    pub overhead_pct: f64,
+}
+
 /// One labelled record of the performance trajectory (one per PR).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrajectoryRecord {
@@ -130,6 +146,9 @@ pub struct TrajectoryRecord {
     /// Scale-point measurements ([`SCALE_POINTS`]), for records from
     /// PR-6 on.
     pub scale: Vec<ScaleMeasurement>,
+    /// The instrumented-vs-off overhead measurement, for records from
+    /// PR-10 on.
+    pub obs: Option<ObsOverheadMeasurement>,
 }
 
 /// The benchmark configuration for a shard count.
@@ -334,6 +353,42 @@ pub fn measure_transport_round(providers: u32, runs: usize) -> TransportMeasurem
     }
 }
 
+/// Measures the observability overhead on the single-shard benchmark
+/// configuration (the pure allocation hot path, no sharding to hide
+/// behind): best-of-`runs` wall clock with instrumentation off and on.
+/// Panics if the two runs' report digests diverge — instrumentation is
+/// observation-only by contract, so a digest delta is a bug, not a
+/// measurement.
+pub fn measure_obs_overhead(runs: usize) -> ObsOverheadMeasurement {
+    let off_config = bench_config(1);
+    let on_config = off_config.with_observability(true);
+    let time = |config: SimulationConfig| -> (Duration, u64) {
+        let _ = run_simulation(config, METHOD).expect("warmup run");
+        let mut best = Duration::MAX;
+        let mut digest = 0u64;
+        for _ in 0..runs.max(1) {
+            let start = Instant::now();
+            let report = run_simulation(config, METHOD).expect("overhead run");
+            best = best.min(start.elapsed());
+            digest = report.digest();
+        }
+        (best, digest)
+    };
+    let (off, off_digest) = time(off_config);
+    let (on, on_digest) = time(on_config);
+    assert_eq!(
+        off_digest, on_digest,
+        "instrumentation changed the report digest — observation-only contract broken"
+    );
+    let off_ms = off.as_secs_f64() * 1e3;
+    let on_ms = on.as_secs_f64() * 1e3;
+    ObsOverheadMeasurement {
+        off_wall_ms: off_ms,
+        on_wall_ms: on_ms,
+        overhead_pct: (on_ms / off_ms - 1.0) * 100.0,
+    }
+}
+
 /// Resident-set size of this process in bytes (`VmRSS` from
 /// `/proc/self/status`), or `None` where procfs is unavailable.
 fn resident_bytes() -> Option<u64> {
@@ -423,6 +478,12 @@ pub fn render_trajectory(records: &[TrajectoryRecord]) -> String {
             }
             out.push_str("    ]");
         }
+        if let Some(obs) = &record.obs {
+            out.push_str(&format!(
+                ", \"obs\": {{\"off_wall_ms\": {:.3}, \"on_wall_ms\": {:.3}, \"overhead_pct\": {:.2}}}",
+                obs.off_wall_ms, obs.on_wall_ms, obs.overhead_pct,
+            ));
+        }
         out.push_str(&format!("}}{comma}\n"));
     }
     out.push_str("  ]\n}\n");
@@ -448,6 +509,7 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                 shards: Vec::new(),
                 transport: None,
                 scale: Vec::new(),
+                obs: None,
             });
         }
         if line.contains("\"transport\"") {
@@ -464,6 +526,21 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                         .unwrap_or(0.0),
                     median_ms: field(line, "\"median_ms\"").and_then(|v| v.parse().ok()),
                     pipelined_ms: field(line, "\"pipelined_ms\"").and_then(|v| v.parse().ok()),
+                });
+            }
+        }
+        if line.contains("\"obs\"") {
+            if let Some(record) = records.last_mut() {
+                record.obs = Some(ObsOverheadMeasurement {
+                    off_wall_ms: field(line, "\"off_wall_ms\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                    on_wall_ms: field(line, "\"on_wall_ms\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
+                    overhead_pct: field(line, "\"overhead_pct\"")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0.0),
                 });
             }
         }
@@ -521,6 +598,7 @@ pub fn parse_trajectory(content: &str) -> Vec<TrajectoryRecord> {
                     shards: Vec::new(),
                     transport: None,
                     scale: Vec::new(),
+                    obs: None,
                 });
             }
             records.last_mut().expect("record exists").shards.push(row);
@@ -544,6 +622,7 @@ pub fn upsert_record(
             shards,
             transport: None,
             scale: Vec::new(),
+            obs: None,
         }),
     }
     records
@@ -563,6 +642,7 @@ pub fn upsert_transport(
             shards: Vec::new(),
             transport: Some(transport),
             scale: Vec::new(),
+            obs: None,
         }),
     }
     records
@@ -583,6 +663,28 @@ pub fn upsert_scale(
             shards: Vec::new(),
             transport: None,
             scale,
+            obs: None,
+        }),
+    }
+    records
+}
+
+/// Attaches an observability-overhead measurement to the record with
+/// `label` (creating the record if needed). Rows the other benches wrote
+/// are preserved.
+pub fn upsert_obs(
+    mut records: Vec<TrajectoryRecord>,
+    label: &str,
+    obs: ObsOverheadMeasurement,
+) -> Vec<TrajectoryRecord> {
+    match records.iter_mut().find(|r| r.label == label) {
+        Some(existing) => existing.obs = Some(obs),
+        None => records.push(TrajectoryRecord {
+            label: label.to_string(),
+            shards: Vec::new(),
+            transport: None,
+            scale: Vec::new(),
+            obs: Some(obs),
         }),
     }
     records
@@ -722,6 +824,7 @@ mod tests {
             label: label.to_string(),
             transport: None,
             scale: Vec::new(),
+            obs: None,
             shards: vec![
                 ShardMeasurement {
                     mediator_shards: 1,
@@ -874,6 +977,65 @@ mod tests {
         // And upsert_scale creates a fresh record when the label is new.
         let records = upsert_scale(Vec::new(), "PR-7", vec![scale_row(100_000, 1.0)]);
         assert_eq!(records[0].label, "PR-7");
+        assert!(records[0].shards.is_empty());
+    }
+
+    #[test]
+    fn obs_overhead_rows_round_trip_and_survive_other_upserts() {
+        let mut with_obs = record("PR-10", 260000.0);
+        with_obs.obs = Some(ObsOverheadMeasurement {
+            off_wall_ms: 38.125,
+            on_wall_ms: 38.5,
+            overhead_pct: 0.98,
+        });
+        // A record carrying transport AND scale AND obs renders each row
+        // on its own parseable line.
+        with_obs.transport = Some(TransportMeasurement {
+            endpoints: 10_304,
+            hosts: 8,
+            round_ms: 9.5,
+            median_ms: Some(9.9),
+            pipelined_ms: Some(8.8),
+        });
+        with_obs.scale = vec![scale_row(100_000, 150000.0)];
+        let records = vec![record("PR-9", 250000.0), with_obs.clone()];
+        let parsed = parse_trajectory(&render_trajectory(&records));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].obs, None, "older records carry none");
+        let obs = parsed[1].obs.as_ref().unwrap();
+        assert!((obs.off_wall_ms - 38.125).abs() < 1e-9);
+        assert!((obs.on_wall_ms - 38.5).abs() < 1e-9);
+        assert!((obs.overhead_pct - 0.98).abs() < 1e-9);
+        assert_eq!(parsed[1].transport, with_obs.transport);
+        assert_eq!(parsed[1].scale.len(), 1);
+        assert_eq!(parsed[1].shards.len(), 2);
+
+        // The obs row survives re-upserts of the other rows, and its own
+        // upsert preserves theirs (or creates a fresh record).
+        let records = upsert_record(parsed, "PR-10", record("PR-10", 270000.0).shards);
+        assert!(records[1].obs.is_some());
+        let records = upsert_obs(
+            records,
+            "PR-10",
+            ObsOverheadMeasurement {
+                off_wall_ms: 40.0,
+                on_wall_ms: 40.4,
+                overhead_pct: 1.0,
+            },
+        );
+        assert!((records[1].obs.as_ref().unwrap().off_wall_ms - 40.0).abs() < 1e-9);
+        assert_eq!(records[1].shards.len(), 2);
+        assert!(records[1].transport.is_some());
+        let records = upsert_obs(
+            Vec::new(),
+            "PR-11",
+            ObsOverheadMeasurement {
+                off_wall_ms: 1.0,
+                on_wall_ms: 1.0,
+                overhead_pct: 0.0,
+            },
+        );
+        assert_eq!(records[0].label, "PR-11");
         assert!(records[0].shards.is_empty());
     }
 

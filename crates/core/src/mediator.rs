@@ -18,10 +18,25 @@
 //! them into its own view.
 
 use serde::{Deserialize, Serialize};
+use sqlb_obs::{Counter, Obs};
 use sqlb_types::{ConsumerId, MediatorId, Query};
 
 use crate::allocation::{Allocation, AllocationMethod, CandidateInfo};
 use crate::mediator_state::{MediatorState, MediatorStateConfig};
+
+/// Pre-resolved observability instruments of a [`Mediator`]. No-op
+/// handles (one predictable branch per update) until
+/// [`Mediator::set_obs`] installs an enabled [`sqlb_obs::Obs`], so the
+/// allocation hot path is unchanged when observability is off.
+#[derive(Debug, Default)]
+struct MediatorMetrics {
+    /// Allocation decisions taken (Algorithm 1 runs).
+    allocations: Counter,
+    /// Satisfaction digests published to peers.
+    digests_exported: Counter,
+    /// Peer digests blended into the local view.
+    digests_absorbed: Counter,
+}
 
 /// One consumer's satisfaction reading inside a [`SatisfactionDigest`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,6 +66,7 @@ pub struct Mediator {
     id: MediatorId,
     method: Box<dyn AllocationMethod>,
     state: MediatorState,
+    metrics: MediatorMetrics,
 }
 
 impl Mediator {
@@ -80,7 +96,22 @@ impl Mediator {
             id,
             method,
             state: MediatorState::with_slot_stride(config, offset, stride),
+            metrics: MediatorMetrics::default(),
         }
+    }
+
+    /// Installs an observability sink: allocation and synchronization
+    /// counters become live-readable through the sink's registry,
+    /// prefixed with this mediator's raw id so sharded deployments can
+    /// tell their mediators apart. With a disabled sink every handle
+    /// stays a no-op.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let id = self.id.raw();
+        self.metrics = MediatorMetrics {
+            allocations: obs.counter(&format!("mediator_{id}_allocations")),
+            digests_exported: obs.counter(&format!("mediator_{id}_digests_exported")),
+            digests_absorbed: obs.counter(&format!("mediator_{id}_digests_absorbed")),
+        };
     }
 
     /// The mediator's identity.
@@ -122,6 +153,7 @@ impl Mediator {
     pub fn allocate(&mut self, query: &Query, candidates: &[CandidateInfo]) -> Allocation {
         let allocation = self.method.allocate(query, candidates, &self.state);
         self.state.record_allocation(query, candidates, &allocation);
+        self.metrics.allocations.inc();
         allocation
     }
 
@@ -174,6 +206,7 @@ impl Mediator {
                 })
             })
             .collect();
+        self.metrics.digests_exported.inc();
         SatisfactionDigest {
             mediator: self.id,
             consumers,
@@ -189,6 +222,7 @@ impl Mediator {
             if digest.mediator == self.id {
                 continue;
             }
+            self.metrics.digests_absorbed.inc();
             for entry in &digest.consumers {
                 self.state.add_remote_consumer_view(
                     entry.consumer,

@@ -71,6 +71,7 @@
 
 use serde::{Deserialize, Serialize};
 use sqlb_core::allocation::Bid;
+use sqlb_obs::{HistogramSummary, ObsSnapshot};
 use sqlb_types::{
     ConsumerId, ProviderId, Query, QueryClass, QueryDescription, QueryId, SimTime, WorkUnits,
 };
@@ -157,6 +158,14 @@ pub enum MediatorMessage {
         /// The wave whose requests are complete.
         wave: u64,
     },
+    /// A point-in-time observability snapshot of the wave server,
+    /// answering a [`ParticipantReply::StatsRequest`] on the same
+    /// connection (the live-introspection endpoint).
+    StatsReply {
+        /// The server's instrument snapshot at the moment the request
+        /// was serviced.
+        snapshot: ObsSnapshot,
+    },
 }
 
 /// Replies sent by participants to the mediator.
@@ -218,6 +227,11 @@ pub enum ParticipantReply {
     /// spontaneously on departure or in response to
     /// [`MediatorMessage::Shutdown`]).
     Goodbye,
+    /// Asks the wave server for a point-in-time observability snapshot,
+    /// answered with a [`MediatorMessage::StatsReply`] on this
+    /// connection. Any connected host may send it at any moment —
+    /// including mid-run, between or during waves.
+    StatsRequest,
 }
 
 impl ParticipantReply {
@@ -470,6 +484,30 @@ pub fn encode_mediator_message_into(message: &MediatorMessage, out: &mut Vec<u8>
             w.u64(*wave);
             w.finish()
         }
+        MediatorMessage::StatsReply { snapshot } => {
+            let mut w = FrameWriter::over(out, 9);
+            w.count(snapshot.counters.len());
+            for (name, value) in &snapshot.counters {
+                w.str(name);
+                w.u64(*value);
+            }
+            w.count(snapshot.gauges.len());
+            for (name, value) in &snapshot.gauges {
+                w.str(name);
+                // Gauges are signed; travel as two's-complement bits.
+                w.u64(*value as u64);
+            }
+            w.count(snapshot.histograms.len());
+            for (name, summary) in &snapshot.histograms {
+                w.str(name);
+                w.u64(summary.count);
+                w.f64(summary.p50);
+                w.f64(summary.p95);
+                w.f64(summary.p99);
+                w.f64(summary.max);
+            }
+            w.finish()
+        }
     }
 }
 
@@ -565,6 +603,7 @@ pub fn encode_participant_reply_into(reply: &ParticipantReply, out: &mut Vec<u8>
             w.finish()
         }
         ParticipantReply::Goodbye => FrameWriter::over(out, 6).finish(),
+        ParticipantReply::StatsRequest => FrameWriter::over(out, 7).finish(),
     }
 }
 
@@ -797,6 +836,40 @@ pub fn decode_mediator_message(bytes: &[u8]) -> Result<(MediatorMessage, usize),
         }
         7 => MediatorMessage::Shutdown,
         8 => MediatorMessage::WaveEnd { wave: r.u64()? },
+        9 => {
+            let n = r.count()?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                counters.push((r.str()?, r.u64()?));
+            }
+            let n = r.count()?;
+            let mut gauges = Vec::with_capacity(n);
+            for _ in 0..n {
+                gauges.push((r.str()?, r.u64()? as i64));
+            }
+            let n = r.count()?;
+            let mut histograms = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                histograms.push((
+                    name,
+                    HistogramSummary {
+                        count: r.u64()?,
+                        p50: r.f64()?,
+                        p95: r.f64()?,
+                        p99: r.f64()?,
+                        max: r.f64()?,
+                    },
+                ));
+            }
+            MediatorMessage::StatsReply {
+                snapshot: ObsSnapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                },
+            }
+        }
         tag => return Err(FrameError::UnknownTag(tag)),
     };
     Ok((message, r.close()?))
@@ -881,6 +954,7 @@ pub fn decode_participant_reply(bytes: &[u8]) -> Result<(ParticipantReply, usize
             }
         }
         6 => ParticipantReply::Goodbye,
+        7 => ParticipantReply::StatsRequest,
         tag => return Err(FrameError::UnknownTag(tag)),
     };
     Ok((reply, r.close()?))
@@ -1085,6 +1159,25 @@ mod tests {
             },
             MediatorMessage::Shutdown,
             MediatorMessage::WaveEnd { wave: 42 },
+            MediatorMessage::StatsReply {
+                snapshot: ObsSnapshot::default(),
+            },
+            MediatorMessage::StatsReply {
+                snapshot: ObsSnapshot {
+                    counters: vec![("replies_credited".into(), 192), ("waves_begun".into(), 3)],
+                    gauges: vec![("pipeline_depth".into(), -2)],
+                    histograms: vec![(
+                        "wave_gather_seconds".into(),
+                        HistogramSummary {
+                            count: 3,
+                            p50: 0.001,
+                            p95: 0.0025,
+                            p99: 0.0025,
+                            max: 0.00273,
+                        },
+                    )],
+                },
+            },
         ]
     }
 
@@ -1123,6 +1216,7 @@ mod tests {
                 providers: vec![ProviderId::new(1)],
             },
             ParticipantReply::Goodbye,
+            ParticipantReply::StatsRequest,
         ]
     }
 

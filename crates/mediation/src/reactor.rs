@@ -58,9 +58,43 @@ use std::time::Duration;
 
 use sqlb_core::allocation::{Allocation, AllocationMethod, Bid, CandidateInfo};
 use sqlb_core::{Mediator, MediatorState};
+use sqlb_obs::{Counter, EventKind, Histogram, Obs};
 use sqlb_types::{ConsumerId, ProviderId, Query, QueryId};
 
 use crate::runtime::{ConsumerEndpoint, ProviderEndpoint, RuntimeConfig};
+
+/// Pre-resolved observability instruments of a [`Reactor`] — no-op
+/// handles until [`Reactor::set_obs`] installs an enabled
+/// [`sqlb_obs::Obs`], so the event loop pays one predictable branch per
+/// wave when observability is off. Flight-recorder events are stamped
+/// with the reactor's *virtual* clock, so a recorded trace lines up
+/// with the deterministic simulation timeline rather than wall time.
+#[derive(Debug, Default)]
+struct ReactorMetrics {
+    /// Waves the event loop has run.
+    waves: Counter,
+    /// Requests delivered to endpoint state machines.
+    requests_delivered: Counter,
+    /// Replies that arrived before (or exactly at) a deadline.
+    replies_answered: Counter,
+    /// Requests that degraded to indifference at a deadline.
+    replies_timed_out: Counter,
+    /// Per-wave virtual gather latency, seconds.
+    wave_virtual_seconds: Histogram,
+}
+
+impl ReactorMetrics {
+    /// Resolves every instrument from `obs` (no-ops when disabled).
+    fn resolve(obs: &Obs) -> Self {
+        ReactorMetrics {
+            waves: obs.counter("reactor_waves"),
+            requests_delivered: obs.counter("reactor_requests_delivered"),
+            replies_answered: obs.counter("reactor_replies_answered"),
+            replies_timed_out: obs.counter("reactor_replies_timed_out"),
+            wave_virtual_seconds: obs.histogram("reactor_wave_virtual_seconds"),
+        }
+    }
+}
 
 /// When an endpoint's reply becomes available after a request is
 /// delivered to it.
@@ -304,6 +338,10 @@ pub struct Reactor {
     now_nanos: u64,
     waves: u64,
     last_round: RoundStats,
+    /// Observability sink (disabled by default).
+    obs: Obs,
+    /// Pre-resolved instruments (see [`ReactorMetrics`]).
+    metrics: ReactorMetrics,
 }
 
 impl Reactor {
@@ -316,12 +354,24 @@ impl Reactor {
             now_nanos: 0,
             waves: 0,
             last_round: RoundStats::default(),
+            obs: Obs::disabled(),
+            metrics: ReactorMetrics::default(),
         }
     }
 
     /// The reactor's configuration.
     pub fn config(&self) -> RuntimeConfig {
         self.config
+    }
+
+    /// Installs an observability sink and resolves the reactor's
+    /// instruments against it. Wave events recorded from here on are
+    /// stamped with the reactor's virtual clock. With a disabled sink
+    /// (the default) every instrument stays a no-op and the event loop
+    /// is unchanged.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.metrics = ReactorMetrics::resolve(obs);
+        self.obs = obs.clone();
     }
 
     /// Registers a consumer endpoint with a latency profile.
@@ -403,6 +453,17 @@ impl Reactor {
 
         let consumer_count = wave.consumers.len();
         let total = wave.consumers.len() + wave.providers.len();
+        self.metrics.waves.inc();
+        self.metrics.requests_delivered.add(total as u64);
+        if self.obs.is_enabled() {
+            self.obs.record(
+                Duration::from_nanos(start).as_secs_f64(),
+                EventKind::WaveBegun {
+                    wave: self.waves,
+                    delivered: total as u64,
+                },
+            );
+        }
 
         // Per-task job + reply storage. Tokens < consumer_count index the
         // consumer tasks; the rest index the provider tasks.
@@ -494,6 +555,22 @@ impl Reactor {
             virtual_elapsed: Duration::from_nanos(clock - start),
             hit_deadline: timed_out > 0,
         };
+        self.metrics.replies_answered.add(answered as u64);
+        self.metrics
+            .wave_virtual_seconds
+            .record(self.last_round.virtual_elapsed.as_secs_f64());
+        if timed_out > 0 {
+            self.metrics.replies_timed_out.add(timed_out as u64);
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    Duration::from_nanos(clock).as_secs_f64(),
+                    EventKind::TimeoutIndifference {
+                        wave: self.waves,
+                        count: timed_out as u64,
+                    },
+                );
+            }
+        }
 
         // Lifetime bookkeeping on the registered profiles.
         for (token, (id, reply)) in consumer_replies.iter().enumerate() {

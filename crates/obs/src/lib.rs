@@ -1,0 +1,246 @@
+//! Runtime observability for the SQLB runtime: named counters, gauges
+//! and log-bucketed latency histograms, plus a fixed-capacity flight
+//! recorder of structured wave/allocation events — all behind one
+//! cloneable [`Obs`] handle that is a **literal no-op when disabled**.
+//!
+//! The paper's whole argument rests on *observed* statistics (Section 3:
+//! adequation, satisfaction, allocation satisfaction), yet a live
+//! mediator is useless if it cannot be inspected while serving waves.
+//! This crate is the inspection layer: the engine, the mediation
+//! runtimes and the socket transport all hold an [`Obs`] handle and
+//! record what they do; a snapshot can be rendered as Prometheus-style
+//! text or JSON at any moment (see [`ObsSnapshot`]), and the flight
+//! recorder's recent events can be dumped for post-mortems.
+//!
+//! Two hard rules shape the design:
+//!
+//! * **Observation only.** Nothing here feeds back into allocation:
+//!   recording a value never touches an rng stream, a satisfaction
+//!   table or a floating-point accumulator the engine reads. Same-seed
+//!   reports are bit-identical with observability on or off (pinned by
+//!   the `observability` integration tests).
+//! * **Disabled means free.** A disabled handle holds no storage at
+//!   all ([`Obs::disabled`] is `None` inside); every recording method
+//!   is one branch on that option and returns. Individual instrument
+//!   handles ([`Counter`], [`Gauge`], [`Histogram`]) work the same
+//!   way, so hot paths keep pre-resolved handles and pay a single
+//!   predictable branch when observability is off.
+//!
+//! ```
+//! use sqlb_obs::{EventKind, Obs};
+//!
+//! let obs = Obs::enabled();
+//! let waves = obs.counter("waves_begun");
+//! let latency = obs.histogram("wave_gather_seconds");
+//! waves.inc();
+//! latency.record(0.000_250);
+//! obs.record(1.5, EventKind::WaveBegun { wave: 1, delivered: 64 });
+//!
+//! let snapshot = obs.snapshot();
+//! assert_eq!(snapshot.counters, vec![("waves_begun".to_string(), 1)]);
+//! assert!(snapshot.to_prometheus_text().contains("sqlb_waves_begun 1"));
+//!
+//! // A disabled handle accepts the same calls and stores nothing.
+//! let off = Obs::disabled();
+//! off.counter("waves_begun").inc();
+//! assert!(off.snapshot().counters.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+
+use std::sync::{Arc, Mutex};
+
+pub use recorder::{EventKind, FlightRecorder, ObsEvent};
+pub use registry::{Counter, Gauge, Histogram, LogHistogram, Registry};
+pub use snapshot::{HistogramSummary, ObsSnapshot};
+
+/// Default flight-recorder capacity (events kept before the ring wraps).
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+/// The storage behind an enabled [`Obs`] handle.
+#[derive(Debug)]
+struct ObsInner {
+    registry: Registry,
+    recorder: Mutex<FlightRecorder>,
+}
+
+/// A cloneable observability handle: either a live registry + flight
+/// recorder shared by every clone, or a no-op shell.
+///
+/// Cloning is cheap (an `Arc` bump or a `None` copy); every subsystem of
+/// a run holds its own clone and all of them feed the same snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// An enabled handle with the default flight-recorder capacity.
+    pub fn enabled() -> Self {
+        Obs::with_recorder_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// An enabled handle whose flight recorder keeps the last
+    /// `capacity` events.
+    pub fn with_recorder_capacity(capacity: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                registry: Registry::new(),
+                recorder: Mutex::new(FlightRecorder::new(capacity)),
+            })),
+        }
+    }
+
+    /// The no-op handle: no storage, every call a single branch.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An enabled or disabled handle, from a configuration flag.
+    pub fn when(enabled: bool) -> Self {
+        if enabled {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolves (registering on first use) the named counter. On a
+    /// disabled handle the returned [`Counter`] is itself a no-op.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Resolves (registering on first use) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Resolves (registering on first use) the named log-bucketed
+    /// latency histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Appends one structured event to the flight recorder, stamped
+    /// `at` (the recording subsystem's clock: the engine and the
+    /// reactor pass virtual seconds, the socket transport seconds since
+    /// server start).
+    pub fn record(&self, at: f64, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            if let Ok(mut recorder) = inner.recorder.lock() {
+                recorder.record(at, kind);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every registered instrument, in
+    /// deterministic (lexicographic) name order. Empty on a disabled
+    /// handle.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => ObsSnapshot::default(),
+        }
+    }
+
+    /// Dumps the flight recorder's retained events as JSON, oldest
+    /// first. `"{}"`-empty on a disabled handle.
+    pub fn dump_events_json(&self) -> String {
+        match &self.inner {
+            Some(inner) => match inner.recorder.lock() {
+                Ok(recorder) => recorder.dump_json(),
+                Err(_) => String::from("{\"dropped\": 0, \"events\": []}"),
+            },
+            None => String::from("{\"dropped\": 0, \"events\": []}"),
+        }
+    }
+
+    /// Installs a panic hook that dumps this handle's flight recorder
+    /// (as JSON, to stderr) before delegating to the previous hook, so
+    /// a crashing run leaves a post-mortem trace. No-op on a disabled
+    /// handle. Intended for binaries; tests should prefer
+    /// [`Obs::dump_events_json`].
+    pub fn install_panic_dump(&self) {
+        let Some(inner) = self.inner.clone() else {
+            return;
+        };
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(recorder) = inner.recorder.lock() {
+                eprintln!("sqlb-obs flight recorder dump:\n{}", recorder.dump_json());
+            }
+            previous(info);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.counter("c").add(5);
+        obs.gauge("g").set(3);
+        obs.histogram("h").record(1.0);
+        obs.record(
+            0.0,
+            EventKind::WaveBegun {
+                wave: 1,
+                delivered: 2,
+            },
+        );
+        let snapshot = obs.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.gauges.is_empty());
+        assert!(snapshot.histograms.is_empty());
+        assert_eq!(obs.dump_events_json(), "{\"dropped\": 0, \"events\": []}");
+    }
+
+    #[test]
+    fn clones_share_the_same_storage() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.counter("shared").add(2);
+        obs.counter("shared").inc();
+        assert_eq!(obs.snapshot().counters, vec![("shared".to_string(), 3)]);
+    }
+
+    #[test]
+    fn when_maps_the_flag() {
+        assert!(Obs::when(true).is_enabled());
+        assert!(!Obs::when(false).is_enabled());
+    }
+
+    #[test]
+    fn handles_resolved_before_disabling_still_noop() {
+        // A Counter resolved from a disabled handle must never panic or
+        // allocate, whatever is called on it.
+        let counter = Obs::disabled().counter("x");
+        counter.inc();
+        counter.add(10);
+        assert_eq!(counter.value(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The flight recorder: a fixed-capacity ring buffer of structured
+//! wave/allocation events for post-mortems.
+//!
+//! Every event carries the recording subsystem's clock reading (`at`)
+//! and a global sequence number (`seq`), so a dump is totally ordered
+//! even after the ring has wrapped many times. The JSON dump reports how
+//! many older events the ring has already dropped — a truncated trace
+//! never silently poses as a complete one.
+
+/// What happened: one structured runtime event.
+///
+/// The variants mirror the lifecycle the wave protocol and the engine
+/// actually go through; ids are carried as plain integers so the
+/// recorder stays independent of every other crate's types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A mediation wave was planned and its requests written out.
+    WaveBegun {
+        /// Wave id.
+        wave: u64,
+        /// Endpoint requests delivered.
+        delivered: u64,
+    },
+    /// A reply was credited to an in-flight wave's ledger.
+    ReplyCredited {
+        /// Wave id the reply answered.
+        wave: u64,
+    },
+    /// A stale, duplicate or foreign reply was parsed and discarded.
+    StaleDiscard {
+        /// Wave id the discarded reply claimed to answer.
+        wave: u64,
+    },
+    /// A wave deadline passed with unanswered requests; the missing
+    /// replies degraded to indifference.
+    TimeoutIndifference {
+        /// Wave id.
+        wave: u64,
+        /// Requests that went unanswered.
+        count: u64,
+    },
+    /// A provider was migrated between mediator shards by a
+    /// rebalancing round.
+    Rebalance {
+        /// Raw provider id.
+        provider: u64,
+        /// Source shard.
+        from: u64,
+        /// Destination shard.
+        to: u64,
+    },
+    /// A participant departed (left the system or was taken down by a
+    /// churn scenario).
+    ChurnDepart {
+        /// Raw participant id.
+        participant: u64,
+        /// `true` for a provider, `false` for a consumer.
+        provider: bool,
+    },
+    /// A previously departed participant rejoined.
+    ChurnRejoin {
+        /// Raw participant id.
+        participant: u64,
+        /// `true` for a provider, `false` for a consumer.
+        provider: bool,
+    },
+}
+
+impl EventKind {
+    /// The snake_case tag the JSON dump labels this event with.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::WaveBegun { .. } => "wave_begun",
+            EventKind::ReplyCredited { .. } => "reply_credited",
+            EventKind::StaleDiscard { .. } => "stale_discard",
+            EventKind::TimeoutIndifference { .. } => "timeout_indifference",
+            EventKind::Rebalance { .. } => "rebalance",
+            EventKind::ChurnDepart { .. } => "churn_depart",
+            EventKind::ChurnRejoin { .. } => "churn_rejoin",
+        }
+    }
+
+    /// Renders the variant's payload as JSON fields (leading comma
+    /// included), matching the hand-rolled JSON style of the rest of
+    /// the workspace.
+    fn json_fields(&self) -> String {
+        match self {
+            EventKind::WaveBegun { wave, delivered } => {
+                format!(", \"wave\": {wave}, \"delivered\": {delivered}")
+            }
+            EventKind::ReplyCredited { wave } => format!(", \"wave\": {wave}"),
+            EventKind::StaleDiscard { wave } => format!(", \"wave\": {wave}"),
+            EventKind::TimeoutIndifference { wave, count } => {
+                format!(", \"wave\": {wave}, \"count\": {count}")
+            }
+            EventKind::Rebalance { provider, from, to } => {
+                format!(", \"provider\": {provider}, \"from\": {from}, \"to\": {to}")
+            }
+            EventKind::ChurnDepart {
+                participant,
+                provider,
+            }
+            | EventKind::ChurnRejoin {
+                participant,
+                provider,
+            } => format!(", \"participant\": {participant}, \"provider\": {provider}"),
+        }
+    }
+}
+
+/// One recorded event: clock stamp, global sequence number, payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsEvent {
+    /// The recording subsystem's clock when the event happened (virtual
+    /// seconds for the engine and reactor, seconds since server start
+    /// for the socket transport).
+    pub at: f64,
+    /// Global 0-based sequence number across the recorder's lifetime —
+    /// total order survives ring wraparound.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl ObsEvent {
+    /// Renders this event as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"at\": {:.6}, \"kind\": \"{}\"{}}}",
+            self.seq,
+            self.at,
+            self.kind.name(),
+            self.kind.json_fields()
+        )
+    }
+}
+
+/// The fixed-capacity event ring.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Ring storage; grows to `capacity` and then wraps.
+    events: Vec<ObsEvent>,
+    /// Next write position inside `events` once full.
+    head: usize,
+    /// Events recorded over the recorder's lifetime.
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (at least one).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            events: Vec::new(),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends one event, dropping the oldest once the ring is full.
+    pub fn record(&mut self, at: f64, kind: EventKind) {
+        let event = ObsEvent {
+            at,
+            seq: self.total,
+            kind,
+        };
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// Events recorded over the recorder's lifetime (retained or not).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events already dropped by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.events.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        let mut ordered = Vec::with_capacity(self.events.len());
+        ordered.extend_from_slice(&self.events[self.head..]);
+        ordered.extend_from_slice(&self.events[..self.head]);
+        ordered
+    }
+
+    /// Dumps the retained events as JSON, oldest first, with the count
+    /// of events already dropped by wraparound.
+    pub fn dump_json(&self) -> String {
+        let mut out = format!("{{\"dropped\": {}, \"events\": [", self.dropped());
+        for (i, event) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut recorder = FlightRecorder::new(8);
+        for wave in 0..5 {
+            recorder.record(wave as f64, EventKind::WaveBegun { wave, delivered: 1 });
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(recorder.dropped(), 0);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events_in_order() {
+        let mut recorder = FlightRecorder::new(4);
+        for wave in 0..10u64 {
+            recorder.record(wave as f64, EventKind::ReplyCredited { wave });
+        }
+        assert_eq!(recorder.total(), 10);
+        assert_eq!(recorder.dropped(), 6);
+        let events = recorder.events();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first after wraparound");
+        for event in &events {
+            match event.kind {
+                EventKind::ReplyCredited { wave } => assert_eq!(wave, event.seq),
+                _ => panic!("unexpected kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_is_stable_over_many_turns() {
+        let mut recorder = FlightRecorder::new(3);
+        for wave in 0..1000u64 {
+            recorder.record(0.0, EventKind::StaleDiscard { wave });
+        }
+        let seqs: Vec<u64> = recorder.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![997, 998, 999]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut recorder = FlightRecorder::new(0);
+        recorder.record(
+            0.0,
+            EventKind::WaveBegun {
+                wave: 1,
+                delivered: 1,
+            },
+        );
+        recorder.record(
+            0.0,
+            EventKind::WaveBegun {
+                wave: 2,
+                delivered: 1,
+            },
+        );
+        assert_eq!(recorder.events().len(), 1);
+        assert_eq!(recorder.dropped(), 1);
+    }
+
+    #[test]
+    fn dump_json_is_well_formed() {
+        let mut recorder = FlightRecorder::new(2);
+        recorder.record(1.25, EventKind::TimeoutIndifference { wave: 7, count: 3 });
+        recorder.record(
+            2.5,
+            EventKind::Rebalance {
+                provider: 42,
+                from: 0,
+                to: 1,
+            },
+        );
+        let dump = recorder.dump_json();
+        assert_eq!(
+            dump,
+            "{\"dropped\": 0, \"events\": [\
+             {\"seq\": 0, \"at\": 1.250000, \"kind\": \"timeout_indifference\", \"wave\": 7, \"count\": 3}, \
+             {\"seq\": 1, \"at\": 2.500000, \"kind\": \"rebalance\", \"provider\": 42, \"from\": 0, \"to\": 1}\
+             ]}"
+        );
+    }
+
+    #[test]
+    fn churn_events_render_both_roles() {
+        let mut recorder = FlightRecorder::new(4);
+        recorder.record(
+            0.0,
+            EventKind::ChurnDepart {
+                participant: 3,
+                provider: true,
+            },
+        );
+        recorder.record(
+            1.0,
+            EventKind::ChurnRejoin {
+                participant: 3,
+                provider: false,
+            },
+        );
+        let dump = recorder.dump_json();
+        assert!(dump.contains("\"kind\": \"churn_depart\", \"participant\": 3, \"provider\": true"));
+        assert!(
+            dump.contains("\"kind\": \"churn_rejoin\", \"participant\": 3, \"provider\": false")
+        );
+    }
+}

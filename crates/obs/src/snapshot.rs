@@ -1,0 +1,212 @@
+//! Point-in-time snapshots of an observability registry, rendered as
+//! Prometheus-style text or JSON.
+//!
+//! Both renderers are deterministic: names come out in the registry's
+//! lexicographic order and floats use fixed-precision formatting, so
+//! golden-file tests can pin the exact output and the wire protocol's
+//! `StatsReply` can carry a snapshot bit-stably.
+
+/// Quantile summary of one log-bucketed latency histogram, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Exact observed maximum.
+    pub max: f64,
+}
+
+/// A point-in-time snapshot of every registered instrument.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsSnapshot {
+    /// `(name, value)` per counter, lexicographic by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, lexicographic by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` per histogram, lexicographic by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+/// Fixed-precision second formatting shared by both renderers: nine
+/// decimals (nanosecond resolution), enough to round-trip the
+/// histogram's nanosecond-backed values.
+fn seconds(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+impl ObsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the snapshot in Prometheus' text exposition style:
+    /// counters and gauges as `sqlb_<name> <value>`, histograms as
+    /// quantile-labelled summaries plus a `_count` row.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE sqlb_{name} counter\n"));
+            out.push_str(&format!("sqlb_{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE sqlb_{name} gauge\n"));
+            out.push_str(&format!("sqlb_{name} {value}\n"));
+        }
+        for (name, summary) in &self.histograms {
+            out.push_str(&format!("# TYPE sqlb_{name} summary\n"));
+            out.push_str(&format!(
+                "sqlb_{name}{{quantile=\"0.5\"}} {}\n",
+                seconds(summary.p50)
+            ));
+            out.push_str(&format!(
+                "sqlb_{name}{{quantile=\"0.95\"}} {}\n",
+                seconds(summary.p95)
+            ));
+            out.push_str(&format!(
+                "sqlb_{name}{{quantile=\"0.99\"}} {}\n",
+                seconds(summary.p99)
+            ));
+            out.push_str(&format!(
+                "sqlb_{name}{{quantile=\"1\"}} {}\n",
+                seconds(summary.max)
+            ));
+            out.push_str(&format!("sqlb_{name}_count {}\n", summary.count));
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object with `counters`,
+    /// `gauges` and `histograms` maps.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (name, summary)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                summary.count,
+                seconds(summary.p50),
+                seconds(summary.p95),
+                seconds(summary.p99),
+                seconds(summary.max)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsSnapshot {
+        ObsSnapshot {
+            counters: vec![
+                ("replies_credited".to_string(), 128),
+                ("waves_begun".to_string(), 16),
+            ],
+            gauges: vec![("pipeline_depth".to_string(), 2)],
+            histograms: vec![(
+                "wave_gather_seconds".to_string(),
+                HistogramSummary {
+                    count: 16,
+                    p50: 0.000_25,
+                    p95: 0.001,
+                    p99: 0.002,
+                    max: 0.002_5,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_golden() {
+        assert_eq!(
+            sample().to_prometheus_text(),
+            "# TYPE sqlb_replies_credited counter\n\
+             sqlb_replies_credited 128\n\
+             # TYPE sqlb_waves_begun counter\n\
+             sqlb_waves_begun 16\n\
+             # TYPE sqlb_pipeline_depth gauge\n\
+             sqlb_pipeline_depth 2\n\
+             # TYPE sqlb_wave_gather_seconds summary\n\
+             sqlb_wave_gather_seconds{quantile=\"0.5\"} 0.000250000\n\
+             sqlb_wave_gather_seconds{quantile=\"0.95\"} 0.001000000\n\
+             sqlb_wave_gather_seconds{quantile=\"0.99\"} 0.002000000\n\
+             sqlb_wave_gather_seconds{quantile=\"1\"} 0.002500000\n\
+             sqlb_wave_gather_seconds_count 16\n"
+        );
+    }
+
+    #[test]
+    fn json_golden() {
+        assert_eq!(
+            sample().to_json(),
+            "{\"counters\": {\"replies_credited\": 128, \"waves_begun\": 16}, \
+             \"gauges\": {\"pipeline_depth\": 2}, \
+             \"histograms\": {\"wave_gather_seconds\": \
+             {\"count\": 16, \"p50\": 0.000250000, \"p95\": 0.001000000, \
+             \"p99\": 0.002000000, \"max\": 0.002500000}}}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_structures() {
+        let empty = ObsSnapshot::default();
+        assert_eq!(empty.to_prometheus_text(), "");
+        assert_eq!(
+            empty.to_json(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}"
+        );
+    }
+
+    #[test]
+    fn lookups_find_rows() {
+        let snapshot = sample();
+        assert_eq!(snapshot.counter("waves_begun"), Some(16));
+        assert_eq!(snapshot.counter("missing"), None);
+        assert_eq!(snapshot.gauge("pipeline_depth"), Some(2));
+        assert_eq!(
+            snapshot.histogram("wave_gather_seconds").map(|h| h.count),
+            Some(16)
+        );
+    }
+}

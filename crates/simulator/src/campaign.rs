@@ -131,6 +131,12 @@ pub struct CampaignEntry {
     pub churn_departures: u64,
     /// Providers brought back by scenario churn.
     pub churn_rejoins: u64,
+    /// Replies degraded to indifference by the run's transport or the
+    /// in-process fault hooks ([`SimulationReport::indifferent_replies`]).
+    pub indifferent_replies: u64,
+    /// Waves that completed with at least one degraded reply
+    /// ([`SimulationReport::degraded_waves`]).
+    pub degraded_waves: u64,
 }
 
 impl CampaignEntry {
@@ -147,6 +153,8 @@ impl CampaignEntry {
             utilization_balance: report.final_utilization.balance,
             churn_departures: report.churn_departures,
             churn_rejoins: report.churn_rejoins,
+            indifferent_replies: report.indifferent_replies,
+            degraded_waves: report.degraded_waves,
         }
     }
 }
@@ -217,7 +225,8 @@ pub fn render_campaign(entries: &[CampaignEntry]) -> String {
             "    {{\"scenario\": \"{}\", \"method\": \"{}\", \"digest\": \"{:#018x}\", \
              \"issued_queries\": {}, \"completed_queries\": {}, \"retention\": {:.6}, \
              \"satisfaction\": {:.6}, \"utilization_balance\": {:.6}, \
-             \"churn_departures\": {}, \"churn_rejoins\": {}}}{comma}\n",
+             \"churn_departures\": {}, \"churn_rejoins\": {}, \
+             \"indifferent_replies\": {}, \"degraded_waves\": {}}}{comma}\n",
             entry.scenario,
             entry.method,
             entry.digest,
@@ -228,6 +237,8 @@ pub fn render_campaign(entries: &[CampaignEntry]) -> String {
             entry.utilization_balance,
             entry.churn_departures,
             entry.churn_rejoins,
+            entry.indifferent_replies,
+            entry.degraded_waves,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -279,6 +290,8 @@ pub fn parse_campaign(content: &str) -> Vec<CampaignEntry> {
             utilization_balance: num(line, "\"utilization_balance\"").unwrap_or(0.0),
             churn_departures: num(line, "\"churn_departures\"").unwrap_or(0),
             churn_rejoins: num(line, "\"churn_rejoins\"").unwrap_or(0),
+            indifferent_replies: num(line, "\"indifferent_replies\"").unwrap_or(0),
+            degraded_waves: num(line, "\"degraded_waves\"").unwrap_or(0),
         });
     }
     entries
@@ -341,6 +354,8 @@ mod tests {
             utilization_balance: 0.87,
             churn_departures: 16,
             churn_rejoins: 16,
+            indifferent_replies: 24,
+            degraded_waves: 7,
         }
     }
 

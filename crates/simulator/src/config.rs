@@ -215,6 +215,15 @@ pub struct SimulationConfig {
     /// Ignored by the inline backend, which has no wire to time out.
     #[serde(default = "default_wave_timeout_ms")]
     pub wave_timeout_ms: u64,
+    /// Whether runtime observability (`sqlb-obs`) is enabled: counters,
+    /// latency histograms and the structured flight recorder, threaded
+    /// through the engine, the mediator shards and the mediation
+    /// backends. Off by default — the disabled path is a single branch
+    /// on a `None`, so fault-free hot-path behaviour and same-seed
+    /// digests are identical either way (pinned by the
+    /// `observability` integration tests).
+    #[serde(default)]
+    pub observability: bool,
 }
 
 /// Serde default for [`SimulationConfig::scoring_threads`], so configs
@@ -272,6 +281,7 @@ impl SimulationConfig {
             scoring_threads: 1,
             socket_wave_coalescing: true,
             wave_timeout_ms: 5_000,
+            observability: false,
         }
     }
 
@@ -327,6 +337,7 @@ impl SimulationConfig {
             scoring_threads: 1,
             socket_wave_coalescing: true,
             wave_timeout_ms: 5_000,
+            observability: false,
         }
     }
 
@@ -435,6 +446,14 @@ impl SimulationConfig {
     /// that miss it degrade to indifference).
     pub fn with_wave_timeout_ms(mut self, timeout_ms: u64) -> Self {
         self.wave_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Enables (or disables) runtime observability: counters, latency
+    /// histograms and the flight recorder. Same-seed reports are
+    /// bit-identical either way.
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 
@@ -584,6 +603,8 @@ mod tests {
                 c.wave_timeout_ms, 5_000,
                 "the historical 5 s wave deadline is the default"
             );
+            assert!(!c.observability, "observability is off by default");
+            assert!(c.with_observability(true).observability);
         }
         assert_eq!(super::default_scoring_threads(), 1);
         assert!(super::default_socket_wave_coalescing());

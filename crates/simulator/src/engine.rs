@@ -35,6 +35,7 @@ use sqlb_mediation::{
     run_wave_threaded, IntentionWave, Latency, ProviderAnswer, Reactor, RuntimeConfig,
 };
 use sqlb_metrics::{fairness, mean, spread, Histogram, Summary, TimeSeries};
+use sqlb_obs::{Counter as ObsCounter, EventKind, Histogram as ObsHistogram, Obs};
 use sqlb_reputation::ReputationStore;
 use sqlb_transport::{HostFault, ServerConfig, SocketMediator, WaveJobs};
 use sqlb_types::{
@@ -70,6 +71,54 @@ struct ArrivalScratch {
     selected_indices: Vec<usize>,
     /// Id-sorted index over the allocation's selected providers.
     selection: SelectionSet,
+}
+
+/// Pre-resolved engine-level observability instruments (`sqlb-obs`).
+/// Resolved once at build time; when the run's [`Obs`] handle is
+/// disabled every handle is a no-op, so each hot-path site pays a
+/// single predictable branch and nothing else.
+#[derive(Debug, Default)]
+struct EngineMetrics {
+    /// Queries issued by consumers (mirrors the report counter).
+    queries_issued: ObsCounter,
+    /// Queries whose results were delivered.
+    queries_completed: ObsCounter,
+    /// Queries no provider-bearing shard could take.
+    queries_unallocated: ObsCounter,
+    /// Replies degraded to indifference, unified across backends: wire
+    /// timeouts and dead connections on the socket transport, the
+    /// fabricated indifference of scenario-faulted endpoints on the
+    /// in-process backends. One counter, whatever the backend — the
+    /// per-backend split stays visible through the transport's own
+    /// `replies_timed_out` and the scenario accounting.
+    indifferent_replies: ObsCounter,
+    /// Mediation waves that completed with at least one degraded reply.
+    degraded_waves: ObsCounter,
+    /// Providers taken down by scenario churn groups.
+    churn_departures: ObsCounter,
+    /// Providers brought back by scenario churn groups.
+    churn_rejoins: ObsCounter,
+    /// Cross-shard provider migrations performed by rebalancing.
+    migrations: ObsCounter,
+    /// Response-time distribution of completed queries (virtual
+    /// seconds).
+    response_time_seconds: ObsHistogram,
+}
+
+impl EngineMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        EngineMetrics {
+            queries_issued: obs.counter("queries_issued"),
+            queries_completed: obs.counter("queries_completed"),
+            queries_unallocated: obs.counter("queries_unallocated"),
+            indifferent_replies: obs.counter("indifferent_replies"),
+            degraded_waves: obs.counter("degraded_waves"),
+            churn_departures: obs.counter("churn_departures"),
+            churn_rejoins: obs.counter("churn_rejoins"),
+            migrations: obs.counter("provider_migrations"),
+            response_time_seconds: obs.histogram("response_time_seconds"),
+        }
+    }
 }
 
 /// Run state of an attached [`Scenario`]: the declarative description
@@ -307,6 +356,23 @@ pub struct Simulator {
     matchmaker: Option<ClassMatchmaker>,
     /// Scenario run state (`None` for plain runs — the default).
     scenario: Option<ScenarioState>,
+    /// The run's observability handle: live when
+    /// [`SimulationConfig::observability`] is set, a no-op shell
+    /// otherwise. Clones of it are planted in the mediator shards and
+    /// the mediation backend at build time, so one snapshot covers the
+    /// whole run.
+    obs: Obs,
+    /// Pre-resolved engine instruments (see [`EngineMetrics`]).
+    metrics: EngineMetrics,
+    /// Waves that completed with at least one reply degraded to
+    /// indifference, on any backend — the report's `degraded_waves`.
+    /// Plain engine accounting, maintained whether or not observability
+    /// is on (like `issued`/`completed`).
+    degraded_waves: u64,
+    /// Socket-backend wire timeouts already folded into the unified
+    /// indifference accounting (delta tracking against the transport's
+    /// accumulated `timed_out_total`).
+    socket_timeouts_seen: u64,
 }
 
 impl Simulator {
@@ -358,6 +424,17 @@ impl Simulator {
         );
         router.set_scoring_threads(config.scoring_threads);
 
+        // Observation only: a disabled handle records nothing, an
+        // enabled one observes without feeding anything back, so
+        // same-seed reports are bit-identical either way (pinned by the
+        // observability integration tests).
+        let obs = Obs::when(config.observability);
+        if obs.is_enabled() {
+            for shard in 0..router.shard_count() {
+                router.mediator_mut(shard).set_obs(&obs);
+            }
+        }
+
         // The wave deadline is only a guard on the simulated topologies
         // (in-process participants answer as soon as they are polled);
         // scenario fault runs shrink it so stalled hosts do not make
@@ -380,13 +457,14 @@ impl Simulator {
                 for id in population.providers.keys() {
                     reactor.register_provider(id, Latency::Immediate);
                 }
+                reactor.set_obs(&obs);
                 MediationDriver::Reactor(Box::new(reactor))
             }
             MediationMode::Socket => {
                 // The engine hosts the whole loopback topology: a wave
                 // server on 127.0.0.1 and `socket_hosts` participant-host
                 // connections announcing the population's endpoints.
-                let mediator = SocketMediator::loopback(
+                let mut mediator = SocketMediator::loopback(
                     config.socket_hosts,
                     ServerConfig {
                         timeout: wave_timeout,
@@ -398,6 +476,7 @@ impl Simulator {
                 .map_err(|e| SqlbError::InvalidConfig {
                     reason: format!("socket mediation bring-up failed: {e}"),
                 })?;
+                mediator.set_obs(obs.clone());
                 MediationDriver::Socket(Box::new(mediator))
             }
         };
@@ -476,6 +555,10 @@ impl Simulator {
             mediation,
             matchmaker,
             scenario,
+            metrics: EngineMetrics::resolve(&obs),
+            obs,
+            degraded_waves: 0,
+            socket_timeouts_seen: 0,
             population,
             config,
         };
@@ -497,6 +580,15 @@ impl Simulator {
     /// The number of mediator shards this simulator runs.
     pub fn shard_count(&self) -> usize {
         self.router.shard_count()
+    }
+
+    /// The run's observability handle — disabled (a no-op shell) unless
+    /// [`SimulationConfig::observability`] is set. Clone it *before*
+    /// [`Simulator::run`] (which consumes the simulator) to snapshot
+    /// counters or dump the flight recorder afterwards: every clone
+    /// shares the same storage.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     fn schedule_initial_events(&mut self) {
@@ -720,6 +812,7 @@ impl Simulator {
         }
         self.next_query_id = self.next_query_id.wrapping_add(1);
         self.issued += 1;
+        self.metrics.queries_issued.inc();
 
         // Route the query to its mediator shard; the candidate set is the
         // providers that shard owns. Routing is deterministic (a pure
@@ -740,6 +833,7 @@ impl Simulator {
         );
         let Some(shard) = self.first_shard_with_candidates(preferred) else {
             self.unallocated += 1;
+            self.metrics.queries_unallocated.inc();
             return;
         };
 
@@ -790,6 +884,7 @@ impl Simulator {
         let now = self.now;
         let wave_timeout = Duration::from_millis(self.config.wave_timeout_ms);
         let mut fabricated = 0u64;
+        let mut wire_timeouts = 0u64;
         match &mut self.mediation {
             MediationDriver::Inline => {
                 let consumer_agent = &self.population.consumers[consumer];
@@ -876,6 +971,12 @@ impl Simulator {
                 }
                 let requests = [(query.clone(), candidates.to_vec())];
                 let gathered = socket.gather_with_faults(&requests, jobs, &fault_plan);
+                // The wave's wire timeouts (delta of the accumulated
+                // total): the unified indifference accounting below
+                // treats them exactly like the indifference the
+                // in-process backends fabricate.
+                wire_timeouts = socket.timed_out_total() - self.socket_timeouts_seen;
+                self.socket_timeouts_seen = socket.timed_out_total();
                 let infos = &mut self.scratch.infos;
                 infos.clear();
                 infos.extend(gathered.into_iter().flatten());
@@ -951,6 +1052,13 @@ impl Simulator {
                 state.fault_indifference += fabricated;
             }
         }
+        // Unified across backends: at most one of the two sources is
+        // non-zero (the socket backend counts real wire timeouts, the
+        // in-process ones the indifference they fabricate).
+        let degraded = fabricated + wire_timeouts;
+        if degraded > 0 {
+            self.note_degraded_wave(u64::from(query.id.raw()), degraded);
+        }
 
         self.allocate_and_record(&query, shard);
     }
@@ -1015,6 +1123,24 @@ impl Simulator {
                     issued_at: query.issued_at,
                     work: query.cost(),
                 },
+            );
+        }
+    }
+
+    /// Credits `count` replies degraded to indifference on the wave
+    /// that mediated query `wave` — the unified accounting every
+    /// backend funnels through. The plain `degraded_waves` report
+    /// counter always moves; the obs counters and the flight-recorder
+    /// event only when observability is on (and a disabled handle makes
+    /// them single-branch no-ops anyway).
+    fn note_degraded_wave(&mut self, wave: u64, count: u64) {
+        self.degraded_waves += 1;
+        self.metrics.indifferent_replies.add(count);
+        self.metrics.degraded_waves.inc();
+        if self.obs.is_enabled() {
+            self.obs.record(
+                self.now.as_secs(),
+                EventKind::TimeoutIndifference { wave, count },
             );
         }
     }
@@ -1089,6 +1215,7 @@ impl Simulator {
         }
         self.next_query_id = self.next_query_id.wrapping_add(1);
         self.issued += 1;
+        self.metrics.queries_issued.inc();
 
         let preferred = self.routing.route(
             consumer,
@@ -1100,6 +1227,7 @@ impl Simulator {
         );
         let Some(shard) = self.first_shard_with_candidates(preferred) else {
             self.unallocated += 1;
+            self.metrics.queries_unallocated.inc();
             return None;
         };
         let shard_providers = self.router.providers_of_shard(shard);
@@ -1185,6 +1313,13 @@ impl Simulator {
             });
         }
         let gathered = socket.gather_with_faults(&requests, jobs, &fault_plan);
+        let wire_timeouts = socket.timed_out_total() - self.socket_timeouts_seen;
+        self.socket_timeouts_seen = socket.timed_out_total();
+        if wire_timeouts > 0 {
+            // One coalesced wave, one degraded-wave credit — stamped
+            // with the first query of the batch.
+            self.note_degraded_wave(u64::from(batch[0].query.id.raw()), wire_timeouts);
+        }
         for (arrival, infos) in batch.iter().zip(gathered) {
             self.scratch.infos.clear();
             self.scratch.infos.extend(infos);
@@ -1295,6 +1430,16 @@ impl Simulator {
             if let Some(matchmaker) = &mut self.matchmaker {
                 matchmaker.deregister(id);
             }
+            self.metrics.churn_departures.inc();
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    self.now.as_secs(),
+                    EventKind::ChurnDepart {
+                        participant: u64::from(id.raw()),
+                        provider: true,
+                    },
+                );
+            }
             departed.push(id);
         }
         self.population.debug_assert_active_indices_consistent();
@@ -1348,6 +1493,16 @@ impl Simulator {
             if let Some(matchmaker) = &mut self.matchmaker {
                 matchmaker.register(&self.population.providers[id]);
             }
+            self.metrics.churn_rejoins.inc();
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    self.now.as_secs(),
+                    EventKind::ChurnRejoin {
+                        participant: u64::from(id.raw()),
+                        provider: true,
+                    },
+                );
+            }
             rejoined += 1;
         }
         self.population.debug_assert_active_indices_consistent();
@@ -1374,6 +1529,8 @@ impl Simulator {
         let response_time = (self.now - issued_at).as_secs();
         self.response_times.record(response_time);
         self.completed += 1;
+        self.metrics.queries_completed.inc();
+        self.metrics.response_time_seconds.record(response_time);
     }
 
     fn handle_sample(&mut self) {
@@ -1763,6 +1920,17 @@ impl Simulator {
                 spread_before,
                 donor_satisfaction,
             });
+            self.metrics.migrations.inc();
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    self.now.as_secs(),
+                    EventKind::Rebalance {
+                        provider: u64::from(migration.provider.raw()),
+                        from: migration.from as u64,
+                        to: migration.to as u64,
+                    },
+                );
+            }
         }
     }
 
@@ -1934,6 +2102,7 @@ impl Simulator {
             churn_departures: self.scenario.as_ref().map_or(0, |s| s.churn_departures),
             churn_rejoins: self.scenario.as_ref().map_or(0, |s| s.churn_rejoins),
             indifferent_replies,
+            degraded_waves: self.degraded_waves,
             series: self.series,
             issued_queries: self.issued,
             completed_queries: self.completed,

@@ -173,6 +173,13 @@ pub struct SimulationReport {
     /// backend.
     #[serde(default)]
     pub indifferent_replies: u64,
+    /// Mediation waves that completed with at least one reply degraded
+    /// to indifference — the wave-granular companion of
+    /// [`SimulationReport::indifferent_replies`] (one degraded wave may
+    /// account for many indifferent replies). Diagnostic only: like the
+    /// scenario name, it is not folded into [`SimulationReport::digest`].
+    #[serde(default)]
+    pub degraded_waves: u64,
 }
 
 /// FNV-1a, 64-bit — the fold behind [`SimulationReport::digest`].
@@ -394,6 +401,7 @@ mod tests {
             churn_departures: 0,
             churn_rejoins: 0,
             indifferent_replies: 0,
+            degraded_waves: 0,
         }
     }
 

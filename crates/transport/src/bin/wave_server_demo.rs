@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! wave_server_demo [--hosts N] [--consumers N] [--providers N]
-//!                  [--waves N] [--spawn] [--uds] [--pipeline]
+//!                  [--waves N] [--spawn] [--uds] [--pipeline] [--stats]
 //! ```
 //!
 //! With `--spawn` the participant hosts run as separate OS processes
@@ -16,13 +16,19 @@
 //! `--pipeline` drives the waves overlapped (`begin_wave` /
 //! `collect_wave`, two in flight) instead of strictly one at a time —
 //! every reply value is still verified against its own wave's formulas,
-//! so cross-wave bleed fails loudly. Exits non-zero on any divergence —
-//! usable directly as a CI gate.
+//! so cross-wave bleed fails loudly. `--stats` enables the `sqlb-obs`
+//! instrumentation and exercises the live introspection endpoint: a
+//! dedicated stats client (no endpoints) sends a `StatsRequest` to the
+//! serving wave server mid-run, and the answered snapshot must carry
+//! non-zero wave counters; it is printed in both the Prometheus text
+//! and the JSON rendering. Exits non-zero on any divergence — usable
+//! directly as a CI gate.
 
 use std::process::{Child, Command, ExitCode};
 use std::time::Duration;
 
 use sqlb_core::allocation::{Allocation, CandidateInfo};
+use sqlb_obs::{Obs, ObsSnapshot};
 use sqlb_transport::demo::{
     consumer_intention, host_range, provider_intention, provider_utilization, DemoConsumer,
     DemoProvider,
@@ -38,6 +44,7 @@ struct Args {
     spawn: bool,
     uds: bool,
     pipeline: bool,
+    stats: bool,
 }
 
 /// Waves kept in flight at once under `--pipeline`.
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         spawn: false,
         uds: false,
         pipeline: false,
+        stats: false,
     };
     let mut raw = std::env::args().skip(1);
     while let Some(flag) = raw.next() {
@@ -68,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
             "--spawn" => args.spawn = true,
             "--uds" => args.uds = true,
             "--pipeline" => args.pipeline = true,
+            "--stats" => args.stats = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -107,6 +116,12 @@ fn run(args: &Args) -> Result<(), String> {
         timeout: Duration::from_secs(10),
         request_bids: false,
     });
+    if args.stats {
+        let obs = Obs::enabled();
+        // A crash mid-demo leaves the flight recorder's trace on stderr.
+        obs.install_panic_dump();
+        server.set_obs(obs);
+    }
     let addr = server
         .listen_tcp("127.0.0.1:0")
         .map_err(|e| format!("tcp bind: {e}"))?;
@@ -291,10 +306,33 @@ fn run(args: &Args) -> Result<(), String> {
                 batches.len()
             ));
         }
+        if args.stats {
+            exchange_stats(&mut server, addr)?;
+        }
     } else {
         for (wave, batch) in batches.iter().enumerate() {
             let infos = server.gather(batch);
             finish_wave(&mut server, wave, &infos)?;
+            // Mid-run, between waves: the server keeps serving after
+            // answering the introspection request.
+            if args.stats && wave == 0 {
+                exchange_stats(&mut server, addr)?;
+            }
+        }
+    }
+
+    if args.stats {
+        let final_waves = server
+            .stats_snapshot()
+            .counters
+            .iter()
+            .find(|(name, _)| name == "waves_begun")
+            .map_or(0, |&(_, value)| value);
+        if final_waves != args.waves as u64 {
+            return Err(format!(
+                "final snapshot reports {final_waves} waves begun, expected {}",
+                args.waves
+            ));
         }
     }
 
@@ -323,5 +361,54 @@ fn run(args: &Args) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// Exercises the live introspection endpoint against the serving
+/// `server`: a dedicated stats client (announcing no endpoints)
+/// connects, sends a stats request and blocks on the reply while this
+/// thread accepts the connection and pumps
+/// [`WaveServer::service_stats`]. The answered snapshot must carry
+/// non-zero wave counters for the run so far; it is printed in both the
+/// Prometheus text and the JSON rendering.
+fn exchange_stats(server: &mut WaveServer, addr: std::net::SocketAddr) -> Result<(), String> {
+    let client = std::thread::spawn(move || -> std::io::Result<ObsSnapshot> {
+        let mut client = ParticipantHost::connect_tcp(addr)?;
+        client.announce()?;
+        client.request_stats()
+    });
+    server
+        .accept_host(Duration::from_secs(10))
+        .map_err(|e| format!("accepting the stats client: {e}"))?;
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while !client.is_finished() {
+        if std::time::Instant::now() > deadline {
+            return Err("the stats reply was not served within 20 s".into());
+        }
+        server.service_stats(Duration::from_millis(20));
+    }
+    let snapshot = client
+        .join()
+        .map_err(|_| "stats client panicked".to_string())?
+        .map_err(|e| format!("stats request: {e}"))?;
+    let counter = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, value)| value)
+    };
+    let waves = counter("waves_begun");
+    let credited = counter("replies_credited");
+    if waves == 0 || credited == 0 {
+        return Err(format!(
+            "stats snapshot reports {waves} waves / {credited} credited replies — expected non-zero"
+        ));
+    }
+    println!(
+        "wave_server_demo: live stats snapshot — {waves} waves begun, {credited} replies credited"
+    );
+    println!("--- prometheus ---\n{}", snapshot.to_prometheus_text());
+    println!("--- json ---\n{}", snapshot.to_json());
     Ok(())
 }

@@ -30,9 +30,42 @@ use sqlb_mediation::{
     MediatorMessage, ParticipantReply,
 };
 use sqlb_mediation::{ConsumerEndpoint, ProviderEndpoint};
+use sqlb_obs::{Counter, Obs};
 use sqlb_types::{ConsumerId, ProviderId, Query};
 
 use crate::net::Stream;
+
+/// Pre-resolved observability instruments of a [`ParticipantHost`] —
+/// the live-readable mirror of [`HostReport`], plus byte accounting.
+/// All no-ops until [`ParticipantHost::set_obs`] installs an enabled
+/// [`Obs`].
+#[derive(Debug, Default)]
+struct HostMetrics {
+    /// Waves answered (mirrors [`HostReport::waves_served`]).
+    waves_served: Counter,
+    /// Endpoint replies written (mirrors [`HostReport::replies_sent`]).
+    replies_sent: Counter,
+    /// Notices/results delivered (mirrors
+    /// [`HostReport::notices_received`]).
+    notices_received: Counter,
+    /// Bytes read from the server connection.
+    bytes_in: Counter,
+    /// Bytes written to the server connection.
+    bytes_out: Counter,
+}
+
+impl HostMetrics {
+    /// Resolves every instrument from `obs` (no-ops when disabled).
+    fn resolve(obs: &Obs) -> Self {
+        HostMetrics {
+            waves_served: obs.counter("host_waves_served"),
+            replies_sent: obs.counter("host_replies_sent"),
+            notices_received: obs.counter("host_notices_received"),
+            bytes_in: obs.counter("host_bytes_in"),
+            bytes_out: obs.counter("host_bytes_out"),
+        }
+    }
+}
 
 /// A buffered consumer wave request: `(wave, addressee, decoded
 /// requests)`, held until the wave-end marker arrives.
@@ -160,6 +193,9 @@ pub struct ParticipantHost {
     /// Reply-encode scratch, reused across waves: a steady-state wave's
     /// reply burst is framed with no buffer allocation at all.
     scratch: Vec<u8>,
+    /// Pre-resolved instruments (no-ops until
+    /// [`ParticipantHost::set_obs`]).
+    metrics: HostMetrics,
 }
 
 impl ParticipantHost {
@@ -183,7 +219,16 @@ impl ParticipantHost {
             providers: BTreeMap::new(),
             report: HostReport::default(),
             scratch: Vec::new(),
+            metrics: HostMetrics::default(),
         }
+    }
+
+    /// Installs an observability sink: the host's service counters
+    /// ([`HostReport`] mirrors, byte totals) become live-readable
+    /// through the sink's registry. With the default disabled sink the
+    /// host records nothing.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.metrics = HostMetrics::resolve(obs);
     }
 
     /// Registers a consumer endpoint on this host (before
@@ -249,6 +294,7 @@ impl ParticipantHost {
                             endpoint.allocation_notice(query, selected);
                         }
                         self.report.notices_received += 1;
+                        self.metrics.notices_received.inc();
                     }
                     MediatorMessage::AllocationResult {
                         query,
@@ -259,6 +305,7 @@ impl ParticipantHost {
                             endpoint.allocation_result(query, &providers);
                         }
                         self.report.notices_received += 1;
+                        self.metrics.notices_received.inc();
                     }
                     MediatorMessage::Shutdown => {
                         let goodbye = encode_participant_reply(&ParticipantReply::Goodbye);
@@ -269,13 +316,56 @@ impl ParticipantHost {
                     }
                     // The legacy single-query request shapes carry no
                     // addressee and cannot be dispatched on a multiplexed
-                    // connection; hosts ignore them.
+                    // connection; hosts ignore them. A stats reply only
+                    // answers a request this host sent (see
+                    // [`ParticipantHost::request_stats`]) — one arriving
+                    // unsolicited mid-serve is dropped the same way.
                     MediatorMessage::ConsumerIntentionRequest { .. }
-                    | MediatorMessage::ProviderIntentionRequest { .. } => {}
+                    | MediatorMessage::ProviderIntentionRequest { .. }
+                    | MediatorMessage::StatsReply { .. } => {}
                 }
             }
             match self.assembler.fill_from(&mut self.stream) {
                 Ok(0) => return Ok(self.report),
+                Ok(n) => self.metrics.bytes_in.add(n as u64),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends a [`ParticipantReply::StatsRequest`] and blocks until the
+    /// server's [`MediatorMessage::StatsReply`] arrives, returning the
+    /// snapshot it carried.
+    ///
+    /// Intended for a *dedicated* introspection connection (a host with
+    /// no endpoints, announced or not): any wave requests or notices
+    /// that arrive while waiting are discarded, so calling this on a
+    /// connection that also serves endpoints would lose traffic. The
+    /// server answers stats requests whenever it reads the connection —
+    /// during wave collection, between pipelined waves, or from an
+    /// explicit [`crate::WaveServer::service_stats`] pump.
+    pub fn request_stats(&mut self) -> io::Result<sqlb_obs::ObsSnapshot> {
+        self.stream
+            .write_all(&encode_participant_reply(&ParticipantReply::StatsRequest))?;
+        self.stream.flush()?;
+        loop {
+            while let Some(message) = self
+                .assembler
+                .next_mediator_message()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            {
+                if let MediatorMessage::StatsReply { snapshot } = message {
+                    return Ok(snapshot);
+                }
+            }
+            match self.assembler.fill_from(&mut self.stream) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before the stats reply arrived",
+                    ))
+                }
                 Ok(_) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
@@ -301,6 +391,7 @@ impl ParticipantHost {
                     &mut self.scratch,
                 );
                 self.report.replies_sent += 1;
+                self.metrics.replies_sent.inc();
                 continue;
             };
             match endpoint.latency() {
@@ -308,7 +399,7 @@ impl ParticipantHost {
                 Latency::After(delay) => {
                     // Replies computed so far must not be held hostage by
                     // this endpoint's latency: flush, then sleep.
-                    flush_pending(&mut self.stream, &mut self.scratch)?;
+                    flush_pending(&mut self.stream, &mut self.scratch, &self.metrics.bytes_out)?;
                     std::thread::sleep(delay);
                 }
                 Latency::Immediate => {}
@@ -323,6 +414,7 @@ impl ParticipantHost {
                 &mut self.scratch,
             );
             self.report.replies_sent += 1;
+            self.metrics.replies_sent.inc();
         }
         for (provider, queries, request_bids) in taken.providers {
             let Some(endpoint) = self.providers.get_mut(&provider) else {
@@ -336,12 +428,13 @@ impl ParticipantHost {
                     &mut self.scratch,
                 );
                 self.report.replies_sent += 1;
+                self.metrics.replies_sent.inc();
                 continue;
             };
             match endpoint.latency() {
                 Latency::Never => continue,
                 Latency::After(delay) => {
-                    flush_pending(&mut self.stream, &mut self.scratch)?;
+                    flush_pending(&mut self.stream, &mut self.scratch, &self.metrics.bytes_out)?;
                     std::thread::sleep(delay);
                 }
                 Latency::Immediate => {}
@@ -358,19 +451,22 @@ impl ParticipantHost {
                 &mut self.scratch,
             );
             self.report.replies_sent += 1;
+            self.metrics.replies_sent.inc();
         }
         self.report.waves_served += 1;
-        flush_pending(&mut self.stream, &mut self.scratch)
+        self.metrics.waves_served.inc();
+        flush_pending(&mut self.stream, &mut self.scratch, &self.metrics.bytes_out)
     }
 }
 
 /// Writes and clears the pending reply bytes, if any.
-fn flush_pending(stream: &mut Stream, out: &mut Vec<u8>) -> io::Result<()> {
+fn flush_pending(stream: &mut Stream, out: &mut Vec<u8>, bytes_out: &Counter) -> io::Result<()> {
     if out.is_empty() {
         return Ok(());
     }
     stream.write_all(out)?;
     stream.flush()?;
+    bytes_out.add(out.len() as u64);
     out.clear();
     Ok(())
 }

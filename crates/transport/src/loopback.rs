@@ -220,6 +220,13 @@ impl SocketMediator {
         &self.server
     }
 
+    /// Attaches an observability handle to the mediator-side wave server
+    /// (see [`WaveServer::set_obs`]). A disabled handle (the default)
+    /// keeps every instrumentation site a no-op.
+    pub fn set_obs(&mut self, obs: sqlb_obs::Obs) {
+        self.server.set_obs(obs);
+    }
+
     /// Statistics of the most recent wave.
     pub fn last_round(&self) -> SocketRoundStats {
         self.server.last_round()

@@ -36,10 +36,124 @@ use sqlb_mediation::{
     encode_mediator_message, encode_mediator_message_into, FrameAssembler, MediatorMessage,
     ParticipantReply, WaveReplies,
 };
+use sqlb_obs::{Counter, EventKind, Gauge, Histogram, Obs, ObsSnapshot};
 use sqlb_types::{ConsumerId, ProviderId, Query};
 
 use crate::ledger::{route_reply_frame, Applied, WaveLedger};
 use crate::net::{is_timeout, Stream};
+
+/// Wire tag of [`ParticipantReply::StatsRequest`] (tag byte at offset 4
+/// of a frame, after the length prefix) — peeked on the receive path so
+/// an introspection request can be intercepted before ledger routing.
+const STATS_REQUEST_TAG: u8 = 7;
+
+/// Pre-resolved observability instruments of a [`WaveServer`]. All
+/// handles are no-ops until [`WaveServer::set_obs`] installs an enabled
+/// [`Obs`], so the receive/send hot paths pay one predictable branch per
+/// update when observability is off.
+#[derive(Debug, Default)]
+struct ServerMetrics {
+    /// Waves begun (`begin_wave` calls).
+    waves_begun: Counter,
+    /// Endpoint requests written out across all waves.
+    requests_delivered: Counter,
+    /// Replies credited to an in-flight ledger.
+    replies_credited: Counter,
+    /// Stale, duplicate or foreign replies parsed and discarded.
+    replies_discarded: Counter,
+    /// Requests that degraded to indifference at a wave deadline.
+    replies_timed_out: Counter,
+    /// Frames reassembled from host connections.
+    frames_reassembled: Counter,
+    /// Bytes read from host connections.
+    bytes_in: Counter,
+    /// Bytes written to host connections.
+    bytes_out: Counter,
+    /// Waves currently in flight (pipeline depth).
+    pipeline_depth: Gauge,
+    /// Live host connections.
+    connections: Gauge,
+    /// Per-wave gather latency (begin to collect), seconds.
+    wave_gather_seconds: Histogram,
+}
+
+impl ServerMetrics {
+    /// Resolves every instrument from `obs` (no-ops when disabled).
+    fn resolve(obs: &Obs) -> Self {
+        ServerMetrics {
+            waves_begun: obs.counter("waves_begun"),
+            requests_delivered: obs.counter("requests_delivered"),
+            replies_credited: obs.counter("replies_credited"),
+            replies_discarded: obs.counter("replies_discarded"),
+            replies_timed_out: obs.counter("replies_timed_out"),
+            frames_reassembled: obs.counter("frames_reassembled"),
+            bytes_in: obs.counter("bytes_in"),
+            bytes_out: obs.counter("bytes_out"),
+            pipeline_depth: obs.gauge("pipeline_depth"),
+            connections: obs.gauge("connections"),
+            wave_gather_seconds: obs.histogram("wave_gather_seconds"),
+        }
+    }
+}
+
+/// The observability context threaded through the server's receive
+/// paths: instruments, the event recorder with its clock base, and the
+/// queue of connection slots whose stats requests await an answer.
+struct ObsCtx<'a> {
+    m: &'a ServerMetrics,
+    obs: &'a Obs,
+    /// The server's birth instant; events are stamped with seconds
+    /// since it (the transport has no virtual clock).
+    t0: Instant,
+    /// Slots that sent a [`ParticipantReply::StatsRequest`] and have
+    /// not been answered yet.
+    stats_requests: &'a mut Vec<usize>,
+}
+
+impl ObsCtx<'_> {
+    /// Seconds since server start, the transport's event clock.
+    fn now(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Accounts one reassembled frame; returns `true` when the frame
+    /// was a stats request (intercepted, not for the ledger).
+    fn on_frame(&mut self, frame: &[u8], slot: usize) -> bool {
+        self.m.frames_reassembled.inc();
+        if frame.len() > 4 && frame[4] == STATS_REQUEST_TAG {
+            self.stats_requests.push(slot);
+            return true;
+        }
+        false
+    }
+
+    /// Accounts one routed reply frame.
+    fn on_applied(&mut self, frame: &[u8], applied: Applied) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        // Wave replies carry their wave id right after the tag byte;
+        // peek it for the event stream (0 for non-wave frames).
+        let wave = if frame.len() >= 13 && (frame[4] == 3 || frame[4] == 4) {
+            u64::from_le_bytes(frame[5..13].try_into().expect("8 bytes"))
+        } else {
+            0
+        };
+        match applied {
+            Applied::Counted => {
+                self.m.replies_credited.inc();
+                self.obs
+                    .record(self.now(), EventKind::ReplyCredited { wave });
+            }
+            Applied::Ignored | Applied::Foreign => {
+                self.m.replies_discarded.inc();
+                self.obs
+                    .record(self.now(), EventKind::StaleDiscard { wave });
+            }
+            Applied::Goodbye => {}
+        }
+    }
+}
 
 /// Wave-server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +236,19 @@ pub struct WaveServer {
     /// Per-connection encode scratch, reused across waves so the send
     /// path of a steady-state wave allocates nothing.
     outbox: Vec<Vec<u8>>,
+    /// Observability sink (disabled by default — every instrument below
+    /// is then a no-op handle).
+    obs: Obs,
+    /// Pre-resolved instruments (see [`ServerMetrics`]).
+    metrics: ServerMetrics,
+    /// Event-clock base: flight-recorder events are stamped with
+    /// seconds since this instant.
+    started_at: Instant,
+    /// Connection slots with an unanswered
+    /// [`ParticipantReply::StatsRequest`]; answered by
+    /// [`WaveServer::flush_stats_replies`] at the end of every
+    /// begin/collect/service call that drains frames.
+    stats_requests: Vec<usize>,
 }
 
 impl WaveServer {
@@ -143,12 +270,38 @@ impl WaveServer {
             last_round: SocketRoundStats::default(),
             in_flight: VecDeque::new(),
             outbox: Vec::new(),
+            obs: Obs::disabled(),
+            metrics: ServerMetrics::default(),
+            started_at: Instant::now(),
+            stats_requests: Vec::new(),
         }
     }
 
     /// The server's configuration.
     pub fn config(&self) -> ServerConfig {
         self.config
+    }
+
+    /// Installs an observability sink and resolves the server's
+    /// instruments against it. With the default [`Obs::disabled`] every
+    /// instrument stays a no-op handle and the wire behaviour is
+    /// bit-identical — only [`MediatorMessage::StatsReply`] answers are
+    /// then empty snapshots.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.metrics = ServerMetrics::resolve(&obs);
+        self.obs = obs;
+    }
+
+    /// The server's observability sink (disabled unless
+    /// [`WaveServer::set_obs`] installed an enabled one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of the server's instruments — the same
+    /// view a [`ParticipantReply::StatsRequest`] is answered with.
+    pub fn stats_snapshot(&self) -> ObsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Starts listening on a TCP address (use port 0 for an ephemeral
@@ -291,6 +444,7 @@ impl WaveServer {
         connection.consumers = consumers;
         connection.providers = providers;
         self.connections.push(Some(connection));
+        self.metrics.connections.set(self.connection_count() as i64);
         Ok(slot)
     }
 
@@ -388,10 +542,23 @@ impl WaveServer {
             &mut self.outbox,
         );
 
+        let delivered = ledger.delivered();
         self.in_flight.push_back(PendingWave {
             started: Instant::now(),
             ledger,
         });
+        self.metrics.waves_begun.inc();
+        self.metrics.requests_delivered.add(delivered as u64);
+        self.metrics.pipeline_depth.set(self.in_flight.len() as i64);
+        if self.obs.is_enabled() {
+            self.obs.record(
+                self.started_at.elapsed().as_secs_f64(),
+                EventKind::WaveBegun {
+                    wave,
+                    delivered: delivered as u64,
+                },
+            );
+        }
 
         // Write each connection's burst. With waves overlapped, the peer
         // may itself be blocked writing an earlier wave's replies while
@@ -403,8 +570,18 @@ impl WaveServer {
             connections,
             in_flight,
             outbox,
+            obs,
+            metrics,
+            started_at,
+            stats_requests,
             ..
         } = self;
+        let mut ctx = ObsCtx {
+            m: metrics,
+            obs,
+            t0: *started_at,
+            stats_requests,
+        };
         let write_deadline = Instant::now() + config.timeout.max(Duration::from_millis(100));
         for slot in 0..connections.len() {
             if outbox[slot].is_empty() {
@@ -433,7 +610,7 @@ impl WaveServer {
                         // buffer; pull those replies out so both pipes
                         // keep moving, then retry — up to the same
                         // overall budget a non-pipelined write had.
-                        if drain_slot(connection, in_flight, slot).is_err()
+                        if drain_slot(connection, in_flight, slot, &mut ctx).is_err()
                             || Instant::now() >= write_deadline
                         {
                             dead = true;
@@ -443,6 +620,7 @@ impl WaveServer {
                     Err(_) => dead = true,
                 }
             }
+            ctx.m.bytes_out.add(written as u64);
             if let Some(connection) = connections[slot].as_mut() {
                 // Restore the long per-write budget used by notify /
                 // shutdown writes.
@@ -461,6 +639,9 @@ impl WaveServer {
                 }
             }
         }
+        self.metrics.connections.set(self.connection_count() as i64);
+        // Stats requests surfaced while draining stalled writes.
+        self.flush_stats_replies();
         wave
     }
 
@@ -488,8 +669,18 @@ impl WaveServer {
         let WaveServer {
             connections,
             in_flight,
+            obs,
+            metrics,
+            started_at,
+            stats_requests,
             ..
         } = self;
+        let mut ctx = ObsCtx {
+            m: metrics,
+            obs,
+            t0: *started_at,
+            stats_requests,
+        };
         for drain_only in [false, true] {
             for (slot, connection_slot) in connections.iter_mut().enumerate() {
                 let mut dead = false;
@@ -511,13 +702,19 @@ impl WaveServer {
                             dead = true;
                         }
                         Ok(Some(frame)) => {
+                            if ctx.on_frame(frame, slot) {
+                                // An introspection request, answered in
+                                // flush_stats_replies — never routed to
+                                // a ledger.
+                                continue;
+                            }
                             let ledgers = in_flight.iter_mut().map(|w| &mut w.ledger);
                             match route_reply_frame(frame, ledgers, slot) {
                                 Err(_) => dead = true,
                                 // The host is leaving mid-wave; whatever
                                 // it has not answered degrades.
                                 Ok(Applied::Goodbye) => dead = true,
-                                Ok(_) => {}
+                                Ok(applied) => ctx.on_applied(frame, applied),
                             }
                             if !dead {
                                 continue;
@@ -540,7 +737,7 @@ impl WaveServer {
                             } else {
                                 match connection.assembler.fill_from(&mut connection.stream) {
                                     Ok(0) => dead = true,
-                                    Ok(_) => {}
+                                    Ok(n) => ctx.m.bytes_in.add(n as u64),
                                     Err(e) if is_timeout(&e) => {
                                         if drain_only {
                                             break;
@@ -582,6 +779,25 @@ impl WaveServer {
             timed_out: delivered - answered,
             elapsed: started.elapsed(),
         };
+        self.metrics
+            .wave_gather_seconds
+            .record(self.last_round.elapsed.as_secs_f64());
+        self.metrics.pipeline_depth.set(self.in_flight.len() as i64);
+        self.metrics.connections.set(self.connection_count() as i64);
+        let timed_out = self.last_round.timed_out;
+        if timed_out > 0 {
+            self.metrics.replies_timed_out.add(timed_out as u64);
+            if self.obs.is_enabled() {
+                self.obs.record(
+                    self.started_at.elapsed().as_secs_f64(),
+                    EventKind::TimeoutIndifference {
+                        wave,
+                        count: timed_out as u64,
+                    },
+                );
+            }
+        }
+        self.flush_stats_replies();
         Some(finished.ledger.into_replies())
     }
 
@@ -633,9 +849,117 @@ impl WaveServer {
             if let Some(connection) = self.connections[slot].as_mut() {
                 if connection.stream.write_all(&self.outbox[slot]).is_err() {
                     self.close_slot(slot);
+                } else {
+                    self.metrics.bytes_out.add(self.outbox[slot].len() as u64);
                 }
             }
         }
+    }
+
+    /// Polls every live connection once for pending frames while no
+    /// wave is being collected — the idle pump behind the live
+    /// introspection endpoint. Wave replies found along the way are
+    /// credited to their in-flight ledgers exactly as
+    /// [`WaveServer::collect_wave`] would credit them; every
+    /// [`ParticipantReply::StatsRequest`] is answered with a
+    /// [`MediatorMessage::StatsReply`] snapshot. Each connection gets
+    /// one bounded read (`timeout`), so a call costs at most
+    /// `connections × timeout` wall clock. Returns the number of stats
+    /// requests answered.
+    ///
+    /// Connections whose endpoints are all busy answering a wave simply
+    /// have nothing buffered; a dedicated introspection client (a host
+    /// that said hello with no endpoints) is serviced here without
+    /// disturbing wave traffic.
+    pub fn service_stats(&mut self, timeout: Duration) -> usize {
+        let WaveServer {
+            connections,
+            in_flight,
+            obs,
+            metrics,
+            started_at,
+            stats_requests,
+            ..
+        } = self;
+        let mut ctx = ObsCtx {
+            m: metrics,
+            obs,
+            t0: *started_at,
+            stats_requests,
+        };
+        for (slot, connection_slot) in connections.iter_mut().enumerate() {
+            let Some(connection) = connection_slot.as_mut() else {
+                continue;
+            };
+            if connection.stream.set_read_timeout(Some(timeout)).is_err() {
+                if let Some(connection) = connection_slot.take() {
+                    connection.stream.shutdown();
+                }
+                continue;
+            }
+            let mut dead = false;
+            match connection.assembler.fill_from(&mut connection.stream) {
+                Ok(0) => dead = true,
+                Ok(n) => ctx.m.bytes_in.add(n as u64),
+                Err(e) if is_timeout(&e) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => dead = true,
+            }
+            while !dead {
+                match connection.assembler.next_frame() {
+                    Err(_) => dead = true,
+                    Ok(None) => break,
+                    Ok(Some(frame)) => {
+                        if ctx.on_frame(frame, slot) {
+                            continue;
+                        }
+                        let ledgers = in_flight.iter_mut().map(|w| &mut w.ledger);
+                        match route_reply_frame(frame, ledgers, slot) {
+                            Err(_) => dead = true,
+                            Ok(Applied::Goodbye) => dead = true,
+                            Ok(applied) => ctx.on_applied(frame, applied),
+                        }
+                    }
+                }
+            }
+            if dead {
+                if let Some(connection) = connection_slot.take() {
+                    connection.stream.shutdown();
+                }
+            }
+        }
+        self.metrics.connections.set(self.connection_count() as i64);
+        self.flush_stats_replies()
+    }
+
+    /// Answers every queued [`ParticipantReply::StatsRequest`] with one
+    /// shared snapshot and returns how many were answered. Write
+    /// failures close the requesting slot.
+    fn flush_stats_replies(&mut self) -> usize {
+        if self.stats_requests.is_empty() {
+            return 0;
+        }
+        let mut slots = std::mem::take(&mut self.stats_requests);
+        slots.sort_unstable();
+        slots.dedup();
+        // One snapshot per flush: every request queued in the same
+        // drain sees the same view.
+        let frame = encode_mediator_message(&MediatorMessage::StatsReply {
+            snapshot: self.obs.snapshot(),
+        });
+        let mut answered = 0;
+        for slot in slots {
+            let Some(connection) = self.connections[slot].as_mut() else {
+                continue;
+            };
+            if connection.stream.write_all(&frame).is_ok() && connection.stream.flush().is_ok() {
+                self.metrics.bytes_out.add(frame.len() as u64);
+                answered += 1;
+            } else {
+                self.close_slot(slot);
+            }
+        }
+        answered
     }
 
     /// Removes a consumer endpoint (e.g. on departure). When this leaves
@@ -730,6 +1054,7 @@ impl WaveServer {
         if let Some(connection) = self.connections[slot].take() {
             connection.stream.shutdown();
         }
+        self.metrics.connections.set(self.connection_count() as i64);
     }
 }
 
@@ -764,12 +1089,18 @@ fn drain_slot(
     connection: &mut HostConnection,
     waves: &mut VecDeque<PendingWave>,
     slot: usize,
+    ctx: &mut ObsCtx<'_>,
 ) -> io::Result<()> {
     loop {
         match connection.assembler.next_frame() {
             Err(error) => return Err(frame_error(error)),
             Ok(None) => break,
             Ok(Some(frame)) => {
+                if ctx.on_frame(frame, slot) {
+                    // An introspection request; queued for
+                    // flush_stats_replies, never routed to a ledger.
+                    continue;
+                }
                 let ledgers = waves.iter_mut().map(|w| &mut w.ledger);
                 match route_reply_frame(frame, ledgers, slot) {
                     Err(error) => return Err(frame_error(error)),
@@ -779,7 +1110,7 @@ fn drain_slot(
                             "host said goodbye mid-wave",
                         ))
                     }
-                    Ok(_) => {}
+                    Ok(applied) => ctx.on_applied(frame, applied),
                 }
             }
         }
@@ -789,7 +1120,10 @@ fn drain_slot(
         .set_read_timeout(Some(Duration::from_millis(1)))?;
     match connection.assembler.fill_from(&mut connection.stream) {
         Ok(0) => Err(io::ErrorKind::UnexpectedEof.into()),
-        Ok(_) => Ok(()),
+        Ok(n) => {
+            ctx.m.bytes_in.add(n as u64);
+            Ok(())
+        }
         Err(e) if is_timeout(&e) => Ok(()),
         Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
         Err(e) => Err(e),

@@ -16,6 +16,7 @@
 //! |---|---|
 //! | [`types`] | identifiers, the query model `q = <c, d, n>`, bounded value domains |
 //! | [`metrics`] | mean / Jain fairness / min–max balance (Section 4), time series |
+//! | [`obs`] | zero-overhead-when-off observability: counters, histograms, flight recorder |
 //! | [`satisfaction`] | adequation, satisfaction, allocation satisfaction (Section 3) |
 //! | [`matchmaking`] | capability registry and matchmakers producing `P_q` |
 //! | [`reputation`] | provider reputation used by consumer intentions |
@@ -73,6 +74,7 @@ pub use sqlb_core as core;
 pub use sqlb_matchmaking as matchmaking;
 pub use sqlb_mediation as mediation;
 pub use sqlb_metrics as metrics;
+pub use sqlb_obs as obs;
 pub use sqlb_reputation as reputation;
 pub use sqlb_satisfaction as satisfaction;
 pub use sqlb_sim as sim;

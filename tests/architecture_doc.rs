@@ -112,6 +112,7 @@ fn architecture_doc_pointers_resolve() {
     for crate_dir in [
         "crates/types",
         "crates/metrics",
+        "crates/obs",
         "crates/satisfaction",
         "crates/matchmaking",
         "crates/reputation",
